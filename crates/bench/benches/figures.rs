@@ -1,0 +1,42 @@
+//! Criterion benches: one per paper figure, timing a scaled-down
+//! regeneration of each experiment.
+//!
+//! These answer "how long does regenerating each artifact take per unit of
+//! budget"; the full-scale tables come from the `fig*` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Scale small enough that one iteration is ~hundreds of milliseconds.
+const BENCH_SCALE: f64 = 0.004;
+
+fn bench_fig3_io_crc(c: &mut Criterion) {
+    c.bench_function("fig3_io_crc_flow", |b| {
+        b.iter(|| ascdg_bench::fig3(black_box(BENCH_SCALE), black_box(7)).unwrap())
+    });
+}
+
+fn bench_fig4_l3_bypass(c: &mut Criterion) {
+    c.bench_function("fig4_l3_bypass_flow", |b| {
+        b.iter(|| ascdg_bench::fig4(black_box(BENCH_SCALE), black_box(7)).unwrap())
+    });
+}
+
+fn bench_fig5_ifu_cross(c: &mut Criterion) {
+    c.bench_function("fig5_ifu_cross_flow", |b| {
+        b.iter(|| ascdg_bench::fig5(black_box(BENCH_SCALE * 4.0), black_box(7)).unwrap())
+    });
+}
+
+fn bench_fig6_opt_progress(c: &mut Criterion) {
+    c.bench_function("fig6_opt_trace", |b| {
+        b.iter(|| ascdg_bench::fig6(black_box(BENCH_SCALE), black_box(7)).unwrap())
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig3_io_crc, bench_fig4_l3_bypass, bench_fig5_ifu_cross, bench_fig6_opt_progress
+}
+criterion_main!(figures);

@@ -1,0 +1,89 @@
+//! Runs the ablation studies (A1-A4) and the multi-target extension (E1).
+//!
+//! Usage: `ablation [study] [--scale <f>] [--seed <n>]` where `study` is
+//! one of `no-approx`, `no-sample`, `optimizers`, `noise-n`,
+//! `multi-target`, or `all` (default).
+
+use ascdg_bench::ablation;
+
+fn main() {
+    let (scale, seed) = ascdg_bench::parse_cli(0.05, 2021);
+    let study = std::env::args()
+        .nth(1)
+        .filter(|s| !s.starts_with("--"))
+        .unwrap_or_else(|| "all".to_owned());
+    let all = study == "all";
+    std::fs::create_dir_all("results").expect("create results dir");
+
+    if all || study == "no-approx" {
+        let r = ablation::no_approx(scale, seed).expect("A1 failed");
+        println!("A1 (approximated target):");
+        println!(
+            "  with approx target   -> real-target rate sum {:.5}",
+            r.with_approx_target_rate
+        );
+        println!(
+            "  real target directly -> real-target rate sum {:.5}",
+            r.without_approx_target_rate
+        );
+        save("ablation_a1", &r);
+    }
+    if all || study == "no-sample" {
+        let r = ablation::no_sample(scale, seed).expect("A2 failed");
+        println!("A2 (random-sample phase):");
+        println!(
+            "  with sampling start    -> best target value {:.5}",
+            r.with_sampling
+        );
+        println!(
+            "  cold start (same sims) -> best target value {:.5}",
+            r.without_sampling
+        );
+        save("ablation_a2", &r);
+    }
+    if all || study == "optimizers" {
+        let rows = ablation::optimizers(scale, seed).expect("A3 failed");
+        println!("A3 (optimizer comparison, equal evaluation budget):");
+        for r in &rows {
+            println!(
+                "  {:<20} best {:.5} ({} evals)",
+                r.name, r.best_value, r.evals
+            );
+        }
+        save("ablation_a3", &rows);
+    }
+    if all || study == "noise-n" {
+        let rows = ablation::noise_n(scale, seed, &[1, 5, 25, 100]).expect("A4 failed");
+        println!("A4 (samples per point N, fixed total sims):");
+        for r in &rows {
+            println!(
+                "  N={:<4} assessed value {:.5} ({} iterations)",
+                r.n, r.assessed_value, r.iterations
+            );
+        }
+        save("ablation_a4", &rows);
+    }
+    if all || study == "multi-target" {
+        let r = ablation::multi_target(scale, seed).expect("E1 failed");
+        println!("E1 (shared multi-target search):");
+        println!(
+            "  shared:   {} sims, {} targets hit",
+            r.shared_sims, r.shared_targets_hit
+        );
+        println!(
+            "  separate: {} sims, {} targets hit",
+            r.separate_sims, r.separate_targets_hit
+        );
+        save("ablation_e1", &r);
+    }
+}
+
+fn save<T: serde::Serialize>(name: &str, value: &T) {
+    let path = format!("results/{name}.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(value).expect("serialize"),
+    )
+    .expect("write artifact");
+    eprintln!("wrote {path}");
+}

@@ -1,0 +1,32 @@
+//! Regenerates the paper's Fig. 3: hit statistics for the I/O unit's
+//! `crc_*` family across the four AS-CDG phases.
+//!
+//! Usage: `fig3 [--scale <f>] [--seed <n>]` — `--scale 1.0` reproduces the
+//! paper's full simulation budgets (669k regression sims etc.); smaller
+//! values shrink every budget proportionally.
+
+use ascdg_core::render_family_table;
+
+fn main() {
+    let (scale, seed) = ascdg_bench::parse_cli(1.0, 2021);
+    eprintln!("fig3: I/O unit CRC family, scale {scale}, seed {seed}");
+    let out = ascdg_bench::fig3(scale, seed).expect("fig3 experiment failed");
+    println!("{}", render_family_table(&out));
+    println!(
+        "targets: {:?}",
+        out.targets
+            .iter()
+            .map(|&e| out.model.name(e).to_owned())
+            .collect::<Vec<_>>()
+    );
+    println!("best template:\n{}", out.best_template);
+    save_json("fig3", &out);
+}
+
+fn save_json(name: &str, out: &ascdg_core::FlowOutcome) {
+    std::fs::create_dir_all("results").expect("create results dir");
+    let path = format!("results/{name}.json");
+    std::fs::write(&path, serde_json::to_string_pretty(out).expect("serialize"))
+        .expect("write artifact");
+    eprintln!("wrote {path}");
+}

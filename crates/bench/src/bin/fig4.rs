@@ -1,0 +1,21 @@
+//! Regenerates the paper's Fig. 4: hit statistics for the L3 cache's
+//! `byp_reqs*` family across the four AS-CDG phases.
+//!
+//! Usage: `fig4 [--scale <f>] [--seed <n>]`.
+
+use ascdg_core::render_family_table;
+
+fn main() {
+    let (scale, seed) = ascdg_bench::parse_cli(1.0, 2021);
+    eprintln!("fig4: L3 bypass family, scale {scale}, seed {seed}");
+    let out = ascdg_bench::fig4(scale, seed).expect("fig4 experiment failed");
+    println!("{}", render_family_table(&out));
+    println!("best template:\n{}", out.best_template);
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write(
+        "results/fig4.json",
+        serde_json::to_string_pretty(&out).expect("serialize"),
+    )
+    .expect("write artifact");
+    eprintln!("wrote results/fig4.json");
+}

@@ -1,0 +1,34 @@
+//! Regenerates the paper's Fig. 5: event-status counts per phase for the
+//! IFU's 256-event cross product (entry x thread x sector x branch).
+//!
+//! The 32 `entry7` events are architecturally unhittable and must remain
+//! uncovered at the end — exactly as the paper reports.
+//!
+//! Usage: `fig5 [--scale <f>] [--seed <n>]`.
+
+use ascdg_core::{render_cross_breakdown, render_status_chart};
+use ascdg_coverage::StatusPolicy;
+
+fn main() {
+    let (scale, seed) = ascdg_bench::parse_cli(1.0, 2021);
+    eprintln!("fig5: IFU cross product, scale {scale}, seed {seed}");
+    let out = ascdg_bench::fig5(scale, seed).expect("fig5 experiment failed");
+    println!("{}", render_status_chart(&out, StatusPolicy::default()));
+    println!("{}", render_cross_breakdown(&out, StatusPolicy::default()));
+    // The entry7 slice must stay uncovered.
+    let cp = out.model.cross_product().expect("IFU is a cross product");
+    let last = out.phases.last().expect("phases exist");
+    let entry7_hit = cp
+        .slice(0, 7)
+        .into_iter()
+        .filter(|&e| last.hits[e.index()] > 0)
+        .count();
+    println!("entry7 events hit in final phase: {entry7_hit} (expected 0)");
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write(
+        "results/fig5.json",
+        serde_json::to_string_pretty(&out).expect("serialize"),
+    )
+    .expect("write artifact");
+    eprintln!("wrote results/fig5.json");
+}

@@ -1,0 +1,20 @@
+//! Regenerates the paper's Fig. 6: the maximal approximated-target value
+//! per optimization iteration on the L3 run.
+//!
+//! Usage: `fig6 [--scale <f>] [--seed <n>]`.
+
+use ascdg_core::render_trace_chart;
+
+fn main() {
+    let (scale, seed) = ascdg_bench::parse_cli(1.0, 2021);
+    eprintln!("fig6: L3 optimization progress, scale {scale}, seed {seed}");
+    let trace = ascdg_bench::fig6(scale, seed).expect("fig6 experiment failed");
+    println!("{}", render_trace_chart(&trace));
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write(
+        "results/fig6.json",
+        serde_json::to_string_pretty(&trace).expect("serialize"),
+    )
+    .expect("write artifact");
+    eprintln!("wrote results/fig6.json");
+}

@@ -1,0 +1,296 @@
+//! The batch simulation environment (the paper's Fig. 2 "Batch" box).
+//!
+//! In the paper, the CDG-Runner submits test-templates to a cluster batch
+//! farm and collects coverage. Here the farm is a thread pool: simulations
+//! of one template are sharded across workers with deterministic
+//! per-instance seeds, so results do not depend on scheduling.
+
+use ascdg_coverage::{CoverageRepository, CoverageVector, TemplateId};
+use ascdg_duv::VerifEnv;
+use ascdg_stimgen::mix_seed;
+use ascdg_template::TestTemplate;
+
+use crate::FlowError;
+
+/// Accumulated per-event hit counts from a batch of simulations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Number of simulations in the batch.
+    pub sims: u64,
+    /// Per-event hit counts, indexed by event id.
+    pub hits: Vec<u64>,
+}
+
+impl BatchStats {
+    /// An empty accumulator for a model with `events` events.
+    #[must_use]
+    pub fn empty(events: usize) -> Self {
+        BatchStats {
+            sims: 0,
+            hits: vec![0; events],
+        }
+    }
+
+    /// Adds one simulation's coverage vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length differs from the accumulator width.
+    pub fn record(&mut self, cov: &CoverageVector) {
+        assert_eq!(cov.len(), self.hits.len(), "coverage width mismatch");
+        self.sims += 1;
+        for e in cov.iter_hits() {
+            self.hits[e.index()] += 1;
+        }
+    }
+
+    /// Merges another batch into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn merge(&mut self, other: &BatchStats) {
+        assert_eq!(other.hits.len(), self.hits.len(), "batch width mismatch");
+        self.sims += other.sims;
+        for (a, b) in self.hits.iter_mut().zip(&other.hits) {
+            *a += b;
+        }
+    }
+
+    /// The empirical hit rate of event `e`.
+    #[must_use]
+    pub fn rate(&self, e: ascdg_coverage::EventId) -> f64 {
+        if self.sims == 0 {
+            0.0
+        } else {
+            self.hits[e.index()] as f64 / self.sims as f64
+        }
+    }
+
+    /// All rates as a dense slice, indexed by event id.
+    #[must_use]
+    pub fn rates(&self) -> Vec<f64> {
+        if self.sims == 0 {
+            return vec![0.0; self.hits.len()];
+        }
+        self.hits
+            .iter()
+            .map(|&h| h as f64 / self.sims as f64)
+            .collect()
+    }
+}
+
+/// Runs batches of simulations, optionally in parallel.
+///
+/// # Examples
+///
+/// ```
+/// use ascdg_core::BatchRunner;
+/// use ascdg_duv::{io_unit::IoEnv, VerifEnv};
+///
+/// let env = IoEnv::new();
+/// let t = env.stock_library().get(0).unwrap().clone();
+/// let stats = BatchRunner::new(2).run(&env, &t, 50, 1).unwrap();
+/// assert_eq!(stats.sims, 50);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchRunner {
+    threads: usize,
+}
+
+impl Default for BatchRunner {
+    fn default() -> Self {
+        BatchRunner::new(1)
+    }
+}
+
+impl BatchRunner {
+    /// Creates a runner with `threads` workers (clamped to at least 1).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        BatchRunner {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A runner sized to the machine.
+    #[must_use]
+    pub fn parallel() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        BatchRunner::new(threads)
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Simulates `sims` instances of `template` and accumulates coverage.
+    ///
+    /// Instance `i` uses seed `mix(base_seed, i)`; results are identical
+    /// regardless of the thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates template validation or stimulus generation failures.
+    pub fn run<E: VerifEnv>(
+        &self,
+        env: &E,
+        template: &TestTemplate,
+        sims: u64,
+        base_seed: u64,
+    ) -> Result<BatchStats, FlowError> {
+        self.run_inner(env, template, sims, base_seed, None)
+    }
+
+    /// Like [`BatchRunner::run`], additionally recording every simulation
+    /// into a coverage repository under `template_id` — how the regression
+    /// ("Before CDG") phase populates the database TAC queries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates template validation or stimulus generation failures.
+    pub fn run_recorded<E: VerifEnv>(
+        &self,
+        env: &E,
+        template: &TestTemplate,
+        sims: u64,
+        base_seed: u64,
+        repo: &CoverageRepository,
+        template_id: TemplateId,
+    ) -> Result<BatchStats, FlowError> {
+        self.run_inner(env, template, sims, base_seed, Some((repo, template_id)))
+    }
+
+    fn run_inner<E: VerifEnv>(
+        &self,
+        env: &E,
+        template: &TestTemplate,
+        sims: u64,
+        base_seed: u64,
+        record: Option<(&CoverageRepository, TemplateId)>,
+    ) -> Result<BatchStats, FlowError> {
+        let resolved = env
+            .registry()
+            .resolve(template)
+            .map_err(FlowError::Template)?;
+        let events = env.coverage_model().len();
+        if sims == 0 {
+            return Ok(BatchStats::empty(events));
+        }
+        let workers = self.threads.min(sims as usize).max(1);
+        if workers == 1 {
+            let mut stats = BatchStats::empty(events);
+            for i in 0..sims {
+                let cov = env
+                    .simulate_resolved(&resolved, template.name(), mix_seed(base_seed, i))
+                    .map_err(FlowError::Env)?;
+                if let Some((repo, id)) = record {
+                    repo.try_record(id, &cov).map_err(FlowError::Coverage)?;
+                }
+                stats.record(&cov);
+            }
+            return Ok(stats);
+        }
+
+        let chunk = sims.div_ceil(workers as u64);
+        let results = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for w in 0..workers as u64 {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(sims);
+                let resolved = &resolved;
+                let template_name = template.name();
+                handles.push(scope.spawn(move |_| -> Result<BatchStats, FlowError> {
+                    let mut stats = BatchStats::empty(events);
+                    for i in lo..hi {
+                        let cov = env
+                            .simulate_resolved(resolved, template_name, mix_seed(base_seed, i))
+                            .map_err(FlowError::Env)?;
+                        if let Some((repo, id)) = record {
+                            repo.try_record(id, &cov).map_err(FlowError::Coverage)?;
+                        }
+                        stats.record(&cov);
+                    }
+                    Ok(stats)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("batch worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("batch scope panicked");
+
+        let mut total = BatchStats::empty(events);
+        for r in results {
+            total.merge(&r?);
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ascdg_duv::io_unit::IoEnv;
+
+    #[test]
+    fn stats_accumulate_and_merge() {
+        let mut a = BatchStats::empty(3);
+        let mut v = CoverageVector::empty(3);
+        v.set(ascdg_coverage::EventId(1));
+        a.record(&v);
+        a.record(&CoverageVector::empty(3));
+        assert_eq!(a.sims, 2);
+        assert_eq!(a.hits, vec![0, 1, 0]);
+        assert!((a.rate(ascdg_coverage::EventId(1)) - 0.5).abs() < 1e-12);
+
+        let mut b = BatchStats::empty(3);
+        b.record(&v);
+        a.merge(&b);
+        assert_eq!(a.sims, 3);
+        assert_eq!(a.hits[1], 2);
+        assert_eq!(a.rates().len(), 3);
+    }
+
+    #[test]
+    fn empty_stats_rate_is_zero() {
+        let s = BatchStats::empty(2);
+        assert_eq!(s.rate(ascdg_coverage::EventId(0)), 0.0);
+        assert_eq!(s.rates(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let env = IoEnv::new();
+        let t = env.stock_library().get(11).unwrap().clone();
+        let serial = BatchRunner::new(1).run(&env, &t, 64, 9).unwrap();
+        let parallel = BatchRunner::new(4).run(&env, &t, 64, 9).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn zero_sims_is_empty() {
+        let env = IoEnv::new();
+        let t = env.stock_library().get(0).unwrap().clone();
+        let s = BatchRunner::new(2).run(&env, &t, 0, 0).unwrap();
+        assert_eq!(s.sims, 0);
+    }
+
+    #[test]
+    fn invalid_template_is_rejected() {
+        let env = IoEnv::new();
+        let bad = TestTemplate::builder("bad")
+            .range("NoSuch", 0, 1)
+            .unwrap()
+            .build();
+        assert!(matches!(
+            BatchRunner::new(1).run(&env, &bad, 1, 0),
+            Err(FlowError::Template(_))
+        ));
+    }
+}

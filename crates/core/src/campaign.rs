@@ -1,0 +1,318 @@
+//! Unit-level coverage-closure campaigns (the paper's Section V usage).
+//!
+//! The paper deploys AS-CDG per *unit*: identify the hard-to-hit events —
+//! "focusing on those belonging to a larger family of events, e.g.
+//! filling-a-buffer events or a cross-product" — then run the flow group
+//! by group. [`CdgFlow::run_campaign`] automates that sweep: one shared
+//! regression, one flow run per uncovered family (plus one combined run
+//! for uncovered events outside any family), and a unit-level summary of
+//! what closed, what resisted, and what it cost.
+
+use serde::{Deserialize, Serialize};
+
+use ascdg_coverage::{EventFamily, EventId, StatusCounts, StatusPolicy};
+use ascdg_duv::VerifEnv;
+use ascdg_stimgen::mix_seed;
+use ascdg_template::TemplateLibrary;
+
+use crate::{CdgFlow, FlowError, FlowOutcome, PHASE_BEFORE};
+
+/// One target group's result within a campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignGroup {
+    /// Group name: the family stem, or `"(ungrouped)"` for leftovers.
+    pub name: String,
+    /// The group's target events.
+    pub targets: Vec<EventId>,
+    /// Events of this group the harvested template newly covered.
+    pub newly_covered: usize,
+    /// Simulations spent on this group (excluding the shared regression).
+    pub sims: u64,
+    /// Name of the harvested template, when the flow succeeded.
+    pub harvested_template: Option<String>,
+    /// The failure, when the flow could not run for this group (e.g. no
+    /// evidence) — the paper's "failed to provide the desired results"
+    /// category.
+    pub failure: Option<String>,
+}
+
+/// The outcome of a whole-unit campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignOutcome {
+    /// The unit the campaign ran against.
+    pub unit: String,
+    /// Status counts after the shared regression alone.
+    pub before: StatusCounts,
+    /// Status counts after regression plus every harvested best-test run
+    /// (union of hit evidence).
+    pub after: StatusCounts,
+    /// Per-group details, in execution order.
+    pub groups: Vec<CampaignGroup>,
+    /// Total simulations across regression and all groups.
+    pub total_sims: u64,
+    /// Every harvested template, ready to join the regression suite.
+    pub harvested: TemplateLibrary,
+}
+
+impl CampaignOutcome {
+    /// Total events newly covered across all groups.
+    #[must_use]
+    pub fn total_newly_covered(&self) -> usize {
+        self.groups.iter().map(|g| g.newly_covered).sum()
+    }
+
+    /// Renders a one-screen summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Campaign on {}: {} -> {} (total {} sims)",
+            self.unit, self.before, self.after, self.total_sims
+        );
+        for g in &self.groups {
+            match &g.failure {
+                Some(why) => {
+                    let _ = writeln!(
+                        out,
+                        "  {:<14} {} targets, FAILED: {why}",
+                        g.name,
+                        g.targets.len()
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "  {:<14} {} targets, {} newly covered, {} sims, harvested `{}`",
+                        g.name,
+                        g.targets.len(),
+                        g.newly_covered,
+                        g.sims,
+                        g.harvested_template.as_deref().unwrap_or("-")
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+impl<E: VerifEnv> CdgFlow<E> {
+    /// Runs a whole-unit campaign: one shared regression, then one flow
+    /// run per family with uncovered members, then one combined run for
+    /// any uncovered events outside families.
+    ///
+    /// Groups that fail (no evidence, empty skeleton, ...) are recorded
+    /// with their failure instead of aborting the campaign.
+    ///
+    /// # Errors
+    ///
+    /// Only the shared regression can fail the whole campaign.
+    pub fn run_campaign(&self, seed: u64) -> Result<CampaignOutcome, FlowError> {
+        let model = self.env().coverage_model();
+        let policy = StatusPolicy::default();
+        let repo = self.run_regression(mix_seed(seed, 0xca3))?;
+        let before = repo.status_counts(policy);
+
+        // Group the uncovered events: cross-product models form one group
+        // (their structure, not name suffixes, defines neighborship);
+        // otherwise one group per name family plus a leftover group.
+        let uncovered = repo.uncovered_events();
+        if model.cross_product().is_some() {
+            if uncovered.is_empty() {
+                return Ok(CampaignOutcome {
+                    unit: self.env().unit_name().to_owned(),
+                    before,
+                    after: before,
+                    groups: Vec::new(),
+                    total_sims: repo.total_simulations(),
+                    harvested: TemplateLibrary::new(),
+                });
+            }
+            return self.run_campaign_groups(
+                repo,
+                before,
+                vec![("(cross-product)".to_owned(), uncovered)],
+                seed,
+            );
+        }
+        let mut groups: Vec<(String, Vec<EventId>)> = Vec::new();
+        let mut grouped: Vec<EventId> = Vec::new();
+        for family in EventFamily::discover(model) {
+            let targets: Vec<EventId> = family
+                .events()
+                .into_iter()
+                .filter(|e| uncovered.contains(e))
+                .collect();
+            if !targets.is_empty() {
+                grouped.extend(&targets);
+                groups.push((family.stem().to_owned(), targets));
+            }
+        }
+        let leftovers: Vec<EventId> = uncovered
+            .iter()
+            .copied()
+            .filter(|e| !grouped.contains(e))
+            .collect();
+        if !leftovers.is_empty() {
+            groups.push(("(ungrouped)".to_owned(), leftovers));
+        }
+        self.run_campaign_groups(repo, before, groups, seed)
+    }
+
+    /// Shared campaign tail: runs the flow per pre-built group.
+    fn run_campaign_groups(
+        &self,
+        repo: ascdg_coverage::CoverageRepository,
+        before: StatusCounts,
+        groups: Vec<(String, Vec<EventId>)>,
+        seed: u64,
+    ) -> Result<CampaignOutcome, FlowError> {
+        let policy = StatusPolicy::default();
+        // Run the flow per group against the shared regression repository.
+        let mut out_groups = Vec::with_capacity(groups.len());
+        let mut harvested = TemplateLibrary::new();
+        let mut union_hits: Vec<u64> = repo.all_global_stats().iter().map(|s| s.hits).collect();
+        let union_sims_base = repo.total_simulations();
+        let mut extra_sims: u64 = 0;
+        let mut union_extra_sims: u64 = 0;
+        for (i, (name, targets)) in groups.into_iter().enumerate() {
+            match self.run_phases(&repo, &targets, mix_seed(seed, 0xc0 + i as u64)) {
+                Ok(outcome) => {
+                    let group_sims = non_regression_sims(&outcome);
+                    extra_sims += group_sims;
+                    let best = outcome.phases.last().expect("flow has phases");
+                    let newly = targets
+                        .iter()
+                        .filter(|&&e| best.hits[e.index()] > 0)
+                        .count();
+                    // Fold the best-test evidence into the unit-level
+                    // "after" picture.
+                    for (acc, &h) in union_hits.iter_mut().zip(&best.hits) {
+                        *acc += h;
+                    }
+                    union_extra_sims += best.sims;
+                    // Two groups can choose the same stock template, so
+                    // qualify the harvested name by the group.
+                    let clean: String = name
+                        .chars()
+                        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                        .collect();
+                    let template_name = format!("{}__{clean}", outcome.best_template.name());
+                    harvested
+                        .push(outcome.best_template.renamed(&template_name))
+                        .expect("group-qualified names are unique");
+                    out_groups.push(CampaignGroup {
+                        name,
+                        targets,
+                        newly_covered: newly,
+                        sims: group_sims,
+                        harvested_template: Some(template_name),
+                        failure: None,
+                    });
+                }
+                Err(e) => {
+                    out_groups.push(CampaignGroup {
+                        name,
+                        targets,
+                        newly_covered: 0,
+                        sims: 0,
+                        harvested_template: None,
+                        failure: Some(e.to_string()),
+                    });
+                }
+            }
+        }
+
+        let after = policy.count(union_hits.iter().map(|&hits| ascdg_coverage::HitStats {
+            hits,
+            sims: union_sims_base + union_extra_sims,
+        }));
+
+        Ok(CampaignOutcome {
+            unit: self.env().unit_name().to_owned(),
+            before,
+            after,
+            groups: out_groups,
+            total_sims: union_sims_base + extra_sims,
+            harvested,
+        })
+    }
+}
+
+/// Sum of a flow outcome's phase simulations, excluding the shared
+/// regression phase.
+fn non_regression_sims(outcome: &FlowOutcome) -> u64 {
+    outcome
+        .phases
+        .iter()
+        .filter(|p| p.name != PHASE_BEFORE)
+        .map(|p| p.sims)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FlowConfig;
+    use ascdg_duv::io_unit::IoEnv;
+    use ascdg_duv::l3cache::L3Env;
+
+    fn config() -> FlowConfig {
+        let mut c = FlowConfig::quick().scaled(3.0);
+        c.threads = 2;
+        c
+    }
+
+    #[test]
+    fn io_campaign_sweeps_both_families() {
+        let flow = CdgFlow::new(IoEnv::new(), config());
+        let out = flow.run_campaign(7).expect("campaign runs");
+        assert_eq!(out.unit, "io_unit");
+        let names: Vec<&str> = out.groups.iter().map(|g| g.name.as_str()).collect();
+        assert!(names.contains(&"crc_"), "groups: {names:?}");
+        assert!(names.contains(&"qdepth_"), "groups: {names:?}");
+        // The campaign must make net progress.
+        assert!(
+            out.after.never_hit < out.before.never_hit,
+            "{}",
+            out.summary()
+        );
+        assert!(out.total_newly_covered() > 0);
+        // Each successful group harvested a template.
+        for g in &out.groups {
+            if g.failure.is_none() {
+                assert!(g.harvested_template.is_some());
+                assert!(g.sims > 0);
+            }
+        }
+        assert_eq!(
+            out.harvested.len(),
+            out.groups.iter().filter(|g| g.failure.is_none()).count()
+        );
+        // The summary mentions every group.
+        let s = out.summary();
+        assert!(s.contains("crc_") && s.contains("qdepth_"));
+    }
+
+    #[test]
+    fn l3_campaign_accounts_simulations() {
+        let flow = CdgFlow::new(L3Env::new(), config());
+        let out = flow.run_campaign(3).expect("campaign runs");
+        let group_sims: u64 = out.groups.iter().map(|g| g.sims).sum();
+        let lib_len = flow.env().stock_library().len() as u64;
+        let regression = lib_len * flow.config().regression_sims_per_template;
+        assert_eq!(out.total_sims, regression + group_sims);
+    }
+
+    #[test]
+    fn campaign_serializes() {
+        let flow = CdgFlow::new(IoEnv::new(), FlowConfig::quick());
+        let out = flow.run_campaign(1).expect("campaign runs");
+        let json = serde_json::to_string(&out).unwrap();
+        let back: CampaignOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.unit, out.unit);
+        assert_eq!(back.groups.len(), out.groups.len());
+    }
+}

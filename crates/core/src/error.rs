@@ -1,0 +1,100 @@
+//! Error type for the AS-CDG flow.
+
+use std::fmt;
+
+use ascdg_coverage::CoverageError;
+use ascdg_duv::EnvError;
+use ascdg_template::TemplateError;
+
+/// Errors produced while running the AS-CDG flow.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FlowError {
+    /// A simulation environment error.
+    Env(EnvError),
+    /// A template construction/validation error.
+    Template(TemplateError),
+    /// A coverage model/repository error.
+    Coverage(CoverageError),
+    /// No event family with the requested stem exists in the model.
+    UnknownFamily(String),
+    /// The requested target set is empty (e.g. the family is already
+    /// fully covered, so there is nothing for CDG to do).
+    NoTargets(String),
+    /// The environment has no stock templates to mine.
+    EmptyLibrary,
+    /// The coarse-grained search found no template with any evidence on
+    /// the approximated target.
+    NoEvidence,
+    /// The chosen template skeletonized to zero tunable settings.
+    EmptySkeleton(String),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Env(e) => write!(f, "environment error: {e}"),
+            FlowError::Template(e) => write!(f, "template error: {e}"),
+            FlowError::Coverage(e) => write!(f, "coverage error: {e}"),
+            FlowError::UnknownFamily(stem) => {
+                write!(f, "no event family with stem `{stem}`")
+            }
+            FlowError::NoTargets(why) => write!(f, "no target events: {why}"),
+            FlowError::EmptyLibrary => {
+                f.write_str("the environment has no stock templates to mine")
+            }
+            FlowError::NoEvidence => f.write_str(
+                "no stock template shows any evidence on the approximated target; \
+                 the neighbor set may need to be widened",
+            ),
+            FlowError::EmptySkeleton(name) => {
+                write!(f, "template `{name}` skeletonized to zero tunable settings")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlowError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlowError::Env(e) => Some(e),
+            FlowError::Template(e) => Some(e),
+            FlowError::Coverage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EnvError> for FlowError {
+    fn from(e: EnvError) -> Self {
+        FlowError::Env(e)
+    }
+}
+
+impl From<TemplateError> for FlowError {
+    fn from(e: TemplateError) -> Self {
+        FlowError::Template(e)
+    }
+}
+
+impl From<CoverageError> for FlowError {
+    fn from(e: CoverageError) -> Self {
+        FlowError::Coverage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = FlowError::from(TemplateError::UnknownParam("P".into()));
+        assert!(e.to_string().contains("`P`"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(FlowError::UnknownFamily("crc_".into())
+            .to_string()
+            .contains("crc_"));
+        assert!(std::error::Error::source(&FlowError::NoEvidence).is_none());
+    }
+}

@@ -1,0 +1,811 @@
+//! The CDG-Runner: end-to-end orchestration of the AS-CDG flow (Fig. 2).
+
+use serde::{Deserialize, Serialize};
+
+use ascdg_coverage::{
+    CoverageModel, CoverageRepository, EventFamily, EventId, HitStats, StatusCounts, StatusPolicy,
+    TemplateId,
+};
+use ascdg_duv::VerifEnv;
+use ascdg_opt::{IfOptions, ImplicitFiltering, Optimizer, Trace};
+use ascdg_stimgen::mix_seed;
+use ascdg_tac::{relevant_params, TacQuery};
+use ascdg_template::{Skeleton, TestTemplate};
+
+use crate::sampling::random_sample;
+use crate::{ApproxTarget, BatchRunner, CdgObjective, FlowError, Skeletonizer};
+
+/// Name of the regression ("Before CDG") phase.
+pub const PHASE_BEFORE: &str = "Before CDG";
+/// Name of the random-sample phase.
+pub const PHASE_SAMPLING: &str = "Sampling phase";
+/// Name of the optimization phase.
+pub const PHASE_OPTIMIZATION: &str = "Optimization phase";
+/// Name of the optional real-target refinement phase (Section IV-E: "once
+/// there is good evidence for the target event, we can repeat the process,
+/// this time with the real objective function").
+pub const PHASE_REFINEMENT: &str = "Refinement phase";
+/// Name of the final assessment phase.
+pub const PHASE_BEST: &str = "Running best test";
+
+/// Simulation budgets and hyperparameters for one AS-CDG run.
+///
+/// The presets encode the budgets the paper reports for each unit
+/// (Figs. 3-5); [`FlowConfig::scaled`] shrinks them proportionally for
+/// tests and benches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowConfig {
+    /// Simulations per stock template in the regression phase.
+    pub regression_sims_per_template: u64,
+    /// Templates the coarse-grained TAC search returns.
+    pub tac_top_n: usize,
+    /// `n`: random templates in the sampling phase.
+    pub sample_templates: usize,
+    /// `N`: simulations per sampled template.
+    pub sample_sims: u64,
+    /// Optimizer iteration budget.
+    pub opt_iterations: usize,
+    /// Directions per optimizer iteration (the paper's per-iteration test
+    /// count minus the resampled center).
+    pub opt_directions: usize,
+    /// `N`: simulations per optimization point.
+    pub opt_sims: u64,
+    /// Initial stencil size as a fraction of the settings box.
+    pub opt_initial_step: f64,
+    /// Stop the optimization phase early once the estimated approximated
+    /// target reaches this value (the paper's third stopping criterion:
+    /// "the hit probability of the target event"). `None` runs the full
+    /// iteration budget.
+    pub opt_target_value: Option<f64>,
+    /// Extra optimizer iterations on the *real* target once the main
+    /// optimization produced evidence for it (0 disables the refinement
+    /// stage; the paper's tables report the flow without it).
+    pub refine_iterations: usize,
+    /// Assessment simulations of the harvested best template.
+    pub best_sims: u64,
+    /// Subranges the Skeletonizer splits each range parameter into.
+    pub subranges: usize,
+    /// Whether zero weights are also marked for tuning.
+    pub include_zero_weights: bool,
+    /// Geometric decay of neighbor weights.
+    pub neighbor_decay: f64,
+    /// Batch environment worker threads.
+    pub threads: usize,
+}
+
+impl FlowConfig {
+    /// A tiny budget for unit tests and examples (seconds, not minutes).
+    #[must_use]
+    pub fn quick() -> Self {
+        FlowConfig {
+            regression_sims_per_template: 60,
+            tac_top_n: 3,
+            sample_templates: 16,
+            sample_sims: 12,
+            opt_iterations: 6,
+            opt_directions: 8,
+            opt_sims: 12,
+            opt_initial_step: 0.25,
+            opt_target_value: None,
+            refine_iterations: 0,
+            best_sims: 100,
+            subranges: 4,
+            include_zero_weights: false,
+            neighbor_decay: 0.5,
+            threads: 1,
+        }
+    }
+
+    /// The I/O-unit budget of Fig. 3: 669k regression sims (over the stock
+    /// library), 200x100 sampling, 7 iterations x 20 tests x 200 sims,
+    /// 10k best-test sims.
+    #[must_use]
+    pub fn paper_io() -> Self {
+        FlowConfig {
+            regression_sims_per_template: 41_813, // ~669k over 16 templates
+            tac_top_n: 3,
+            sample_templates: 200,
+            sample_sims: 100,
+            opt_iterations: 7,
+            opt_directions: 19, // + resampled center = 20 tests/iteration
+            opt_sims: 200,
+            opt_initial_step: 0.25,
+            opt_target_value: None,
+            refine_iterations: 0,
+            best_sims: 10_000,
+            subranges: 4,
+            include_zero_weights: false,
+            neighbor_decay: 0.5,
+            threads: BatchRunner::parallel().threads(),
+        }
+    }
+
+    /// The L3 budget of Fig. 4: 1M regression sims, 210x100 sampling,
+    /// 25 iterations x 12 tests x 100 sims, 15k best-test sims.
+    #[must_use]
+    pub fn paper_l3() -> Self {
+        FlowConfig {
+            regression_sims_per_template: 66_667, // ~1M over 15 templates
+            tac_top_n: 3,
+            sample_templates: 210,
+            sample_sims: 100,
+            opt_iterations: 25,
+            opt_directions: 11, // + resampled center = 12 tests/iteration
+            opt_sims: 100,
+            opt_initial_step: 0.25,
+            opt_target_value: None,
+            refine_iterations: 0,
+            best_sims: 15_000,
+            subranges: 4,
+            include_zero_weights: false,
+            neighbor_decay: 0.5,
+            threads: BatchRunner::parallel().threads(),
+        }
+    }
+
+    /// An IFU budget in the same spirit (the paper's Fig. 5 does not list
+    /// exact counts).
+    #[must_use]
+    pub fn paper_ifu() -> Self {
+        FlowConfig {
+            regression_sims_per_template: 5_000,
+            tac_top_n: 3,
+            sample_templates: 200,
+            sample_sims: 100,
+            opt_iterations: 20,
+            opt_directions: 15,
+            opt_sims: 100,
+            opt_initial_step: 0.25,
+            opt_target_value: None,
+            refine_iterations: 0,
+            best_sims: 10_000,
+            subranges: 4,
+            include_zero_weights: false,
+            neighbor_decay: 0.5,
+            threads: BatchRunner::parallel().threads(),
+        }
+    }
+
+    /// Scales every simulation budget by `factor` (each count stays at
+    /// least 1; template/direction counts are scaled too, with floors that
+    /// keep the flow functional).
+    #[must_use]
+    pub fn scaled(mut self, factor: f64) -> Self {
+        let f = factor.max(0.0);
+        let scale_u64 = |v: u64| ((v as f64 * f).round() as u64).max(1);
+        let scale_usize = |v: usize, floor: usize| ((v as f64 * f).round() as usize).max(floor);
+        self.regression_sims_per_template = scale_u64(self.regression_sims_per_template);
+        self.sample_templates = scale_usize(self.sample_templates, 4);
+        self.sample_sims = scale_u64(self.sample_sims);
+        self.opt_iterations = scale_usize(self.opt_iterations, 3);
+        self.opt_sims = scale_u64(self.opt_sims);
+        self.best_sims = scale_u64(self.best_sims);
+        self
+    }
+}
+
+/// Per-phase accumulated statistics: the columns of the paper's tables.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseStats {
+    /// Phase name (one of the `PHASE_*` constants).
+    pub name: String,
+    /// Total simulations in the phase.
+    pub sims: u64,
+    /// Per-event hit counts, indexed by event id.
+    pub hits: Vec<u64>,
+}
+
+impl PhaseStats {
+    /// The accumulated stats of one event.
+    #[must_use]
+    pub fn stats(&self, e: EventId) -> HitStats {
+        HitStats {
+            hits: self.hits[e.index()],
+            sims: self.sims,
+        }
+    }
+
+    /// The hit rate of one event.
+    #[must_use]
+    pub fn rate(&self, e: EventId) -> f64 {
+        self.stats(e).rate()
+    }
+
+    /// Classifies every event and counts the buckets (Fig. 5's view).
+    #[must_use]
+    pub fn status_counts(&self, policy: StatusPolicy) -> StatusCounts {
+        policy.count(self.hits.iter().map(|&hits| HitStats {
+            hits,
+            sims: self.sims,
+        }))
+    }
+}
+
+/// Progress notifications emitted at flow milestones.
+///
+/// Long runs (the paper-scale budgets simulate millions of instances) are
+/// otherwise silent; pass an observer to
+/// [`CdgFlow::run_phases_observed`] to stream progress to a UI or log.
+/// All methods have empty defaults, so implementors override only what
+/// they need.
+pub trait FlowObserver {
+    /// The coarse-grained search chose a template.
+    fn on_coarse_choice(&mut self, _template: &str, _relevant_params: &[String]) {}
+
+    /// A phase is about to run (`PHASE_*` name and its simulation budget).
+    fn on_phase_start(&mut self, _phase: &str, _planned_sims: u64) {}
+
+    /// A phase finished, with its accumulated statistics.
+    fn on_phase_done(&mut self, _stats: &PhaseStats) {}
+}
+
+/// The default no-op observer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl FlowObserver for NoopObserver {}
+
+/// Everything one AS-CDG run produces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlowOutcome {
+    /// The unit the flow ran against.
+    pub unit: String,
+    /// The unit's coverage model.
+    pub model: CoverageModel,
+    /// The real target events.
+    pub targets: Vec<EventId>,
+    /// The approximated target used by every search phase.
+    pub approx_target: ApproxTarget,
+    /// Name of the stock template the coarse-grained search chose.
+    pub chosen_template: String,
+    /// Relevant parameters extracted from the top TAC templates.
+    pub relevant_params: Vec<String>,
+    /// The skeleton the fine-grained search explored.
+    pub skeleton: Skeleton,
+    /// Phase statistics, in flow order (`PHASE_*` names).
+    pub phases: Vec<PhaseStats>,
+    /// The harvested best template.
+    pub best_template: TestTemplate,
+    /// The settings vector that produced it.
+    pub best_settings: Vec<f64>,
+    /// The optimizer's per-iteration trace (Fig. 6's series).
+    pub trace: Trace,
+}
+
+impl FlowOutcome {
+    /// Looks up a phase by name.
+    #[must_use]
+    pub fn phase(&self, name: &str) -> Option<&PhaseStats> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+
+    /// The family events the report table lists: the family containing the
+    /// first target if one exists, otherwise all weighted events.
+    #[must_use]
+    pub fn table_events(&self) -> Vec<EventId> {
+        if let Some(&first) = self.targets.first() {
+            if let Some(fam) = EventFamily::containing(&self.model, first) {
+                return fam.events();
+            }
+        }
+        self.approx_target
+            .weights()
+            .iter()
+            .map(|&(e, _)| e)
+            .collect()
+    }
+
+    /// Renders the full human-readable report (table or status chart plus
+    /// the optimization trace).
+    #[must_use]
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        if self.model.cross_product().is_some() {
+            out.push_str(&crate::report::render_status_chart(
+                self,
+                StatusPolicy::default(),
+            ));
+        } else {
+            out.push_str(&crate::report::render_family_table(self));
+        }
+        out.push('\n');
+        out.push_str(&crate::report::render_trace_chart(&self.trace));
+        out
+    }
+}
+
+/// The CDG-Runner: wires the environment, the configuration and the phase
+/// implementations together.
+///
+/// # Examples
+///
+/// ```
+/// use ascdg_core::{CdgFlow, FlowConfig};
+/// use ascdg_duv::io_unit::IoEnv;
+///
+/// let flow = CdgFlow::new(IoEnv::new(), FlowConfig::quick());
+/// let outcome = flow.run_for_family("crc_", 7)?;
+/// assert_eq!(outcome.unit, "io_unit");
+/// assert_eq!(outcome.phases.len(), 4);
+/// # Ok::<(), ascdg_core::FlowError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CdgFlow<E> {
+    env: E,
+    config: FlowConfig,
+}
+
+impl<E: VerifEnv> CdgFlow<E> {
+    /// Creates a flow over `env` with the given budgets.
+    pub fn new(env: E, config: FlowConfig) -> Self {
+        CdgFlow { env, config }
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &FlowConfig {
+        &self.config
+    }
+
+    /// The environment the flow runs against.
+    #[must_use]
+    pub fn env(&self) -> &E {
+        &self.env
+    }
+
+    /// Runs the regression phase: simulates the whole stock library into a
+    /// fresh coverage repository (the "Before CDG" state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::EmptyLibrary`] when there is nothing to run,
+    /// or any batch error.
+    pub fn run_regression(&self, seed: u64) -> Result<CoverageRepository, FlowError> {
+        let lib = self.env.stock_library();
+        if lib.is_empty() {
+            return Err(FlowError::EmptyLibrary);
+        }
+        let repo = CoverageRepository::new(self.env.coverage_model().clone());
+        let runner = BatchRunner::new(self.config.threads);
+        for (idx, template) in lib.iter() {
+            runner.run_recorded(
+                &self.env,
+                template,
+                self.config.regression_sims_per_template,
+                mix_seed(seed, idx as u64),
+                &repo,
+                TemplateId(idx as u32),
+            )?;
+        }
+        Ok(repo)
+    }
+
+    /// Full flow against the uncovered members of the event family with
+    /// the given name stem (e.g. `"byp_reqs"` or `"crc_"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::UnknownFamily`] if no such family exists and
+    /// [`FlowError::NoTargets`] if all its members are already covered
+    /// after regression, plus any downstream phase error.
+    pub fn run_for_family(&self, stem: &str, seed: u64) -> Result<FlowOutcome, FlowError> {
+        let model = self.env.coverage_model();
+        let family = EventFamily::discover(model)
+            .into_iter()
+            .find(|f| f.stem() == stem)
+            .ok_or_else(|| FlowError::UnknownFamily(stem.to_owned()))?;
+        let repo = self.run_regression(mix_seed(seed, 0xbef0))?;
+        let targets: Vec<EventId> = family
+            .events()
+            .into_iter()
+            .filter(|&e| repo.global_stats(e).hits == 0)
+            .collect();
+        if targets.is_empty() {
+            return Err(FlowError::NoTargets(format!(
+                "family `{stem}` is already fully covered"
+            )));
+        }
+        self.run_phases(&repo, &targets, seed)
+    }
+
+    /// Full flow against every event still uncovered after regression —
+    /// the cross-product usage of Fig. 5.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::NoTargets`] when nothing is uncovered, plus
+    /// any downstream phase error.
+    pub fn run_for_uncovered(&self, seed: u64) -> Result<FlowOutcome, FlowError> {
+        let repo = self.run_regression(mix_seed(seed, 0xbef0))?;
+        let targets = repo.uncovered_events();
+        if targets.is_empty() {
+            return Err(FlowError::NoTargets(
+                "every event is already covered".to_owned(),
+            ));
+        }
+        self.run_phases(&repo, &targets, seed)
+    }
+
+    /// Full flow against explicit target events, using a pre-built
+    /// regression repository (advanced entry point; the convenience
+    /// wrappers build the repository themselves).
+    ///
+    /// # Errors
+    ///
+    /// Any phase error; see the individual phases.
+    pub fn run_phases(
+        &self,
+        repo: &CoverageRepository,
+        targets: &[EventId],
+        seed: u64,
+    ) -> Result<FlowOutcome, FlowError> {
+        // Section IV-A: the approximated target (automatic strategy).
+        let approx = ApproxTarget::auto(
+            self.env.coverage_model(),
+            targets,
+            self.config.neighbor_decay,
+        )?;
+        self.run_phases_with_target(repo, approx, seed)
+    }
+
+    /// Like [`CdgFlow::run_phases`], but with a caller-supplied
+    /// approximated target — use this to plug in another neighbor
+    /// strategy, e.g. [`ApproxTarget::from_correlation`] (FRIENDS-style
+    /// signed neighbors) or hand-tuned weights.
+    ///
+    /// # Errors
+    ///
+    /// Any phase error; see the individual phases.
+    pub fn run_phases_with_target(
+        &self,
+        repo: &CoverageRepository,
+        approx: ApproxTarget,
+        seed: u64,
+    ) -> Result<FlowOutcome, FlowError> {
+        self.run_phases_observed(repo, approx, seed, &mut NoopObserver)
+    }
+
+    /// Like [`CdgFlow::run_phases_with_target`], streaming progress to the
+    /// given observer.
+    ///
+    /// # Errors
+    ///
+    /// Any phase error; see the individual phases.
+    pub fn run_phases_observed(
+        &self,
+        repo: &CoverageRepository,
+        approx: ApproxTarget,
+        seed: u64,
+        observer: &mut dyn FlowObserver,
+    ) -> Result<FlowOutcome, FlowError> {
+        let model = self.env.coverage_model();
+        let cfg = &self.config;
+        let runner = BatchRunner::new(cfg.threads);
+        let targets = approx.targets().to_vec();
+        let targets = targets.as_slice();
+
+        // Section IV-B: coarse-grained search (a TAC query).
+        let ranking = TacQuery::new(approx.weights().iter().copied())
+            .with_min_sims(cfg.regression_sims_per_template.min(10))
+            .top_n(repo, cfg.tac_top_n);
+        let chosen = ranking
+            .first()
+            .filter(|r| r.score > 0.0)
+            .ok_or(FlowError::NoEvidence)?;
+        let library = self.env.stock_library();
+        let chosen_template = library
+            .get(chosen.template.index())
+            .expect("TAC ranks only recorded templates")
+            .clone();
+        let relevant = relevant_params(library, &ranking);
+
+        // Section IV-C: skeletonize the chosen template.
+        let skeleton = Skeletonizer::new()
+            .with_subranges(cfg.subranges)
+            .include_zero_weights(cfg.include_zero_weights)
+            .skeletonize(&chosen_template)?;
+        observer.on_coarse_choice(chosen_template.name(), &relevant);
+
+        // Section IV-D: random sample.
+        observer.on_phase_start(
+            PHASE_SAMPLING,
+            cfg.sample_templates as u64 * cfg.sample_sims,
+        );
+        let mut sample_obj = CdgObjective::new(
+            &self.env,
+            &skeleton,
+            &approx,
+            cfg.sample_sims,
+            runner.clone(),
+            mix_seed(seed, 0x5a4c),
+        );
+        let sample = random_sample(&mut sample_obj, cfg.sample_templates, mix_seed(seed, 1));
+        let sampling_stats = sample_obj.phase_stats();
+        observer.on_phase_done(&PhaseStats {
+            name: PHASE_SAMPLING.to_owned(),
+            sims: sampling_stats.sims,
+            hits: sampling_stats.hits.clone(),
+        });
+
+        // Section IV-E: implicit filtering from the best sample.
+        observer.on_phase_start(
+            PHASE_OPTIMIZATION,
+            cfg.opt_iterations as u64 * (cfg.opt_directions as u64 + 1) * cfg.opt_sims,
+        );
+        let mut opt_obj = CdgObjective::new(
+            &self.env,
+            &skeleton,
+            &approx,
+            cfg.opt_sims,
+            runner.clone(),
+            mix_seed(seed, 0x0b7),
+        );
+        let optimizer = ImplicitFiltering::new(IfOptions {
+            n_directions: cfg.opt_directions,
+            initial_step: cfg.opt_initial_step,
+            min_step: 1e-4,
+            max_iters: cfg.opt_iterations,
+            max_evals: 0,
+            target_value: cfg.opt_target_value,
+            resample_center: true,
+            direction_mode: Default::default(),
+        });
+        let result = optimizer.maximize(
+            &mut opt_obj,
+            &ascdg_opt::Bounds::unit(skeleton.num_slots()),
+            &sample.best_settings,
+            mix_seed(seed, 2),
+        );
+        let optimization_stats = opt_obj.phase_stats();
+        observer.on_phase_done(&PhaseStats {
+            name: PHASE_OPTIMIZATION.to_owned(),
+            sims: optimization_stats.sims,
+            hits: optimization_stats.hits.clone(),
+        });
+
+        // Optional Section IV-E second stage: once the optimization phase
+        // produced evidence for the real targets, repeat the search with
+        // the real objective function.
+        let mut best_x = result.best_x;
+        let mut refinement: Option<PhaseStats> = None;
+        if cfg.refine_iterations > 0 {
+            let evidence = targets
+                .iter()
+                .any(|e| optimization_stats.hits[e.index()] > 0);
+            if evidence {
+                let real_target =
+                    ApproxTarget::from_weights(targets.to_vec(), targets.iter().map(|&e| (e, 1.0)));
+                let mut refine_obj = CdgObjective::new(
+                    &self.env,
+                    &skeleton,
+                    &real_target,
+                    cfg.opt_sims,
+                    runner.clone(),
+                    mix_seed(seed, 0x4ef1),
+                );
+                let refine_result = ImplicitFiltering::new(IfOptions {
+                    n_directions: cfg.opt_directions,
+                    initial_step: cfg.opt_initial_step / 2.0,
+                    min_step: 1e-4,
+                    max_iters: cfg.refine_iterations,
+                    resample_center: true,
+                    ..IfOptions::default()
+                })
+                .maximize(
+                    &mut refine_obj,
+                    &ascdg_opt::Bounds::unit(skeleton.num_slots()),
+                    &best_x,
+                    mix_seed(seed, 0x4ef2),
+                );
+                // Keep the refined point only if it genuinely improved the
+                // real target (the refinement may wander when evidence is
+                // thin).
+                if refine_result.best_value > 0.0 {
+                    best_x = refine_result.best_x;
+                }
+                let stats = refine_obj.phase_stats();
+                refinement = Some(PhaseStats {
+                    name: PHASE_REFINEMENT.to_owned(),
+                    sims: stats.sims,
+                    hits: stats.hits,
+                });
+            }
+        }
+
+        // Section IV-F: harvest and assess the best template.
+        observer.on_phase_start(PHASE_BEST, cfg.best_sims);
+        let best_template = skeleton
+            .instantiate(&best_x)?
+            .renamed(format!("{}_cdg_best", skeleton.name()));
+        let best_stats = runner.run(
+            &self.env,
+            &best_template,
+            cfg.best_sims,
+            mix_seed(seed, 0xbe57),
+        )?;
+
+        let before = PhaseStats {
+            name: PHASE_BEFORE.to_owned(),
+            sims: repo.total_simulations(),
+            hits: repo.all_global_stats().iter().map(|s| s.hits).collect(),
+        };
+        let mut phases = vec![
+            before,
+            PhaseStats {
+                name: PHASE_SAMPLING.to_owned(),
+                sims: sampling_stats.sims,
+                hits: sampling_stats.hits,
+            },
+            PhaseStats {
+                name: PHASE_OPTIMIZATION.to_owned(),
+                sims: optimization_stats.sims,
+                hits: optimization_stats.hits,
+            },
+        ];
+        phases.extend(refinement);
+        let best_phase = PhaseStats {
+            name: PHASE_BEST.to_owned(),
+            sims: best_stats.sims,
+            hits: best_stats.hits,
+        };
+        observer.on_phase_done(&best_phase);
+        phases.push(best_phase);
+
+        Ok(FlowOutcome {
+            unit: self.env.unit_name().to_owned(),
+            model: model.clone(),
+            targets: targets.to_vec(),
+            approx_target: approx,
+            chosen_template: chosen_template.name().to_owned(),
+            relevant_params: relevant,
+            skeleton,
+            phases,
+            best_template,
+            best_settings: best_x,
+            trace: result.trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ascdg_duv::io_unit::IoEnv;
+    use ascdg_duv::l3cache::L3Env;
+
+    #[test]
+    fn config_scaling_floors() {
+        let c = FlowConfig::paper_l3().scaled(0.0001);
+        assert!(c.regression_sims_per_template >= 1);
+        assert!(c.sample_templates >= 4);
+        assert!(c.opt_iterations >= 3);
+    }
+
+    #[test]
+    fn quick_flow_on_io_unit_improves_family() {
+        let flow = CdgFlow::new(IoEnv::new(), FlowConfig::quick());
+        let out = flow.run_for_family("crc_", 3).unwrap();
+        assert_eq!(out.phases.len(), 4);
+        assert_eq!(out.phases[0].name, PHASE_BEFORE);
+        assert!(!out.targets.is_empty());
+        assert!(out.skeleton.num_slots() > 0);
+        // The chosen template must be one that touches burst parameters.
+        assert!(
+            out.relevant_params.iter().any(|p| p == "PktLen"),
+            "relevant params {:?}",
+            out.relevant_params
+        );
+        // The best template must beat the regression baseline on the
+        // shallowest uncovered target's rate.
+        let best = out.phase(PHASE_BEST).unwrap();
+        let before = out.phase(PHASE_BEFORE).unwrap();
+        let t0 = out.targets[0];
+        assert!(
+            best.rate(t0) >= before.rate(t0),
+            "best {} vs before {}",
+            best.rate(t0),
+            before.rate(t0)
+        );
+    }
+
+    #[test]
+    fn unknown_family_errors() {
+        let flow = CdgFlow::new(IoEnv::new(), FlowConfig::quick());
+        assert!(matches!(
+            flow.run_for_family("nope_", 1),
+            Err(FlowError::UnknownFamily(_))
+        ));
+    }
+
+    #[test]
+    fn regression_repo_covers_all_templates() {
+        let flow = CdgFlow::new(L3Env::new(), FlowConfig::quick());
+        let repo = flow.run_regression(5).unwrap();
+        let lib_len = flow.env().stock_library().len() as u64;
+        assert_eq!(
+            repo.total_simulations(),
+            lib_len * flow.config().regression_sims_per_template
+        );
+        assert_eq!(repo.templates().len(), lib_len as usize);
+    }
+
+    #[test]
+    fn outcome_report_renders() {
+        let flow = CdgFlow::new(IoEnv::new(), FlowConfig::quick());
+        let out = flow.run_for_family("crc_", 11).unwrap();
+        let report = out.report();
+        assert!(report.contains("crc_004"));
+        assert!(report.contains(PHASE_SAMPLING));
+    }
+
+    #[test]
+    fn outcome_serializes() {
+        let flow = CdgFlow::new(IoEnv::new(), FlowConfig::quick());
+        let out = flow.run_for_family("crc_", 13).unwrap();
+        let json = serde_json::to_string(&out).unwrap();
+        let back: FlowOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.unit, out.unit);
+        assert_eq!(back.phases, out.phases);
+        assert_eq!(back.best_template, out.best_template);
+        // Floats survive JSON only approximately (last-ULP differences).
+        assert_eq!(back.best_settings.len(), out.best_settings.len());
+        for (a, b) in back.best_settings.iter().zip(&out.best_settings) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+    #[test]
+    fn observer_sees_all_milestones() {
+        #[derive(Default)]
+        struct Recorder {
+            choices: Vec<String>,
+            started: Vec<String>,
+            finished: Vec<String>,
+        }
+        impl FlowObserver for Recorder {
+            fn on_coarse_choice(&mut self, template: &str, _relevant: &[String]) {
+                self.choices.push(template.to_owned());
+            }
+            fn on_phase_start(&mut self, phase: &str, planned: u64) {
+                assert!(planned > 0);
+                self.started.push(phase.to_owned());
+            }
+            fn on_phase_done(&mut self, stats: &PhaseStats) {
+                self.finished.push(stats.name.clone());
+            }
+        }
+
+        let flow = CdgFlow::new(IoEnv::new(), FlowConfig::quick());
+        let repo = flow.run_regression(1).unwrap();
+        let targets = repo.uncovered_events();
+        let approx = ApproxTarget::auto(flow.env().coverage_model(), &targets, 0.5).unwrap();
+        let mut rec = Recorder::default();
+        let out = flow
+            .run_phases_observed(&repo, approx, 2, &mut rec)
+            .unwrap();
+        assert_eq!(rec.choices, vec![out.chosen_template.clone()]);
+        assert_eq!(
+            rec.started,
+            vec![PHASE_SAMPLING, PHASE_OPTIMIZATION, PHASE_BEST]
+        );
+        assert_eq!(
+            rec.finished,
+            vec![PHASE_SAMPLING, PHASE_OPTIMIZATION, PHASE_BEST]
+        );
+    }
+    #[test]
+    fn opt_target_value_stops_the_phase_early() {
+        let mut config = FlowConfig::quick();
+        config.opt_iterations = 50;
+        // The approximated target for shallow crc members exceeds 0.05
+        // almost immediately, so the optimizer must stop well short of 50
+        // iterations.
+        config.opt_target_value = Some(0.05);
+        let flow = CdgFlow::new(IoEnv::new(), config);
+        let out = flow.run_for_family("crc_", 3).unwrap();
+        assert!(
+            out.trace.len() < 50,
+            "optimizer ran all {} iterations despite the target stop",
+            out.trace.len()
+        );
+    }
+}

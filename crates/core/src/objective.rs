@@ -1,0 +1,225 @@
+//! The CDG objective: settings vector → estimated approximated target.
+
+use std::sync::Mutex;
+
+use ascdg_duv::VerifEnv;
+use ascdg_opt::Objective;
+use ascdg_stimgen::mix_seed;
+use ascdg_template::Skeleton;
+
+use crate::{ApproxTarget, BatchRunner, BatchStats};
+
+/// The noisy objective the optimizer maximizes (Section IV-E).
+///
+/// Each evaluation instantiates the skeleton at the given settings, runs
+/// `N` simulations through the batch environment, estimates every event's
+/// hit probability `e_N(t)` and returns the approximated target
+/// `T_N(t) = sum_e w_e * e_N(t)`. Every evaluation uses fresh seeds, so two
+/// evaluations at the same point differ — the *dynamic noise* the paper's
+/// optimizer must absorb (and why `N` trades noise against budget).
+///
+/// The objective also accumulates per-event hits across all evaluations of
+/// a phase; the flow reads this to fill the per-phase columns of the
+/// paper's tables.
+///
+/// # Examples
+///
+/// ```
+/// use ascdg_core::{ApproxTarget, BatchRunner, CdgObjective, Skeletonizer};
+/// use ascdg_duv::{io_unit::IoEnv, VerifEnv};
+/// use ascdg_opt::Objective;
+///
+/// let env = IoEnv::new();
+/// let template = env.stock_library().by_name("io_burst_stress").unwrap().1.clone();
+/// let skeleton = Skeletonizer::new().skeletonize(&template).unwrap();
+/// let target = ApproxTarget::auto(
+///     env.coverage_model(),
+///     &[env.coverage_model().id("crc_064").unwrap()],
+///     0.5,
+/// ).unwrap();
+/// let mut obj = CdgObjective::new(&env, &skeleton, &target, 20, BatchRunner::new(1), 7);
+/// let value = obj.eval(&vec![0.5; obj.dim()]);
+/// assert!(value >= 0.0);
+/// assert_eq!(obj.phase_stats().sims, 20);
+/// ```
+pub struct CdgObjective<'a, E: VerifEnv> {
+    env: &'a E,
+    skeleton: &'a Skeleton,
+    target: &'a ApproxTarget,
+    sims_per_point: u64,
+    runner: BatchRunner,
+    base_seed: u64,
+    // Mutex (not Cell/RefCell) so the objective stays Sync like the rest of
+    // the flow machinery; contention is nil (one optimizer thread).
+    state: Mutex<EvalState>,
+}
+
+#[derive(Debug)]
+struct EvalState {
+    evals: u64,
+    accum: BatchStats,
+    best_value: f64,
+    best_settings: Vec<f64>,
+}
+
+impl<'a, E: VerifEnv> CdgObjective<'a, E> {
+    /// Creates the objective.
+    ///
+    /// `sims_per_point` is the paper's `N`; `base_seed` makes the whole
+    /// phase reproducible.
+    #[must_use]
+    pub fn new(
+        env: &'a E,
+        skeleton: &'a Skeleton,
+        target: &'a ApproxTarget,
+        sims_per_point: u64,
+        runner: BatchRunner,
+        base_seed: u64,
+    ) -> Self {
+        let events = env.coverage_model().len();
+        CdgObjective {
+            env,
+            skeleton,
+            target,
+            sims_per_point: sims_per_point.max(1),
+            runner,
+            base_seed,
+            state: Mutex::new(EvalState {
+                evals: 0,
+                accum: BatchStats::empty(events),
+                best_value: f64::NEG_INFINITY,
+                best_settings: Vec::new(),
+            }),
+        }
+    }
+
+    /// Per-event hits accumulated over every evaluation so far (the
+    /// phase-level statistics reported in the paper's tables).
+    #[must_use]
+    pub fn phase_stats(&self) -> BatchStats {
+        self.state.lock().expect("objective mutex").accum.clone()
+    }
+
+    /// The best `(settings, value)` pair observed so far, if any
+    /// evaluation happened.
+    #[must_use]
+    pub fn best(&self) -> Option<(Vec<f64>, f64)> {
+        let s = self.state.lock().expect("objective mutex");
+        if s.best_settings.is_empty() {
+            None
+        } else {
+            Some((s.best_settings.clone(), s.best_value))
+        }
+    }
+
+    /// Number of evaluations so far.
+    #[must_use]
+    pub fn evals(&self) -> u64 {
+        self.state.lock().expect("objective mutex").evals
+    }
+}
+
+impl<E: VerifEnv> Objective for CdgObjective<'_, E> {
+    fn dim(&self) -> usize {
+        self.skeleton.num_slots()
+    }
+
+    /// # Panics
+    ///
+    /// Panics if the settings vector has the wrong dimension or the
+    /// environment rejects a skeleton-derived template — both indicate a
+    /// bug in the caller, not a recoverable condition.
+    fn eval(&mut self, x: &[f64]) -> f64 {
+        let eval_idx = {
+            let mut s = self.state.lock().expect("objective mutex");
+            s.evals += 1;
+            s.evals
+        };
+        let template = self
+            .skeleton
+            .instantiate(x)
+            .expect("settings dimension matches skeleton");
+        // Rename per evaluation so per-instance seeds differ across points.
+        let template = template.renamed(format!("{}__p{eval_idx}", self.skeleton.name()));
+        let stats = self
+            .runner
+            .run(
+                self.env,
+                &template,
+                self.sims_per_point,
+                mix_seed(self.base_seed, eval_idx),
+            )
+            .expect("skeleton-derived template must simulate");
+        let value = self.target.value(|e| stats.rate(e));
+        let mut s = self.state.lock().expect("objective mutex");
+        s.accum.merge(&stats);
+        if value > s.best_value {
+            s.best_value = value;
+            s.best_settings = x.to_vec();
+        }
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Skeletonizer;
+    use ascdg_duv::io_unit::IoEnv;
+
+    fn fixture(env: &IoEnv) -> (Skeleton, ApproxTarget) {
+        let t = env
+            .stock_library()
+            .by_name("io_burst_stress")
+            .unwrap()
+            .1
+            .clone();
+        let sk = Skeletonizer::new().skeletonize(&t).unwrap();
+        let model = env.coverage_model();
+        let target = ApproxTarget::auto(model, &[model.id("crc_064").unwrap()], 0.5).unwrap();
+        (sk, target)
+    }
+
+    #[test]
+    fn eval_returns_weighted_rates_and_accumulates() {
+        let env = IoEnv::new();
+        let (sk, target) = fixture(&env);
+        let mut obj = CdgObjective::new(&env, &sk, &target, 10, BatchRunner::new(1), 3);
+        assert!(obj.best().is_none());
+        let v1 = obj.eval(&vec![0.8; sk.num_slots()]);
+        assert!(v1 > 0.0, "burst settings should hit some family members");
+        assert_eq!(obj.evals(), 1);
+        assert_eq!(obj.phase_stats().sims, 10);
+        let _ = obj.eval(&vec![0.2; sk.num_slots()]);
+        assert_eq!(obj.phase_stats().sims, 20);
+        let (best_x, best_v) = obj.best().unwrap();
+        assert_eq!(best_x.len(), sk.num_slots());
+        assert!(best_v >= v1);
+    }
+
+    #[test]
+    fn same_point_gives_dynamic_noise() {
+        let env = IoEnv::new();
+        let (sk, target) = fixture(&env);
+        let mut obj = CdgObjective::new(&env, &sk, &target, 25, BatchRunner::new(1), 5);
+        let x = vec![0.7; sk.num_slots()];
+        let a = obj.eval(&x);
+        let b = obj.eval(&x);
+        // With 25 samples the estimates at a live point almost surely
+        // differ between evaluations.
+        assert_ne!(a, b, "expected dynamic noise between evaluations");
+    }
+
+    #[test]
+    fn reproducible_for_same_base_seed() {
+        let env = IoEnv::new();
+        let (sk, target) = fixture(&env);
+        let x = vec![0.6; sk.num_slots()];
+        let run = |seed| {
+            let mut obj = CdgObjective::new(&env, &sk, &target, 15, BatchRunner::new(1), seed);
+            obj.eval(&x)
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+}

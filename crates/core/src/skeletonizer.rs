@@ -1,0 +1,332 @@
+//! The Skeletonizer (Section IV-C): template → skeleton.
+
+use ascdg_template::{ParamKind, Setting, Skeleton, SkeletonParam, TestTemplate, Value};
+
+use crate::FlowError;
+
+/// Turns a test-template into a [`Skeleton`] whose tunable weights the
+/// CDG-Runner can set.
+///
+/// Following the paper exactly:
+///
+/// * **weight parameters** — every weight is replaced by a mark, *except*
+///   zero weights, which "often indicate values that should not be used"
+///   and stay fixed unless [`Skeletonizer::include_zero_weights`] is set;
+/// * **range parameters** — replaced by weight parameters over equal
+///   subranges (the user controls how many via
+///   [`Skeletonizer::with_subranges`]), each subrange marked.
+///
+/// # Examples
+///
+/// ```
+/// use ascdg_core::Skeletonizer;
+/// use ascdg_template::TestTemplate;
+///
+/// let t = TestTemplate::parse(r#"
+///     template lsu_stress {
+///       param Mnemonic: weights { load: 30, store: 30, add: 0, sync: 5 }
+///       param CacheDelay: range [0, 100)
+///     }
+/// "#).unwrap();
+/// let sk = Skeletonizer::new().with_subranges(4).skeletonize(&t).unwrap();
+/// // 3 non-zero mnemonic weights + 4 delay subranges = 7 marks.
+/// assert_eq!(sk.num_slots(), 7);
+/// assert!(sk.to_string().contains("add: 0"), "zero weight stays fixed");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Skeletonizer {
+    subranges: usize,
+    include_zero_weights: bool,
+    span: SubrangeSpan,
+}
+
+/// How subranges span a range parameter's full range — the paper's second
+/// user option ("The user can control the number of subranges used *and
+/// how they span the entire range*").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SubrangeSpan {
+    /// Equal-width subranges.
+    #[default]
+    Equal,
+    /// Doubling widths: each subrange is twice as wide as the previous
+    /// one. Natural for latency/length-like parameters whose interesting
+    /// resolution sits at the low end (compare the CRC thresholds
+    /// 4/8/16/32/64/96).
+    Geometric,
+}
+
+impl Default for Skeletonizer {
+    fn default() -> Self {
+        Skeletonizer {
+            subranges: 4,
+            include_zero_weights: false,
+            span: SubrangeSpan::Equal,
+        }
+    }
+}
+
+impl Skeletonizer {
+    /// Creates a skeletonizer with the default policy (4 subranges, zero
+    /// weights kept fixed).
+    #[must_use]
+    pub fn new() -> Self {
+        Skeletonizer::default()
+    }
+
+    /// Sets how many subranges each range parameter is split into
+    /// (clamped to at least 1; ranges narrower than the requested count
+    /// produce one subrange per integer).
+    #[must_use]
+    pub fn with_subranges(mut self, subranges: usize) -> Self {
+        self.subranges = subranges.max(1);
+        self
+    }
+
+    /// Also marks zero weights (the paper's user option).
+    #[must_use]
+    pub fn include_zero_weights(mut self, include: bool) -> Self {
+        self.include_zero_weights = include;
+        self
+    }
+
+    /// Sets how subranges span the full range (equal or doubling widths).
+    #[must_use]
+    pub fn with_span(mut self, span: SubrangeSpan) -> Self {
+        self.span = span;
+        self
+    }
+
+    /// Produces the skeleton of `template`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::EmptySkeleton`] when nothing is tunable (e.g.
+    /// a template whose only weights are zeros with the default policy).
+    pub fn skeletonize(&self, template: &TestTemplate) -> Result<Skeleton, FlowError> {
+        let mut slot = 0usize;
+        let mut take_slot = || {
+            let s = slot;
+            slot += 1;
+            Setting::Free { slot: s }
+        };
+        let mut params = Vec::with_capacity(template.params().len());
+        for p in template.params() {
+            let values: Vec<(Value, Setting)> = match p.kind() {
+                ParamKind::Weights(ws) => ws
+                    .iter()
+                    .map(|wv| {
+                        let setting = if wv.weight == 0 && !self.include_zero_weights {
+                            Setting::Fixed(0)
+                        } else {
+                            take_slot()
+                        };
+                        (wv.value.clone(), setting)
+                    })
+                    .collect(),
+                &ParamKind::Range { lo, hi } => split_range(lo, hi, self.subranges, self.span)
+                    .into_iter()
+                    .map(|(slo, shi)| (Value::SubRange { lo: slo, hi: shi }, take_slot()))
+                    .collect(),
+            };
+            params.push(SkeletonParam::new(p.name(), values).map_err(FlowError::Template)?);
+        }
+        let skeleton = Skeleton::new(template.name(), params).map_err(FlowError::Template)?;
+        if skeleton.num_slots() == 0 {
+            return Err(FlowError::EmptySkeleton(template.name().to_owned()));
+        }
+        Ok(skeleton)
+    }
+}
+
+/// Splits `[lo, hi)` into up to `n` contiguous, non-empty subranges.
+fn split_range(lo: i64, hi: i64, n: usize, span: SubrangeSpan) -> Vec<(i64, i64)> {
+    let width = (hi - lo).max(1);
+    let n = (n as i64).min(width).max(1);
+    let mut out = Vec::with_capacity(n as usize);
+    let mut start = lo;
+    match span {
+        SubrangeSpan::Equal => {
+            let base = width / n;
+            let extra = width % n;
+            for i in 0..n {
+                // Distribute the remainder over the first `extra` subranges.
+                let len = base + i64::from(i < extra);
+                out.push((start, start + len));
+                start += len;
+            }
+        }
+        SubrangeSpan::Geometric => {
+            // Widths proportional to 1, 2, 4, ... 2^(n-1); each at least 1.
+            // The denominator 2^n - 1 partitions the width exactly after
+            // rounding, with the final subrange absorbing the remainder.
+            let denom = (1i64 << n) - 1;
+            for i in 0..n {
+                let len = if i == n - 1 {
+                    hi - start
+                } else {
+                    ((width * (1 << i)) / denom).max(1)
+                };
+                let len = len.min(hi - start - (n - 1 - i)); // room for the rest
+                out.push((start, start + len));
+                start += len;
+            }
+        }
+    }
+    debug_assert_eq!(start, hi);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ascdg_template::ParamDef;
+
+    #[test]
+    fn split_range_covers_exactly() {
+        assert_eq!(
+            split_range(0, 100, 4, SubrangeSpan::Equal),
+            vec![(0, 25), (25, 50), (50, 75), (75, 100)]
+        );
+        assert_eq!(
+            split_range(0, 10, 3, SubrangeSpan::Equal),
+            vec![(0, 4), (4, 7), (7, 10)]
+        );
+        // Narrow range: one subrange per integer.
+        assert_eq!(
+            split_range(0, 2, 5, SubrangeSpan::Equal),
+            vec![(0, 1), (1, 2)]
+        );
+        assert_eq!(split_range(5, 6, 1, SubrangeSpan::Equal), vec![(5, 6)]);
+        // Negative bounds.
+        assert_eq!(
+            split_range(-4, 4, 2, SubrangeSpan::Equal),
+            vec![(-4, 0), (0, 4)]
+        );
+    }
+
+    #[test]
+    fn fig1_shape() {
+        let t = TestTemplate::parse(
+            "template lsu { param M: weights { load: 30, store: 30, add: 0, sync: 5 } \
+             param D: range [0, 100) }",
+        )
+        .unwrap();
+        let sk = Skeletonizer::new().skeletonize(&t).unwrap();
+        assert_eq!(sk.num_slots(), 7);
+        assert_eq!(
+            sk.slot_labels(),
+            vec![
+                "M[load]",
+                "M[store]",
+                "M[sync]",
+                "D[[0, 25)]",
+                "D[[25, 50)]",
+                "D[[50, 75)]",
+                "D[[75, 100)]"
+            ]
+        );
+        // Round-trips through the skeleton text format.
+        let parsed = ascdg_template::Skeleton::parse(&sk.to_string()).unwrap();
+        assert_eq!(parsed, sk);
+    }
+
+    #[test]
+    fn zero_weights_marked_when_opted_in() {
+        let t = TestTemplate::new(
+            "t",
+            [ParamDef::weights("M", [("a", 1u32), ("b", 0u32)]).unwrap()],
+        )
+        .unwrap();
+        let default = Skeletonizer::new().skeletonize(&t).unwrap();
+        assert_eq!(default.num_slots(), 1);
+        let opted = Skeletonizer::new()
+            .include_zero_weights(true)
+            .skeletonize(&t)
+            .unwrap();
+        assert_eq!(opted.num_slots(), 2);
+    }
+
+    #[test]
+    fn subrange_count_configurable() {
+        let t = TestTemplate::builder("t")
+            .range("R", 0, 32)
+            .unwrap()
+            .build();
+        let sk = Skeletonizer::new()
+            .with_subranges(8)
+            .skeletonize(&t)
+            .unwrap();
+        assert_eq!(sk.num_slots(), 8);
+        let sk = Skeletonizer::new()
+            .with_subranges(0)
+            .skeletonize(&t)
+            .unwrap();
+        assert_eq!(sk.num_slots(), 1);
+    }
+
+    #[test]
+    fn instantiated_template_validates_against_origin_domain() {
+        use ascdg_template::ParamRegistry;
+        let mut reg = ParamRegistry::new();
+        reg.define(ParamDef::range("R", 0, 32).unwrap()).unwrap();
+        reg.define(ParamDef::weights("W", [("x", 5u32), ("y", 0u32)]).unwrap())
+            .unwrap();
+        let t = TestTemplate::builder("t")
+            .range("R", 4, 20)
+            .unwrap()
+            .weights("W", [("x", 10u32), ("y", 0u32)])
+            .unwrap()
+            .build();
+        let sk = Skeletonizer::new().skeletonize(&t).unwrap();
+        let inst = sk.instantiate(&vec![0.5; sk.num_slots()]).unwrap();
+        reg.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn all_zero_template_yields_empty_skeleton_error() {
+        // A template whose only parameter has a single non-zero weight that
+        // the user intentionally zeroes cannot be built (validation), so
+        // build the empty-skeleton case from a template with no parameters.
+        let t = TestTemplate::builder("empty").build();
+        assert!(matches!(
+            Skeletonizer::new().skeletonize(&t),
+            Err(FlowError::EmptySkeleton(_))
+        ));
+    }
+
+    #[test]
+    fn geometric_span_doubles_widths() {
+        let parts = split_range(0, 150, 4, SubrangeSpan::Geometric);
+        // Widths 10, 20, 40, 80 (proportional to 1:2:4:8 over 150).
+        assert_eq!(parts, vec![(0, 10), (10, 30), (30, 70), (70, 150)]);
+        // Covers exactly, contiguously.
+        assert_eq!(parts.first().unwrap().0, 0);
+        assert_eq!(parts.last().unwrap().1, 150);
+    }
+
+    #[test]
+    fn geometric_span_on_narrow_ranges() {
+        // Narrow range: every subrange still at least one integer wide.
+        let parts = split_range(0, 5, 4, SubrangeSpan::Geometric);
+        assert_eq!(parts.len(), 4);
+        assert!(parts.iter().all(|&(lo, hi)| hi > lo));
+        assert_eq!(parts.last().unwrap().1, 5);
+        // Width 1 collapses to a single subrange.
+        assert_eq!(split_range(7, 8, 4, SubrangeSpan::Geometric), vec![(7, 8)]);
+    }
+
+    #[test]
+    fn skeletonizer_uses_configured_span() {
+        let t = TestTemplate::builder("t")
+            .range("R", 0, 150)
+            .unwrap()
+            .build();
+        let sk = Skeletonizer::new()
+            .with_span(SubrangeSpan::Geometric)
+            .skeletonize(&t)
+            .unwrap();
+        let labels = sk.slot_labels();
+        assert_eq!(labels[0], "R[[0, 10)]", "{labels:?}");
+        assert_eq!(labels[3], "R[[70, 150)]", "{labels:?}");
+    }
+}

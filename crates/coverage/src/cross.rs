@@ -1,0 +1,355 @@
+//! Cross-product coverage models.
+//!
+//! A *cross-product* coverage model enumerates one event per combination of a
+//! set of named features, such as the paper's IFU model:
+//! `entry(0-7) x thread(0-3) x sector(0-3) x branch(0-1)` — 256 events.
+//! The structure is what makes *neighbor discovery* possible: two events that
+//! differ in a single feature value are Hamming-distance-1 neighbors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::{CoverageError, EventId};
+
+/// One dimension of a cross-product model: a name and its legal values.
+///
+/// # Examples
+///
+/// ```
+/// use ascdg_coverage::Feature;
+/// let f = Feature::numeric("thread", 4);
+/// assert_eq!(f.values(), ["0", "1", "2", "3"]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Feature {
+    name: String,
+    values: Vec<String>,
+}
+
+impl Feature {
+    /// Creates a feature with explicit value labels.
+    pub fn new(
+        name: impl Into<String>,
+        values: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
+        Feature {
+            name: name.into(),
+            values: values.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Creates a feature whose values are `0..count` rendered as decimal.
+    pub fn numeric(name: impl Into<String>, count: usize) -> Self {
+        Feature {
+            name: name.into(),
+            values: (0..count).map(|v| v.to_string()).collect(),
+        }
+    }
+
+    /// The feature's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The feature's value labels.
+    #[must_use]
+    pub fn values(&self) -> &[String] {
+        &self.values
+    }
+
+    /// Number of legal values.
+    #[must_use]
+    pub fn cardinality(&self) -> usize {
+        self.values.len()
+    }
+}
+
+/// A full cross-product space over an ordered list of [`Feature`]s.
+///
+/// Events are laid out in row-major order with the *first* feature varying
+/// slowest, which makes event names sort naturally
+/// (`entry0_thread0_sector0_branch0`, `entry0_thread0_sector0_branch1`, ...).
+///
+/// # Examples
+///
+/// ```
+/// use ascdg_coverage::{CrossProduct, Feature};
+///
+/// let cp = CrossProduct::new([
+///     Feature::numeric("entry", 8),
+///     Feature::numeric("thread", 4),
+///     Feature::numeric("sector", 4),
+///     Feature::numeric("branch", 2),
+/// ]).unwrap();
+/// assert_eq!(cp.len(), 256);
+/// let e = cp.event_id(&[7, 3, 3, 1]).unwrap();
+/// assert_eq!(cp.event_name(e), "entry7_thread3_sector3_branch1");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrossProduct {
+    features: Vec<Feature>,
+    /// Row-major strides, aligned with `features`.
+    strides: Vec<usize>,
+    len: usize,
+}
+
+impl CrossProduct {
+    /// Builds a cross-product space from an ordered feature list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoverageError::EmptyFeature`] if any feature has no values
+    /// and [`CoverageError::EmptyModel`] if no features are given.
+    pub fn new(features: impl IntoIterator<Item = Feature>) -> Result<Self, CoverageError> {
+        let features: Vec<Feature> = features.into_iter().collect();
+        if features.is_empty() {
+            return Err(CoverageError::EmptyModel);
+        }
+        for f in &features {
+            if f.cardinality() == 0 {
+                return Err(CoverageError::EmptyFeature(f.name.clone()));
+            }
+        }
+        let mut strides = vec![0usize; features.len()];
+        let mut acc = 1usize;
+        for (i, f) in features.iter().enumerate().rev() {
+            strides[i] = acc;
+            acc *= f.cardinality();
+        }
+        Ok(CrossProduct {
+            features,
+            strides,
+            len: acc,
+        })
+    }
+
+    /// Total number of events in the space.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the space contains no events (never true for a
+    /// successfully constructed value).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The ordered feature list.
+    #[must_use]
+    pub fn features(&self) -> &[Feature] {
+        &self.features
+    }
+
+    /// Maps a coordinate tuple (one value index per feature) to an event id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoverageError::UnknownEvent`] if the tuple has the wrong
+    /// arity or a coordinate is out of range.
+    pub fn event_id(&self, coords: &[usize]) -> Result<EventId, CoverageError> {
+        if coords.len() != self.features.len() {
+            return Err(CoverageError::UnknownEvent(format!(
+                "coordinate arity {} != {} features",
+                coords.len(),
+                self.features.len()
+            )));
+        }
+        let mut idx = 0usize;
+        for ((&c, f), &s) in coords.iter().zip(&self.features).zip(&self.strides) {
+            if c >= f.cardinality() {
+                return Err(CoverageError::UnknownEvent(format!(
+                    "feature `{}` value index {c} out of range (cardinality {})",
+                    f.name,
+                    f.cardinality()
+                )));
+            }
+            idx += c * s;
+        }
+        Ok(EventId(idx as u32))
+    }
+
+    /// Decodes an event id back into its coordinate tuple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `event` is out of range for this space.
+    #[must_use]
+    pub fn coords(&self, event: EventId) -> Vec<usize> {
+        let mut idx = event.index();
+        assert!(idx < self.len, "event {event} out of range");
+        self.strides
+            .iter()
+            .zip(&self.features)
+            .map(|(&s, f)| {
+                let c = idx / s;
+                idx %= s;
+                debug_assert!(c < f.cardinality());
+                c
+            })
+            .collect()
+    }
+
+    /// Canonical name of an event: `feat0valA_feat1valB_...`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `event` is out of range for this space.
+    #[must_use]
+    pub fn event_name(&self, event: EventId) -> String {
+        let coords = self.coords(event);
+        let parts: Vec<String> = coords
+            .iter()
+            .zip(&self.features)
+            .map(|(&c, f)| format!("{}{}", f.name, f.values[c]))
+            .collect();
+        parts.join("_")
+    }
+
+    /// All event names, in id order.
+    #[must_use]
+    pub fn event_names(&self) -> Vec<String> {
+        (0..self.len)
+            .map(|i| self.event_name(EventId(i as u32)))
+            .collect()
+    }
+
+    /// Ids of all events whose coordinates differ from `event` in exactly
+    /// `distance` features (Hamming-distance neighbors).
+    ///
+    /// Distance 1 yields the direct structural neighbors used by the paper's
+    /// cross-product neighbor discovery.
+    #[must_use]
+    pub fn hamming_neighbors(&self, event: EventId, distance: usize) -> Vec<EventId> {
+        let base = self.coords(event);
+        let mut out = Vec::new();
+        for i in 0..self.len {
+            let e = EventId(i as u32);
+            if e == event {
+                continue;
+            }
+            let c = self.coords(e);
+            let d = c.iter().zip(&base).filter(|(a, b)| a != b).count();
+            if d == distance {
+                out.push(e);
+            }
+        }
+        out
+    }
+
+    /// Iterates over all events whose coordinate for feature `feature_idx`
+    /// equals `value_idx` (a "slice" of the cross product).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature_idx` or `value_idx` are out of range.
+    #[must_use]
+    pub fn slice(&self, feature_idx: usize, value_idx: usize) -> Vec<EventId> {
+        assert!(feature_idx < self.features.len());
+        assert!(value_idx < self.features[feature_idx].cardinality());
+        (0..self.len)
+            .map(|i| EventId(i as u32))
+            .filter(|&e| self.coords(e)[feature_idx] == value_idx)
+            .collect()
+    }
+}
+
+/// A decoded cross-product event: id plus coordinates, for display.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrossEvent {
+    /// The event's id in the owning space.
+    pub id: EventId,
+    /// One value index per feature.
+    pub coords: Vec<usize>,
+}
+
+impl fmt::Display for CrossEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{:?}", self.id, self.coords)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ifu() -> CrossProduct {
+        CrossProduct::new([
+            Feature::numeric("entry", 8),
+            Feature::numeric("thread", 4),
+            Feature::numeric("sector", 4),
+            Feature::numeric("branch", 2),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn size_and_roundtrip() {
+        let cp = ifu();
+        assert_eq!(cp.len(), 256);
+        for i in 0..256u32 {
+            let e = EventId(i);
+            let c = cp.coords(e);
+            assert_eq!(cp.event_id(&c).unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn names_are_canonical() {
+        let cp = ifu();
+        assert_eq!(
+            cp.event_name(cp.event_id(&[0, 0, 0, 0]).unwrap()),
+            "entry0_thread0_sector0_branch0"
+        );
+        assert_eq!(
+            cp.event_name(cp.event_id(&[7, 3, 3, 1]).unwrap()),
+            "entry7_thread3_sector3_branch1"
+        );
+        assert_eq!(cp.event_names().len(), 256);
+    }
+
+    #[test]
+    fn hamming_distance_one_count() {
+        let cp = ifu();
+        let e = cp.event_id(&[3, 2, 1, 0]).unwrap();
+        // (8-1) + (4-1) + (4-1) + (2-1) = 14 neighbors at distance 1.
+        assert_eq!(cp.hamming_neighbors(e, 1).len(), 14);
+    }
+
+    #[test]
+    fn slice_extracts_plane() {
+        let cp = ifu();
+        let entry7 = cp.slice(0, 7);
+        assert_eq!(entry7.len(), 32);
+        for e in entry7 {
+            assert_eq!(cp.coords(e)[0], 7);
+        }
+    }
+
+    #[test]
+    fn bad_coords_rejected() {
+        let cp = ifu();
+        assert!(cp.event_id(&[0, 0]).is_err());
+        assert!(cp.event_id(&[8, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn empty_feature_rejected() {
+        let err = CrossProduct::new([Feature::new("x", Vec::<String>::new())]).unwrap_err();
+        assert_eq!(err, CoverageError::EmptyFeature("x".into()));
+        assert!(CrossProduct::new(std::iter::empty::<Feature>()).is_err());
+    }
+
+    #[test]
+    fn labeled_features() {
+        let cp = CrossProduct::new([
+            Feature::new("op", ["load", "store"]),
+            Feature::numeric("way", 2),
+        ])
+        .unwrap();
+        assert_eq!(cp.len(), 4);
+        assert_eq!(cp.event_name(cp.event_id(&[1, 0]).unwrap()), "opstore_way0");
+    }
+}

@@ -1,0 +1,194 @@
+//! Event families: groups of related events with a natural order.
+//!
+//! The paper's evaluation targets *families* of events — e.g. the
+//! buffer-fill family `byp_reqs01..byp_reqs16` or the CRC burst-length
+//! family `crc_004..crc_096`. A family has a natural order (usually the
+//! numeric suffix) along which hit probability decays, which is exactly the
+//! "descent gradient from easily hit events to hard-to-hit events" the
+//! approximated target exploits.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CoverageModel, EventId};
+
+/// Splits an event name into its alphabetic stem and trailing numeric index.
+///
+/// Returns `None` when the name has no trailing digits.
+///
+/// # Examples
+///
+/// ```
+/// use ascdg_coverage::family_index;
+/// assert_eq!(family_index("byp_reqs07"), Some(("byp_reqs", 7)));
+/// assert_eq!(family_index("crc_064"), Some(("crc_", 64)));
+/// assert_eq!(family_index("reset"), None);
+/// ```
+#[must_use]
+pub fn family_index(name: &str) -> Option<(&str, u64)> {
+    let digits_start = name
+        .char_indices()
+        .rev()
+        .take_while(|(_, c)| c.is_ascii_digit())
+        .last()
+        .map(|(i, _)| i)?;
+    let (stem, digits) = name.split_at(digits_start);
+    if stem.is_empty() {
+        return None;
+    }
+    digits.parse().ok().map(|n| (stem, n))
+}
+
+/// Returns the stem naming the family `name` belongs to, if any.
+///
+/// # Examples
+///
+/// ```
+/// use ascdg_coverage::family_of;
+/// assert_eq!(family_of("crc_032"), Some("crc_"));
+/// assert_eq!(family_of("done"), None);
+/// ```
+#[must_use]
+pub fn family_of(name: &str) -> Option<&str> {
+    family_index(name).map(|(stem, _)| stem)
+}
+
+/// An ordered family of coverage events sharing a name stem.
+///
+/// Members are sorted by their numeric suffix; the order is the family's
+/// natural difficulty gradient (filling more of a buffer, longer bursts...).
+///
+/// # Examples
+///
+/// ```
+/// use ascdg_coverage::{CoverageModel, EventFamily};
+///
+/// let model = CoverageModel::from_names("u", ["fill2", "fill1", "other", "fill3"]).unwrap();
+/// let fams = EventFamily::discover(&model);
+/// assert_eq!(fams.len(), 1);
+/// assert_eq!(fams[0].stem(), "fill");
+/// assert_eq!(fams[0].indices(), [1, 2, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventFamily {
+    stem: String,
+    /// (numeric suffix, event id) sorted by suffix.
+    members: Vec<(u64, EventId)>,
+}
+
+impl EventFamily {
+    /// Discovers all families (stems with at least two members) in a model.
+    #[must_use]
+    pub fn discover(model: &CoverageModel) -> Vec<EventFamily> {
+        let mut by_stem: Vec<(String, Vec<(u64, EventId)>)> = Vec::new();
+        for (id, name) in model.iter() {
+            if let Some((stem, n)) = family_index(name) {
+                match by_stem.iter_mut().find(|(s, _)| s == stem) {
+                    Some((_, v)) => v.push((n, id)),
+                    None => by_stem.push((stem.to_owned(), vec![(n, id)])),
+                }
+            }
+        }
+        by_stem
+            .into_iter()
+            .filter(|(_, v)| v.len() >= 2)
+            .map(|(stem, mut members)| {
+                members.sort_by_key(|&(n, _)| n);
+                EventFamily { stem, members }
+            })
+            .collect()
+    }
+
+    /// Finds the family containing `event`, if any.
+    #[must_use]
+    pub fn containing(model: &CoverageModel, event: EventId) -> Option<EventFamily> {
+        EventFamily::discover(model)
+            .into_iter()
+            .find(|f| f.members.iter().any(|&(_, e)| e == event))
+    }
+
+    /// The shared name stem.
+    #[must_use]
+    pub fn stem(&self) -> &str {
+        &self.stem
+    }
+
+    /// Event ids in suffix order.
+    #[must_use]
+    pub fn events(&self) -> Vec<EventId> {
+        self.members.iter().map(|&(_, e)| e).collect()
+    }
+
+    /// Numeric suffixes in sorted order.
+    #[must_use]
+    pub fn indices(&self) -> Vec<u64> {
+        self.members.iter().map(|&(n, _)| n).collect()
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` for a family with no members (never produced by
+    /// [`EventFamily::discover`]).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Position of `event` within the family's order, if it is a member.
+    #[must_use]
+    pub fn position(&self, event: EventId) -> Option<usize> {
+        self.members.iter().position(|&(_, e)| e == event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_index_parsing() {
+        assert_eq!(family_index("crc_004"), Some(("crc_", 4)));
+        assert_eq!(family_index("byp_reqs16"), Some(("byp_reqs", 16)));
+        assert_eq!(family_index("a1b2"), Some(("a1b", 2)));
+        assert_eq!(family_index("123"), None);
+        assert_eq!(family_index(""), None);
+        assert_eq!(family_index("x"), None);
+    }
+
+    #[test]
+    fn discover_sorts_by_suffix() {
+        let model = CoverageModel::from_names(
+            "u",
+            ["crc_016", "crc_004", "byp_reqs02", "byp_reqs01", "misc"],
+        )
+        .unwrap();
+        let fams = EventFamily::discover(&model);
+        assert_eq!(fams.len(), 2);
+        let crc = fams.iter().find(|f| f.stem() == "crc_").unwrap();
+        assert_eq!(crc.indices(), [4, 16]);
+        assert_eq!(
+            crc.events(),
+            vec![model.id("crc_004").unwrap(), model.id("crc_016").unwrap()]
+        );
+    }
+
+    #[test]
+    fn singletons_are_not_families() {
+        let model = CoverageModel::from_names("u", ["only1", "other"]).unwrap();
+        assert!(EventFamily::discover(&model).is_empty());
+    }
+
+    #[test]
+    fn containing_and_position() {
+        let model = CoverageModel::from_names("u", ["f1", "f2", "f3"]).unwrap();
+        let e2 = model.id("f2").unwrap();
+        let fam = EventFamily::containing(&model, e2).unwrap();
+        assert_eq!(fam.position(e2), Some(1));
+        assert_eq!(fam.position(EventId(99)), None);
+        assert_eq!(fam.len(), 3);
+        assert!(!fam.is_empty());
+    }
+}

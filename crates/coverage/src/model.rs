@@ -1,0 +1,242 @@
+//! Coverage model: the declaration of a unit's coverage events.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::{CoverageError, CrossProduct, EventId};
+
+/// The set of coverage events declared by one unit's verification plan.
+///
+/// A model maps stable event names to dense [`EventId`]s and may carry the
+/// [`CrossProduct`] structure it was generated from, which neighbor
+/// discovery exploits. Models are cheap to clone (`Arc` internals) because
+/// repositories, environments and reports all hold one.
+///
+/// # Examples
+///
+/// ```
+/// use ascdg_coverage::CoverageModel;
+///
+/// let m = CoverageModel::from_names("l3", ["byp_reqs01", "byp_reqs02"]).unwrap();
+/// assert_eq!(m.len(), 2);
+/// assert_eq!(m.name(m.id("byp_reqs02").unwrap()), "byp_reqs02");
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(from = "ModelRepr", into = "ModelRepr")]
+pub struct CoverageModel {
+    unit: Arc<str>,
+    names: Arc<[String]>,
+    index: Arc<HashMap<String, EventId>>,
+    cross: Option<Arc<CrossProduct>>,
+}
+
+/// Serialized form of [`CoverageModel`]; the name index is rebuilt on load.
+#[derive(Serialize, Deserialize)]
+struct ModelRepr {
+    unit: String,
+    names: Vec<String>,
+    cross: Option<CrossProduct>,
+}
+
+impl From<CoverageModel> for ModelRepr {
+    fn from(m: CoverageModel) -> Self {
+        ModelRepr {
+            unit: m.unit.to_string(),
+            names: m.names.to_vec(),
+            cross: m.cross.map(|c| (*c).clone()),
+        }
+    }
+}
+
+impl From<ModelRepr> for CoverageModel {
+    fn from(r: ModelRepr) -> Self {
+        // Names were validated when the model was first built, so rebuilding
+        // cannot fail for data we serialized ourselves; fall back to a
+        // best-effort dedup for hand-edited files.
+        CoverageModel::build(&r.unit, r.names, r.cross)
+            .unwrap_or_else(|e| panic!("invalid serialized coverage model: {e}"))
+    }
+}
+
+impl PartialEq for CoverageModel {
+    fn eq(&self, other: &Self) -> bool {
+        self.unit == other.unit && self.names == other.names && self.cross == other.cross
+    }
+}
+
+impl Eq for CoverageModel {}
+
+impl CoverageModel {
+    fn build(
+        unit: &str,
+        names: Vec<String>,
+        cross: Option<CrossProduct>,
+    ) -> Result<Self, CoverageError> {
+        if names.is_empty() {
+            return Err(CoverageError::EmptyModel);
+        }
+        let mut index = HashMap::with_capacity(names.len());
+        for (i, n) in names.iter().enumerate() {
+            if index.insert(n.clone(), EventId(i as u32)).is_some() {
+                return Err(CoverageError::DuplicateEvent(n.clone()));
+            }
+        }
+        Ok(CoverageModel {
+            unit: Arc::from(unit),
+            names: names.into(),
+            index: Arc::new(index),
+            cross: cross.map(Arc::new),
+        })
+    }
+
+    /// Builds a flat model from a list of event names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoverageError::DuplicateEvent`] on repeated names and
+    /// [`CoverageError::EmptyModel`] when `names` is empty.
+    pub fn from_names(
+        unit: &str,
+        names: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Result<Self, CoverageError> {
+        Self::build(unit, names.into_iter().map(Into::into).collect(), None)
+    }
+
+    /// Builds a model that enumerates every event of a cross-product space,
+    /// using the space's canonical names.
+    ///
+    /// # Errors
+    ///
+    /// Propagates name construction failures (cannot occur for canonical
+    /// cross-product names, which are unique by construction).
+    pub fn from_cross_product(unit: &str, cross: CrossProduct) -> Result<Self, CoverageError> {
+        Self::build(unit, cross.event_names(), Some(cross))
+    }
+
+    /// The unit this model belongs to.
+    #[must_use]
+    pub fn unit(&self) -> &str {
+        &self.unit
+    }
+
+    /// Number of declared events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if the model declares no events (never true for a
+    /// successfully constructed model).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Looks up an event id by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoverageError::UnknownEvent`] for names not in the model.
+    pub fn id(&self, name: &str) -> Result<EventId, CoverageError> {
+        self.index
+            .get(name)
+            .copied()
+            .ok_or_else(|| CoverageError::UnknownEvent(name.to_owned()))
+    }
+
+    /// The name of an event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `event` is out of range for this model.
+    #[must_use]
+    pub fn name(&self, event: EventId) -> &str {
+        &self.names[event.index()]
+    }
+
+    /// Iterates over `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (EventId, &str)> + '_ {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (EventId(i as u32), n.as_str()))
+    }
+
+    /// All event ids, in order.
+    pub fn event_ids(&self) -> impl Iterator<Item = EventId> + '_ {
+        (0..self.len()).map(|i| EventId(i as u32))
+    }
+
+    /// The cross-product structure, if this model was built from one.
+    #[must_use]
+    pub fn cross_product(&self) -> Option<&CrossProduct> {
+        self.cross.as_deref()
+    }
+
+    /// Looks up several names at once.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CoverageError::UnknownEvent`] encountered.
+    pub fn ids<'a>(
+        &self,
+        names: impl IntoIterator<Item = &'a str>,
+    ) -> Result<Vec<EventId>, CoverageError> {
+        names.into_iter().map(|n| self.id(n)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Feature;
+
+    #[test]
+    fn flat_model_lookup() {
+        let m = CoverageModel::from_names("io", ["a", "b", "c"]).unwrap();
+        assert_eq!(m.unit(), "io");
+        assert_eq!(m.id("b").unwrap(), EventId(1));
+        assert_eq!(m.name(EventId(2)), "c");
+        assert!(m.id("zzz").is_err());
+        assert_eq!(m.event_ids().count(), 3);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let err = CoverageModel::from_names("io", ["a", "a"]).unwrap_err();
+        assert_eq!(err, CoverageError::DuplicateEvent("a".into()));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(
+            CoverageModel::from_names("io", Vec::<String>::new()).unwrap_err(),
+            CoverageError::EmptyModel
+        );
+    }
+
+    #[test]
+    fn cross_product_model() {
+        let cp = CrossProduct::new([Feature::numeric("t", 2), Feature::numeric("s", 3)]).unwrap();
+        let m = CoverageModel::from_cross_product("ifu", cp).unwrap();
+        assert_eq!(m.len(), 6);
+        assert!(m.cross_product().is_some());
+        let id = m.id("t1_s2").unwrap();
+        assert_eq!(m.cross_product().unwrap().coords(id), vec![1, 2]);
+    }
+
+    #[test]
+    fn batch_id_lookup() {
+        let m = CoverageModel::from_names("u", ["x", "y"]).unwrap();
+        assert_eq!(m.ids(["y", "x"]).unwrap(), vec![EventId(1), EventId(0)]);
+        assert!(m.ids(["x", "nope"]).is_err());
+    }
+
+    #[test]
+    fn clone_is_shallow_and_equal() {
+        let m = CoverageModel::from_names("u", ["x"]).unwrap();
+        let m2 = m.clone();
+        assert_eq!(m, m2);
+    }
+}

@@ -1,0 +1,181 @@
+//! Event-status classification (the IBM color convention from the paper).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::repo::HitStats;
+
+/// The coverage status of a single event under a [`StatusPolicy`].
+///
+/// The paper's figures color events green (well hit), orange (lightly hit)
+/// and red (never hit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum EventStatus {
+    /// Zero hits recorded.
+    NeverHit,
+    /// Hit, but below the policy's count or rate thresholds.
+    LightlyHit,
+    /// At or above both thresholds.
+    WellHit,
+}
+
+impl fmt::Display for EventStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EventStatus::NeverHit => "never-hit",
+            EventStatus::LightlyHit => "lightly-hit",
+            EventStatus::WellHit => "well-hit",
+        })
+    }
+}
+
+/// Thresholds that separate lightly-hit from well-hit events.
+///
+/// The default follows IBM's convention as stated in the paper: an event is
+/// lightly hit when its hit count is below 100 **or** its hit rate is below
+/// 1%.
+///
+/// # Examples
+///
+/// ```
+/// use ascdg_coverage::{EventStatus, HitStats, StatusPolicy};
+///
+/// let policy = StatusPolicy::default();
+/// assert_eq!(policy.classify(HitStats { hits: 0, sims: 1000 }), EventStatus::NeverHit);
+/// assert_eq!(policy.classify(HitStats { hits: 12, sims: 1000 }), EventStatus::LightlyHit);
+/// assert_eq!(policy.classify(HitStats { hits: 500, sims: 1000 }), EventStatus::WellHit);
+/// // 150 hits but only 0.15% rate: still lightly hit.
+/// assert_eq!(policy.classify(HitStats { hits: 150, sims: 100_000 }), EventStatus::LightlyHit);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StatusPolicy {
+    /// Minimum hit count for an event to be considered well hit.
+    pub min_hits: u64,
+    /// Minimum hit rate (fraction of simulations) for well-hit status.
+    pub min_rate: f64,
+}
+
+impl Default for StatusPolicy {
+    fn default() -> Self {
+        StatusPolicy {
+            min_hits: 100,
+            min_rate: 0.01,
+        }
+    }
+}
+
+impl StatusPolicy {
+    /// Classifies an event's accumulated statistics.
+    #[must_use]
+    pub fn classify(&self, stats: HitStats) -> EventStatus {
+        if stats.hits == 0 {
+            EventStatus::NeverHit
+        } else if stats.hits < self.min_hits || stats.rate() < self.min_rate {
+            EventStatus::LightlyHit
+        } else {
+            EventStatus::WellHit
+        }
+    }
+
+    /// Counts the statuses of a set of events, as shown in the paper's
+    /// Fig. 5 bar chart.
+    #[must_use]
+    pub fn count(&self, stats: impl IntoIterator<Item = HitStats>) -> StatusCounts {
+        let mut counts = StatusCounts::default();
+        for s in stats {
+            match self.classify(s) {
+                EventStatus::NeverHit => counts.never_hit += 1,
+                EventStatus::LightlyHit => counts.lightly_hit += 1,
+                EventStatus::WellHit => counts.well_hit += 1,
+            }
+        }
+        counts
+    }
+}
+
+/// Counts of events in each status bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatusCounts {
+    /// Events with zero hits.
+    pub never_hit: usize,
+    /// Events hit below the policy thresholds.
+    pub lightly_hit: usize,
+    /// Events at or above the thresholds.
+    pub well_hit: usize,
+}
+
+impl StatusCounts {
+    /// Total number of events counted.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.never_hit + self.lightly_hit + self.well_hit
+    }
+}
+
+impl fmt::Display for StatusCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "never={} lightly={} well={}",
+            self.never_hit, self.lightly_hit, self.well_hit
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hs(hits: u64, sims: u64) -> HitStats {
+        HitStats { hits, sims }
+    }
+
+    #[test]
+    fn boundary_cases() {
+        let p = StatusPolicy::default();
+        assert_eq!(p.classify(hs(99, 100)), EventStatus::LightlyHit);
+        assert_eq!(p.classify(hs(100, 100)), EventStatus::WellHit);
+        // Exactly 1% rate with >=100 hits: well hit.
+        assert_eq!(p.classify(hs(100, 10_000)), EventStatus::WellHit);
+        // Just below 1%.
+        assert_eq!(p.classify(hs(100, 10_001)), EventStatus::LightlyHit);
+    }
+
+    #[test]
+    fn zero_sims_is_never_hit() {
+        let p = StatusPolicy::default();
+        assert_eq!(p.classify(hs(0, 0)), EventStatus::NeverHit);
+    }
+
+    #[test]
+    fn counting() {
+        let p = StatusPolicy::default();
+        let c = p.count([hs(0, 100), hs(5, 100), hs(100, 100), hs(0, 100)]);
+        assert_eq!(
+            c,
+            StatusCounts {
+                never_hit: 2,
+                lightly_hit: 1,
+                well_hit: 1
+            }
+        );
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.to_string(), "never=2 lightly=1 well=1");
+    }
+
+    #[test]
+    fn custom_policy() {
+        let p = StatusPolicy {
+            min_hits: 10,
+            min_rate: 0.5,
+        };
+        assert_eq!(p.classify(hs(20, 100)), EventStatus::LightlyHit);
+        assert_eq!(p.classify(hs(60, 100)), EventStatus::WellHit);
+    }
+
+    #[test]
+    fn status_order() {
+        assert!(EventStatus::NeverHit < EventStatus::LightlyHit);
+        assert!(EventStatus::LightlyHit < EventStatus::WellHit);
+    }
+}

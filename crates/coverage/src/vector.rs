@@ -1,0 +1,209 @@
+//! Compact per-simulation coverage outcome.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::EventId;
+
+/// The boolean per-event outcome of simulating one test-instance.
+///
+/// The paper's hit statistics are *per-simulation* indicators: a simulation
+/// either hit an event or did not, regardless of how many times the event
+/// fired within that simulation. `CoverageVector` therefore stores one bit
+/// per event of the owning [`crate::CoverageModel`].
+///
+/// # Examples
+///
+/// ```
+/// use ascdg_coverage::{CoverageVector, EventId};
+///
+/// let mut v = CoverageVector::empty(70);
+/// v.set(EventId(0));
+/// v.set(EventId(69));
+/// assert!(v.get(EventId(0)) && v.get(EventId(69)) && !v.get(EventId(1)));
+/// assert_eq!(v.count_hits(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CoverageVector {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl CoverageVector {
+    /// Creates an all-zero vector covering `len` events.
+    #[must_use]
+    pub fn empty(len: usize) -> Self {
+        CoverageVector {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// Number of events tracked by this vector.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the vector tracks zero events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Marks `event` as hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `event` is out of range for this vector.
+    pub fn set(&mut self, event: EventId) {
+        let i = event.index();
+        assert!(
+            i < self.len,
+            "event {event} out of range (len {})",
+            self.len
+        );
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Clears the hit bit for `event`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `event` is out of range for this vector.
+    pub fn clear(&mut self, event: EventId) {
+        let i = event.index();
+        assert!(
+            i < self.len,
+            "event {event} out of range (len {})",
+            self.len
+        );
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Returns whether `event` was hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `event` is out of range for this vector.
+    #[must_use]
+    pub fn get(&self, event: EventId) -> bool {
+        let i = event.index();
+        assert!(
+            i < self.len,
+            "event {event} out of range (len {})",
+            self.len
+        );
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Number of events hit in this simulation.
+    #[must_use]
+    pub fn count_hits(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates over the ids of all hit events, in increasing order.
+    pub fn iter_hits(&self) -> impl Iterator<Item = EventId> + '_ {
+        (0..self.len)
+            .filter(move |&i| self.words[i / 64] & (1 << (i % 64)) != 0)
+            .map(|i| EventId(i as u32))
+    }
+
+    /// Merges another vector into this one (bitwise or).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vectors track different numbers of events.
+    pub fn union_with(&mut self, other: &CoverageVector) {
+        assert_eq!(self.len, other.len, "coverage vector length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+}
+
+impl fmt::Debug for CoverageVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CoverageVector({}/{} hit)", self.count_hits(), self.len)
+    }
+}
+
+impl FromIterator<EventId> for CoverageVector {
+    /// Builds a vector sized to the largest id seen.
+    fn from_iter<T: IntoIterator<Item = EventId>>(iter: T) -> Self {
+        let ids: Vec<EventId> = iter.into_iter().collect();
+        let len = ids.iter().map(|e| e.index() + 1).max().unwrap_or(0);
+        let mut v = CoverageVector::empty(len);
+        for id in ids {
+            v.set(id);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut v = CoverageVector::empty(130);
+        for i in [0u32, 63, 64, 65, 129] {
+            v.set(EventId(i));
+            assert!(v.get(EventId(i)));
+        }
+        assert_eq!(v.count_hits(), 5);
+        v.clear(EventId(64));
+        assert!(!v.get(EventId(64)));
+        assert_eq!(v.count_hits(), 4);
+    }
+
+    #[test]
+    fn iter_hits_in_order() {
+        let mut v = CoverageVector::empty(100);
+        v.set(EventId(70));
+        v.set(EventId(3));
+        let hits: Vec<_> = v.iter_hits().collect();
+        assert_eq!(hits, vec![EventId(3), EventId(70)]);
+    }
+
+    #[test]
+    fn union() {
+        let mut a = CoverageVector::empty(10);
+        let mut b = CoverageVector::empty(10);
+        a.set(EventId(1));
+        b.set(EventId(8));
+        a.union_with(&b);
+        assert!(a.get(EventId(1)) && a.get(EventId(8)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let v = CoverageVector::empty(4);
+        let _ = v.get(EventId(4));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let v: CoverageVector = [EventId(2), EventId(5)].into_iter().collect();
+        assert_eq!(v.len(), 6);
+        assert!(v.get(EventId(5)) && !v.get(EventId(4)));
+    }
+
+    #[test]
+    fn empty_vector() {
+        let v = CoverageVector::empty(0);
+        assert!(v.is_empty());
+        assert_eq!(v.count_hits(), 0);
+        assert_eq!(v.iter_hits().count(), 0);
+    }
+
+    #[test]
+    fn debug_format() {
+        let mut v = CoverageVector::empty(8);
+        v.set(EventId(0));
+        assert_eq!(format!("{v:?}"), "CoverageVector(1/8 hit)");
+    }
+}

@@ -1,0 +1,120 @@
+//! The verification-environment abstraction the AS-CDG flow runs against.
+
+use ascdg_coverage::{CoverageModel, CoverageVector};
+use ascdg_template::{ParamRegistry, ResolvedParams, TemplateLibrary, TestTemplate};
+
+use crate::EnvError;
+
+/// A black-box verification environment: a simulated unit plus everything
+/// the verification team built around it.
+///
+/// This is the entire surface the AS-CDG flow sees — matching the paper's
+/// claim that the flow "operates outside the existing design and
+/// verification environment". An environment bundles:
+///
+/// * the **parameter registry**: every generator parameter with its default
+///   bias;
+/// * the **stock template library**: the regression templates accumulated
+///   during the project, which the coarse-grained search mines;
+/// * the **coverage model**: the unit's declared events;
+/// * the **simulator**: template + seed → coverage vector.
+///
+/// Implementations must be `Send + Sync`; the batch environment simulates
+/// from many worker threads.
+pub trait VerifEnv: Send + Sync {
+    /// The unit's name (used in reports).
+    fn unit_name(&self) -> &str;
+
+    /// The parameter registry with environment defaults.
+    fn registry(&self) -> &ParamRegistry;
+
+    /// The unit's coverage model.
+    fn coverage_model(&self) -> &CoverageModel;
+
+    /// The existing test-template library.
+    fn stock_library(&self) -> &TemplateLibrary;
+
+    /// Simulates one test-instance generated from pre-resolved parameters.
+    ///
+    /// `template_name` and `seed` identify the instance: the generator seed
+    /// is derived from them, so a (name, seed) pair is fully reproducible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnvError::StimGen`] if generation draws an incompatible
+    /// value (cannot happen for parameters validated by the registry).
+    fn simulate_resolved(
+        &self,
+        resolved: &ResolvedParams,
+        template_name: &str,
+        seed: u64,
+    ) -> Result<CoverageVector, EnvError>;
+
+    /// Validates, resolves and simulates a template in one call.
+    ///
+    /// Batch runners should resolve once via [`ParamRegistry::resolve`] and
+    /// call [`VerifEnv::simulate_resolved`] per instance instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnvError::Template`] when the template does not validate
+    /// against the registry, or any [`VerifEnv::simulate_resolved`] error.
+    fn simulate(&self, template: &TestTemplate, seed: u64) -> Result<CoverageVector, EnvError> {
+        let resolved = self.registry().resolve(template)?;
+        self.simulate_resolved(&resolved, template.name(), seed)
+    }
+}
+
+impl<T: VerifEnv + ?Sized> VerifEnv for &T {
+    fn unit_name(&self) -> &str {
+        (**self).unit_name()
+    }
+
+    fn registry(&self) -> &ParamRegistry {
+        (**self).registry()
+    }
+
+    fn coverage_model(&self) -> &CoverageModel {
+        (**self).coverage_model()
+    }
+
+    fn stock_library(&self) -> &TemplateLibrary {
+        (**self).stock_library()
+    }
+
+    fn simulate_resolved(
+        &self,
+        resolved: &ResolvedParams,
+        template_name: &str,
+        seed: u64,
+    ) -> Result<CoverageVector, EnvError> {
+        (**self).simulate_resolved(resolved, template_name, seed)
+    }
+}
+
+impl<T: VerifEnv + ?Sized> VerifEnv for std::sync::Arc<T> {
+    fn unit_name(&self) -> &str {
+        (**self).unit_name()
+    }
+
+    fn registry(&self) -> &ParamRegistry {
+        (**self).registry()
+    }
+
+    fn coverage_model(&self) -> &CoverageModel {
+        (**self).coverage_model()
+    }
+
+    fn stock_library(&self) -> &TemplateLibrary {
+        (**self).stock_library()
+    }
+
+    fn simulate_resolved(
+        &self,
+        resolved: &ResolvedParams,
+        template_name: &str,
+        seed: u64,
+    ) -> Result<CoverageVector, EnvError> {
+        (**self).simulate_resolved(resolved, template_name, seed)
+    }
+}

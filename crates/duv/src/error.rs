@@ -1,0 +1,60 @@
+//! Error type for simulation environments.
+
+use std::fmt;
+
+use ascdg_stimgen::StimGenError;
+use ascdg_template::TemplateError;
+
+/// Errors produced while simulating a test-template on a unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EnvError {
+    /// The template failed validation against the environment's registry.
+    Template(TemplateError),
+    /// Stimulus generation failed (wrong parameter kind, unknown name).
+    StimGen(StimGenError),
+}
+
+impl fmt::Display for EnvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnvError::Template(e) => write!(f, "template rejected: {e}"),
+            EnvError::StimGen(e) => write!(f, "stimulus generation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EnvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EnvError::Template(e) => Some(e),
+            EnvError::StimGen(e) => Some(e),
+        }
+    }
+}
+
+impl From<TemplateError> for EnvError {
+    fn from(e: TemplateError) -> Self {
+        EnvError::Template(e)
+    }
+}
+
+impl From<StimGenError> for EnvError {
+    fn from(e: StimGenError) -> Self {
+        EnvError::StimGen(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_sources() {
+        let e = EnvError::from(TemplateError::UnknownParam("X".into()));
+        assert!(e.to_string().contains("`X`"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = EnvError::from(StimGenError::UnknownParam("Y".into()));
+        assert!(e.to_string().contains("`Y`"));
+    }
+}

@@ -1,0 +1,919 @@
+//! The L3 cache: a set-associative cache with a credit-limited bypass path.
+//!
+//! This unit reproduces the coverage structure of the paper's Fig. 4: a
+//! monotone buffer-fill family `byp_reqs01 .. byp_reqs16`. The model:
+//!
+//! * a [`SETS`]`x`[`WAYS`] LRU cache (2048 lines), *warm-started* with the
+//!   test's working set (the unit has been running long before the
+//!   coverage window opens);
+//! * every demand miss allocates one of [`BYPASS_CREDITS`] bypass slots
+//!   until the memory response returns ([`MEM_LATENCY`] cycles plus
+//!   jitter); the front end stalls when all credits are held, and prefetch
+//!   misses are dropped instead of stalling;
+//! * event `byp_reqsNN` fires when `NN` bypass slots are simultaneously
+//!   occupied — filling the pool deeper and deeper is the family's
+//!   difficulty gradient;
+//! * background snoop traffic invalidates cached lines at a low rate, so
+//!   even an in-cache working set produces isolated re-misses (that is what
+//!   keeps `byp_reqs01` common while `byp_reqs04+` stays rare by default);
+//! * the hardware prefetch engine issues *bursts* of back-to-back
+//!   sequential requests ([`PfDepth`] lines per burst). Demand traffic is
+//!   spaced at least [`MIN_GAP`] cycles apart, so deep bypass occupancy is
+//!   only reachable by stacking prefetch bursts over a cache-exceeding
+//!   working set — the parameter combination AS-CDG must discover.
+//!
+//! [`PfDepth`]: struct.L3Env.html#method.registry
+
+use ascdg_coverage::{CoverageModel, CoverageVector};
+use ascdg_stimgen::{instance_seed, MemOp, MemProgram, MemRequest, ParamSampler};
+use ascdg_template::{
+    ParamDef, ParamRegistry, ResolvedParams, TemplateLibrary, TestTemplate, Value,
+};
+
+use crate::kernel::DelayLine;
+use crate::{EnvError, VerifEnv};
+
+/// Number of cache sets.
+pub const SETS: usize = 256;
+/// Cache associativity.
+pub const WAYS: usize = 8;
+/// Number of bypass slots (the depth of the `byp_reqs*` family).
+pub const BYPASS_CREDITS: usize = 16;
+/// Base memory latency in cycles.
+pub const MEM_LATENCY: u64 = 40;
+/// Maximum additional response jitter in cycles.
+pub const MEM_JITTER: u64 = 12;
+/// Minimum spacing between demand requests (front-end issue limit).
+pub const MIN_GAP: i64 = 12;
+/// Baseline per-request probability of a background snoop invalidation.
+pub const BASE_SNOOP_RATE: f64 = 0.035;
+
+/// The L3 verification environment.
+///
+/// # Examples
+///
+/// ```
+/// use ascdg_duv::{l3cache::L3Env, VerifEnv};
+///
+/// let env = L3Env::new();
+/// assert_eq!(env.unit_name(), "l3cache");
+/// assert!(env.coverage_model().id("byp_reqs16").is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct L3Env {
+    registry: ParamRegistry,
+    model: CoverageModel,
+    library: TemplateLibrary,
+    /// `byp_reqsNN` event ids indexed by depth-1 (hot-path cache).
+    bypass_ids: Vec<ascdg_coverage::EventId>,
+}
+
+impl Default for L3Env {
+    fn default() -> Self {
+        L3Env::new()
+    }
+}
+
+fn event_names() -> Vec<String> {
+    let mut names: Vec<String> = (1..=BYPASS_CREDITS)
+        .map(|k| format!("byp_reqs{k:02}"))
+        .collect();
+    names.extend(
+        [
+            "ld_hit",
+            "ld_miss",
+            "st_hit",
+            "st_miss",
+            "prefetch_issued",
+            "prefetch_dropped",
+            "evict_line",
+            "fill_complete",
+            "front_end_stall",
+            "same_line_b2b",
+            "set_conflict",
+            "mem_latency_spike",
+            "snoop_invalidate",
+            "thread0_active",
+            "thread1_active",
+            "thread2_active",
+            "thread3_active",
+            "all_threads_seen",
+            "store_streak4",
+            "stride_pattern_seen",
+        ]
+        .into_iter()
+        .map(str::to_owned),
+    );
+    names
+}
+
+fn registry() -> ParamRegistry {
+    let sub = |lo, hi| Value::SubRange { lo, hi };
+    let mut reg = ParamRegistry::new();
+    let defs = [
+        // --- parameters relevant to the bypass family ---
+        ParamDef::range("ReqCount", 40, 200).unwrap(),
+        ParamDef::weights(
+            "WorkingSet",
+            [
+                (sub(8, 64), 70u32),
+                (sub(64, 512), 30),
+                (sub(512, 4096), 0),
+                (sub(4096, 32768), 0),
+            ],
+        )
+        .unwrap(),
+        ParamDef::range("GapL3", MIN_GAP, 64).unwrap(),
+        ParamDef::weights("RwMix", [("load", 70u32), ("store", 29), ("prefetch", 1)]).unwrap(),
+        ParamDef::weights("PfDepth", [(sub(1, 3), 100u32), (sub(3, 6), 0)]).unwrap(),
+        ParamDef::weights(
+            "ThreadMix",
+            [
+                (Value::Int(0), 40u32),
+                (Value::Int(1), 30),
+                (Value::Int(2), 20),
+                (Value::Int(3), 10),
+            ],
+        )
+        .unwrap(),
+        ParamDef::weights("AddrPattern", [("random", 60u32), ("stride", 40)]).unwrap(),
+        ParamDef::range("StrideStep", 1, 16).unwrap(),
+        ParamDef::range("SnoopPct", 0, 20).unwrap(),
+        // --- plausible knobs irrelevant to the bypass family ---
+        ParamDef::range("ScrubRate", 0, 10).unwrap(),
+        ParamDef::weights("EccEn", [("on", 90u32), ("off", 10)]).unwrap(),
+        ParamDef::weights("VictimSel", [("lru", 80u32), ("rand", 20)]).unwrap(),
+        ParamDef::weights("TagEcc", [("on", 90u32), ("off", 10)]).unwrap(),
+        ParamDef::range("DramPage", 1, 5).unwrap(),
+        ParamDef::range("RefreshRate", 0, 8).unwrap(),
+        ParamDef::range("MshrInit", 4, 17).unwrap(),
+        ParamDef::range("WrBufDepth", 2, 9).unwrap(),
+        ParamDef::range("LockPct", 0, 5).unwrap(),
+    ];
+    for d in defs {
+        reg.define(d).expect("unique parameter names");
+    }
+    reg
+}
+
+fn stock_library() -> TemplateLibrary {
+    let sub = |lo, hi| Value::SubRange { lo, hi };
+    let t = TestTemplate::builder;
+    [
+        t("l3_smoke").build(),
+        t("l3_reads")
+            .weights("RwMix", [("load", 100u32)])
+            .unwrap()
+            .build(),
+        t("l3_stores")
+            .weights("RwMix", [("store", 90u32), ("load", 10)])
+            .unwrap()
+            .build(),
+        t("l3_smt4")
+            .weights(
+                "ThreadMix",
+                [
+                    (Value::Int(0), 25u32),
+                    (Value::Int(1), 25),
+                    (Value::Int(2), 25),
+                    (Value::Int(3), 25),
+                ],
+            )
+            .unwrap()
+            .build(),
+        t("l3_stride_walk")
+            .weights("AddrPattern", [("stride", 100u32)])
+            .unwrap()
+            .range("StrideStep", 1, 4)
+            .unwrap()
+            .build(),
+        t("l3_small_ws")
+            .weights("WorkingSet", [(sub(8, 64), 100u32)])
+            .unwrap()
+            .build(),
+        t("l3_medium_ws")
+            .weights("WorkingSet", [(sub(64, 512), 60u32), (sub(512, 4096), 40)])
+            .unwrap()
+            .build(),
+        // The capacity/prefetch stress template: carries every parameter
+        // that matters for deep bypass occupancy, with *mild* settings —
+        // the verification team wrote it, AS-CDG retunes it.
+        t("l3_capacity_stress")
+            .weights(
+                "WorkingSet",
+                [
+                    (sub(64, 512), 30u32),
+                    (sub(512, 4096), 50),
+                    (sub(4096, 32768), 20),
+                ],
+            )
+            .unwrap()
+            .range("GapL3", MIN_GAP, 36)
+            .unwrap()
+            .weights("RwMix", [("load", 62u32), ("store", 30), ("prefetch", 8)])
+            .unwrap()
+            .weights("PfDepth", [(sub(1, 3), 90u32), (sub(3, 6), 10)])
+            .unwrap()
+            .range("ReqCount", 100, 200)
+            .unwrap()
+            .build(),
+        t("l3_pressure")
+            .weights("WorkingSet", [(sub(512, 4096), 100u32)])
+            .unwrap()
+            .range("GapL3", MIN_GAP, 24)
+            .unwrap()
+            .build(),
+        t("l3_prefetch")
+            .weights("RwMix", [("prefetch", 10u32), ("load", 90)])
+            .unwrap()
+            .weights("PfDepth", [(sub(1, 3), 85u32), (sub(3, 6), 15)])
+            .unwrap()
+            .build(),
+        t("l3_snoop_heavy")
+            .range("SnoopPct", 10, 20)
+            .unwrap()
+            .build(),
+        t("l3_scrub").range("ScrubRate", 5, 10).unwrap().build(),
+        t("l3_victim_rand")
+            .weights("VictimSel", [("rand", 100u32)])
+            .unwrap()
+            .build(),
+        t("l3_lock").range("LockPct", 2, 5).unwrap().build(),
+        t("l3_refresh").range("RefreshRate", 4, 8).unwrap().build(),
+    ]
+    .into_iter()
+    .collect()
+}
+
+impl L3Env {
+    /// Builds the environment (registry, stock library, coverage model).
+    #[must_use]
+    pub fn new() -> Self {
+        let model = CoverageModel::from_names("l3cache", event_names())
+            .expect("event names are unique");
+        let bypass_ids = (1..=BYPASS_CREDITS)
+            .map(|k| model.id(&format!("byp_reqs{k:02}")).expect("family event"))
+            .collect();
+        L3Env {
+            registry: registry(),
+            model,
+            library: stock_library(),
+            bypass_ids,
+        }
+    }
+
+    fn generate(
+        &self,
+        sampler: &mut ParamSampler<'_>,
+        stride_mode: bool,
+    ) -> Result<(MemProgram, u64, u64), EnvError> {
+        let count = sampler.sample_int("ReqCount")? as usize;
+        let working_set = sampler.sample_int("WorkingSet")? as u64;
+        let stride = sampler.sample_int("StrideStep")? as u64;
+        let base = sampler.uniform(0, 1 << 20) as u64;
+        let mut walker = base;
+        let mut program = Vec::with_capacity(count);
+        for _ in 0..count {
+            let line_addr = if stride_mode {
+                walker = base + (walker + stride - base) % working_set;
+                walker
+            } else {
+                base + sampler.uniform(0, working_set as i64) as u64
+            };
+            let thread = sampler.sample_int("ThreadMix")? as u8;
+            let gap = sampler.sample_int("GapL3")? as u32;
+            match sampler.sample_choice("RwMix")?.as_str() {
+                "load" => program.push(MemRequest {
+                    line_addr,
+                    op: MemOp::Load,
+                    thread,
+                    gap,
+                }),
+                "store" => program.push(MemRequest {
+                    line_addr,
+                    op: MemOp::Store,
+                    thread,
+                    gap,
+                }),
+                _ => {
+                    // A prefetch op is a hardware burst: `depth` sequential
+                    // lines, back to back (only the first carries the gap).
+                    let depth = sampler.sample_int("PfDepth")? as u64;
+                    for j in 0..depth {
+                        program.push(MemRequest {
+                            line_addr: line_addr + j,
+                            op: MemOp::Prefetch,
+                            thread,
+                            gap: if j == 0 { gap } else { 0 },
+                        });
+                    }
+                }
+            }
+        }
+        Ok((program, base, working_set))
+    }
+
+    /// Marks the bypass-occupancy family event for the current depth.
+    fn bump_bypass(&self, inflight: &DelayLine<u64>, cov: &mut CoverageVector) {
+        let depth = inflight.len().min(BYPASS_CREDITS);
+        if depth >= 1 {
+            cov.set(self.bypass_ids[depth - 1]);
+        }
+    }
+
+    /// Runs the cache model over a program, collecting coverage.
+    ///
+    /// `warm` is the `(base, lines)` span pre-filled into the cache before
+    /// the coverage window opens; `snoop_rate` is the per-request
+    /// probability of a background invalidation. [`VerifEnv::simulate`]
+    /// derives both from the template; tests may pass explicit values.
+    #[must_use]
+    pub fn run_program(
+        &self,
+        program: &MemProgram,
+        sampler: &mut ParamSampler<'_>,
+        stride_mode: bool,
+        warm: (u64, u64),
+        snoop_rate: f64,
+    ) -> CoverageVector {
+        let mut cov = CoverageVector::empty(self.model.len());
+        let hit = |name: &str, cov: &mut CoverageVector| {
+            cov.set(self.model.id(name).expect("known event"));
+        };
+
+        // Per-set LRU stacks, front = MRU. Warm-start with the test's
+        // working set (bounded by capacity).
+        let mut sets: Vec<Vec<u64>> = std::iter::repeat_with(|| Vec::with_capacity(WAYS))
+            .take(SETS)
+            .collect();
+        let (warm_base, warm_lines) = warm;
+        for line in warm_base..warm_base + warm_lines.min((SETS * WAYS) as u64) {
+            let set = (line as usize) % SETS;
+            if sets[set].len() < WAYS {
+                sets[set].insert(0, line);
+            }
+        }
+
+        let mut inflight: DelayLine<u64> = DelayLine::new();
+        let mut cycle: u64 = 0;
+        let mut prev_line: Option<u64> = None;
+        let mut threads_seen = [false; 4];
+        let mut store_streak = 0u32;
+        let mut last_miss_set: Option<usize> = None;
+
+        if stride_mode {
+            hit("stride_pattern_seen", &mut cov);
+        }
+
+        let fill = |sets: &mut Vec<Vec<u64>>, line: u64, cov: &mut CoverageVector| {
+            let set = (line as usize) % SETS;
+            let ways = &mut sets[set];
+            if !ways.contains(&line) {
+                if ways.len() == WAYS {
+                    ways.pop();
+                    hit("evict_line", cov);
+                }
+                ways.insert(0, line);
+            }
+            hit("fill_complete", cov);
+        };
+
+        for req in program {
+            cycle += u64::from(req.gap) + 1;
+            for line in inflight.drain_ready(cycle) {
+                fill(&mut sets, line, &mut cov);
+            }
+
+            // Background snoop traffic invalidates a random cached line.
+            if sampler.chance(snoop_rate) {
+                let victim_set = sampler.uniform(0, SETS as i64) as usize;
+                if !sets[victim_set].is_empty() {
+                    // Coherence traffic targets hot shared lines: take the
+                    // MRU way, which is the likeliest to be re-accessed.
+                    sets[victim_set].remove(0);
+                    hit("snoop_invalidate", &mut cov);
+                }
+            }
+
+            let th = (req.thread & 3) as usize;
+            threads_seen[th] = true;
+            hit(
+                [
+                    "thread0_active",
+                    "thread1_active",
+                    "thread2_active",
+                    "thread3_active",
+                ][th],
+                &mut cov,
+            );
+            if prev_line == Some(req.line_addr) {
+                hit("same_line_b2b", &mut cov);
+            }
+            prev_line = Some(req.line_addr);
+            if req.op == MemOp::Store {
+                store_streak += 1;
+                if store_streak >= 4 {
+                    hit("store_streak4", &mut cov);
+                }
+            } else {
+                store_streak = 0;
+            }
+
+            let set = (req.line_addr as usize) % SETS;
+            let way = sets[set].iter().position(|&l| l == req.line_addr);
+            // A miss on a line whose fill is already in flight merges into
+            // the pending entry (MSHR behaviour) instead of taking a new
+            // bypass slot.
+            let merged = way.is_none() && inflight.iter().any(|&l| l == req.line_addr);
+
+            match (way, req.op) {
+                (Some(w), op) => {
+                    let line = sets[set].remove(w);
+                    sets[set].insert(0, line);
+                    match op {
+                        MemOp::Load => hit("ld_hit", &mut cov),
+                        MemOp::Store => hit("st_hit", &mut cov),
+                        MemOp::Prefetch => hit("prefetch_issued", &mut cov),
+                    }
+                }
+                (None, op) if merged => match op {
+                    MemOp::Load => hit("ld_miss", &mut cov),
+                    MemOp::Store => hit("st_miss", &mut cov),
+                    MemOp::Prefetch => hit("prefetch_issued", &mut cov),
+                },
+                (None, MemOp::Prefetch) => {
+                    // Prefetch misses are dropped when no credit is free.
+                    if inflight.len() < BYPASS_CREDITS {
+                        hit("prefetch_issued", &mut cov);
+                        let (latency, spiked) = mem_latency(sampler);
+                        if spiked {
+                            hit("mem_latency_spike", &mut cov);
+                        }
+                        inflight.insert(req.line_addr, cycle + latency);
+                        self.bump_bypass(&inflight, &mut cov);
+                    } else {
+                        hit("prefetch_dropped", &mut cov);
+                    }
+                }
+                (None, op) => {
+                    match op {
+                        MemOp::Load => hit("ld_miss", &mut cov),
+                        MemOp::Store => hit("st_miss", &mut cov),
+                        MemOp::Prefetch => unreachable!("handled above"),
+                    }
+                    if last_miss_set == Some(set) {
+                        hit("set_conflict", &mut cov);
+                    }
+                    last_miss_set = Some(set);
+                    if inflight.len() == BYPASS_CREDITS {
+                        // All bypass slots held: the front end stalls until
+                        // the earliest response returns.
+                        hit("front_end_stall", &mut cov);
+                        let next = inflight.next_ready().expect("slots are held");
+                        cycle = cycle.max(next);
+                        for line in inflight.drain_ready(cycle) {
+                            fill(&mut sets, line, &mut cov);
+                        }
+                    }
+                    let (latency, spiked) = mem_latency(sampler);
+                    if spiked {
+                        hit("mem_latency_spike", &mut cov);
+                    }
+                    inflight.insert(req.line_addr, cycle + latency);
+                    self.bump_bypass(&inflight, &mut cov);
+                }
+            }
+        }
+        if threads_seen.iter().all(|&t| t) {
+            hit("all_threads_seen", &mut cov);
+        }
+        cov
+    }
+}
+
+/// Draws a memory latency; returns `(latency, spiked)` where `spiked`
+/// flags jitter in the top quarter of the jitter window.
+fn mem_latency(sampler: &mut ParamSampler<'_>) -> (u64, bool) {
+    let jitter = sampler.uniform(0, MEM_JITTER as i64) as u64;
+    (MEM_LATENCY + jitter, jitter >= MEM_JITTER - 2)
+}
+
+
+
+impl VerifEnv for L3Env {
+    fn unit_name(&self) -> &str {
+        "l3cache"
+    }
+
+    fn registry(&self) -> &ParamRegistry {
+        &self.registry
+    }
+
+    fn coverage_model(&self) -> &CoverageModel {
+        &self.model
+    }
+
+    fn stock_library(&self) -> &TemplateLibrary {
+        &self.library
+    }
+
+    fn simulate_resolved(
+        &self,
+        resolved: &ResolvedParams,
+        template_name: &str,
+        seed: u64,
+    ) -> Result<CoverageVector, EnvError> {
+        let mut sampler = ParamSampler::new(resolved, instance_seed(seed, template_name, 0));
+        let stride_mode = sampler.sample_choice("AddrPattern")? == "stride";
+        let snoop_rate = BASE_SNOOP_RATE + sampler.rate("SnoopPct")? * 0.15;
+        let (program, base, working_set) = self.generate(&mut sampler, stride_mode)?;
+        Ok(self.run_program(
+            &program,
+            &mut sampler,
+            stride_mode,
+            (base, working_set),
+            snoop_rate,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ascdg_coverage::{CoverageRepository, TemplateId};
+
+    fn env() -> L3Env {
+        L3Env::new()
+    }
+
+    fn family_rates(env: &L3Env, template: &TestTemplate, sims: u64) -> Vec<f64> {
+        let resolved = env.registry().resolve(template).unwrap();
+        let ids: Vec<_> = (1..=BYPASS_CREDITS)
+            .map(|k| env.coverage_model().id(&format!("byp_reqs{k:02}")).unwrap())
+            .collect();
+        let mut hits = vec![0u64; ids.len()];
+        for s in 0..sims {
+            let cov = env
+                .simulate_resolved(&resolved, template.name(), s)
+                .unwrap();
+            for (h, &id) in hits.iter_mut().zip(&ids) {
+                if cov.get(id) {
+                    *h += 1;
+                }
+            }
+        }
+        hits.into_iter().map(|h| h as f64 / sims as f64).collect()
+    }
+
+    #[test]
+    fn stock_templates_validate() {
+        let env = env();
+        for (_, t) in env.stock_library().iter() {
+            env.registry().validate(t).unwrap();
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let env = env();
+        let t = env.stock_library().get(0).unwrap().clone();
+        assert_eq!(env.simulate(&t, 3).unwrap(), env.simulate(&t, 3).unwrap());
+    }
+
+    #[test]
+    fn default_traffic_stays_shallow() {
+        let env = env();
+        let smoke = env.stock_library().by_name("l3_smoke").unwrap().1.clone();
+        let rates = family_rates(&env, &smoke, 400);
+        assert!(rates[0] > 0.3, "byp_reqs01 should be common: {}", rates[0]);
+        assert!(rates[1] < rates[0], "family should decay: {rates:?}");
+        for k in 5..16 {
+            assert_eq!(
+                rates[k],
+                0.0,
+                "byp_reqs{:02} hit by smoke: {rates:?}",
+                k + 1
+            );
+        }
+    }
+
+    #[test]
+    fn capacity_stress_goes_deeper_but_not_deep() {
+        let env = env();
+        let stress = env
+            .stock_library()
+            .by_name("l3_capacity_stress")
+            .unwrap()
+            .1
+            .clone();
+        let rates = family_rates(&env, &stress, 300);
+        assert!(
+            rates[2] > 0.05,
+            "byp_reqs03 should be reachable under capacity stress: {rates:?}"
+        );
+        for k in 11..16 {
+            assert_eq!(
+                rates[k],
+                0.0,
+                "byp_reqs{:02} must stay out of stock reach: {rates:?}",
+                k + 1
+            );
+        }
+    }
+
+    #[test]
+    fn family_is_monotone_within_sim() {
+        let env = env();
+        let stress = env
+            .stock_library()
+            .by_name("l3_capacity_stress")
+            .unwrap()
+            .1
+            .clone();
+        let resolved = env.registry().resolve(&stress).unwrap();
+        let ids: Vec<_> = (1..=BYPASS_CREDITS)
+            .map(|k| env.coverage_model().id(&format!("byp_reqs{k:02}")).unwrap())
+            .collect();
+        for s in 0..100 {
+            let cov = env.simulate_resolved(&resolved, "x", s).unwrap();
+            for w in ids.windows(2) {
+                assert!(cov.get(w[1]) <= cov.get(w[0]), "not monotone at seed {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn aggressive_settings_reach_deep_bypass() {
+        // A hand-tuned template in the spirit of what the optimizer should
+        // find: huge working set, all-prefetch traffic, deep bursts, tight
+        // gaps. Deep family members must be reachable this way.
+        let env = env();
+        let sub = |lo, hi| Value::SubRange { lo, hi };
+        let t = TestTemplate::builder("deep")
+            .weights("WorkingSet", [(sub(4096, 32768), 100u32)])
+            .unwrap()
+            .range("GapL3", MIN_GAP, MIN_GAP + 4)
+            .unwrap()
+            .weights("RwMix", [("prefetch", 100u32)])
+            .unwrap()
+            .weights("PfDepth", [(sub(3, 6), 100u32)])
+            .unwrap()
+            .range("ReqCount", 150, 200)
+            .unwrap()
+            .build();
+        let rates = family_rates(&env, &t, 300);
+        assert!(rates[9] > 0.05, "byp_reqs10 should be common: {rates:?}");
+        assert!(
+            rates[13] > 0.0,
+            "byp_reqs14 should be reachable at the optimum: {rates:?}"
+        );
+        // ...while still decaying toward 16.
+        assert!(rates[15] <= rates[11], "no decay toward 16: {rates:?}");
+    }
+
+    #[test]
+    fn warm_start_means_hits_dominate_small_ws() {
+        let env = env();
+        let t = env
+            .stock_library()
+            .by_name("l3_small_ws")
+            .unwrap()
+            .1
+            .clone();
+        let resolved = env.registry().resolve(&t).unwrap();
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let m = env.coverage_model();
+        for s in 0..100 {
+            let cov = env.simulate_resolved(&resolved, "t", s).unwrap();
+            hits += u64::from(cov.get(m.id("ld_hit").unwrap()));
+            misses += u64::from(cov.get(m.id("ld_miss").unwrap()));
+        }
+        assert!(hits == 100, "warm small working sets should always hit");
+        assert!(misses < 100, "only snoop re-misses should miss");
+    }
+
+    #[test]
+    fn handcrafted_program_counts_outstanding() {
+        let env = env();
+        let resolved = env
+            .registry()
+            .resolve(&TestTemplate::builder("manual").build())
+            .unwrap();
+        let mut sampler = ParamSampler::new(&resolved, 5);
+        // Five distinct lines, no gaps: five misses land in flight together
+        // (memory latency >> issue spacing). No warm lines, no snoops.
+        let program: MemProgram = (0..5)
+            .map(|i| MemRequest {
+                line_addr: 1000 + i * 7,
+                op: MemOp::Load,
+                thread: 0,
+                gap: 0,
+            })
+            .collect();
+        let cov = env.run_program(&program, &mut sampler, false, (0, 0), 0.0);
+        let m = env.coverage_model();
+        assert!(cov.get(m.id("byp_reqs05").unwrap()));
+        assert!(!cov.get(m.id("byp_reqs06").unwrap()));
+        assert!(cov.get(m.id("ld_miss").unwrap()));
+        assert!(!cov.get(m.id("ld_hit").unwrap()));
+    }
+
+    #[test]
+    fn repeated_line_hits_after_fill() {
+        let env = env();
+        let resolved = env
+            .registry()
+            .resolve(&TestTemplate::builder("manual").build())
+            .unwrap();
+        let mut sampler = ParamSampler::new(&resolved, 6);
+        let program: MemProgram = vec![
+            MemRequest {
+                line_addr: 42,
+                op: MemOp::Load,
+                thread: 0,
+                gap: 0,
+            },
+            MemRequest {
+                line_addr: 42,
+                op: MemOp::Load,
+                thread: 0,
+                gap: 100,
+            },
+        ];
+        let cov = env.run_program(&program, &mut sampler, false, (0, 0), 0.0);
+        let m = env.coverage_model();
+        assert!(cov.get(m.id("ld_miss").unwrap()));
+        assert!(cov.get(m.id("ld_hit").unwrap()));
+        assert!(cov.get(m.id("same_line_b2b").unwrap()));
+        assert!(cov.get(m.id("fill_complete").unwrap()));
+    }
+
+    #[test]
+    fn warm_lines_hit_immediately() {
+        let env = env();
+        let resolved = env
+            .registry()
+            .resolve(&TestTemplate::builder("manual").build())
+            .unwrap();
+        let mut sampler = ParamSampler::new(&resolved, 7);
+        let program: MemProgram = vec![MemRequest {
+            line_addr: 500,
+            op: MemOp::Load,
+            thread: 1,
+            gap: 0,
+        }];
+        let cov = env.run_program(&program, &mut sampler, false, (400, 200), 0.0);
+        let m = env.coverage_model();
+        assert!(cov.get(m.id("ld_hit").unwrap()));
+        assert!(!cov.get(m.id("ld_miss").unwrap()));
+        assert!(cov.get(m.id("thread1_active").unwrap()));
+    }
+
+    #[test]
+    fn prefetch_burst_occupies_multiple_slots() {
+        let env = env();
+        let resolved = env
+            .registry()
+            .resolve(&TestTemplate::builder("manual").build())
+            .unwrap();
+        let mut sampler = ParamSampler::new(&resolved, 8);
+        let program: MemProgram = (0..4)
+            .map(|j| MemRequest {
+                line_addr: 9000 + j,
+                op: MemOp::Prefetch,
+                thread: 0,
+                gap: 0,
+            })
+            .collect();
+        let cov = env.run_program(&program, &mut sampler, false, (0, 0), 0.0);
+        let m = env.coverage_model();
+        assert!(cov.get(m.id("byp_reqs04").unwrap()));
+        assert!(cov.get(m.id("prefetch_issued").unwrap()));
+    }
+
+    #[test]
+    fn hits_and_misses_both_occur() {
+        let env = env();
+        let repo = CoverageRepository::new(env.coverage_model().clone());
+        let t = env
+            .stock_library()
+            .by_name("l3_medium_ws")
+            .unwrap()
+            .1
+            .clone();
+        let resolved = env.registry().resolve(&t).unwrap();
+        for s in 0..100 {
+            repo.record(
+                TemplateId(0),
+                &env.simulate_resolved(&resolved, "t", s).unwrap(),
+            );
+        }
+        let m = env.coverage_model();
+        assert!(repo.global_stats(m.id("ld_hit").unwrap()).hits > 0);
+        assert!(repo.global_stats(m.id("ld_miss").unwrap()).hits > 0);
+    }
+
+    #[test]
+    fn prefetch_drops_when_credits_exhausted() {
+        let env = env();
+        let resolved = env
+            .registry()
+            .resolve(&TestTemplate::builder("manual").build())
+            .unwrap();
+        let mut sampler = ParamSampler::new(&resolved, 11);
+        // 16 demand misses fill every credit; a 17th prefetch miss must be
+        // dropped, and a 17th demand miss must stall the front end.
+        let mut program: MemProgram = (0..BYPASS_CREDITS as u64)
+            .map(|i| MemRequest {
+                line_addr: 5000 + i * 3,
+                op: MemOp::Load,
+                thread: 0,
+                gap: 0,
+            })
+            .collect();
+        program.push(MemRequest {
+            line_addr: 9000,
+            op: MemOp::Prefetch,
+            thread: 0,
+            gap: 0,
+        });
+        let cov = env.run_program(&program, &mut sampler, false, (0, 0), 0.0);
+        let m = env.coverage_model();
+        assert!(cov.get(m.id("byp_reqs16").unwrap()));
+        assert!(cov.get(m.id("prefetch_dropped").unwrap()));
+        assert!(!cov.get(m.id("front_end_stall").unwrap()));
+
+        let mut sampler = ParamSampler::new(&resolved, 12);
+        let mut program2 = program.clone();
+        program2.pop();
+        program2.push(MemRequest {
+            line_addr: 9000,
+            op: MemOp::Store,
+            thread: 0,
+            gap: 0,
+        });
+        let cov = env.run_program(&program2, &mut sampler, false, (0, 0), 0.0);
+        assert!(cov.get(m.id("front_end_stall").unwrap()));
+        assert!(cov.get(m.id("st_miss").unwrap()));
+    }
+
+    #[test]
+    fn mshr_merge_takes_no_extra_slot() {
+        let env = env();
+        let resolved = env
+            .registry()
+            .resolve(&TestTemplate::builder("manual").build())
+            .unwrap();
+        let mut sampler = ParamSampler::new(&resolved, 13);
+        // Two back-to-back misses on the SAME line: the second merges into
+        // the in-flight fill, so occupancy never reaches 2.
+        let program: MemProgram = vec![
+            MemRequest {
+                line_addr: 777,
+                op: MemOp::Load,
+                thread: 0,
+                gap: 0,
+            },
+            MemRequest {
+                line_addr: 777,
+                op: MemOp::Load,
+                thread: 1,
+                gap: 0,
+            },
+        ];
+        let cov = env.run_program(&program, &mut sampler, false, (0, 0), 0.0);
+        let m = env.coverage_model();
+        assert!(cov.get(m.id("byp_reqs01").unwrap()));
+        assert!(!cov.get(m.id("byp_reqs02").unwrap()));
+    }
+
+    #[test]
+    fn snoop_invalidation_causes_remiss() {
+        let env = env();
+        let resolved = env
+            .registry()
+            .resolve(&TestTemplate::builder("manual").build())
+            .unwrap();
+        let mut sampler = ParamSampler::new(&resolved, 14);
+        // Warm line, snoop rate 1.0: the first access invalidates some
+        // line each request; repeated hits to one warm line eventually
+        // re-miss once it is the victim.
+        let program: MemProgram = (0..200)
+            .map(|i| MemRequest {
+                line_addr: 300,
+                op: MemOp::Load,
+                thread: 0,
+                gap: (i % 4) as u32,
+            })
+            .collect();
+        let cov = env.run_program(&program, &mut sampler, false, (300, 1), 1.0);
+        let m = env.coverage_model();
+        assert!(cov.get(m.id("snoop_invalidate").unwrap()));
+        assert!(
+            cov.get(m.id("ld_miss").unwrap()),
+            "victimized line never re-missed"
+        );
+        assert!(cov.get(m.id("ld_hit").unwrap()));
+    }
+}

@@ -1,0 +1,176 @@
+//! Box constraints for the search space.
+
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned box `[lo_i, hi_i]^d` that every iterate is projected into.
+///
+/// AS-CDG settings vectors live in the unit box ([`Bounds::unit`]); the type
+/// supports general boxes for the synthetic test functions.
+///
+/// # Examples
+///
+/// ```
+/// use ascdg_opt::Bounds;
+///
+/// let b = Bounds::unit(2);
+/// assert_eq!(b.project(&[1.5, -0.25]), vec![1.0, 0.0]);
+/// assert!(b.contains(&[0.5, 0.5]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bounds {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl Bounds {
+    /// The unit box `[0,1]^dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero.
+    #[must_use]
+    pub fn unit(dim: usize) -> Self {
+        Bounds::uniform(dim, 0.0, 1.0)
+    }
+
+    /// A box with the same `[lo, hi]` on every axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero or `lo > hi`.
+    #[must_use]
+    pub fn uniform(dim: usize, lo: f64, hi: f64) -> Self {
+        assert!(dim > 0, "bounds need at least one dimension");
+        assert!(lo <= hi, "lower bound above upper bound");
+        Bounds {
+            lo: vec![lo; dim],
+            hi: vec![hi; dim],
+        }
+    }
+
+    /// A box with per-axis bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty or mismatched vectors, or any `lo_i > hi_i`.
+    #[must_use]
+    pub fn new(lo: Vec<f64>, hi: Vec<f64>) -> Self {
+        assert!(!lo.is_empty(), "bounds need at least one dimension");
+        assert_eq!(lo.len(), hi.len(), "bound vectors differ in length");
+        for (l, h) in lo.iter().zip(&hi) {
+            assert!(l <= h, "lower bound {l} above upper bound {h}");
+        }
+        Bounds { lo, hi }
+    }
+
+    /// Dimension of the box.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Per-axis lower bounds.
+    #[must_use]
+    pub fn lo(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// Per-axis upper bounds.
+    #[must_use]
+    pub fn hi(&self) -> &[f64] {
+        &self.hi
+    }
+
+    /// Clamps a point into the box.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong dimension.
+    #[must_use]
+    pub fn project(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim(), "point dimension mismatch");
+        x.iter()
+            .zip(self.lo.iter().zip(&self.hi))
+            .map(|(&v, (&l, &h))| v.clamp(l, h))
+            .collect()
+    }
+
+    /// Whether `x` lies inside the box (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong dimension.
+    #[must_use]
+    pub fn contains(&self, x: &[f64]) -> bool {
+        assert_eq!(x.len(), self.dim(), "point dimension mismatch");
+        x.iter()
+            .zip(self.lo.iter().zip(&self.hi))
+            .all(|(&v, (&l, &h))| v >= l && v <= h)
+    }
+
+    /// The center of the box.
+    #[must_use]
+    pub fn center(&self) -> Vec<f64> {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(&l, &h)| 0.5 * (l + h))
+            .collect()
+    }
+
+    /// The largest per-axis extent (`max_i (hi_i - lo_i)`).
+    #[must_use]
+    pub fn max_extent(&self) -> f64 {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(&l, &h)| h - l)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_box() {
+        let b = Bounds::unit(3);
+        assert_eq!(b.dim(), 3);
+        assert_eq!(b.center(), vec![0.5; 3]);
+        assert_eq!(b.max_extent(), 1.0);
+    }
+
+    #[test]
+    fn projection_clamps() {
+        let b = Bounds::new(vec![-1.0, 0.0], vec![1.0, 2.0]);
+        assert_eq!(b.project(&[-5.0, 5.0]), vec![-1.0, 2.0]);
+        assert_eq!(b.project(&[0.5, 0.5]), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn containment() {
+        let b = Bounds::unit(2);
+        assert!(b.contains(&[0.0, 1.0]));
+        assert!(!b.contains(&[0.0, 1.01]));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension")]
+    fn zero_dim_panics() {
+        let _ = Bounds::unit(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn dim_mismatch_panics() {
+        let b = Bounds::unit(2);
+        let _ = b.project(&[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound")]
+    fn inverted_bounds_panic() {
+        let _ = Bounds::new(vec![1.0], vec![0.0]);
+    }
+}

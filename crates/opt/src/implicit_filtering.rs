@@ -1,0 +1,409 @@
+//! The implicit filtering algorithm (the paper's Algorithm 1).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::{Bounds, IterRecord, Objective, OptResult, Optimizer, StopReason};
+
+/// How stencil directions are drawn at each iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DirectionMode {
+    /// Uniformly random unit vectors (the paper's "n random directions").
+    #[default]
+    RandomUnit,
+    /// Random signed coordinate directions (`±e_i`), the classic implicit
+    /// filtering stencil.
+    SignedCoordinate,
+}
+
+/// Hyperparameters of [`ImplicitFiltering`].
+///
+/// The paper names `n` (directions per iteration), `h` (initial stencil
+/// size) and the stopping criteria — a combination of iteration count,
+/// current stencil size and target hit probability. The per-point sample
+/// count `N` lives inside the CDG objective (it averages `N` simulations),
+/// so it is not a field here.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IfOptions {
+    /// Number of random directions per iteration (`n`).
+    pub n_directions: usize,
+    /// Initial stencil size (`h`), as a fraction of the box extent.
+    pub initial_step: f64,
+    /// Stop when the stencil size falls below this value.
+    pub min_step: f64,
+    /// Stop after this many iterations.
+    pub max_iters: usize,
+    /// Stop after this many objective evaluations (0 = unlimited).
+    pub max_evals: u64,
+    /// Stop once an observed value reaches this target, if set.
+    pub target_value: Option<f64>,
+    /// Re-sample the center at every iteration to absorb extreme noise
+    /// (the "common practice" modification from Section IV-E).
+    pub resample_center: bool,
+    /// How directions are drawn.
+    pub direction_mode: DirectionMode,
+}
+
+impl Default for IfOptions {
+    fn default() -> Self {
+        IfOptions {
+            n_directions: 12,
+            initial_step: 0.25,
+            min_step: 1e-3,
+            max_iters: 100,
+            max_evals: 0,
+            target_value: None,
+            resample_center: true,
+            direction_mode: DirectionMode::RandomUnit,
+        }
+    }
+}
+
+/// Implicit filtering: stencil search with step halving (Algorithm 1).
+///
+/// Each iteration samples the objective at `n` points placed at distance
+/// `h` from the current center along random directions. If the best sample
+/// beats the center, the center moves there; otherwise `h` is halved so the
+/// stencil does not overshoot the maximum. With a noisy objective, the
+/// optional center resampling prevents one lucky (noisy) center value from
+/// freezing the search.
+///
+/// # Examples
+///
+/// ```
+/// use ascdg_opt::{Bounds, FnObjective, IfOptions, ImplicitFiltering, Optimizer, StopReason};
+///
+/// let mut f = FnObjective::new(1, |x: &[f64]| -(x[0] - 0.25).powi(2));
+/// let r = ImplicitFiltering::new(IfOptions::default())
+///     .maximize(&mut f, &Bounds::unit(1), &[0.9], 1);
+/// assert!((r.best_x[0] - 0.25).abs() < 0.02);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ImplicitFiltering {
+    options: IfOptions,
+}
+
+impl ImplicitFiltering {
+    /// Creates the optimizer with the given hyperparameters.
+    #[must_use]
+    pub fn new(options: IfOptions) -> Self {
+        ImplicitFiltering { options }
+    }
+
+    /// The configured hyperparameters.
+    #[must_use]
+    pub fn options(&self) -> &IfOptions {
+        &self.options
+    }
+
+    fn direction(&self, rng: &mut StdRng, dim: usize) -> Vec<f64> {
+        match self.options.direction_mode {
+            DirectionMode::RandomUnit => {
+                // Normalized Gaussian vector; resample in the (measure-zero)
+                // degenerate case.
+                loop {
+                    let v: Vec<f64> = (0..dim).map(|_| standard_normal(rng)).collect();
+                    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+                    if norm > 1e-12 {
+                        return v.into_iter().map(|x| x / norm).collect();
+                    }
+                }
+            }
+            DirectionMode::SignedCoordinate => {
+                let mut v = vec![0.0; dim];
+                let axis = rng.random_range(0..dim);
+                v[axis] = if rng.random::<bool>() { 1.0 } else { -1.0 };
+                v
+            }
+        }
+    }
+}
+
+impl Optimizer for ImplicitFiltering {
+    fn maximize(
+        &self,
+        objective: &mut dyn Objective,
+        bounds: &Bounds,
+        start: &[f64],
+        seed: u64,
+    ) -> OptResult {
+        let dim = objective.dim();
+        assert_eq!(bounds.dim(), dim, "bounds dimension mismatch");
+        assert_eq!(start.len(), dim, "start dimension mismatch");
+        let opts = &self.options;
+        assert!(opts.n_directions > 0, "need at least one direction");
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut center = bounds.project(start);
+        let mut evals: u64 = 0;
+        let sample = |obj: &mut dyn Objective, x: &[f64], evals: &mut u64| -> f64 {
+            *evals += 1;
+            obj.eval(x)
+        };
+
+        let mut center_value = sample(objective, &center, &mut evals);
+        let mut h = opts.initial_step * bounds.max_extent();
+        let mut running_best = center_value;
+        let mut best_x = center.clone();
+        let mut trace = Vec::new();
+
+        let budget_left = |evals: u64| opts.max_evals == 0 || evals < opts.max_evals;
+        let mut stop_reason = StopReason::MaxIters;
+
+        for iter in 0..opts.max_iters {
+            if let Some(t) = opts.target_value {
+                if running_best >= t {
+                    stop_reason = StopReason::TargetReached;
+                    break;
+                }
+            }
+            if h < opts.min_step * bounds.max_extent() {
+                stop_reason = StopReason::StepConverged;
+                break;
+            }
+            if !budget_left(evals) {
+                stop_reason = StopReason::MaxEvals;
+                break;
+            }
+
+            if opts.resample_center && iter > 0 {
+                center_value = sample(objective, &center, &mut evals);
+            }
+            let mut iter_best = center_value;
+            let mut best = center_value;
+            let mut next_center = center.clone();
+
+            for _ in 0..opts.n_directions {
+                if !budget_left(evals) {
+                    break;
+                }
+                let d = self.direction(&mut rng, dim);
+                let point: Vec<f64> = center.iter().zip(&d).map(|(&c, &di)| c + di * h).collect();
+                let point = bounds.project(&point);
+                let value = sample(objective, &point, &mut evals);
+                iter_best = iter_best.max(value);
+                if value > best {
+                    best = value;
+                    next_center = point;
+                }
+            }
+
+            if next_center == center {
+                h /= 2.0;
+            } else {
+                center = next_center;
+                center_value = best;
+            }
+            if best > running_best {
+                running_best = best;
+                best_x = center.clone();
+            }
+            trace.push(IterRecord {
+                iter,
+                step: h,
+                iter_best,
+                running_best,
+                evals,
+            });
+        }
+
+        if let Some(t) = opts.target_value {
+            if running_best >= t && stop_reason == StopReason::MaxIters {
+                stop_reason = StopReason::TargetReached;
+            }
+        }
+
+        OptResult {
+            best_x,
+            best_value: running_best,
+            evals,
+            stop_reason,
+            trace,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "implicit-filtering"
+    }
+}
+
+/// Draws a standard normal deviate via the Box–Muller transform.
+pub(crate) fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CountingObjective, FnObjective};
+
+    fn bump(dim: usize, center: Vec<f64>) -> impl Objective {
+        FnObjective::new(dim, move |x: &[f64]| {
+            -x.iter()
+                .zip(&center)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+        })
+    }
+
+    #[test]
+    fn converges_on_smooth_bump() {
+        let mut f = bump(3, vec![0.2, 0.8, 0.5]);
+        let r = ImplicitFiltering::new(IfOptions {
+            max_iters: 200,
+            ..IfOptions::default()
+        })
+        .maximize(&mut f, &Bounds::unit(3), &[0.5, 0.5, 0.5], 3);
+        for (got, want) in r.best_x.iter().zip([0.2, 0.8, 0.5]) {
+            assert!((got - want).abs() < 0.05, "{:?}", r.best_x);
+        }
+    }
+
+    #[test]
+    fn signed_coordinate_mode_converges() {
+        let mut f = bump(2, vec![0.3, 0.6]);
+        let r = ImplicitFiltering::new(IfOptions {
+            direction_mode: DirectionMode::SignedCoordinate,
+            n_directions: 4,
+            max_iters: 300,
+            ..IfOptions::default()
+        })
+        .maximize(&mut f, &Bounds::unit(2), &[0.9, 0.1], 5);
+        assert!((r.best_x[0] - 0.3).abs() < 0.05);
+        assert!((r.best_x[1] - 0.6).abs() < 0.05);
+    }
+
+    #[test]
+    fn step_halving_triggers_converged_stop() {
+        // Constant objective: no direction ever improves, h halves until
+        // the min_step stop fires.
+        let mut f = FnObjective::new(1, |_: &[f64]| 1.0);
+        let r = ImplicitFiltering::new(IfOptions {
+            min_step: 0.05,
+            initial_step: 0.2,
+            max_iters: 1000,
+            resample_center: false,
+            ..IfOptions::default()
+        })
+        .maximize(&mut f, &Bounds::unit(1), &[0.5], 7);
+        assert_eq!(r.stop_reason, StopReason::StepConverged);
+        assert!(r.trace.len() < 20);
+    }
+
+    #[test]
+    fn target_value_stops_early() {
+        let mut f = FnObjective::new(1, |x: &[f64]| x[0]);
+        let r = ImplicitFiltering::new(IfOptions {
+            target_value: Some(0.9),
+            max_iters: 1000,
+            ..IfOptions::default()
+        })
+        .maximize(&mut f, &Bounds::unit(1), &[0.0], 11);
+        assert_eq!(r.stop_reason, StopReason::TargetReached);
+        assert!(r.best_value >= 0.9);
+    }
+
+    #[test]
+    fn eval_budget_respected() {
+        let inner = FnObjective::new(2, |x: &[f64]| x[0] + x[1]);
+        let mut counted = CountingObjective::new(inner);
+        let r = ImplicitFiltering::new(IfOptions {
+            max_evals: 50,
+            max_iters: 10_000,
+            min_step: 0.0,
+            ..IfOptions::default()
+        })
+        .maximize(&mut counted, &Bounds::unit(2), &[0.5, 0.5], 13);
+        assert_eq!(r.stop_reason, StopReason::MaxEvals);
+        assert!(counted.count() <= 51, "count {}", counted.count());
+        assert_eq!(r.evals, counted.count());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let run = |seed| {
+            let mut f = bump(2, vec![0.4, 0.4]);
+            ImplicitFiltering::new(IfOptions::default()).maximize(
+                &mut f,
+                &Bounds::unit(2),
+                &[0.9, 0.9],
+                seed,
+            )
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a.best_x, b.best_x);
+        assert_eq!(a.trace, b.trace);
+        let c = run(43);
+        assert_ne!(a.trace, c.trace);
+    }
+
+    #[test]
+    fn survives_heavy_noise() {
+        // Noisy parabola: iterates should still end near the optimum.
+        let mut noise_rng = StdRng::seed_from_u64(99);
+        let mut f = FnObjective::new(1, move |x: &[f64]| {
+            -(x[0] - 0.6).powi(2) + 0.02 * standard_normal(&mut noise_rng)
+        });
+        let r = ImplicitFiltering::new(IfOptions {
+            n_directions: 20,
+            max_iters: 60,
+            min_step: 1e-4,
+            ..IfOptions::default()
+        })
+        .maximize(&mut f, &Bounds::unit(1), &[0.05], 17);
+        assert!((r.best_x[0] - 0.6).abs() < 0.2, "ended at {:?}", r.best_x);
+    }
+
+    #[test]
+    fn iterates_stay_in_bounds() {
+        let bounds = Bounds::unit(2);
+        let seen = std::cell::RefCell::new(Vec::new());
+        {
+            let mut f = FnObjective::new(2, |x: &[f64]| {
+                seen.borrow_mut().push(x.to_vec());
+                x[0] - x[1]
+            });
+            let _ = ImplicitFiltering::new(IfOptions::default()).maximize(
+                &mut f,
+                &bounds,
+                &[0.99, 0.01],
+                19,
+            );
+        }
+        for p in seen.borrow().iter() {
+            assert!(bounds.contains(p), "escaped bounds: {p:?}");
+        }
+    }
+
+    #[test]
+    fn trace_records_monotone_running_best() {
+        let mut f = bump(2, vec![0.5, 0.5]);
+        let r = ImplicitFiltering::new(IfOptions::default()).maximize(
+            &mut f,
+            &Bounds::unit(2),
+            &[0.0, 0.0],
+            23,
+        );
+        let mut prev = f64::NEG_INFINITY;
+        for rec in &r.trace {
+            assert!(rec.running_best >= prev);
+            prev = rec.running_best;
+            assert!(rec.iter_best <= rec.running_best + 1e-12);
+        }
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

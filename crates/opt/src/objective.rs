@@ -1,0 +1,165 @@
+//! The objective abstraction: noisy, sample-only access.
+
+/// A (possibly noisy) objective function to **maximize**.
+///
+/// Evaluation takes `&mut self` because sampling usually advances internal
+/// state — an RNG for synthetic noise, or the batch simulation environment
+/// in the real CDG objective. Two calls at the same point may return
+/// different values; that is the *dynamic noise* the paper's optimizer must
+/// absorb.
+pub trait Objective {
+    /// Dimension of the search space.
+    fn dim(&self) -> usize;
+
+    /// Draws one sample of the objective at `x`.
+    fn eval(&mut self, x: &[f64]) -> f64;
+}
+
+impl<T: Objective + ?Sized> Objective for &mut T {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+
+    fn eval(&mut self, x: &[f64]) -> f64 {
+        (**self).eval(x)
+    }
+}
+
+impl<T: Objective + ?Sized> Objective for Box<T> {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+
+    fn eval(&mut self, x: &[f64]) -> f64 {
+        (**self).eval(x)
+    }
+}
+
+/// Wraps a closure as an [`Objective`].
+///
+/// # Examples
+///
+/// ```
+/// use ascdg_opt::{FnObjective, Objective};
+///
+/// let mut f = FnObjective::new(1, |x: &[f64]| -x[0] * x[0]);
+/// assert_eq!(f.dim(), 1);
+/// assert_eq!(f.eval(&[2.0]), -4.0);
+/// ```
+pub struct FnObjective<F> {
+    dim: usize,
+    f: F,
+}
+
+impl<F: FnMut(&[f64]) -> f64> FnObjective<F> {
+    /// Wraps `f` as an objective over `dim` dimensions.
+    pub fn new(dim: usize, f: F) -> Self {
+        FnObjective { dim, f }
+    }
+}
+
+impl<F: FnMut(&[f64]) -> f64> Objective for FnObjective<F> {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn eval(&mut self, x: &[f64]) -> f64 {
+        (self.f)(x)
+    }
+}
+
+/// Decorator that counts evaluations of an inner objective.
+///
+/// The paper reports simulation budgets; this makes evaluation counts
+/// observable in tests and benches.
+///
+/// # Examples
+///
+/// ```
+/// use ascdg_opt::{CountingObjective, FnObjective, Objective};
+///
+/// let inner = FnObjective::new(1, |x: &[f64]| x[0]);
+/// let mut counted = CountingObjective::new(inner);
+/// counted.eval(&[1.0]);
+/// counted.eval(&[2.0]);
+/// assert_eq!(counted.count(), 2);
+/// ```
+pub struct CountingObjective<O> {
+    inner: O,
+    count: u64,
+}
+
+impl<O: Objective> CountingObjective<O> {
+    /// Wraps `inner`, starting the counter at zero.
+    pub fn new(inner: O) -> Self {
+        CountingObjective { inner, count: 0 }
+    }
+
+    /// Number of evaluations so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Consumes the decorator, returning the inner objective.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+}
+
+impl<O: Objective> Objective for CountingObjective<O> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn eval(&mut self, x: &[f64]) -> f64 {
+        self.count += 1;
+        self.inner.eval(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closures_capture_state() {
+        let mut calls = 0u32;
+        {
+            let mut f = FnObjective::new(2, |x: &[f64]| {
+                calls += 1;
+                x[0] + x[1]
+            });
+            assert_eq!(f.eval(&[1.0, 2.0]), 3.0);
+        }
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn counting_decorator() {
+        let mut c = CountingObjective::new(FnObjective::new(1, |_: &[f64]| 0.0));
+        assert_eq!(c.count(), 0);
+        for _ in 0..5 {
+            c.eval(&[0.0]);
+        }
+        assert_eq!(c.count(), 5);
+        let _inner = c.into_inner();
+    }
+
+    #[test]
+    fn mutable_reference_is_objective() {
+        let mut f = FnObjective::new(1, |x: &[f64]| x[0]);
+        let r = &mut f;
+        fn takes_obj(mut o: impl Objective) -> f64 {
+            o.eval(&[3.0])
+        }
+        assert_eq!(takes_obj(r), 3.0);
+    }
+
+    #[test]
+    fn boxed_dyn_objective() {
+        let mut b: Box<dyn Objective> = Box::new(FnObjective::new(1, |x: &[f64]| 2.0 * x[0]));
+        assert_eq!(b.dim(), 1);
+        assert_eq!(b.eval(&[4.0]), 8.0);
+    }
+}

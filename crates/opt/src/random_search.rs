@@ -1,0 +1,185 @@
+//! Uniform random search — the simplest DFO baseline.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::{Bounds, IterRecord, Objective, OptResult, Optimizer, StopReason};
+
+/// Options for [`RandomSearch`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RsOptions {
+    /// Number of points to sample.
+    pub samples: u64,
+    /// Stop early once an observed value reaches this target, if set.
+    pub target_value: Option<f64>,
+}
+
+impl Default for RsOptions {
+    fn default() -> Self {
+        RsOptions {
+            samples: 200,
+            target_value: None,
+        }
+    }
+}
+
+/// Uniform random sampling of the box, keeping the best point seen.
+///
+/// This is both the baseline optimizer for the ablation benches and the
+/// engine behind AS-CDG's *random sample* phase (which uses it to pick the
+/// starting point for implicit filtering).
+///
+/// # Examples
+///
+/// ```
+/// use ascdg_opt::{Bounds, FnObjective, Optimizer, RandomSearch, RsOptions};
+///
+/// let mut f = FnObjective::new(2, |x: &[f64]| -(x[0] - 0.5).abs() - (x[1] - 0.5).abs());
+/// let r = RandomSearch::new(RsOptions { samples: 500, ..RsOptions::default() })
+///     .maximize(&mut f, &Bounds::unit(2), &[0.0, 0.0], 5);
+/// assert!(r.best_value > -0.2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RandomSearch {
+    options: RsOptions,
+}
+
+impl RandomSearch {
+    /// Creates the optimizer.
+    #[must_use]
+    pub fn new(options: RsOptions) -> Self {
+        RandomSearch { options }
+    }
+}
+
+impl Optimizer for RandomSearch {
+    fn maximize(
+        &self,
+        objective: &mut dyn Objective,
+        bounds: &Bounds,
+        start: &[f64],
+        seed: u64,
+    ) -> OptResult {
+        let dim = objective.dim();
+        assert_eq!(bounds.dim(), dim, "bounds dimension mismatch");
+        assert_eq!(start.len(), dim, "start dimension mismatch");
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // The start point counts as the first sample so the baseline never
+        // does worse than the hand-off it was given.
+        let mut best_x = bounds.project(start);
+        let mut best = objective.eval(&best_x);
+        let mut evals: u64 = 1;
+        let mut trace = vec![IterRecord {
+            iter: 0,
+            step: 0.0,
+            iter_best: best,
+            running_best: best,
+            evals,
+        }];
+        let mut stop_reason = StopReason::MaxEvals;
+
+        for i in 1..self.options.samples {
+            if let Some(t) = self.options.target_value {
+                if best >= t {
+                    stop_reason = StopReason::TargetReached;
+                    break;
+                }
+            }
+            let x: Vec<f64> = bounds
+                .lo()
+                .iter()
+                .zip(bounds.hi())
+                .map(|(&l, &h)| rng.random_range(l..=h))
+                .collect();
+            let v = objective.eval(&x);
+            evals += 1;
+            if v > best {
+                best = v;
+                best_x = x;
+            }
+            trace.push(IterRecord {
+                iter: i as usize,
+                step: 0.0,
+                iter_best: v,
+                running_best: best,
+                evals,
+            });
+        }
+
+        OptResult {
+            best_x,
+            best_value: best,
+            evals,
+            stop_reason,
+            trace,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "random-search"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CountingObjective, FnObjective};
+
+    #[test]
+    fn finds_coarse_optimum() {
+        let mut f = FnObjective::new(1, |x: &[f64]| -(x[0] - 0.42).powi(2));
+        let r = RandomSearch::new(RsOptions {
+            samples: 1000,
+            ..RsOptions::default()
+        })
+        .maximize(&mut f, &Bounds::unit(1), &[0.0], 2);
+        assert!((r.best_x[0] - 0.42).abs() < 0.05);
+    }
+
+    #[test]
+    fn respects_sample_budget() {
+        let mut f = CountingObjective::new(FnObjective::new(1, |_: &[f64]| 0.0));
+        let r = RandomSearch::new(RsOptions {
+            samples: 25,
+            ..RsOptions::default()
+        })
+        .maximize(&mut f, &Bounds::unit(1), &[0.5], 3);
+        assert_eq!(f.count(), 25);
+        assert_eq!(r.evals, 25);
+        assert_eq!(r.trace.len(), 25);
+    }
+
+    #[test]
+    fn start_point_always_sampled() {
+        let mut f = FnObjective::new(1, |x: &[f64]| if x[0] == 0.77 { 100.0 } else { 0.0 });
+        let r = RandomSearch::new(RsOptions {
+            samples: 5,
+            ..RsOptions::default()
+        })
+        .maximize(&mut f, &Bounds::unit(1), &[0.77], 4);
+        assert_eq!(r.best_value, 100.0);
+    }
+
+    #[test]
+    fn target_stops_early() {
+        let mut f = FnObjective::new(1, |x: &[f64]| x[0]);
+        let r = RandomSearch::new(RsOptions {
+            samples: 10_000,
+            target_value: Some(0.5),
+        })
+        .maximize(&mut f, &Bounds::unit(1), &[0.0], 5);
+        assert_eq!(r.stop_reason, StopReason::TargetReached);
+        assert!(r.evals < 10_000);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut f = FnObjective::new(2, |x: &[f64]| x[0] * x[1]);
+            RandomSearch::default().maximize(&mut f, &Bounds::unit(2), &[0.5, 0.5], seed)
+        };
+        assert_eq!(run(9).best_x, run(9).best_x);
+    }
+}

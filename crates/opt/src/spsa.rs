@@ -1,0 +1,225 @@
+//! SPSA: simultaneous perturbation stochastic approximation.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::{Bounds, IterRecord, Objective, OptResult, Optimizer, StopReason};
+
+/// Options for [`Spsa`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpsaOptions {
+    /// Initial step-size numerator (`a` in Spall's notation).
+    pub a: f64,
+    /// Initial perturbation size as a fraction of the box extent (`c`).
+    pub c: f64,
+    /// Step decay exponent (Spall recommends 0.602).
+    pub alpha: f64,
+    /// Perturbation decay exponent (Spall recommends 0.101).
+    pub gamma: f64,
+    /// Step-size stability constant (`A`; often ~10% of the iteration
+    /// budget).
+    pub stability: f64,
+    /// Stop after this many iterations.
+    pub max_iters: usize,
+    /// Stop after this many evaluations (0 = unlimited).
+    pub max_evals: u64,
+}
+
+impl Default for SpsaOptions {
+    fn default() -> Self {
+        SpsaOptions {
+            a: 0.1,
+            c: 0.1,
+            alpha: 0.602,
+            gamma: 0.101,
+            stability: 10.0,
+            max_iters: 200,
+            max_evals: 0,
+        }
+    }
+}
+
+/// Simultaneous perturbation stochastic approximation (Spall 1992),
+/// adapted to maximization over a box.
+///
+/// SPSA estimates a gradient from just **two** objective samples per
+/// iteration regardless of dimension — the classic low-budget method for
+/// noisy objectives, and a natural baseline against implicit filtering in
+/// the CDG setting (the ablation benches compare them).
+///
+/// # Examples
+///
+/// ```
+/// use ascdg_opt::{Bounds, FnObjective, Optimizer, Spsa, SpsaOptions};
+///
+/// let mut f = FnObjective::new(3, |x: &[f64]| {
+///     -x.iter().map(|v| (v - 0.6) * (v - 0.6)).sum::<f64>()
+/// });
+/// let r = Spsa::new(SpsaOptions { max_iters: 400, ..SpsaOptions::default() })
+///     .maximize(&mut f, &Bounds::unit(3), &[0.2, 0.2, 0.2], 3);
+/// assert!((r.best_x[0] - 0.6).abs() < 0.1, "{:?}", r.best_x);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Spsa {
+    options: SpsaOptions,
+}
+
+impl Spsa {
+    /// Creates the optimizer.
+    #[must_use]
+    pub fn new(options: SpsaOptions) -> Self {
+        Spsa { options }
+    }
+}
+
+impl Optimizer for Spsa {
+    fn maximize(
+        &self,
+        objective: &mut dyn Objective,
+        bounds: &Bounds,
+        start: &[f64],
+        seed: u64,
+    ) -> OptResult {
+        let dim = objective.dim();
+        assert_eq!(bounds.dim(), dim, "bounds dimension mismatch");
+        assert_eq!(start.len(), dim, "start dimension mismatch");
+        let opts = &self.options;
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let mut x = bounds.project(start);
+        let mut evals: u64 = 0;
+        let mut best_x = x.clone();
+        let mut running_best = f64::NEG_INFINITY;
+        let mut trace = Vec::new();
+        let mut stop_reason = StopReason::MaxIters;
+        let extent = bounds.max_extent();
+
+        for iter in 0..opts.max_iters {
+            if opts.max_evals != 0 && evals + 2 > opts.max_evals {
+                stop_reason = StopReason::MaxEvals;
+                break;
+            }
+            let k = iter as f64 + 1.0;
+            let ak = opts.a / (k + opts.stability).powf(opts.alpha);
+            let ck = (opts.c * extent) / k.powf(opts.gamma);
+
+            // Rademacher perturbation.
+            let delta: Vec<f64> = (0..dim)
+                .map(|_| if rng.random::<bool>() { 1.0 } else { -1.0 })
+                .collect();
+            let plus: Vec<f64> = x.iter().zip(&delta).map(|(&v, &d)| v + ck * d).collect();
+            let minus: Vec<f64> = x.iter().zip(&delta).map(|(&v, &d)| v - ck * d).collect();
+            let plus = bounds.project(&plus);
+            let minus = bounds.project(&minus);
+            let fp = objective.eval(&plus);
+            let fm = objective.eval(&minus);
+            evals += 2;
+
+            let iter_best = fp.max(fm);
+            if fp > running_best {
+                running_best = fp;
+                best_x = plus.clone();
+            }
+            if fm > running_best {
+                running_best = fm;
+                best_x = minus.clone();
+            }
+
+            // Gradient ascent step (two-sample SP gradient estimate).
+            let scale = (fp - fm) / (2.0 * ck);
+            let next: Vec<f64> = x
+                .iter()
+                .zip(&delta)
+                .map(|(&v, &d)| v + ak * scale / d)
+                .collect();
+            x = bounds.project(&next);
+
+            trace.push(IterRecord {
+                iter,
+                step: ck,
+                iter_best,
+                running_best,
+                evals,
+            });
+        }
+
+        OptResult {
+            best_x,
+            best_value: running_best,
+            evals,
+            stop_reason,
+            trace,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "spsa"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{testfn, FnObjective};
+
+    #[test]
+    fn climbs_a_smooth_bump() {
+        let mut f = FnObjective::new(2, |x: &[f64]| -(x[0] - 0.7).powi(2) - (x[1] - 0.3).powi(2));
+        let r = Spsa::new(SpsaOptions {
+            max_iters: 600,
+            ..SpsaOptions::default()
+        })
+        .maximize(&mut f, &Bounds::unit(2), &[0.1, 0.9], 5);
+        assert!((r.best_x[0] - 0.7).abs() < 0.12, "{:?}", r.best_x);
+        assert!((r.best_x[1] - 0.3).abs() < 0.12, "{:?}", r.best_x);
+    }
+
+    #[test]
+    fn tolerates_noise() {
+        let mut f = testfn::with_noise(testfn::sphere(vec![0.5; 3]), 0.01, 7);
+        let r = Spsa::new(SpsaOptions {
+            max_iters: 800,
+            ..SpsaOptions::default()
+        })
+        .maximize(&mut f, &Bounds::unit(3), &[0.05; 3], 11);
+        for v in &r.best_x {
+            assert!((v - 0.5).abs() < 0.25, "{:?}", r.best_x);
+        }
+    }
+
+    #[test]
+    fn two_evals_per_iteration() {
+        let mut f = FnObjective::new(1, |x: &[f64]| x[0]);
+        let r = Spsa::new(SpsaOptions {
+            max_iters: 25,
+            ..SpsaOptions::default()
+        })
+        .maximize(&mut f, &Bounds::unit(1), &[0.5], 1);
+        assert_eq!(r.evals, 50);
+        assert_eq!(r.trace.len(), 25);
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        let mut f = FnObjective::new(2, |_: &[f64]| 0.0);
+        let r = Spsa::new(SpsaOptions {
+            max_iters: 10_000,
+            max_evals: 31,
+            ..SpsaOptions::default()
+        })
+        .maximize(&mut f, &Bounds::unit(2), &[0.5; 2], 1);
+        assert_eq!(r.stop_reason, StopReason::MaxEvals);
+        assert!(r.evals <= 31);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut f = FnObjective::new(2, |x: &[f64]| -x[0] * x[0] + x[1]);
+            Spsa::default().maximize(&mut f, &Bounds::unit(2), &[0.5; 2], seed)
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3).trace, run(4).trace);
+    }
+}

@@ -1,0 +1,190 @@
+//! Synthetic test objectives for exercising the optimizers.
+//!
+//! Includes deterministic classics (sphere, Rosenbrock), a noise decorator
+//! reproducing the *dynamic noise* of simulation-based objectives, and a
+//! `coverage_like` landscape shaped like the CDG problem: nearly flat far
+//! from the optimum with a logistic ridge near it.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::implicit_filtering::standard_normal;
+use crate::{FnObjective, Objective};
+
+/// Negated sphere centered at `c`: maximum 0 at `x = c`.
+///
+/// # Examples
+///
+/// ```
+/// use ascdg_opt::{testfn, Objective};
+/// let mut f = testfn::sphere(vec![0.5, 0.5]);
+/// assert_eq!(f.eval(&[0.5, 0.5]), 0.0);
+/// assert!(f.eval(&[0.0, 0.0]) < 0.0);
+/// ```
+pub fn sphere(center: Vec<f64>) -> impl Objective {
+    let dim = center.len();
+    FnObjective::new(dim, move |x: &[f64]| {
+        -x.iter()
+            .zip(&center)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+    })
+}
+
+/// Negated Rosenbrock banana: maximum 0 at `(1, 1, ..., 1)`.
+///
+/// A hard curved-valley landscape; used to stress step-halving behaviour.
+pub fn rosenbrock(dim: usize) -> impl Objective {
+    assert!(dim >= 2, "rosenbrock needs at least 2 dimensions");
+    FnObjective::new(dim, move |x: &[f64]| {
+        -x.windows(2)
+            .map(|w| 100.0 * (w[1] - w[0] * w[0]).powi(2) + (1.0 - w[0]).powi(2))
+            .sum::<f64>()
+    })
+}
+
+/// A CDG-shaped landscape: almost flat far from `center`, with a logistic
+/// ridge of height 1 near it.
+///
+/// The paper motivates the random-sample phase by the "almost flat area"
+/// around random starts — this function reproduces that pathology. The
+/// `sharpness` parameter controls how wide the informative region is.
+pub fn coverage_like(center: Vec<f64>, sharpness: f64) -> impl Objective {
+    let dim = center.len();
+    FnObjective::new(dim, move |x: &[f64]| {
+        let d2 = x
+            .iter()
+            .zip(&center)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>();
+        1.0 / (1.0 + (sharpness * (d2.sqrt() - 0.15)).exp())
+    })
+}
+
+/// Decorator adding zero-mean Gaussian noise of standard deviation `sigma`
+/// to every evaluation — the *dynamic noise* of simulation estimates.
+///
+/// # Examples
+///
+/// ```
+/// use ascdg_opt::{testfn, Objective};
+/// let mut noisy = testfn::with_noise(testfn::sphere(vec![0.5]), 0.1, 7);
+/// let a = noisy.eval(&[0.5]);
+/// let b = noisy.eval(&[0.5]);
+/// assert_ne!(a, b); // dynamic noise: same point, different samples
+/// ```
+pub fn with_noise<O: Objective>(inner: O, sigma: f64, seed: u64) -> Noisy<O> {
+    Noisy {
+        inner,
+        sigma,
+        rng: StdRng::seed_from_u64(seed),
+    }
+}
+
+/// See [`with_noise`].
+pub struct Noisy<O> {
+    inner: O,
+    sigma: f64,
+    rng: StdRng,
+}
+
+impl<O: Objective> Objective for Noisy<O> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn eval(&mut self, x: &[f64]) -> f64 {
+        self.inner.eval(x) + self.sigma * standard_normal(&mut self.rng)
+    }
+}
+
+/// Decorator that averages `n` samples of a noisy objective per call —
+/// the paper's `N` (samples per point) hyperparameter as an objective
+/// transformer.
+pub fn averaged<O: Objective>(inner: O, n: usize) -> Averaged<O> {
+    assert!(n > 0, "need at least one sample per point");
+    Averaged { inner, n }
+}
+
+/// See [`averaged`].
+pub struct Averaged<O> {
+    inner: O,
+    n: usize,
+}
+
+impl<O: Objective> Objective for Averaged<O> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn eval(&mut self, x: &[f64]) -> f64 {
+        (0..self.n).map(|_| self.inner.eval(x)).sum::<f64>() / self.n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bounds, IfOptions, ImplicitFiltering, Optimizer};
+
+    #[test]
+    fn sphere_peak() {
+        let mut f = sphere(vec![0.3, 0.7]);
+        assert_eq!(f.eval(&[0.3, 0.7]), 0.0);
+        assert!(f.eval(&[0.35, 0.7]) < 0.0);
+    }
+
+    #[test]
+    fn rosenbrock_peak_at_ones() {
+        let mut f = rosenbrock(3);
+        assert_eq!(f.eval(&[1.0, 1.0, 1.0]), 0.0);
+        assert!(f.eval(&[0.0, 0.0, 0.0]) < -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rosenbrock_dim_guard() {
+        let _ = rosenbrock(1);
+    }
+
+    #[test]
+    fn coverage_like_is_flat_far_away() {
+        let mut f = coverage_like(vec![0.9, 0.9], 40.0);
+        let far1 = f.eval(&[0.1, 0.1]);
+        let far2 = f.eval(&[0.2, 0.1]);
+        assert!((far1 - far2).abs() < 1e-6, "far field should be flat");
+        let near = f.eval(&[0.9, 0.9]);
+        assert!(near > 0.9, "near field should approach 1, got {near}");
+    }
+
+    #[test]
+    fn averaging_reduces_variance() {
+        let mut raw = with_noise(sphere(vec![0.5]), 1.0, 3);
+        let mut avg = averaged(with_noise(sphere(vec![0.5]), 1.0, 3), 64);
+        let spread = |f: &mut dyn Objective| {
+            let samples: Vec<f64> = (0..50).map(|_| f.eval(&[0.5])).collect();
+            let mean = samples.iter().sum::<f64>() / 50.0;
+            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / 50.0
+        };
+        let v_raw = spread(&mut raw);
+        let v_avg = spread(&mut avg);
+        assert!(
+            v_avg < v_raw / 10.0,
+            "expected >=10x variance reduction: raw {v_raw}, avg {v_avg}"
+        );
+    }
+
+    #[test]
+    fn implicit_filtering_beats_flat_start_with_good_seed_point() {
+        // From a far random start the coverage-like landscape is flat;
+        // from a near start implicit filtering climbs to the top.
+        let bounds = Bounds::unit(2);
+        let opt = ImplicitFiltering::new(IfOptions {
+            max_iters: 80,
+            ..IfOptions::default()
+        });
+        let mut f = coverage_like(vec![0.85, 0.15], 40.0);
+        let near = opt.maximize(&mut f, &bounds, &[0.7, 0.3], 5);
+        assert!(near.best_value > 0.9, "near start got {}", near.best_value);
+    }
+}

@@ -1,0 +1,184 @@
+//! Hyperparameter sweeps for implicit filtering.
+//!
+//! Section IV-E notes that the number of directions `n`, the initial
+//! stencil size `h` and the stopping criteria "can affect the convergence
+//! rate of the algorithm in terms of iterations and number of samples".
+//! This module makes that study a one-liner: sweep a grid of
+//! [`IfOptions`] against an objective *factory* (a fresh objective per
+//! cell, so cells do not share noise streams) and rank the cells.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Bounds, IfOptions, ImplicitFiltering, Objective, Optimizer};
+
+/// One cell of a hyperparameter sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepCell {
+    /// Directions per iteration used by this cell.
+    pub n_directions: usize,
+    /// Initial stencil size used by this cell.
+    pub initial_step: f64,
+    /// Mean best value across the repeats.
+    pub mean_best: f64,
+    /// Mean evaluations spent across the repeats.
+    pub mean_evals: f64,
+}
+
+/// Sweeps implicit filtering over a grid of `(n_directions, initial_step)`
+/// pairs, averaging `repeats` independent runs per cell; returns the cells
+/// sorted best-first.
+///
+/// `make_objective` is called once per run so each run sees a fresh noise
+/// stream; `base` supplies every non-swept option (iteration budget,
+/// stopping criteria, ...).
+///
+/// # Panics
+///
+/// Panics when `repeats` is zero or a grid axis is empty.
+///
+/// # Examples
+///
+/// ```
+/// use ascdg_opt::{testfn, tune, Bounds, IfOptions};
+///
+/// let cells = tune::sweep_if(
+///     || testfn::with_noise(testfn::sphere(vec![0.5; 3]), 0.05, 7),
+///     &Bounds::unit(3),
+///     &[0.2; 3],
+///     &IfOptions { max_iters: 20, ..IfOptions::default() },
+///     &[4, 12],
+///     &[0.1, 0.3],
+///     2,
+///     99,
+/// );
+/// assert_eq!(cells.len(), 4);
+/// assert!(cells[0].mean_best >= cells[3].mean_best);
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_if<O, F>(
+    mut make_objective: F,
+    bounds: &Bounds,
+    start: &[f64],
+    base: &IfOptions,
+    n_directions: &[usize],
+    initial_steps: &[f64],
+    repeats: usize,
+    seed: u64,
+) -> Vec<SweepCell>
+where
+    O: Objective,
+    F: FnMut() -> O,
+{
+    assert!(repeats > 0, "need at least one repeat per cell");
+    assert!(
+        !n_directions.is_empty() && !initial_steps.is_empty(),
+        "sweep axes must be non-empty"
+    );
+    let mut cells = Vec::with_capacity(n_directions.len() * initial_steps.len());
+    for (i, &n) in n_directions.iter().enumerate() {
+        for (j, &h) in initial_steps.iter().enumerate() {
+            let opts = IfOptions {
+                n_directions: n,
+                initial_step: h,
+                ..base.clone()
+            };
+            let optimizer = ImplicitFiltering::new(opts);
+            let mut total_best = 0.0;
+            let mut total_evals = 0.0;
+            for r in 0..repeats {
+                let mut obj = make_objective();
+                let cell_seed = seed
+                    .wrapping_mul(0x9E37_79B9)
+                    .wrapping_add(((i * 131 + j) * repeats + r) as u64);
+                let result = optimizer.maximize(&mut obj, bounds, start, cell_seed);
+                total_best += result.best_value;
+                total_evals += result.evals as f64;
+            }
+            cells.push(SweepCell {
+                n_directions: n,
+                initial_step: h,
+                mean_best: total_best / repeats as f64,
+                mean_evals: total_evals / repeats as f64,
+            });
+        }
+    }
+    cells.sort_by(|a, b| {
+        b.mean_best
+            .partial_cmp(&a.mean_best)
+            .expect("finite objective values")
+    });
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testfn;
+
+    #[test]
+    fn sweep_covers_the_grid_and_sorts() {
+        let cells = sweep_if(
+            || testfn::sphere(vec![0.6, 0.6]),
+            &Bounds::unit(2),
+            &[0.1, 0.1],
+            &IfOptions {
+                max_iters: 15,
+                ..IfOptions::default()
+            },
+            &[2, 6, 12],
+            &[0.05, 0.25],
+            2,
+            1,
+        );
+        assert_eq!(cells.len(), 6);
+        for w in cells.windows(2) {
+            assert!(w[0].mean_best >= w[1].mean_best);
+        }
+        // All grid combinations present exactly once.
+        let mut combos: Vec<(usize, u64)> = cells
+            .iter()
+            .map(|c| (c.n_directions, (c.initial_step * 100.0) as u64))
+            .collect();
+        combos.sort_unstable();
+        assert_eq!(
+            combos,
+            vec![(2, 5), (2, 25), (6, 5), (6, 25), (12, 5), (12, 25)]
+        );
+    }
+
+    #[test]
+    fn more_directions_use_more_evals() {
+        let cells = sweep_if(
+            || testfn::sphere(vec![0.5]),
+            &Bounds::unit(1),
+            &[0.9],
+            &IfOptions {
+                max_iters: 10,
+                min_step: 0.0,
+                ..IfOptions::default()
+            },
+            &[2, 16],
+            &[0.2],
+            1,
+            3,
+        );
+        let few = cells.iter().find(|c| c.n_directions == 2).unwrap();
+        let many = cells.iter().find(|c| c.n_directions == 16).unwrap();
+        assert!(many.mean_evals > few.mean_evals);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeat")]
+    fn zero_repeats_panics() {
+        let _ = sweep_if(
+            || testfn::sphere(vec![0.5]),
+            &Bounds::unit(1),
+            &[0.5],
+            &IfOptions::default(),
+            &[2],
+            &[0.1],
+            0,
+            1,
+        );
+    }
+}

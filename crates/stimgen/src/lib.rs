@@ -1,0 +1,48 @@
+//! The biased random stimuli generator of AS-CDG.
+//!
+//! A verification environment turns a test-template into *test-instances*:
+//! concrete stimulus programs obtained by sampling every random decision
+//! from the template's (or the environment default's) parameter
+//! distributions. This crate provides:
+//!
+//! * [`ParamSampler`] — draws values from resolved weight/range parameters
+//!   with a deterministic, seedable RNG (the source of the paper's
+//!   *dynamic noise*: same template, different seeds, different coverage);
+//! * [`instance_seed`] — the canonical seed derivation for instance `i` of a
+//!   named template, so batch runs are reproducible and order-independent;
+//! * typed stimulus programs ([`IoProgram`], [`MemProgram`],
+//!   [`FetchProgram`]) — the interface between the generator and the
+//!   simulated units in `ascdg-duv`.
+//!
+//! # Examples
+//!
+//! ```
+//! use ascdg_stimgen::{instance_seed, ParamSampler};
+//! use ascdg_template::{ParamDef, ParamRegistry, TestTemplate};
+//!
+//! let mut reg = ParamRegistry::new();
+//! reg.define(ParamDef::weights("Op", [("load", 80), ("store", 20)])?)?;
+//! reg.define(ParamDef::range("Delay", 0, 8)?)?;
+//!
+//! let template = TestTemplate::builder("t").build();
+//! let resolved = reg.resolve(&template)?;
+//! let mut sampler = ParamSampler::new(&resolved, instance_seed(1, "t", 0));
+//! let op = sampler.sample_choice("Op")?;
+//! assert!(op == "load" || op == "store");
+//! let d = sampler.sample_int("Delay")?;
+//! assert!((0..8).contains(&d));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod sampler;
+mod seed;
+mod stimulus;
+
+pub use error::StimGenError;
+pub use sampler::ParamSampler;
+pub use seed::{instance_seed, mix_seed};
+pub use stimulus::{FetchOp, FetchProgram, IoCommand, IoProgram, MemOp, MemProgram, MemRequest};

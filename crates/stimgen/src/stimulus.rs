@@ -1,0 +1,162 @@
+//! Typed stimulus programs: the generator → DUV interface.
+//!
+//! Each simulated unit consumes one program type. A program is the fully
+//! resolved output of the stimuli generator for one test-instance; it
+//! contains no randomness of its own.
+
+use serde::{Deserialize, Serialize};
+
+/// One command on the I/O unit's DMA interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IoCommand {
+    /// DMA channel (the unit arbitrates per channel).
+    pub channel: u8,
+    /// Number of data beats in the payload.
+    pub payload_beats: u32,
+    /// Idle cycles inserted after the command.
+    pub gap: u32,
+    /// Cycles until the target's completion response returns (the command
+    /// holds a response-queue slot until then).
+    pub resp_delay: u32,
+    /// Whether the CRC engine checks this payload.
+    pub crc_enable: bool,
+    /// Whether an error is injected mid-payload (aborts the CRC burst).
+    pub inject_error: bool,
+    /// Read (`true`) or write (`false`) direction.
+    pub is_read: bool,
+    /// Whether the command raises a completion interrupt.
+    pub raise_intr: bool,
+}
+
+/// A full I/O-unit stimulus: the commands of one test-instance.
+pub type IoProgram = Vec<IoCommand>;
+
+/// Operation kind of an L3 request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemOp {
+    /// Demand load.
+    Load,
+    /// Store.
+    Store,
+    /// Software prefetch hint.
+    Prefetch,
+}
+
+/// One request on the L3 cache's core-side interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemRequest {
+    /// Cache-line address (line granularity, not bytes).
+    pub line_addr: u64,
+    /// Operation kind.
+    pub op: MemOp,
+    /// Requesting thread.
+    pub thread: u8,
+    /// Idle cycles inserted before the request issues.
+    pub gap: u32,
+}
+
+/// A full L3 stimulus: the requests of one test-instance.
+pub type MemProgram = Vec<MemRequest>;
+
+/// One fetch request on the IFU's front-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FetchOp {
+    /// Fetching thread.
+    pub thread: u8,
+    /// Fetch address (16-byte granule; bits \[1:0\] of `addr >> 4` select
+    /// the sector within a 64-byte line).
+    pub addr: u64,
+    /// Whether the fetch group ends in a taken branch.
+    pub taken_branch: bool,
+    /// Downstream dispatch stall cycles while this fetch is in flight
+    /// (builds fetch-buffer occupancy).
+    pub stall: u32,
+}
+
+impl FetchOp {
+    /// The sector (0-3) within the 64-byte line this fetch targets.
+    #[must_use]
+    pub fn sector(&self) -> u8 {
+        ((self.addr >> 4) & 0b11) as u8
+    }
+}
+
+/// A full IFU stimulus: the fetches of one test-instance.
+pub type FetchProgram = Vec<FetchOp>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_sector_decoding() {
+        assert_eq!(
+            FetchOp {
+                thread: 0,
+                addr: 0x00,
+                taken_branch: false,
+                stall: 0
+            }
+            .sector(),
+            0
+        );
+        assert_eq!(
+            FetchOp {
+                thread: 0,
+                addr: 0x10,
+                taken_branch: false,
+                stall: 0
+            }
+            .sector(),
+            1
+        );
+        assert_eq!(
+            FetchOp {
+                thread: 0,
+                addr: 0x20,
+                taken_branch: false,
+                stall: 0
+            }
+            .sector(),
+            2
+        );
+        assert_eq!(
+            FetchOp {
+                thread: 0,
+                addr: 0x30,
+                taken_branch: false,
+                stall: 0
+            }
+            .sector(),
+            3
+        );
+        // Sector wraps per 64-byte line.
+        assert_eq!(
+            FetchOp {
+                thread: 0,
+                addr: 0x40,
+                taken_branch: false,
+                stall: 0
+            }
+            .sector(),
+            0
+        );
+    }
+
+    #[test]
+    fn programs_are_plain_data() {
+        let p: IoProgram = vec![IoCommand {
+            channel: 1,
+            payload_beats: 8,
+            gap: 0,
+            resp_delay: 4,
+            crc_enable: true,
+            inject_error: false,
+            is_read: true,
+            raise_intr: false,
+        }];
+        let json = serde_json::to_string(&p).unwrap();
+        let back: IoProgram = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

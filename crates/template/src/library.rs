@@ -1,0 +1,251 @@
+//! The environment's existing test-template collection.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{TemplateError, TestTemplate};
+
+/// An indexed collection of test-templates — the regression suite a
+/// verification team has accumulated, which the coarse-grained search mines
+/// for relevant parameters.
+///
+/// Templates are addressed by a stable dense index (the order of insertion),
+/// which other crates map to their own `TemplateId`s.
+///
+/// # Examples
+///
+/// ```
+/// use ascdg_template::{TemplateLibrary, TestTemplate};
+///
+/// let mut lib = TemplateLibrary::new();
+/// let idx = lib.push(TestTemplate::builder("smoke").build())?;
+/// assert_eq!(idx, 0);
+/// assert_eq!(lib.get(0).unwrap().name(), "smoke");
+/// assert!(lib.by_name("smoke").is_some());
+/// # Ok::<(), ascdg_template::TemplateError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TemplateLibrary {
+    templates: Vec<TestTemplate>,
+}
+
+impl TemplateLibrary {
+    /// Creates an empty library.
+    #[must_use]
+    pub fn new() -> Self {
+        TemplateLibrary::default()
+    }
+
+    /// Adds a template, returning its index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TemplateError::DuplicateTemplate`] when a template with the
+    /// same name already exists.
+    pub fn push(&mut self, template: TestTemplate) -> Result<usize, TemplateError> {
+        if self.by_name(template.name()).is_some() {
+            return Err(TemplateError::DuplicateTemplate(template.name().to_owned()));
+        }
+        self.templates.push(template);
+        Ok(self.templates.len() - 1)
+    }
+
+    /// The template at `index`, if any.
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<&TestTemplate> {
+        self.templates.get(index)
+    }
+
+    /// Finds a template (and its index) by name.
+    #[must_use]
+    pub fn by_name(&self, name: &str) -> Option<(usize, &TestTemplate)> {
+        self.templates
+            .iter()
+            .enumerate()
+            .find(|(_, t)| t.name() == name)
+    }
+
+    /// Number of templates.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Returns `true` when the library holds no templates.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+
+    /// Iterates over `(index, template)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &TestTemplate)> + '_ {
+        self.templates.iter().enumerate()
+    }
+
+    /// Loads every `*.tpl` file of a directory (sorted by file name, so
+    /// indices are stable across machines).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TemplateError::Parse`] (with the offending file named in
+    /// the message) for unparsable files and
+    /// [`TemplateError::DuplicateTemplate`] for repeated template names.
+    /// I/O failures are reported as parse errors at 0:0.
+    pub fn load_dir(dir: impl AsRef<std::path::Path>) -> Result<Self, TemplateError> {
+        let io_err = |msg: String| TemplateError::Parse {
+            line: 0,
+            col: 0,
+            message: msg,
+        };
+        let dir = dir.as_ref();
+        let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+            .map_err(|e| io_err(format!("cannot read `{}`: {e}", dir.display())))?
+            .filter_map(Result::ok)
+            .map(|entry| entry.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "tpl"))
+            .collect();
+        paths.sort();
+        let mut lib = TemplateLibrary::new();
+        for path in paths {
+            let src = std::fs::read_to_string(&path)
+                .map_err(|e| io_err(format!("cannot read `{}`: {e}", path.display())))?;
+            let template = TestTemplate::parse(&src).map_err(|e| match e {
+                TemplateError::Parse { line, col, message } => TemplateError::Parse {
+                    line,
+                    col,
+                    message: format!("{}: {message}", path.display()),
+                },
+                other => other,
+            })?;
+            lib.push(template)?;
+        }
+        Ok(lib)
+    }
+
+    /// Writes every template to `<dir>/<name>.tpl` in the canonical text
+    /// format (creating the directory if needed).
+    ///
+    /// # Errors
+    ///
+    /// Reports I/O failures as [`TemplateError::Parse`] at 0:0 with the
+    /// underlying message.
+    pub fn save_dir(&self, dir: impl AsRef<std::path::Path>) -> Result<(), TemplateError> {
+        let io_err = |msg: String| TemplateError::Parse {
+            line: 0,
+            col: 0,
+            message: msg,
+        };
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)
+            .map_err(|e| io_err(format!("cannot create `{}`: {e}", dir.display())))?;
+        for (_, t) in self.iter() {
+            let path = dir.join(format!("{}.tpl", t.name()));
+            std::fs::write(&path, t.to_string())
+                .map_err(|e| io_err(format!("cannot write `{}`: {e}", path.display())))?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<TestTemplate> for TemplateLibrary {
+    /// Collects templates, panicking on duplicate names (use
+    /// [`TemplateLibrary::push`] for fallible insertion).
+    fn from_iter<T: IntoIterator<Item = TestTemplate>>(iter: T) -> Self {
+        let mut lib = TemplateLibrary::new();
+        for t in iter {
+            lib.push(t).expect("duplicate template name in collection");
+        }
+        lib
+    }
+}
+
+impl Extend<TestTemplate> for TemplateLibrary {
+    fn extend<T: IntoIterator<Item = TestTemplate>>(&mut self, iter: T) {
+        for t in iter {
+            self.push(t).expect("duplicate template name in extend");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(name: &str) -> TestTemplate {
+        TestTemplate::builder(name).build()
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let mut lib = TemplateLibrary::new();
+        assert!(lib.is_empty());
+        assert_eq!(lib.push(t("a")).unwrap(), 0);
+        assert_eq!(lib.push(t("b")).unwrap(), 1);
+        assert_eq!(lib.len(), 2);
+        assert_eq!(lib.get(1).unwrap().name(), "b");
+        assert!(lib.get(2).is_none());
+        let (i, found) = lib.by_name("a").unwrap();
+        assert_eq!((i, found.name()), (0, "a"));
+        assert!(lib.by_name("zzz").is_none());
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut lib = TemplateLibrary::new();
+        lib.push(t("a")).unwrap();
+        assert!(matches!(
+            lib.push(t("a")),
+            Err(TemplateError::DuplicateTemplate(_))
+        ));
+    }
+
+    #[test]
+    fn iteration_and_collect() {
+        let lib: TemplateLibrary = [t("x"), t("y")].into_iter().collect();
+        let names: Vec<_> = lib.iter().map(|(_, t)| t.name().to_owned()).collect();
+        assert_eq!(names, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn save_and_load_dir_round_trips() {
+        let dir = std::env::temp_dir().join(format!(
+            "ascdg_lib_test_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let lib: TemplateLibrary = [
+            TestTemplate::builder("alpha")
+                .range("P", 0, 4)
+                .unwrap()
+                .build(),
+            TestTemplate::builder("beta")
+                .weights("Q", [("x", 3u32), ("y", 1u32)])
+                .unwrap()
+                .build(),
+        ]
+        .into_iter()
+        .collect();
+        lib.save_dir(&dir).unwrap();
+        let loaded = TemplateLibrary::load_dir(&dir).unwrap();
+        assert_eq!(loaded, lib);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_dir_reports_bad_files_with_path() {
+        let dir = std::env::temp_dir().join(format!(
+            "ascdg_lib_bad_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("broken.tpl"), "template { nope").unwrap();
+        let err = TemplateLibrary::load_dir(&dir).unwrap_err();
+        assert!(err.to_string().contains("broken.tpl"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_missing_dir_errors() {
+        assert!(TemplateLibrary::load_dir("/definitely/not/here").is_err());
+    }
+}

@@ -1,0 +1,278 @@
+//! Parameter definitions: the paper's two parameter kinds.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::{TemplateError, Value};
+
+/// One value/weight pair of a weight parameter.
+///
+/// # Examples
+///
+/// ```
+/// use ascdg_template::{Value, WeightedValue};
+/// let wv = WeightedValue::new("load", 30);
+/// assert_eq!(wv.value, Value::ident("load"));
+/// assert_eq!(wv.weight, 30);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WeightedValue {
+    /// The value being weighted.
+    pub value: Value,
+    /// Its non-negative selection weight.
+    pub weight: u32,
+}
+
+impl WeightedValue {
+    /// Creates a weighted value.
+    pub fn new(value: impl Into<Value>, weight: u32) -> Self {
+        WeightedValue {
+            value: value.into(),
+            weight,
+        }
+    }
+}
+
+impl fmt::Display for WeightedValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.value, self.weight)
+    }
+}
+
+/// The two parameter kinds of Section III of the paper.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParamKind {
+    /// A set of value/weight pairs; the generator draws values with
+    /// probability proportional to weight.
+    Weights(Vec<WeightedValue>),
+    /// A half-open integer range `[lo, hi)`; the generator draws uniformly.
+    Range {
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Exclusive upper bound.
+        hi: i64,
+    },
+}
+
+impl ParamKind {
+    /// Total weight of a weight parameter (0 for ranges).
+    #[must_use]
+    pub fn total_weight(&self) -> u64 {
+        match self {
+            ParamKind::Weights(ws) => ws.iter().map(|w| u64::from(w.weight)).sum(),
+            ParamKind::Range { .. } => 0,
+        }
+    }
+
+    /// Returns `true` for weight parameters.
+    #[must_use]
+    pub fn is_weights(&self) -> bool {
+        matches!(self, ParamKind::Weights(_))
+    }
+
+    /// Returns `true` for range parameters.
+    #[must_use]
+    pub fn is_range(&self) -> bool {
+        matches!(self, ParamKind::Range { .. })
+    }
+}
+
+/// A named parameter setting: the unit of override in a test-template and
+/// the unit of definition in a [`crate::ParamRegistry`].
+///
+/// # Examples
+///
+/// ```
+/// use ascdg_template::ParamDef;
+///
+/// let p = ParamDef::weights("Mnemonic", [("load", 30), ("store", 30)])?;
+/// assert!(p.kind().is_weights());
+/// let d = ParamDef::range("CacheDelay", 0, 100)?;
+/// assert_eq!(d.to_string(), "param CacheDelay: range [0, 100)");
+/// # Ok::<(), ascdg_template::TemplateError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamDef {
+    name: String,
+    kind: ParamKind,
+}
+
+impl ParamDef {
+    /// Creates a parameter from an already-validated kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TemplateError::EmptyWeights`], [`TemplateError::AllZeroWeights`]
+    /// or [`TemplateError::EmptyRange`] when the kind is not usable for
+    /// generation.
+    pub fn new(name: impl Into<String>, kind: ParamKind) -> Result<Self, TemplateError> {
+        let name = name.into();
+        match &kind {
+            ParamKind::Weights(ws) => {
+                if ws.is_empty() {
+                    return Err(TemplateError::EmptyWeights(name));
+                }
+                if ws.iter().all(|w| w.weight == 0) {
+                    return Err(TemplateError::AllZeroWeights(name));
+                }
+            }
+            ParamKind::Range { lo, hi } => {
+                if lo >= hi {
+                    return Err(TemplateError::EmptyRange {
+                        param: name,
+                        lo: *lo,
+                        hi: *hi,
+                    });
+                }
+            }
+        }
+        Ok(ParamDef { name, kind })
+    }
+
+    /// Creates a weight parameter from `(value, weight)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ParamDef::new`].
+    pub fn weights(
+        name: impl Into<String>,
+        pairs: impl IntoIterator<Item = (impl Into<Value>, u32)>,
+    ) -> Result<Self, TemplateError> {
+        let ws = pairs
+            .into_iter()
+            .map(|(v, w)| WeightedValue::new(v, w))
+            .collect();
+        ParamDef::new(name, ParamKind::Weights(ws))
+    }
+
+    /// Creates a range parameter over `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ParamDef::new`].
+    pub fn range(name: impl Into<String>, lo: i64, hi: i64) -> Result<Self, TemplateError> {
+        ParamDef::new(name, ParamKind::Range { lo, hi })
+    }
+
+    /// The parameter's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The parameter's kind and settings.
+    #[must_use]
+    pub fn kind(&self) -> &ParamKind {
+        &self.kind
+    }
+
+    /// The weighted values of a weight parameter, or `None` for ranges.
+    #[must_use]
+    pub fn weighted_values(&self) -> Option<&[WeightedValue]> {
+        match &self.kind {
+            ParamKind::Weights(ws) => Some(ws),
+            ParamKind::Range { .. } => None,
+        }
+    }
+
+    /// Replaces the weight of the `idx`-th value, returning a new def.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter is a range parameter or `idx` is out of
+    /// range. Intended for skeleton instantiation, which controls both.
+    #[must_use]
+    pub fn with_weight(&self, idx: usize, weight: u32) -> ParamDef {
+        let mut clone = self.clone();
+        match &mut clone.kind {
+            ParamKind::Weights(ws) => ws[idx].weight = weight,
+            ParamKind::Range { .. } => panic!("with_weight on range parameter `{}`", self.name),
+        }
+        clone
+    }
+}
+
+impl fmt::Display for ParamDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParamKind::Weights(ws) => {
+                write!(f, "param {}: weights {{ ", self.name)?;
+                for (i, w) in ws.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{w}")?;
+                }
+                f.write_str(" }")
+            }
+            ParamKind::Range { lo, hi } => {
+                write!(f, "param {}: range [{lo}, {hi})", self.name)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_validation() {
+        assert!(matches!(
+            ParamDef::weights("p", Vec::<(Value, u32)>::new()),
+            Err(TemplateError::EmptyWeights(_))
+        ));
+        assert!(matches!(
+            ParamDef::weights("p", [("a", 0u32), ("b", 0u32)]),
+            Err(TemplateError::AllZeroWeights(_))
+        ));
+        let ok = ParamDef::weights("p", [("a", 0u32), ("b", 1u32)]).unwrap();
+        assert_eq!(ok.kind().total_weight(), 1);
+    }
+
+    #[test]
+    fn range_validation() {
+        assert!(ParamDef::range("r", 5, 5).is_err());
+        assert!(ParamDef::range("r", 6, 5).is_err());
+        let ok = ParamDef::range("r", 0, 1).unwrap();
+        assert!(ok.kind().is_range());
+        assert!(!ok.kind().is_weights());
+        assert_eq!(ok.weighted_values(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        let w = ParamDef::weights("M", [("load", 30u32), ("add", 0u32)]).unwrap();
+        assert_eq!(w.to_string(), "param M: weights { load: 30, add: 0 }");
+        let r = ParamDef::range("D", 0, 100).unwrap();
+        assert_eq!(r.to_string(), "param D: range [0, 100)");
+    }
+
+    #[test]
+    fn with_weight_replaces() {
+        let w = ParamDef::weights("M", [("a", 1u32), ("b", 2u32)]).unwrap();
+        let w2 = w.with_weight(1, 99);
+        assert_eq!(w2.weighted_values().unwrap()[1].weight, 99);
+        assert_eq!(w.weighted_values().unwrap()[1].weight, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "with_weight on range")]
+    fn with_weight_on_range_panics() {
+        let r = ParamDef::range("D", 0, 10).unwrap();
+        let _ = r.with_weight(0, 1);
+    }
+
+    #[test]
+    fn int_and_subrange_values() {
+        let p = ParamDef::weights(
+            "Q",
+            [
+                (Value::Int(1), 5u32),
+                (Value::SubRange { lo: 0, hi: 25 }, 10u32),
+            ],
+        )
+        .unwrap();
+        assert_eq!(p.to_string(), "param Q: weights { 1: 5, [0, 25): 10 }");
+    }
+}

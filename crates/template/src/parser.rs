@@ -1,0 +1,566 @@
+//! Parser for the canonical template/skeleton text format.
+//!
+//! The grammar (comments run `//` to end of line):
+//!
+//! ```text
+//! file    := "template" IDENT "{" param* "}"
+//! param   := "param" IDENT ":" kind
+//! kind    := "weights" "{" entry ("," entry)* ","? "}"
+//!          | "range" "[" INT "," INT ")"
+//! entry   := value ":" setting
+//! value   := IDENT | INT | "[" INT "," INT ")"
+//! setting := UINT | "<w" UINT ">"          // marks only in skeletons
+//! ```
+
+use crate::{
+    ParamDef, ParamKind, Setting, Skeleton, SkeletonParam, TemplateError, TestTemplate, Value,
+    WeightedValue,
+};
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Mark(usize),
+    LBrace,
+    RBrace,
+    LBracket,
+    RParen,
+    Colon,
+    Comma,
+    Eof,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(i) => write!(f, "`{i}`"),
+            Tok::Mark(n) => write!(f, "`<w{n}>`"),
+            Tok::LBrace => f.write_str("`{`"),
+            Tok::RBrace => f.write_str("`}`"),
+            Tok::LBracket => f.write_str("`[`"),
+            Tok::RParen => f.write_str("`)`"),
+            Tok::Colon => f.write_str("`:`"),
+            Tok::Comma => f.write_str("`,`"),
+            Tok::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+type Spanned = (Tok, usize, usize);
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> TemplateError {
+        TemplateError::Parse {
+            line: self.line,
+            col: self.col,
+            message: message.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Spanned, TemplateError> {
+        self.skip_trivia();
+        let (line, col) = (self.line, self.col);
+        let Some(c) = self.peek() else {
+            return Ok((Tok::Eof, line, col));
+        };
+        let tok = match c {
+            b'{' => {
+                self.bump();
+                Tok::LBrace
+            }
+            b'}' => {
+                self.bump();
+                Tok::RBrace
+            }
+            b'[' => {
+                self.bump();
+                Tok::LBracket
+            }
+            b')' => {
+                self.bump();
+                Tok::RParen
+            }
+            b':' => {
+                self.bump();
+                Tok::Colon
+            }
+            b',' => {
+                self.bump();
+                Tok::Comma
+            }
+            b'<' => {
+                self.bump();
+                if self.peek() != Some(b'w') {
+                    return Err(self.err("expected `w` after `<` in mark"));
+                }
+                self.bump();
+                let n = self.lex_uint()?;
+                if self.peek() != Some(b'>') {
+                    return Err(self.err("expected `>` closing mark"));
+                }
+                self.bump();
+                Tok::Mark(n as usize)
+            }
+            b'-' | b'0'..=b'9' => {
+                let neg = c == b'-';
+                if neg {
+                    self.bump();
+                    if !self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                        return Err(self.err("expected digits after `-`"));
+                    }
+                }
+                let n = self.lex_uint()?;
+                Tok::Int(if neg { -(n as i64) } else { n as i64 })
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = self.pos;
+                while self
+                    .peek()
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+                {
+                    self.bump();
+                }
+                Tok::Ident(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+            }
+            other => {
+                return Err(self.err(format!("unexpected character `{}`", other as char)));
+            }
+        };
+        Ok((tok, line, col))
+    }
+
+    fn lex_uint(&mut self) -> Result<u64, TemplateError> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        if start == self.pos {
+            return Err(self.err("expected a number"));
+        }
+        std::str::from_utf8(&self.src[start..self.pos])
+            .expect("digits are ascii")
+            .parse()
+            .map_err(|_| self.err("number out of range"))
+    }
+}
+
+/// A parsed weight entry before template/skeleton specialization.
+enum RawSetting {
+    Lit(u32),
+    Mark(usize),
+}
+
+enum RawKind {
+    Weights(Vec<(Value, RawSetting)>),
+    Range { lo: i64, hi: i64 },
+}
+
+struct RawParam {
+    name: String,
+    kind: RawKind,
+}
+
+struct Parser<'a> {
+    lexer: Lexer<'a>,
+    current: Spanned,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Result<Self, TemplateError> {
+        let mut lexer = Lexer::new(src);
+        let current = lexer.next_token()?;
+        Ok(Parser { lexer, current })
+    }
+
+    fn err_here(&self, message: impl Into<String>) -> TemplateError {
+        TemplateError::Parse {
+            line: self.current.1,
+            col: self.current.2,
+            message: message.into(),
+        }
+    }
+
+    fn advance(&mut self) -> Result<Tok, TemplateError> {
+        let next = self.lexer.next_token()?;
+        Ok(std::mem::replace(&mut self.current, next).0)
+    }
+
+    fn expect(&mut self, tok: &Tok) -> Result<(), TemplateError> {
+        if &self.current.0 == tok {
+            self.advance()?;
+            Ok(())
+        } else {
+            Err(self.err_here(format!("expected {tok}, found {}", self.current.0)))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, TemplateError> {
+        match self.current.0.clone() {
+            Tok::Ident(s) => {
+                self.advance()?;
+                Ok(s)
+            }
+            other => Err(self.err_here(format!("expected an identifier, found {other}"))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), TemplateError> {
+        match &self.current.0 {
+            Tok::Ident(s) if s == kw => {
+                self.advance()?;
+                Ok(())
+            }
+            other => Err(self.err_here(format!("expected `{kw}`, found {other}"))),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<i64, TemplateError> {
+        match self.current.0 {
+            Tok::Int(i) => {
+                self.advance()?;
+                Ok(i)
+            }
+            ref other => Err(self.err_here(format!("expected an integer, found {other}"))),
+        }
+    }
+
+    fn parse_file(&mut self) -> Result<(String, Vec<RawParam>), TemplateError> {
+        self.expect_keyword("template")?;
+        let name = self.expect_ident()?;
+        self.expect(&Tok::LBrace)?;
+        let mut params = Vec::new();
+        while self.current.0 != Tok::RBrace {
+            params.push(self.parse_param()?);
+        }
+        self.expect(&Tok::RBrace)?;
+        if self.current.0 != Tok::Eof {
+            return Err(self.err_here(format!("unexpected {} after closing `}}`", self.current.0)));
+        }
+        Ok((name, params))
+    }
+
+    fn parse_param(&mut self) -> Result<RawParam, TemplateError> {
+        self.expect_keyword("param")?;
+        let name = self.expect_ident()?;
+        self.expect(&Tok::Colon)?;
+        let kind = match &self.current.0 {
+            Tok::Ident(k) if k == "weights" => {
+                self.advance()?;
+                self.expect(&Tok::LBrace)?;
+                let mut entries = Vec::new();
+                loop {
+                    if self.current.0 == Tok::RBrace {
+                        break;
+                    }
+                    let value = self.parse_value()?;
+                    self.expect(&Tok::Colon)?;
+                    let setting = self.parse_setting()?;
+                    entries.push((value, setting));
+                    if self.current.0 == Tok::Comma {
+                        self.advance()?;
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(&Tok::RBrace)?;
+                RawKind::Weights(entries)
+            }
+            Tok::Ident(k) if k == "range" => {
+                self.advance()?;
+                let (lo, hi) = self.parse_subrange()?;
+                RawKind::Range { lo, hi }
+            }
+            other => {
+                return Err(self.err_here(format!("expected `weights` or `range`, found {other}")));
+            }
+        };
+        Ok(RawParam { name, kind })
+    }
+
+    fn parse_subrange(&mut self) -> Result<(i64, i64), TemplateError> {
+        self.expect(&Tok::LBracket)?;
+        let lo = self.expect_int()?;
+        self.expect(&Tok::Comma)?;
+        let hi = self.expect_int()?;
+        self.expect(&Tok::RParen)?;
+        Ok((lo, hi))
+    }
+
+    fn parse_value(&mut self) -> Result<Value, TemplateError> {
+        match self.current.0.clone() {
+            Tok::Ident(s) => {
+                self.advance()?;
+                Ok(Value::Ident(s))
+            }
+            Tok::Int(i) => {
+                self.advance()?;
+                Ok(Value::Int(i))
+            }
+            Tok::LBracket => {
+                let (lo, hi) = self.parse_subrange()?;
+                Ok(Value::SubRange { lo, hi })
+            }
+            other => Err(self.err_here(format!("expected a value, found {other}"))),
+        }
+    }
+
+    fn parse_setting(&mut self) -> Result<RawSetting, TemplateError> {
+        match self.current.0 {
+            Tok::Int(i) if i >= 0 => {
+                let w =
+                    u32::try_from(i).map_err(|_| self.err_here("weight out of range for u32"))?;
+                self.advance()?;
+                Ok(RawSetting::Lit(w))
+            }
+            Tok::Int(_) => Err(self.err_here("weights must be non-negative")),
+            Tok::Mark(n) => {
+                self.advance()?;
+                Ok(RawSetting::Mark(n))
+            }
+            ref other => Err(self.err_here(format!("expected a weight, found {other}"))),
+        }
+    }
+}
+
+/// Parses a concrete test-template (marks rejected).
+pub(crate) fn parse_template(src: &str) -> Result<TestTemplate, TemplateError> {
+    let mut p = Parser::new(src)?;
+    let (name, raw_params) = p.parse_file()?;
+    let mut params = Vec::with_capacity(raw_params.len());
+    for rp in raw_params {
+        let kind = match rp.kind {
+            RawKind::Weights(entries) => {
+                let mut ws = Vec::with_capacity(entries.len());
+                for (v, s) in entries {
+                    match s {
+                        RawSetting::Lit(w) => ws.push(WeightedValue::new(v, w)),
+                        RawSetting::Mark(n) => {
+                            return Err(TemplateError::Parse {
+                                line: 0,
+                                col: 0,
+                                message: format!(
+                                    "mark `<w{n}>` is only legal in a skeleton (parameter `{}`)",
+                                    rp.name
+                                ),
+                            });
+                        }
+                    }
+                }
+                ParamKind::Weights(ws)
+            }
+            RawKind::Range { lo, hi } => ParamKind::Range { lo, hi },
+        };
+        params.push(ParamDef::new(rp.name, kind)?);
+    }
+    TestTemplate::new(name, params)
+}
+
+/// Parses a skeleton (marks allowed; range parameters rejected, since the
+/// Skeletonizer always rewrites them to weighted subranges).
+pub(crate) fn parse_skeleton(src: &str) -> Result<Skeleton, TemplateError> {
+    let mut p = Parser::new(src)?;
+    let (name, raw_params) = p.parse_file()?;
+    let mut params = Vec::with_capacity(raw_params.len());
+    for rp in raw_params {
+        match rp.kind {
+            RawKind::Weights(entries) => {
+                let values = entries.into_iter().map(|(v, s)| {
+                    let setting = match s {
+                        RawSetting::Lit(w) => Setting::Fixed(w),
+                        RawSetting::Mark(n) => Setting::Free { slot: n },
+                    };
+                    (v, setting)
+                });
+                params.push(SkeletonParam::new(rp.name, values)?);
+            }
+            RawKind::Range { .. } => {
+                return Err(TemplateError::Parse {
+                    line: 0,
+                    col: 0,
+                    message: format!(
+                        "range parameter `{}` cannot appear in a skeleton; \
+                         skeletonize it into weighted subranges first",
+                        rp.name
+                    ),
+                });
+            }
+        }
+    }
+    Skeleton::new(name, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_fig1_template() {
+        let src = r#"
+            // Fig. 1(a): stressing the load store unit
+            template lsu_stress {
+              param Mnemonic: weights { load: 30, store: 30, add: 0, sync: 5 }
+              param CacheDelay: range [0, 100)
+            }
+        "#;
+        let t = parse_template(src).unwrap();
+        assert_eq!(t.name(), "lsu_stress");
+        let m = t.param("Mnemonic").unwrap().weighted_values().unwrap();
+        assert_eq!(m.len(), 4);
+        assert_eq!(m[3], WeightedValue::new("sync", 5));
+        assert_eq!(
+            t.param("CacheDelay").unwrap().kind(),
+            &ParamKind::Range { lo: 0, hi: 100 }
+        );
+    }
+
+    #[test]
+    fn parses_paper_fig1_skeleton() {
+        let src = r#"
+            // Fig. 1(b): the induced skeleton
+            template lsu_stress {
+              param Mnemonic: weights { load: <w0>, store: <w1>, add: 0, sync: <w2> }
+              param CacheDelay: weights { [0, 25): <w3>, [25, 50): <w4>, [50, 75): <w5>, [75, 100): <w6> }
+            }
+        "#;
+        let sk = parse_skeleton(src).unwrap();
+        assert_eq!(sk.num_slots(), 7);
+        assert_eq!(sk.params()[1].values().len(), 4);
+        assert_eq!(
+            sk.params()[0].values()[2],
+            (Value::ident("add"), Setting::Fixed(0))
+        );
+    }
+
+    #[test]
+    fn template_rejects_marks() {
+        let src = "template t { param A: weights { x: <w0> } }";
+        let err = parse_template(src).unwrap_err();
+        assert!(err.to_string().contains("skeleton"));
+    }
+
+    #[test]
+    fn skeleton_rejects_ranges() {
+        let src = "template t { param A: range [0, 5) }";
+        let err = parse_skeleton(src).unwrap_err();
+        assert!(err.to_string().contains("subranges"));
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let src = "template t {\n  param A weights { x: 1 }\n}";
+        match parse_template(src).unwrap_err() {
+            TemplateError::Parse { line, col, message } => {
+                assert_eq!(line, 2);
+                assert!(col > 1);
+                assert!(message.contains("expected `:`"), "{message}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_comma_and_negative_ints() {
+        let src = "template t { param A: weights { -5: 1, 3: 2, } }";
+        let t = parse_template(src).unwrap();
+        let ws = t.param("A").unwrap().weighted_values().unwrap();
+        assert_eq!(ws[0].value, Value::Int(-5));
+    }
+
+    #[test]
+    fn rejects_negative_weight() {
+        let src = "template t { param A: weights { x: -1 } }";
+        assert!(parse_template(src).is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let src = "template t { } extra";
+        let err = parse_template(src).unwrap_err();
+        assert!(err.to_string().contains("after closing"));
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        assert!(parse_template("template t { param A: weights { x: 1 } } $").is_err());
+    }
+
+    #[test]
+    fn empty_template_parses() {
+        let t = parse_template("template empty { }").unwrap();
+        assert!(t.params().is_empty());
+    }
+
+    #[test]
+    fn validation_errors_surface() {
+        let src = "template t { param A: range [9, 3) }";
+        assert!(matches!(
+            parse_template(src),
+            Err(TemplateError::EmptyRange { .. })
+        ));
+        let src = "template t { param A: weights { x: 0 } }";
+        assert!(matches!(
+            parse_template(src),
+            Err(TemplateError::AllZeroWeights(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_marks() {
+        assert!(parse_skeleton("template t { param A: weights { x: <q0> } }").is_err());
+        assert!(parse_skeleton("template t { param A: weights { x: <w> } }").is_err());
+        assert!(parse_skeleton("template t { param A: weights { x: <w0 } }").is_err());
+    }
+}

@@ -1,0 +1,431 @@
+//! Skeletons: templates whose weight settings have been marked as free.
+//!
+//! The Skeletonizer (in `ascdg-core`) turns a test-template into a
+//! [`Skeleton`]: every tunable weight is replaced by a *mark* (`<w0>`,
+//! `<w1>`, ...) and every range parameter becomes a weight parameter over
+//! subranges. The CDG-Runner then explores the space `[0,1]^d` where `d` is
+//! the number of marks; [`Skeleton::instantiate`] maps a point of that space
+//! back into a concrete [`TestTemplate`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::{ParamDef, ParamKind, TemplateError, TestTemplate, Value, WeightedValue};
+
+/// Default scale mapping a setting in `[0,1]` to an integer weight.
+pub const DEFAULT_MAX_WEIGHT: u32 = 100;
+
+/// One weight slot of a skeleton parameter: either fixed at a literal
+/// weight or free for the optimizer to set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Setting {
+    /// The weight is kept at a fixed literal value (e.g. intentional zeros).
+    Fixed(u32),
+    /// The weight is the `slot`-th coordinate of the settings vector.
+    Free {
+        /// Index into the skeleton-wide settings vector.
+        slot: usize,
+    },
+}
+
+impl Setting {
+    /// Returns `true` for free (marked) settings.
+    #[must_use]
+    pub fn is_free(&self) -> bool {
+        matches!(self, Setting::Free { .. })
+    }
+}
+
+impl fmt::Display for Setting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Setting::Fixed(w) => write!(f, "{w}"),
+            Setting::Free { slot } => write!(f, "<w{slot}>"),
+        }
+    }
+}
+
+/// A skeletonized parameter: always weight-kind, each value carrying a
+/// [`Setting`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SkeletonParam {
+    name: String,
+    values: Vec<(Value, Setting)>,
+}
+
+impl SkeletonParam {
+    /// Creates a skeleton parameter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TemplateError::EmptyWeights`] when `values` is empty.
+    pub fn new(
+        name: impl Into<String>,
+        values: impl IntoIterator<Item = (Value, Setting)>,
+    ) -> Result<Self, TemplateError> {
+        let name = name.into();
+        let values: Vec<_> = values.into_iter().collect();
+        if values.is_empty() {
+            return Err(TemplateError::EmptyWeights(name));
+        }
+        Ok(SkeletonParam { name, values })
+    }
+
+    /// The parameter's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The `(value, setting)` pairs in declaration order.
+    #[must_use]
+    pub fn values(&self) -> &[(Value, Setting)] {
+        &self.values
+    }
+
+    /// Number of free slots in this parameter.
+    #[must_use]
+    pub fn free_count(&self) -> usize {
+        self.values.iter().filter(|(_, s)| s.is_free()).count()
+    }
+}
+
+impl fmt::Display for SkeletonParam {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "param {}: weights {{ ", self.name)?;
+        for (i, (v, s)) in self.values.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}: {s}")?;
+        }
+        f.write_str(" }")
+    }
+}
+
+/// A skeleton of a test-template (paper Fig. 1(b)).
+///
+/// # Examples
+///
+/// ```
+/// use ascdg_template::{Setting, Skeleton, SkeletonParam, Value};
+///
+/// let p = SkeletonParam::new("M", [
+///     (Value::ident("load"), Setting::Free { slot: 0 }),
+///     (Value::ident("add"), Setting::Fixed(0)),
+/// ])?;
+/// let sk = Skeleton::new("lsu_skel", [p])?;
+/// assert_eq!(sk.num_slots(), 1);
+/// let t = sk.instantiate(&[0.5])?;
+/// assert_eq!(t.param("M").unwrap().weighted_values().unwrap()[0].weight, 50);
+/// # Ok::<(), ascdg_template::TemplateError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Skeleton {
+    name: String,
+    params: Vec<SkeletonParam>,
+    num_slots: usize,
+    max_weight: u32,
+}
+
+impl Skeleton {
+    /// Creates a skeleton from parameters whose free slots must be numbered
+    /// `0..d` contiguously (in any order of appearance).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TemplateError::DuplicateParam`] for repeated parameter
+    /// names, and [`TemplateError::SettingsDimension`] if slot indices are
+    /// not a permutation of `0..d`.
+    pub fn new(
+        name: impl Into<String>,
+        params: impl IntoIterator<Item = SkeletonParam>,
+    ) -> Result<Self, TemplateError> {
+        let name = name.into();
+        let params: Vec<SkeletonParam> = params.into_iter().collect();
+        for (i, p) in params.iter().enumerate() {
+            if params[..i].iter().any(|q| q.name() == p.name()) {
+                return Err(TemplateError::DuplicateParam(p.name().to_owned()));
+            }
+        }
+        let mut slots: Vec<usize> = params
+            .iter()
+            .flat_map(|p| p.values.iter())
+            .filter_map(|(_, s)| match s {
+                Setting::Free { slot } => Some(*slot),
+                Setting::Fixed(_) => None,
+            })
+            .collect();
+        let d = slots.len();
+        slots.sort_unstable();
+        slots.dedup();
+        if slots.len() != d || slots.iter().copied().ne(0..d) {
+            return Err(TemplateError::SettingsDimension {
+                expected: d,
+                actual: slots.len(),
+            });
+        }
+        Ok(Skeleton {
+            name,
+            params,
+            num_slots: d,
+            max_weight: DEFAULT_MAX_WEIGHT,
+        })
+    }
+
+    /// Parses a skeleton from the canonical text format (with `<wN>` marks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TemplateError::Parse`] on malformed input.
+    pub fn parse(src: &str) -> Result<Self, TemplateError> {
+        crate::parser::parse_skeleton(src)
+    }
+
+    /// Sets the weight scale used by [`Skeleton::instantiate`].
+    #[must_use]
+    pub fn with_max_weight(mut self, max_weight: u32) -> Self {
+        self.max_weight = max_weight.max(1);
+        self
+    }
+
+    /// The skeleton's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The skeletonized parameters.
+    #[must_use]
+    pub fn params(&self) -> &[SkeletonParam] {
+        &self.params
+    }
+
+    /// Dimension of the settings space (number of `<wN>` marks).
+    #[must_use]
+    pub fn num_slots(&self) -> usize {
+        self.num_slots
+    }
+
+    /// The weight scale (settings map to `0..=max_weight`).
+    #[must_use]
+    pub fn max_weight(&self) -> u32 {
+        self.max_weight
+    }
+
+    /// Human-readable slot labels `Param[value]`, indexed by slot.
+    #[must_use]
+    pub fn slot_labels(&self) -> Vec<String> {
+        let mut labels = vec![String::new(); self.num_slots];
+        for p in &self.params {
+            for (v, s) in &p.values {
+                if let Setting::Free { slot } = s {
+                    labels[*slot] = format!("{}[{}]", p.name, v);
+                }
+            }
+        }
+        labels
+    }
+
+    /// Maps a settings vector in `[0,1]^d` to a concrete test-template.
+    ///
+    /// Each free slot becomes `round(x * max_weight)` (coordinates are
+    /// clamped to `[0,1]` first, so optimizer overshoot is harmless). If
+    /// every weight of a parameter would come out zero, its free slots are
+    /// raised to weight 1 — a parameter must keep a drawable value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TemplateError::SettingsDimension`] when `settings` has the
+    /// wrong length.
+    pub fn instantiate(&self, settings: &[f64]) -> Result<TestTemplate, TemplateError> {
+        if settings.len() != self.num_slots {
+            return Err(TemplateError::SettingsDimension {
+                expected: self.num_slots,
+                actual: settings.len(),
+            });
+        }
+        let weight_of = |s: &Setting| -> u32 {
+            match s {
+                Setting::Fixed(w) => *w,
+                Setting::Free { slot } => {
+                    let x = settings[*slot].clamp(0.0, 1.0);
+                    (x * f64::from(self.max_weight)).round() as u32
+                }
+            }
+        };
+        let mut params = Vec::with_capacity(self.params.len());
+        for p in &self.params {
+            let mut ws: Vec<WeightedValue> = p
+                .values
+                .iter()
+                .map(|(v, s)| WeightedValue::new(v.clone(), weight_of(s)))
+                .collect();
+            if ws.iter().all(|w| w.weight == 0) {
+                let mut raised = false;
+                for ((_, s), w) in p.values.iter().zip(ws.iter_mut()) {
+                    if s.is_free() {
+                        w.weight = 1;
+                        raised = true;
+                    }
+                }
+                if !raised {
+                    // All-fixed all-zero parameter: raise everything.
+                    for w in &mut ws {
+                        w.weight = 1;
+                    }
+                }
+            }
+            params.push(ParamDef::new(p.name.clone(), ParamKind::Weights(ws))?);
+        }
+        TestTemplate::new(self.name.clone(), params)
+    }
+}
+
+impl fmt::Display for Skeleton {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "template {} {{", self.name)?;
+        for p in &self.params {
+            writeln!(f, "  {p}")?;
+        }
+        f.write_str("}\n")
+    }
+}
+
+impl std::str::FromStr for Skeleton {
+    type Err = TemplateError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Skeleton::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skel() -> Skeleton {
+        Skeleton::new(
+            "s",
+            [
+                SkeletonParam::new(
+                    "M",
+                    [
+                        (Value::ident("load"), Setting::Free { slot: 0 }),
+                        (Value::ident("store"), Setting::Free { slot: 1 }),
+                        (Value::ident("add"), Setting::Fixed(0)),
+                    ],
+                )
+                .unwrap(),
+                SkeletonParam::new(
+                    "D",
+                    [
+                        (Value::SubRange { lo: 0, hi: 50 }, Setting::Free { slot: 2 }),
+                        (
+                            Value::SubRange { lo: 50, hi: 100 },
+                            Setting::Free { slot: 3 },
+                        ),
+                    ],
+                )
+                .unwrap(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn slot_bookkeeping() {
+        let s = skel();
+        assert_eq!(s.num_slots(), 4);
+        assert_eq!(
+            s.slot_labels(),
+            vec!["M[load]", "M[store]", "D[[0, 50)]", "D[[50, 100)]"]
+        );
+        assert_eq!(s.params()[0].free_count(), 2);
+    }
+
+    #[test]
+    fn non_contiguous_slots_rejected() {
+        let p = SkeletonParam::new("M", [(Value::ident("a"), Setting::Free { slot: 1 })]).unwrap();
+        assert!(Skeleton::new("s", [p]).is_err());
+    }
+
+    #[test]
+    fn duplicate_slot_rejected() {
+        let p = SkeletonParam::new(
+            "M",
+            [
+                (Value::ident("a"), Setting::Free { slot: 0 }),
+                (Value::ident("b"), Setting::Free { slot: 0 }),
+            ],
+        )
+        .unwrap();
+        assert!(Skeleton::new("s", [p]).is_err());
+    }
+
+    #[test]
+    fn instantiate_scales_and_rounds() {
+        let s = skel();
+        let t = s.instantiate(&[1.0, 0.255, 0.0, 0.5]).unwrap();
+        let m = t.param("M").unwrap().weighted_values().unwrap();
+        assert_eq!(m[0].weight, 100);
+        assert_eq!(m[1].weight, 26);
+        assert_eq!(m[2].weight, 0); // fixed zero survives
+        let d = t.param("D").unwrap().weighted_values().unwrap();
+        assert_eq!(d[0].weight, 0);
+        assert_eq!(d[1].weight, 50);
+    }
+
+    #[test]
+    fn instantiate_clamps_out_of_range() {
+        let s = skel();
+        let t = s.instantiate(&[2.0, -1.0, 0.5, 0.5]).unwrap();
+        let m = t.param("M").unwrap().weighted_values().unwrap();
+        assert_eq!(m[0].weight, 100);
+        assert_eq!(m[1].weight, 0);
+    }
+
+    #[test]
+    fn instantiate_guards_all_zero() {
+        let s = skel();
+        // Both D slots at zero would leave D undrawable; the guard raises
+        // free slots to 1.
+        let t = s.instantiate(&[0.0, 0.0, 0.0, 0.0]).unwrap();
+        let d = t.param("D").unwrap().weighted_values().unwrap();
+        assert!(d.iter().any(|w| w.weight > 0));
+        let m = t.param("M").unwrap().weighted_values().unwrap();
+        // Fixed zero stays zero, free slots raised.
+        assert_eq!(m[2].weight, 0);
+        assert_eq!(m[0].weight, 1);
+    }
+
+    #[test]
+    fn wrong_dimension_rejected() {
+        let s = skel();
+        assert!(matches!(
+            s.instantiate(&[0.1]),
+            Err(TemplateError::SettingsDimension {
+                expected: 4,
+                actual: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn custom_max_weight() {
+        let s = skel().with_max_weight(10);
+        let t = s.instantiate(&[1.0, 0.0, 0.0, 1.0]).unwrap();
+        assert_eq!(
+            t.param("M").unwrap().weighted_values().unwrap()[0].weight,
+            10
+        );
+    }
+
+    #[test]
+    fn display_shows_marks() {
+        let s = skel();
+        let text = s.to_string();
+        assert!(text.contains("<w0>"));
+        assert!(text.contains("add: 0"));
+    }
+}

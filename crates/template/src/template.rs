@@ -1,0 +1,283 @@
+//! Test-templates: named sets of parameter overrides.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::{ParamDef, TemplateError, Value};
+
+/// A test-template: the input to the biased random stimuli generator.
+///
+/// A template names the verification scenario and overrides a subset of the
+/// environment's parameters; every parameter not mentioned keeps its
+/// environment default. Templates print in a canonical text format
+/// (the paper's Fig. 1 style) that [`TestTemplate::parse`] accepts back.
+///
+/// # Examples
+///
+/// ```
+/// use ascdg_template::TestTemplate;
+///
+/// let t = TestTemplate::builder("dma_stress")
+///     .weights("PktLen", [("1", 50), ("8", 30), ("64", 5)])?
+///     .range("Gap", 0, 16)?
+///     .build();
+/// assert_eq!(t.param("Gap").unwrap().kind().is_range(), true);
+/// assert!(t.param("Nope").is_none());
+/// # Ok::<(), ascdg_template::TemplateError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TestTemplate {
+    name: String,
+    params: Vec<ParamDef>,
+}
+
+impl TestTemplate {
+    /// Creates a template from parts, rejecting duplicate parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TemplateError::DuplicateParam`] if a parameter name repeats.
+    pub fn new(
+        name: impl Into<String>,
+        params: impl IntoIterator<Item = ParamDef>,
+    ) -> Result<Self, TemplateError> {
+        let params: Vec<ParamDef> = params.into_iter().collect();
+        for (i, p) in params.iter().enumerate() {
+            if params[..i].iter().any(|q| q.name() == p.name()) {
+                return Err(TemplateError::DuplicateParam(p.name().to_owned()));
+            }
+        }
+        Ok(TestTemplate {
+            name: name.into(),
+            params,
+        })
+    }
+
+    /// Starts a fluent builder.
+    pub fn builder(name: impl Into<String>) -> TemplateBuilder {
+        TemplateBuilder {
+            name: name.into(),
+            params: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// Parses the canonical text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TemplateError::Parse`] with line/column information on
+    /// malformed input, or a validation error for well-formed but unusable
+    /// parameters (empty ranges, all-zero weights).
+    pub fn parse(src: &str) -> Result<Self, TemplateError> {
+        crate::parser::parse_template(src)
+    }
+
+    /// The template's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The overridden parameters, in declaration order.
+    #[must_use]
+    pub fn params(&self) -> &[ParamDef] {
+        &self.params
+    }
+
+    /// Looks up an override by parameter name.
+    #[must_use]
+    pub fn param(&self, name: &str) -> Option<&ParamDef> {
+        self.params.iter().find(|p| p.name() == name)
+    }
+
+    /// Names of all overridden parameters, in declaration order.
+    #[must_use]
+    pub fn param_names(&self) -> Vec<&str> {
+        self.params.iter().map(ParamDef::name).collect()
+    }
+
+    /// Returns a copy with a different name (used when mutating templates
+    /// during the search phases).
+    #[must_use]
+    pub fn renamed(&self, name: impl Into<String>) -> TestTemplate {
+        TestTemplate {
+            name: name.into(),
+            params: self.params.clone(),
+        }
+    }
+
+    /// Returns a copy where the override for `param.name()` is replaced (or
+    /// appended if absent).
+    #[must_use]
+    pub fn with_param(&self, param: ParamDef) -> TestTemplate {
+        let mut t = self.clone();
+        match t.params.iter_mut().find(|p| p.name() == param.name()) {
+            Some(slot) => *slot = param,
+            None => t.params.push(param),
+        }
+        t
+    }
+}
+
+impl fmt::Display for TestTemplate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "template {} {{", self.name)?;
+        for p in &self.params {
+            writeln!(f, "  {p}")?;
+        }
+        f.write_str("}\n")
+    }
+}
+
+impl std::str::FromStr for TestTemplate {
+    type Err = TemplateError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        TestTemplate::parse(s)
+    }
+}
+
+/// Fluent builder returned by [`TestTemplate::builder`].
+///
+/// Errors are deferred: the first invalid parameter is reported by
+/// [`TemplateBuilder::try_build`]; [`TemplateBuilder::build`] panics on it.
+#[derive(Debug)]
+pub struct TemplateBuilder {
+    name: String,
+    params: Vec<ParamDef>,
+    error: Option<TemplateError>,
+}
+
+impl TemplateBuilder {
+    /// Adds a weight parameter.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying validation error immediately so call sites can
+    /// use `?`.
+    pub fn weights(
+        mut self,
+        name: impl Into<String>,
+        pairs: impl IntoIterator<Item = (impl Into<Value>, u32)>,
+    ) -> Result<Self, TemplateError> {
+        let p = ParamDef::weights(name, pairs)?;
+        self.params.push(p);
+        Ok(self)
+    }
+
+    /// Adds a range parameter over `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying validation error.
+    pub fn range(
+        mut self,
+        name: impl Into<String>,
+        lo: i64,
+        hi: i64,
+    ) -> Result<Self, TemplateError> {
+        let p = ParamDef::range(name, lo, hi)?;
+        self.params.push(p);
+        Ok(self)
+    }
+
+    /// Adds an already-constructed parameter.
+    #[must_use]
+    pub fn param(mut self, param: ParamDef) -> Self {
+        self.params.push(param);
+        self
+    }
+
+    /// Builds the template.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TemplateError::DuplicateParam`] for repeated names.
+    pub fn try_build(self) -> Result<TestTemplate, TemplateError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        TestTemplate::new(self.name, self.params)
+    }
+
+    /// Builds the template.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a parameter name repeats; use
+    /// [`TemplateBuilder::try_build`] to handle the error.
+    #[must_use]
+    pub fn build(self) -> TestTemplate {
+        self.try_build().expect("invalid template")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ParamKind;
+
+    #[test]
+    fn builder_and_lookup() {
+        let t = TestTemplate::builder("t")
+            .weights("A", [("x", 1u32)])
+            .unwrap()
+            .range("B", 0, 4)
+            .unwrap()
+            .build();
+        assert_eq!(t.param_names(), vec!["A", "B"]);
+        assert!(t.param("A").unwrap().kind().is_weights());
+    }
+
+    #[test]
+    fn duplicate_param_rejected() {
+        let r = TestTemplate::builder("t")
+            .range("A", 0, 1)
+            .unwrap()
+            .range("A", 0, 2)
+            .unwrap()
+            .try_build();
+        assert!(matches!(r, Err(TemplateError::DuplicateParam(_))));
+    }
+
+    #[test]
+    fn with_param_replaces_or_appends() {
+        let t = TestTemplate::builder("t").range("A", 0, 4).unwrap().build();
+        let t2 = t.with_param(ParamDef::range("A", 0, 8).unwrap());
+        assert_eq!(
+            t2.param("A").unwrap().kind(),
+            &ParamKind::Range { lo: 0, hi: 8 }
+        );
+        let t3 = t.with_param(ParamDef::range("B", 1, 2).unwrap());
+        assert_eq!(t3.params().len(), 2);
+        // Original untouched.
+        assert_eq!(t.params().len(), 1);
+    }
+
+    #[test]
+    fn renamed_keeps_params() {
+        let t = TestTemplate::builder("t").range("A", 0, 4).unwrap().build();
+        let r = t.renamed("u");
+        assert_eq!(r.name(), "u");
+        assert_eq!(r.params(), t.params());
+    }
+
+    #[test]
+    fn display_matches_canonical_format() {
+        let t = TestTemplate::builder("lsu")
+            .weights("M", [("load", 30u32), ("add", 0u32)])
+            .unwrap()
+            .build();
+        assert_eq!(
+            t.to_string(),
+            "template lsu {\n  param M: weights { load: 30, add: 0 }\n}\n"
+        );
+    }
+
+    #[test]
+    fn from_str_delegates_to_parse() {
+        let t: TestTemplate = "template x { param A: range [0, 2) }".parse().unwrap();
+        assert_eq!(t.name(), "x");
+    }
+}

@@ -1,0 +1,116 @@
+//! Values that weight parameters can assign weights to.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A value a weight parameter distributes over.
+///
+/// Three forms occur in practice:
+///
+/// * symbolic values like instruction mnemonics (`load`, `store`);
+/// * plain integers (queue depths, opcode ids);
+/// * half-open integer subranges `[lo, hi)` — these appear when the
+///   Skeletonizer splits a range parameter into weighted subranges so the
+///   optimizer can shape the distribution (paper Fig. 1(b)).
+///
+/// # Examples
+///
+/// ```
+/// use ascdg_template::Value;
+/// assert_eq!(Value::ident("load").to_string(), "load");
+/// assert_eq!(Value::Int(42).to_string(), "42");
+/// assert_eq!(Value::SubRange { lo: 0, hi: 25 }.to_string(), "[0, 25)");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Value {
+    /// A symbolic value (e.g. an instruction mnemonic).
+    Ident(String),
+    /// A plain integer value.
+    Int(i64),
+    /// A half-open integer subrange `[lo, hi)`.
+    SubRange {
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Exclusive upper bound.
+        hi: i64,
+    },
+}
+
+impl Value {
+    /// Convenience constructor for symbolic values.
+    pub fn ident(name: impl Into<String>) -> Self {
+        Value::Ident(name.into())
+    }
+
+    /// Width of the value: 1 for symbols and integers, `hi - lo` for
+    /// subranges.
+    #[must_use]
+    pub fn width(&self) -> i64 {
+        match self {
+            Value::Ident(_) | Value::Int(_) => 1,
+            Value::SubRange { lo, hi } => hi - lo,
+        }
+    }
+
+    /// Returns `true` for subrange values.
+    #[must_use]
+    pub fn is_subrange(&self) -> bool {
+        matches!(self, Value::SubRange { .. })
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Ident(s) => f.write_str(s),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::SubRange { lo, hi } => write!(f, "[{lo}, {hi})"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Ident(s.to_owned())
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::ident("sync").to_string(), "sync");
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::SubRange { lo: 25, hi: 50 }.to_string(), "[25, 50)");
+    }
+
+    #[test]
+    fn widths() {
+        assert_eq!(Value::ident("x").width(), 1);
+        assert_eq!(Value::Int(7).width(), 1);
+        assert_eq!(Value::SubRange { lo: 10, hi: 30 }.width(), 20);
+        assert!(Value::SubRange { lo: 0, hi: 1 }.is_subrange());
+        assert!(!Value::Int(0).is_subrange());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from("a"), Value::Ident("a".into()));
+        assert_eq!(Value::from(5i64), Value::Int(5));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = [Value::Int(2), Value::ident("a"), Value::Int(1)];
+        v.sort();
+        assert_eq!(v[0], Value::ident("a"));
+    }
+}

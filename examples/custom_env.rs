@@ -1,0 +1,141 @@
+//! Bring your own design: AS-CDG is black-box, so any environment that
+//! implements [`VerifEnv`] gets the whole flow for free.
+//!
+//! ```sh
+//! cargo run --release --example custom_env
+//! ```
+//!
+//! This example models a tiny "retry queue" unit: commands either complete
+//! or bounce into a retry queue; `retry_depthN` fires when N retries are
+//! simultaneously queued. The environment defaults make deep queues rare,
+//! and one stock template carries the relevant parameters.
+
+use ascdg::core::{CdgFlow, FlowConfig};
+use ascdg::coverage::{CoverageModel, CoverageVector};
+use ascdg::duv::{EnvError, VerifEnv};
+use ascdg::stimgen::{instance_seed, ParamSampler};
+use ascdg::template::{
+    ParamDef, ParamRegistry, ResolvedParams, TemplateLibrary, TestTemplate, Value,
+};
+
+/// Maximum retry-queue depth (the family size).
+const MAX_DEPTH: usize = 6;
+
+struct RetryQueueEnv {
+    registry: ParamRegistry,
+    model: CoverageModel,
+    library: TemplateLibrary,
+}
+
+impl RetryQueueEnv {
+    fn new() -> Self {
+        let sub = |lo, hi| Value::SubRange { lo, hi };
+        let mut registry = ParamRegistry::new();
+        registry
+            .define(ParamDef::range("CmdCount", 20, 120).unwrap())
+            .unwrap();
+        // Bounce probability in percent: defaults concentrate on "rarely".
+        registry
+            .define(
+                ParamDef::weights(
+                    "BouncePct",
+                    [(sub(0, 10), 90u32), (sub(10, 40), 10), (sub(40, 80), 0)],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        // Retry-drain speed: how many retries complete per command slot.
+        registry
+            .define(ParamDef::range("DrainRate", 1, 4).unwrap())
+            .unwrap();
+        // An irrelevant knob, so the coarse search has something to reject.
+        registry
+            .define(ParamDef::range("TracePct", 0, 50).unwrap())
+            .unwrap();
+
+        let mut names: Vec<String> = (1..=MAX_DEPTH).map(|d| format!("retry_depth{d}")).collect();
+        names.push("cmd_done".to_owned());
+        names.push("bounce_seen".to_owned());
+
+        let library: TemplateLibrary = [
+            TestTemplate::builder("rq_smoke").build(),
+            TestTemplate::builder("rq_tracing")
+                .range("TracePct", 25, 50)
+                .unwrap()
+                .build(),
+            // The template with the relevant parameters, mildly set.
+            TestTemplate::builder("rq_bouncy")
+                .weights(
+                    "BouncePct",
+                    [(sub(0, 10), 50u32), (sub(10, 40), 40), (sub(40, 80), 10)],
+                )
+                .unwrap()
+                .range("DrainRate", 1, 3)
+                .unwrap()
+                .build(),
+        ]
+        .into_iter()
+        .collect();
+
+        RetryQueueEnv {
+            registry,
+            model: CoverageModel::from_names("retry_queue", names).unwrap(),
+            library,
+        }
+    }
+}
+
+impl VerifEnv for RetryQueueEnv {
+    fn unit_name(&self) -> &str {
+        "retry_queue"
+    }
+
+    fn registry(&self) -> &ParamRegistry {
+        &self.registry
+    }
+
+    fn coverage_model(&self) -> &CoverageModel {
+        &self.model
+    }
+
+    fn stock_library(&self) -> &TemplateLibrary {
+        &self.library
+    }
+
+    fn simulate_resolved(
+        &self,
+        resolved: &ResolvedParams,
+        template_name: &str,
+        seed: u64,
+    ) -> Result<CoverageVector, EnvError> {
+        let mut s = ParamSampler::new(resolved, instance_seed(seed, template_name, 0));
+        let count = s.sample_int("CmdCount")?;
+        let bounce = s.rate("BouncePct")?;
+        let drain = s.sample_int("DrainRate")? as usize;
+
+        let mut cov = CoverageVector::empty(self.model.len());
+        let mut queue = 0usize;
+        for _ in 0..count {
+            // Drain completed retries first.
+            queue = queue.saturating_sub(drain.min(1 + queue / 3));
+            if s.chance(bounce) {
+                cov.set(self.model.id("bounce_seen").expect("known event"));
+                queue = (queue + 1).min(MAX_DEPTH);
+                let name = format!("retry_depth{queue}");
+                cov.set(self.model.id(&name).expect("family event"));
+            } else {
+                cov.set(self.model.id("cmd_done").expect("known event"));
+            }
+        }
+        Ok(cov)
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let env = RetryQueueEnv::new();
+    let flow = CdgFlow::new(env, FlowConfig::quick().scaled(4.0));
+    let outcome = flow.run_for_family("retry_depth", 7)?;
+    println!("{}", outcome.report());
+    println!("best template:\n{}", outcome.best_template);
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! Quickstart: run the whole AS-CDG flow against the simulated L3 cache.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The flow is fully automatic: give it an environment and a family stem,
+//! and it (1) runs the stock regression, (2) finds the uncovered family
+//! members, (3) mines the template library for relevant parameters,
+//! (4) skeletonizes the best template, (5) random-samples the settings
+//! space, (6) optimizes with implicit filtering and (7) harvests the best
+//! template.
+
+use ascdg::core::{CdgFlow, FlowConfig};
+use ascdg::duv::l3cache::L3Env;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // `quick()` uses a tiny budget (seconds); see `FlowConfig::paper_l3()`
+    // for the budgets of the paper's Fig. 4.
+    let flow = CdgFlow::new(L3Env::new(), FlowConfig::quick().scaled(4.0));
+
+    let outcome = flow.run_for_family("byp_reqs", 42)?;
+
+    println!("{}", outcome.report());
+    println!(
+        "targets ({}): {:?}",
+        outcome.targets.len(),
+        outcome
+            .targets
+            .iter()
+            .map(|&e| outcome.model.name(e).to_owned())
+            .collect::<Vec<_>>()
+    );
+    println!("relevant parameters: {:?}", outcome.relevant_params);
+    println!("harvested template:\n{}", outcome.best_template);
+    Ok(())
+}

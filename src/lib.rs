@@ -1,0 +1,39 @@
+//! AS-CDG — Automatic Scalable Coverage-Directed Generation.
+//!
+//! This facade crate re-exports the whole AS-CDG workspace behind one
+//! dependency, mirroring the paper's tool-suite structure:
+//!
+//! * [`coverage`] — coverage models, vectors, repository, status policy.
+//! * [`template`] — the parametrized test-template language and skeletons.
+//! * [`stimgen`] — the biased random stimuli generator.
+//! * [`duv`] — simulated designs-under-verification (I/O unit, L3 cache,
+//!   IFU) and their verification environments.
+//! * [`tac`] — Template-Aware Coverage statistics and queries.
+//! * [`opt`] — derivative-free optimization (implicit filtering and
+//!   baselines).
+//! * [`core`] — the AS-CDG flow itself: approximated targets, neighbor
+//!   discovery, Skeletonizer, random sampling, CDG-Runner, reports.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for an end-to-end run; the short version:
+//!
+//! ```no_run
+//! use ascdg::core::{CdgFlow, FlowConfig};
+//! use ascdg::duv::l3cache::L3Env;
+//!
+//! let env = L3Env::new();
+//! let flow = CdgFlow::new(env, FlowConfig::quick());
+//! let outcome = flow.run_for_family("byp_reqs", 42).unwrap();
+//! println!("{}", outcome.report());
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use ascdg_core as core;
+pub use ascdg_coverage as coverage;
+pub use ascdg_duv as duv;
+pub use ascdg_opt as opt;
+pub use ascdg_stimgen as stimgen;
+pub use ascdg_tac as tac;
+pub use ascdg_template as template;

@@ -1,0 +1,313 @@
+//! `ascdg` — command-line front end for the AS-CDG flow.
+//!
+//! ```text
+//! ascdg units
+//! ascdg run --unit l3 [--family byp_reqs] [--scale 0.1] [--seed 2021] [--json out.json]
+//! ascdg skeletonize path/to/template.tpl [--subranges 4] [--include-zero-weights]
+//! ascdg regress --unit io [--sims 1000]
+//! ```
+
+use std::process::ExitCode;
+
+use ascdg::core::{ApproxTarget, CdgFlow, FlowConfig, FlowObserver, PhaseStats};
+use ascdg::coverage::{CoverageRepository, EventFamily, RepoSnapshot, StatusPolicy};
+use ascdg::duv::synthetic::{SyntheticConfig, SyntheticEnv};
+use ascdg::duv::{ifu::IfuEnv, io_unit::IoEnv, l3cache::L3Env, VerifEnv};
+use ascdg::template::TestTemplate;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("units") => cmd_units(),
+        Some("run") => cmd_run(&args[1..]),
+        Some("skeletonize") => cmd_skeletonize(&args[1..]),
+        Some("regress") => cmd_regress(&args[1..]),
+        Some("campaign") => cmd_campaign(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+ascdg — automatic scalable coverage-directed generation
+
+USAGE:
+  ascdg units
+      List the built-in simulated units and their environments.
+  ascdg run --unit <io|l3|ifu|synthetic> [--family <stem>] [--scale <f>] [--seed <n>]
+            [--snapshot <path>] [--json <path>]
+      Run the full AS-CDG flow. Without --family, targets every event
+      still uncovered after regression (the IFU cross-product usage).
+      --scale multiplies the paper's simulation budgets (default 0.1);
+      --snapshot reuses a saved regression instead of re-running it.
+  ascdg skeletonize <file> [--subranges <n>] [--include-zero-weights]
+      Parse a test-template file and print its skeleton.
+  ascdg regress --unit <io|l3|ifu|synthetic> [--sims <n>] [--save <path>]
+      Run the stock regression only and print the coverage status;
+      --save writes the repository snapshot for later `run --snapshot`.
+  ascdg campaign --unit <io|l3|ifu|synthetic> [--scale <f>] [--seed <n>] [--json <path>]
+      Sweep every uncovered family of the unit with one flow run each
+      (the paper's per-unit deployment) and print the closure summary.
+";
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+/// Streams flow progress to stderr so long runs are not silent.
+struct StderrProgress;
+
+impl FlowObserver for StderrProgress {
+    fn on_coarse_choice(&mut self, template: &str, relevant_params: &[String]) {
+        eprintln!("coarse search chose `{template}`; relevant: {relevant_params:?}");
+    }
+
+    fn on_phase_start(&mut self, phase: &str, planned_sims: u64) {
+        eprintln!("{phase}: ~{planned_sims} simulations ...");
+    }
+
+    fn on_phase_done(&mut self, stats: &PhaseStats) {
+        eprintln!("{}: done ({} simulations)", stats.name, stats.sims);
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// The built-in units behind one object-safe handle.
+enum Unit {
+    Io(IoEnv),
+    L3(L3Env),
+    Ifu(IfuEnv),
+    Synthetic(SyntheticEnv),
+}
+
+impl Unit {
+    fn from_name(name: &str) -> Result<Self, String> {
+        match name {
+            "io" | "io_unit" => Ok(Unit::Io(IoEnv::new())),
+            "l3" | "l3cache" => Ok(Unit::L3(L3Env::new())),
+            "ifu" => Ok(Unit::Ifu(IfuEnv::new())),
+            // The CLI runs paper-scale budgets, so use a hard synthetic
+            // configuration (the library default is calibrated for
+            // test-scale budgets and would be fully covered here).
+            "synthetic" | "syn" => Ok(Unit::Synthetic(SyntheticEnv::new(SyntheticConfig {
+                hardness: 60.0,
+                top_threshold: 0.99,
+                ..SyntheticConfig::default()
+            }))),
+            other => Err(format!(
+                "unknown unit `{other}` (expected io, l3, ifu or synthetic)"
+            )),
+        }
+    }
+
+    fn env(&self) -> &dyn VerifEnv {
+        match self {
+            Unit::Io(e) => e,
+            Unit::L3(e) => e,
+            Unit::Ifu(e) => e,
+            Unit::Synthetic(e) => e,
+        }
+    }
+
+    fn default_family(&self) -> Option<&'static str> {
+        match self {
+            Unit::Io(_) => Some("crc_"),
+            Unit::L3(_) => Some("byp_reqs"),
+            Unit::Ifu(_) => None,
+            Unit::Synthetic(_) => Some("fam_"),
+        }
+    }
+
+    fn paper_config(&self) -> FlowConfig {
+        match self {
+            Unit::Io(_) => FlowConfig::paper_io(),
+            Unit::L3(_) => FlowConfig::paper_l3(),
+            Unit::Ifu(_) => FlowConfig::paper_ifu(),
+            Unit::Synthetic(_) => FlowConfig::paper_l3(),
+        }
+    }
+}
+
+fn cmd_units() -> CliResult {
+    for name in ["io", "l3", "ifu", "synthetic"] {
+        let unit = Unit::from_name(name).expect("built-in name");
+        let env = unit.env();
+        println!(
+            "{:<4} {:<8} {:>4} events  {:>3} parameters  {:>3} stock templates{}",
+            name,
+            env.unit_name(),
+            env.coverage_model().len(),
+            env.registry().len(),
+            env.stock_library().len(),
+            if env.coverage_model().cross_product().is_some() {
+                "  (cross-product model)"
+            } else {
+                ""
+            }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> CliResult {
+    let unit = Unit::from_name(flag_value(args, "--unit").ok_or("missing --unit")?)?;
+    let scale: f64 = flag_value(args, "--scale").map_or(Ok(0.1), str::parse)?;
+    let seed: u64 = flag_value(args, "--seed").map_or(Ok(2021), str::parse)?;
+    let family = flag_value(args, "--family").or_else(|| unit.default_family());
+
+    let config = unit.paper_config().scaled(scale);
+    let flow = CdgFlow::new(unit.env(), config);
+    let outcome = if let Some(snap_path) = flag_value(args, "--snapshot") {
+        // Reuse a saved regression: restore the repository and derive the
+        // targets from it, skipping the (expensive) regression phase.
+        let snap: RepoSnapshot = serde_json::from_str(&std::fs::read_to_string(snap_path)?)?;
+        let repo = CoverageRepository::from_snapshot(unit.env().coverage_model().clone(), &snap)?;
+        let targets = match family {
+            Some(stem) => {
+                let fam = EventFamily::discover(unit.env().coverage_model())
+                    .into_iter()
+                    .find(|f| f.stem() == stem)
+                    .ok_or_else(|| format!("no family with stem `{stem}`"))?;
+                fam.events()
+                    .into_iter()
+                    .filter(|&e| repo.global_stats(e).hits == 0)
+                    .collect::<Vec<_>>()
+            }
+            None => repo.uncovered_events(),
+        };
+        if targets.is_empty() {
+            return Err("nothing uncovered in the snapshot".into());
+        }
+        flow.run_phases(&repo, &targets, seed)?
+    } else {
+        eprintln!("running stock regression ...");
+        let repo = flow.run_regression(seed.wrapping_add(0xbef0))?;
+        let targets = match family {
+            Some(stem) => {
+                let fam = EventFamily::discover(unit.env().coverage_model())
+                    .into_iter()
+                    .find(|f| f.stem() == stem)
+                    .ok_or_else(|| format!("no family with stem `{stem}`"))?;
+                fam.events()
+                    .into_iter()
+                    .filter(|&e| repo.global_stats(e).hits == 0)
+                    .collect::<Vec<_>>()
+            }
+            None => repo.uncovered_events(),
+        };
+        if targets.is_empty() {
+            return Err("nothing uncovered after regression".into());
+        }
+        eprintln!("targets: {} uncovered events", targets.len());
+        let approx = ApproxTarget::auto(unit.env().coverage_model(), &targets, 0.5)?;
+        flow.run_phases_observed(&repo, approx, seed, &mut StderrProgress)?
+    };
+    println!("{}", outcome.report());
+    println!("harvested template:\n{}", outcome.best_template);
+
+    if let Some(path) = flag_value(args, "--json") {
+        std::fs::write(path, serde_json::to_string_pretty(&outcome)?)?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_skeletonize(args: &[String]) -> CliResult {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--") && flag_is_positional(args, a))
+        .ok_or("missing template file")?;
+    let subranges: usize = flag_value(args, "--subranges").map_or(Ok(4), str::parse)?;
+    let src = std::fs::read_to_string(path)?;
+    let template = TestTemplate::parse(&src)?;
+    let skeleton = ascdg::core::Skeletonizer::new()
+        .with_subranges(subranges)
+        .include_zero_weights(has_flag(args, "--include-zero-weights"))
+        .skeletonize(&template)?;
+    print!("{skeleton}");
+    eprintln!(
+        "{} free slots: {:?}",
+        skeleton.num_slots(),
+        skeleton.slot_labels()
+    );
+    Ok(())
+}
+
+/// Returns `true` when `arg` is not the value of a preceding `--flag`.
+fn flag_is_positional(args: &[String], arg: &str) -> bool {
+    match args.iter().position(|a| a == arg) {
+        Some(0) => true,
+        Some(i) => !args[i - 1].starts_with("--"),
+        None => false,
+    }
+}
+
+fn cmd_regress(args: &[String]) -> CliResult {
+    let unit = Unit::from_name(flag_value(args, "--unit").ok_or("missing --unit")?)?;
+    let sims: u64 = flag_value(args, "--sims").map_or(Ok(1000), str::parse)?;
+    let env = unit.env();
+    let mut config = FlowConfig::quick();
+    config.regression_sims_per_template = sims;
+    config.threads = ascdg::core::BatchRunner::parallel().threads();
+    let flow = CdgFlow::new(env, config);
+    let repo = flow.run_regression(1)?;
+    let counts = repo.status_counts(StatusPolicy::default());
+    println!(
+        "{}: {} sims over {} templates -> {}",
+        env.unit_name(),
+        repo.total_simulations(),
+        env.stock_library().len(),
+        counts
+    );
+    if let Some(path) = flag_value(args, "--save") {
+        std::fs::write(path, serde_json::to_string(&repo.snapshot())?)?;
+        eprintln!("wrote snapshot to {path}");
+    }
+    let uncovered = repo.uncovered_events();
+    println!("uncovered events ({}):", uncovered.len());
+    for e in uncovered.iter().take(40) {
+        println!("  {}", env.coverage_model().name(*e));
+    }
+    if uncovered.len() > 40 {
+        println!("  ... and {} more", uncovered.len() - 40);
+    }
+    Ok(())
+}
+
+fn cmd_campaign(args: &[String]) -> CliResult {
+    let unit = Unit::from_name(flag_value(args, "--unit").ok_or("missing --unit")?)?;
+    let scale: f64 = flag_value(args, "--scale").map_or(Ok(0.1), str::parse)?;
+    let seed: u64 = flag_value(args, "--seed").map_or(Ok(2021), str::parse)?;
+    let config = unit.paper_config().scaled(scale);
+    let flow = CdgFlow::new(unit.env(), config);
+    eprintln!("running campaign (regression + one flow per uncovered family) ...");
+    let outcome = flow.run_campaign(seed)?;
+    print!("{}", outcome.summary());
+    println!("harvested templates:");
+    for (_, t) in outcome.harvested.iter() {
+        println!("  {}", t.name());
+    }
+    if let Some(path) = flag_value(args, "--json") {
+        std::fs::write(path, serde_json::to_string_pretty(&outcome)?)?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Golden test for the paper's Fig. 1: the exact skeleton induced by the
+//! LSU-stress template snippet.
+
+use ascdg::core::Skeletonizer;
+use ascdg::template::{Skeleton, TestTemplate};
+
+const FIG1A: &str = r#"
+template lsu_stress {
+  param Mnemonic: weights { load: 30, store: 30, add: 0, sync: 5 }
+  param CacheDelay: range [0, 100)
+}
+"#;
+
+/// The expected Fig. 1(b) skeleton in canonical form: weights marked,
+/// the intentional zero kept fixed, the range split into weighted
+/// subranges.
+const FIG1B_GOLDEN: &str = "template lsu_stress {
+  param Mnemonic: weights { load: <w0>, store: <w1>, add: 0, sync: <w2> }
+  param CacheDelay: weights { [0, 25): <w3>, [25, 50): <w4>, [50, 75): <w5>, [75, 100): <w6> }
+}
+";
+
+#[test]
+fn fig1_skeleton_matches_golden() {
+    let template = TestTemplate::parse(FIG1A).expect("Fig. 1(a) parses");
+    let skeleton = Skeletonizer::new()
+        .with_subranges(4)
+        .skeletonize(&template)
+        .expect("skeletonizes");
+    assert_eq!(skeleton.to_string(), FIG1B_GOLDEN);
+}
+
+#[test]
+fn fig1_golden_round_trips() {
+    let skeleton = Skeleton::parse(FIG1B_GOLDEN).expect("golden parses");
+    assert_eq!(skeleton.num_slots(), 7);
+    assert_eq!(skeleton.to_string(), FIG1B_GOLDEN);
+}
+
+#[test]
+fn fig1_instantiation_recovers_a_concrete_template() {
+    let skeleton = Skeleton::parse(FIG1B_GOLDEN).expect("golden parses");
+    // Settings biased to short delays, as the paper's Section IV-C example
+    // describes ("high weights for the low subrange").
+    let t = skeleton
+        .instantiate(&[0.3, 0.3, 0.05, 1.0, 0.1, 0.1, 0.1])
+        .expect("dimension matches");
+    let delay = t.param("CacheDelay").unwrap().weighted_values().unwrap();
+    assert_eq!(delay[0].weight, 100);
+    assert!(delay[1..].iter().all(|w| w.weight == 10));
+    // The intentional zero stays zero.
+    let mnemonic = t.param("Mnemonic").unwrap().weighted_values().unwrap();
+    assert_eq!(mnemonic[2].weight, 0);
+}

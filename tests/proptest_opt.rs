@@ -1,0 +1,170 @@
+//! Property-based tests for the DFO optimizers: bound preservation,
+//! budget accounting, trace monotonicity and determinism for arbitrary
+//! configurations.
+
+use proptest::prelude::*;
+use std::cell::RefCell;
+
+use ascdg::opt::{
+    Bounds, CompassOptions, CompassSearch, FnObjective, IfBfgsOptions, IfOptions,
+    ImplicitFiltering, ImplicitFilteringBfgs, NelderMead, NmOptions, Optimizer, RandomSearch,
+    RsOptions, Spsa, SpsaOptions,
+};
+
+fn if_options() -> impl Strategy<Value = IfOptions> {
+    (1usize..8, 0.05f64..0.5, 1usize..30, any::<bool>()).prop_map(
+        |(n_directions, initial_step, max_iters, resample_center)| IfOptions {
+            n_directions,
+            initial_step,
+            min_step: 1e-3,
+            max_iters,
+            max_evals: 0,
+            target_value: None,
+            resample_center,
+            direction_mode: Default::default(),
+        },
+    )
+}
+
+/// `Box<dyn Optimizer>` with a `Debug` impl so proptest can print
+/// counterexamples.
+struct AnyOpt(Box<dyn Optimizer>);
+
+impl std::fmt::Debug for AnyOpt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AnyOpt({})", self.0.name())
+    }
+}
+
+impl std::ops::Deref for AnyOpt {
+    type Target = dyn Optimizer;
+
+    fn deref(&self) -> &Self::Target {
+        &*self.0
+    }
+}
+
+fn optimizers() -> impl Strategy<Value = (usize, AnyOpt)> {
+    (1usize..5, 0usize..6, if_options()).prop_map(|(dim, which, ifo)| {
+        let opt: Box<dyn Optimizer> = match which {
+            0 => Box::new(ImplicitFiltering::new(ifo)),
+            1 => Box::new(RandomSearch::new(RsOptions {
+                samples: 60,
+                target_value: None,
+            })),
+            2 => Box::new(CompassSearch::new(CompassOptions {
+                max_iters: 30,
+                ..CompassOptions::default()
+            })),
+            3 => Box::new(NelderMead::new(NmOptions {
+                max_iters: 30,
+                ..NmOptions::default()
+            })),
+            4 => Box::new(Spsa::new(SpsaOptions {
+                max_iters: 30,
+                ..SpsaOptions::default()
+            })),
+            _ => Box::new(ImplicitFilteringBfgs::new(IfBfgsOptions {
+                max_iters: 30,
+                ..IfBfgsOptions::default()
+            })),
+        };
+        (dim, AnyOpt(opt))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every optimizer keeps all of its evaluation points inside the box
+    /// and reports `best_x` inside the box.
+    #[test]
+    fn iterates_stay_in_bounds(
+        (dim, opt) in optimizers(),
+        start in proptest::collection::vec(0.0f64..1.0, 5),
+        seed in any::<u64>(),
+    ) {
+        let bounds = Bounds::unit(dim);
+        let seen = RefCell::new(Vec::new());
+        let result = {
+            let mut f = FnObjective::new(dim, |x: &[f64]| {
+                seen.borrow_mut().push(x.to_vec());
+                -x.iter().map(|v| (v - 0.4) * (v - 0.4)).sum::<f64>()
+            });
+            opt.maximize(&mut f, &bounds, &start[..dim], seed)
+        };
+        for p in seen.borrow().iter() {
+            prop_assert!(bounds.contains(p), "{} escaped: {p:?}", opt.name());
+        }
+        prop_assert!(bounds.contains(&result.best_x));
+        prop_assert_eq!(result.evals as usize, seen.borrow().len());
+    }
+
+    /// `running_best` never decreases along the trace, and `best_value`
+    /// matches the final running best.
+    #[test]
+    fn trace_running_best_is_monotone(
+        (dim, opt) in optimizers(),
+        seed in any::<u64>(),
+    ) {
+        let bounds = Bounds::unit(dim);
+        let mut f = FnObjective::new(dim, |x: &[f64]| x.iter().sum::<f64>());
+        let result = opt.maximize(&mut f, &bounds, &vec![0.5; dim], seed);
+        let mut prev = f64::NEG_INFINITY;
+        for rec in &result.trace {
+            prop_assert!(rec.running_best >= prev, "{}", opt.name());
+            prev = rec.running_best;
+        }
+    }
+
+    /// The evaluation budget is a hard cap (within one stencil's worth of
+    /// slack for batch-sampled methods).
+    #[test]
+    fn eval_budget_is_respected(
+        dim in 1usize..5,
+        budget in 5u64..100,
+        seed in any::<u64>(),
+    ) {
+        let opt = ImplicitFiltering::new(IfOptions {
+            max_evals: budget,
+            max_iters: usize::MAX,
+            min_step: 0.0,
+            ..IfOptions::default()
+        });
+        let mut f = FnObjective::new(dim, |x: &[f64]| x[0]);
+        let result = opt.maximize(&mut f, &Bounds::unit(dim), &vec![0.5; dim], seed);
+        prop_assert!(result.evals <= budget + 1, "spent {} of {budget}", result.evals);
+    }
+
+    /// Same seed, same result — for every optimizer.
+    #[test]
+    fn optimizers_are_deterministic(
+        (dim, opt) in optimizers(),
+        seed in any::<u64>(),
+    ) {
+        let bounds = Bounds::unit(dim);
+        let run = || {
+            let mut f = FnObjective::new(dim, |x: &[f64]| {
+                -(x[0] - 0.3).abs() - x.iter().skip(1).sum::<f64>() * 0.1
+            });
+            opt.maximize(&mut f, &bounds, &vec![0.9; dim], seed)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// On a smooth concave objective, implicit filtering never ends worse
+    /// than its starting point's value.
+    #[test]
+    fn if_never_regresses_from_start(
+        dim in 1usize..5,
+        start in proptest::collection::vec(0.0f64..1.0, 5),
+        seed in any::<u64>(),
+    ) {
+        let start = &start[..dim];
+        let value = |x: &[f64]| -x.iter().map(|v| (v - 0.6) * (v - 0.6)).sum::<f64>();
+        let mut f = FnObjective::new(dim, value);
+        let result = ImplicitFiltering::new(IfOptions::default())
+            .maximize(&mut f, &Bounds::unit(dim), start, seed);
+        prop_assert!(result.best_value >= value(start) - 1e-12);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the template language: printer/parser
+//! round-trips, skeletonization and instantiation invariants.
+
+use proptest::prelude::*;
+
+use ascdg::core::Skeletonizer;
+use ascdg::template::{
+    ParamDef, ParamKind, ParamRegistry, Skeleton, TestTemplate, Value, WeightedValue,
+};
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_filter("reserved words collide with keywords", |s| {
+        !matches!(s.as_str(), "template" | "param" | "weights" | "range")
+    })
+}
+
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        ident().prop_map(Value::Ident),
+        (-1000i64..1000).prop_map(Value::Int),
+        (-1000i64..1000, 1i64..500).prop_map(|(lo, w)| Value::SubRange { lo, hi: lo + w }),
+    ]
+}
+
+fn weights_param(name: String) -> impl Strategy<Value = ParamDef> {
+    proptest::collection::vec((value(), 0u32..200), 1..6).prop_map(move |mut pairs| {
+        // Guarantee a drawable value.
+        pairs[0].1 = pairs[0].1.max(1);
+        let ws: Vec<WeightedValue> = pairs
+            .into_iter()
+            .map(|(v, w)| WeightedValue::new(v, w))
+            .collect();
+        ParamDef::new(name.clone(), ParamKind::Weights(ws)).expect("non-zero total")
+    })
+}
+
+fn range_param(name: String) -> impl Strategy<Value = ParamDef> {
+    (-1000i64..1000, 1i64..500)
+        .prop_map(move |(lo, w)| ParamDef::range(name.clone(), lo, lo + w).expect("non-empty"))
+}
+
+fn param(name: String) -> impl Strategy<Value = ParamDef> {
+    prop_oneof![weights_param(name.clone()), range_param(name)]
+}
+
+fn template() -> impl Strategy<Value = TestTemplate> {
+    (ident(), proptest::collection::btree_set(ident(), 0..5))
+        .prop_flat_map(|(name, param_names)| {
+            let params: Vec<_> = param_names.into_iter().map(param).collect();
+            (Just(name), params)
+        })
+        .prop_map(|(name, params)| TestTemplate::new(name, params).expect("unique names"))
+}
+
+proptest! {
+    /// The canonical printer output always parses back to the same value.
+    #[test]
+    fn print_parse_roundtrip(t in template()) {
+        let text = t.to_string();
+        let parsed = TestTemplate::parse(&text)
+            .unwrap_or_else(|e| panic!("printed template failed to parse: {e}\n{text}"));
+        prop_assert_eq!(parsed, t);
+    }
+
+    /// Skeletons print and parse back identically.
+    #[test]
+    fn skeleton_roundtrip(t in template()) {
+        let Ok(sk) = Skeletonizer::new().skeletonize(&t) else {
+            // Templates with zero tunable settings are legitimately rejected.
+            return Ok(());
+        };
+        let text = sk.to_string();
+        let parsed = Skeleton::parse(&text)
+            .unwrap_or_else(|e| panic!("printed skeleton failed to parse: {e}\n{text}"));
+        prop_assert_eq!(parsed, sk);
+    }
+
+    /// Instantiation maps any point of the unit box to a template whose
+    /// weights are within scale and whose parameters all stay drawable.
+    #[test]
+    fn instantiation_invariants(
+        t in template(),
+        settings in proptest::collection::vec(-0.5f64..1.5, 0..64),
+    ) {
+        let Ok(sk) = Skeletonizer::new().skeletonize(&t) else { return Ok(()); };
+        let mut x = settings;
+        x.resize(sk.num_slots(), 0.5);
+        let inst = sk.instantiate(&x).expect("dimension matches");
+        prop_assert_eq!(inst.params().len(), t.params().len());
+        for p in inst.params() {
+            let ws = p.weighted_values().expect("skeletonized params are weights");
+            prop_assert!(ws.iter().any(|w| w.weight > 0), "undrawable param {}", p.name());
+            for w in ws {
+                prop_assert!(w.weight <= sk.max_weight().max(1));
+            }
+        }
+    }
+
+    /// Zero-weight values survive skeletonization untouched by default.
+    #[test]
+    fn zero_weights_stay_fixed(t in template(), x in 0.0f64..1.0) {
+        let Ok(sk) = Skeletonizer::new().skeletonize(&t) else { return Ok(()); };
+        let inst = sk.instantiate(&vec![x; sk.num_slots()]).expect("dims");
+        for (orig, new) in t.params().iter().zip(inst.params()) {
+            if let Some(ws) = orig.weighted_values() {
+                for (ow, nw) in ws.iter().zip(new.weighted_values().expect("weights")) {
+                    if ow.weight == 0 {
+                        // Fixed zero unless the all-zero guard had to raise
+                        // free slots (which never touches fixed zeros).
+                        prop_assert_eq!(nw.weight, 0);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A registry built from a template's own params accepts the template,
+    /// and resolution returns exactly the overridden definitions.
+    #[test]
+    fn registry_accepts_own_templates(t in template()) {
+        let registry: ParamRegistry = t.params().iter().cloned().collect();
+        prop_assert!(registry.validate(&t).is_ok());
+        let resolved = registry.resolve(&t).expect("validates");
+        for p in t.params() {
+            prop_assert_eq!(resolved.get(p.name()), Some(p));
+        }
+    }
+
+    /// Parsing arbitrary junk never panics.
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,200}") {
+        let _ = TestTemplate::parse(&s);
+        let _ = Skeleton::parse(&s);
+    }
+}

@@ -1,0 +1,160 @@
+//! Integration tests on the configurable synthetic environment: the flow
+//! must close coverage on a unit it has never seen, and hardness must
+//! behave like a dial.
+
+use ascdg::core::{CdgFlow, FlowConfig, PHASE_BEFORE, PHASE_BEST};
+use ascdg::duv::synthetic::{SyntheticConfig, SyntheticEnv};
+use ascdg::duv::VerifEnv;
+
+fn config() -> FlowConfig {
+    FlowConfig {
+        regression_sims_per_template: 300,
+        tac_top_n: 2,
+        sample_templates: 30,
+        sample_sims: 20,
+        opt_iterations: 10,
+        opt_directions: 8,
+        opt_sims: 25,
+        opt_initial_step: 0.25,
+        opt_target_value: None,
+        refine_iterations: 0,
+        best_sims: 400,
+        subranges: 4,
+        include_zero_weights: false,
+        neighbor_decay: 0.5,
+        threads: 2,
+    }
+}
+
+#[test]
+fn flow_closes_coverage_on_synthetic_unit() {
+    let env = SyntheticEnv::default();
+    let flow = CdgFlow::new(env, config());
+    let out = flow.run_for_family("fam_", 21).expect("flow runs");
+
+    let before = out.phase(PHASE_BEFORE).unwrap();
+    let best = out.phase(PHASE_BEST).unwrap();
+    // At least one previously uncovered family member becomes covered.
+    let newly = out
+        .targets
+        .iter()
+        .filter(|&&e| before.hits[e.index()] == 0 && best.hits[e.index()] > 0)
+        .count();
+    assert!(newly > 0, "flow covered none of {:?}", out.targets);
+
+    // The coarse search must pick the sweep template — the only stock
+    // template carrying the relevant knobs.
+    assert_eq!(out.chosen_template, "syn_sweep");
+    // All knobs must rank ahead of any decoy that leaks in through the
+    // lower TAC ranks (the paper's coarse search also returns a top-n
+    // union, not a perfectly clean set).
+    let first_decoy = out
+        .relevant_params
+        .iter()
+        .position(|p| p.starts_with("Decoy"))
+        .unwrap_or(usize::MAX);
+    let last_knob = out
+        .relevant_params
+        .iter()
+        .rposition(|p| p.starts_with("Knob"))
+        .expect("knobs must be in the relevant set");
+    assert!(
+        last_knob < first_decoy,
+        "decoys outrank knobs: {:?}",
+        out.relevant_params
+    );
+}
+
+#[test]
+fn harvested_settings_approach_hidden_optimum() {
+    let env = SyntheticEnv::default();
+    let optimum = env.hidden_optimum().to_vec();
+    let flow = CdgFlow::new(env, config());
+    let out = flow.run_for_family("fam_", 33).expect("flow runs");
+
+    // Decode the harvested template's per-knob expected value and compare
+    // against the hidden optimum: the flow should land in the right
+    // quarters, i.e. clearly closer than the default configuration.
+    let quality = |xs: &[f64]| {
+        1.0 - xs
+            .iter()
+            .zip(&optimum)
+            .map(|(x, o)| (x - o).abs())
+            .sum::<f64>()
+            / optimum.len() as f64
+    };
+    let expected_knob = |t: &ascdg::template::TestTemplate, i: usize| -> f64 {
+        let p = t.param(&format!("Knob{i:02}")).expect("knob present");
+        let ws = p.weighted_values().expect("weights");
+        let total: f64 = ws.iter().map(|w| f64::from(w.weight)).sum();
+        ws.iter()
+            .map(|w| match w.value {
+                ascdg::template::Value::SubRange { lo, hi } => {
+                    f64::from(w.weight) / total * ((lo + hi) as f64 / 2.0 / 100.0)
+                }
+                _ => 0.0,
+            })
+            .sum()
+    };
+    let harvested: Vec<f64> = (0..optimum.len())
+        .map(|i| expected_knob(&out.best_template, i))
+        .collect();
+    let default = vec![0.17; optimum.len()]; // the default low-quarter bias
+    assert!(
+        quality(&harvested) > quality(&default) + 0.1,
+        "harvested {harvested:?} not meaningfully closer to optimum {optimum:?}"
+    );
+}
+
+#[test]
+fn harder_configs_cover_less() {
+    // Compare the *regression* coverage of the family under an easy and a
+    // brutal configuration: the hardness dial must strictly reduce what
+    // stock traffic reaches.
+    let covered_family_hits = |hardness: f64, top: f64| {
+        let env = SyntheticEnv::new(SyntheticConfig {
+            hardness,
+            top_threshold: top,
+            ..SyntheticConfig::default()
+        });
+        let flow = CdgFlow::new(env, config());
+        let repo = flow.run_regression(9).expect("regression runs");
+        let model = flow.env().coverage_model();
+        model
+            .event_ids()
+            .filter(|&e| model.name(e).starts_with("fam_"))
+            .filter(|&e| repo.global_stats(e).hits > 0)
+            .count()
+    };
+    let easy = covered_family_hits(12.0, 0.80);
+    let brutal = covered_family_hits(60.0, 0.99);
+    assert!(
+        easy > brutal,
+        "hardness dial too weak: easy {easy} covered vs brutal {brutal}"
+    );
+
+    // And the flow still functions on the brutal configuration.
+    let env = SyntheticEnv::new(SyntheticConfig {
+        hardness: 60.0,
+        top_threshold: 0.99,
+        ..SyntheticConfig::default()
+    });
+    let flow = CdgFlow::new(env, config());
+    let out = flow.run_for_family("fam_", 9).expect("flow runs");
+    assert!(!out.targets.is_empty());
+}
+
+#[test]
+fn synthetic_env_works_with_multi_target() {
+    let env = SyntheticEnv::default();
+    let flow = CdgFlow::new(env, config());
+    let repo = flow.run_regression(2).expect("regression runs");
+    let model = flow.env().coverage_model();
+    let groups = vec![
+        vec![model.id("fam_07").unwrap()],
+        vec![model.id("fam_08").unwrap()],
+    ];
+    let out = flow.run_multi_target(&repo, &groups, 3).expect("runs");
+    assert_eq!(out.groups.len(), 2);
+    assert!(out.total_sims > 0);
+}
