@@ -1,0 +1,65 @@
+//! Criterion bench for the persistent simulation pool: the paper_io
+//! implicit-filtering phase at 1 worker vs the machine-sized pool, plus
+//! the raw point-batch fan-out of `BatchRunner::run_many`.
+//!
+//! On a >= 4-core machine the `threads/N` case should run the phase at
+//! least 2x faster than `threads/1`; the result stays byte-identical
+//! either way (asserted by the `ascdg_bench::parallel` tests, not here —
+//! benches only time).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use ascdg_core::{machine_threads, pool_scope, BatchRunner};
+use ascdg_duv::{io_unit::IoEnv, VerifEnv};
+
+fn bench_if_phase(c: &mut Criterion) {
+    let threads_cases: Vec<usize> = if machine_threads() > 1 {
+        vec![1, machine_threads()]
+    } else {
+        vec![1, 4]
+    };
+    let pool_size = *threads_cases.last().unwrap();
+    let harness =
+        ascdg_bench::parallel::PhaseHarness::new(0.05, 11, pool_size).expect("setup runs");
+    let mut g = c.benchmark_group("implicit_filtering_phase");
+    for threads in threads_cases {
+        g.bench_function(&format!("threads/{threads}"), |b| {
+            b.iter(|| black_box(harness.run(threads, 11)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_run_many(c: &mut Criterion) {
+    let env = IoEnv::new();
+    let template = env
+        .stock_library()
+        .by_name("io_burst_stress")
+        .unwrap()
+        .1
+        .clone();
+    let points: Vec<_> = (0..20u64).map(|i| (template.clone(), 1000 + i)).collect();
+    const SIMS_PER_POINT: u64 = 50;
+
+    let mut g = c.benchmark_group("run_many_20x50");
+    g.throughput(Throughput::Elements(points.len() as u64 * SIMS_PER_POINT));
+    g.bench_function("serial", |b| {
+        let runner = BatchRunner::new(1);
+        b.iter(|| black_box(runner.run_many(&env, &points, SIMS_PER_POINT).unwrap()))
+    });
+    g.bench_function("pooled", |b| {
+        pool_scope(0, |pool| {
+            let runner = BatchRunner::with_pool(pool);
+            b.iter(|| black_box(runner.run_many(&env, &points, SIMS_PER_POINT).unwrap()))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_if_phase, bench_run_many
+}
+criterion_main!(benches);

@@ -107,7 +107,13 @@ fn if_options(config: &FlowConfig) -> IfOptions {
 /// Re-assesses a settings vector with an independent batch, so optimizers
 /// with different evaluation counts are compared without the upward bias
 /// of "max over noisy samples".
-fn assess(setup: &L3Setup, runner: &BatchRunner, x: &[f64], sims: u64, seed: u64) -> f64 {
+fn assess<'env>(
+    setup: &'env L3Setup,
+    runner: &BatchRunner<'env>,
+    x: &[f64],
+    sims: u64,
+    seed: u64,
+) -> f64 {
     let template = setup
         .skeleton
         .instantiate(x)

@@ -1,0 +1,46 @@
+//! Emits `BENCH_parallel.json`: wall-clock and throughput of the paper_io
+//! implicit-filtering phase at 1 worker thread vs a parallel pool, plus
+//! the byte-identity verdicts (phase statistics, best settings, regression
+//! repository) between the two runs.
+//!
+//! Usage: `bench_parallel [--scale <f>] [--seed <n>] [--threads <n>]` —
+//! `--threads 0` (the default) sizes the pool to the machine.
+
+fn main() {
+    let (scale, seed) = ascdg_bench::parse_cli(0.3, 2021);
+    let threads = parse_threads(0);
+    eprintln!("bench_parallel: paper_io optimization phase, scale {scale}, seed {seed}");
+    let report =
+        ascdg_bench::parallel::parallel_bench(scale, seed, threads).expect("parallel bench failed");
+    eprintln!(
+        "serial:   {:>10.1} ms  {:>10.0} sims/s ({} sims, 1 thread)",
+        report.serial.wall_ms, report.serial.sims_per_sec, report.serial.sims
+    );
+    eprintln!(
+        "parallel: {:>10.1} ms  {:>10.0} sims/s ({} sims, {} threads)",
+        report.parallel.wall_ms,
+        report.parallel.sims_per_sec,
+        report.parallel.sims,
+        report.parallel.threads
+    );
+    eprintln!(
+        "speedup: {:.2}x | phase identical: {} | repo identical: {}",
+        report.speedup, report.phase_identical, report.repo_identical
+    );
+    assert!(
+        report.phase_identical && report.repo_identical,
+        "parallel run diverged from serial — determinism bug"
+    );
+    let json = serde_json::to_string_pretty(&report).expect("serialize");
+    std::fs::write("BENCH_parallel.json", json).expect("write BENCH_parallel.json");
+    eprintln!("wrote BENCH_parallel.json");
+}
+
+fn parse_threads(default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}

@@ -1,0 +1,244 @@
+//! The stencil-parallelism benchmark behind `BENCH_parallel.json`.
+//!
+//! Measures the paper_io implicit-filtering phase — the flow's hot loop —
+//! at 1 worker thread and at a parallel worker count on the persistent
+//! simulation pool, and verifies that the parallel run is *byte-identical*
+//! to the serial one: same per-event phase statistics, same best settings,
+//! same regression repository contents.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use ascdg_core::{
+    machine_threads, pool_scope, ApproxTarget, BatchRunner, BatchStats, CdgFlow, CdgObjective,
+    FlowConfig, FlowError, Skeletonizer,
+};
+use ascdg_coverage::EventFamily;
+use ascdg_duv::{io_unit::IoEnv, VerifEnv};
+use ascdg_opt::{Bounds, IfOptions, ImplicitFiltering, Optimizer};
+use ascdg_stimgen::mix_seed;
+use ascdg_tac::TacQuery;
+use ascdg_template::Skeleton;
+
+/// One thread count's measurement of the implicit-filtering phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreadMeasurement {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock time of the phase, in milliseconds.
+    pub wall_ms: f64,
+    /// Simulations the phase ran.
+    pub sims: u64,
+    /// Simulation throughput (simulations per wall-clock second).
+    pub sims_per_sec: f64,
+}
+
+/// The full report written to `BENCH_parallel.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParallelBenchReport {
+    /// Budget scale relative to the paper's Fig. 3 numbers.
+    pub scale: f64,
+    /// Base seed of the run.
+    pub seed: u64,
+    /// Available cores on the machine that produced the numbers.
+    pub machine_threads: usize,
+    /// The implicit-filtering phase at 1 worker thread.
+    pub serial: ThreadMeasurement,
+    /// The same phase on the parallel worker pool.
+    pub parallel: ThreadMeasurement,
+    /// `serial.wall_ms / parallel.wall_ms`.
+    pub speedup: f64,
+    /// Whether the serial and parallel phase results (per-event hit
+    /// counts, best value, best settings) were byte-identical.
+    pub phase_identical: bool,
+    /// Whether a 1-thread and an N-thread regression produced identical
+    /// repository contents.
+    pub repo_identical: bool,
+}
+
+/// The paper_io setup the measurements share: everything up to (but not
+/// including) the optimization phase, plus the serial/parallel regression
+/// identity verdict. Build once, then [`PhaseHarness::run`] the phase at
+/// any thread count.
+pub struct PhaseHarness {
+    env: IoEnv,
+    config: FlowConfig,
+    skeleton: Skeleton,
+    approx: ApproxTarget,
+    start: Vec<f64>,
+    repo_identical: bool,
+}
+
+impl PhaseHarness {
+    /// Builds the shared setup at the given paper_io budget scale:
+    /// regression (run twice — serially and on a pool of
+    /// `parallel_threads` workers — to verify repository identity), target
+    /// discovery, neighbor weighting, coarse TAC search, skeletonization.
+    ///
+    /// # Errors
+    ///
+    /// Propagates regression/TAC/skeletonization failures.
+    pub fn new(scale: f64, seed: u64, parallel_threads: usize) -> Result<Self, FlowError> {
+        let env = IoEnv::new();
+        let config = FlowConfig::paper_io().scaled(scale);
+        let model = env.coverage_model();
+
+        // Regression once serially and once on the pool: the repository
+        // contents must not depend on the worker count.
+        let serial_repo = {
+            let mut cfg = config.clone();
+            cfg.threads = 1;
+            CdgFlow::new(env.clone(), cfg).run_regression(mix_seed(seed, 0xbef0))?
+        };
+        let parallel_repo = {
+            let mut cfg = config.clone();
+            cfg.threads = parallel_threads;
+            CdgFlow::new(env.clone(), cfg).run_regression(mix_seed(seed, 0xbef0))?
+        };
+        let repo_identical = serial_repo.snapshot() == parallel_repo.snapshot();
+
+        let family = EventFamily::discover(model)
+            .into_iter()
+            .find(|f| f.stem() == "crc_")
+            .expect("io_unit declares the crc_ family");
+        let targets: Vec<_> = family
+            .events()
+            .into_iter()
+            .filter(|&e| serial_repo.global_stats(e).hits == 0)
+            .collect();
+        if targets.is_empty() {
+            return Err(FlowError::NoTargets("crc_ family covered".to_owned()));
+        }
+        let approx = ApproxTarget::auto(model, &targets, config.neighbor_decay)?;
+        let ranking = TacQuery::new(approx.weights().iter().copied()).top_n(&serial_repo, 1);
+        let chosen = ranking.first().ok_or(FlowError::NoEvidence)?;
+        let template = env
+            .stock_library()
+            .get(chosen.template.index())
+            .expect("TAC ranks recorded templates")
+            .clone();
+        let skeleton = Skeletonizer::new()
+            .with_subranges(config.subranges)
+            .skeletonize(&template)?;
+        // A fixed deterministic start point keeps every measurement on the
+        // exact same optimizer trajectory.
+        let start = Bounds::unit(skeleton.num_slots()).center();
+        Ok(PhaseHarness {
+            env,
+            config,
+            skeleton,
+            approx,
+            start,
+            repo_identical,
+        })
+    }
+
+    /// Whether the serial and pooled regressions produced identical
+    /// repository contents.
+    #[must_use]
+    pub fn repo_identical(&self) -> bool {
+        self.repo_identical
+    }
+
+    /// Runs the implicit-filtering phase on a pool of `threads` workers
+    /// and returns its measurement plus the phase statistics and best
+    /// settings for identity checking.
+    #[must_use]
+    pub fn run(&self, threads: usize, seed: u64) -> (ThreadMeasurement, BatchStats, Vec<f64>) {
+        let cfg = &self.config;
+        pool_scope(threads, |pool| {
+            let runner = BatchRunner::with_pool(pool);
+            let mut obj = CdgObjective::new(
+                &self.env,
+                &self.skeleton,
+                &self.approx,
+                cfg.opt_sims,
+                runner,
+                mix_seed(seed, 0x0b7),
+            );
+            let optimizer = ImplicitFiltering::new(IfOptions {
+                n_directions: cfg.opt_directions,
+                initial_step: cfg.opt_initial_step,
+                min_step: 1e-4,
+                max_iters: cfg.opt_iterations,
+                resample_center: true,
+                ..IfOptions::default()
+            });
+            let clock = Instant::now();
+            let result = optimizer.maximize(
+                &mut obj,
+                &Bounds::unit(self.skeleton.num_slots()),
+                &self.start,
+                mix_seed(seed, 2),
+            );
+            let elapsed = clock.elapsed().as_secs_f64();
+            let stats = obj.phase_stats();
+            let m = ThreadMeasurement {
+                threads: pool.threads(),
+                wall_ms: elapsed * 1e3,
+                sims: stats.sims,
+                sims_per_sec: if elapsed > 0.0 {
+                    stats.sims as f64 / elapsed
+                } else {
+                    0.0
+                },
+            };
+            (m, stats, result.best_x)
+        })
+    }
+}
+
+/// Runs the whole benchmark: regression identity, then the paper_io
+/// implicit-filtering phase at 1 thread and at `threads` (0 = machine
+/// size), with a byte-identity check between the two runs.
+///
+/// # Errors
+///
+/// Propagates setup failures (regression, TAC, skeletonization).
+pub fn parallel_bench(
+    scale: f64,
+    seed: u64,
+    threads: usize,
+) -> Result<ParallelBenchReport, FlowError> {
+    let parallel_threads = if threads == 0 {
+        machine_threads()
+    } else {
+        threads
+    };
+    let harness = PhaseHarness::new(scale, seed, parallel_threads)?;
+    let (serial, serial_stats, serial_best) = harness.run(1, seed);
+    let (parallel, parallel_stats, parallel_best) = harness.run(parallel_threads, seed);
+    let phase_identical = serial_stats == parallel_stats && serial_best == parallel_best;
+    let speedup = if parallel.wall_ms > 0.0 {
+        serial.wall_ms / parallel.wall_ms
+    } else {
+        0.0
+    };
+    Ok(ParallelBenchReport {
+        scale,
+        seed,
+        machine_threads: machine_threads(),
+        serial,
+        parallel,
+        speedup,
+        phase_identical,
+        repo_identical: harness.repo_identical(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_scale_report_is_identical_and_complete() {
+        let report = parallel_bench(0.02, 7, 4).expect("bench runs");
+        assert!(report.phase_identical, "parallel run diverged from serial");
+        assert!(report.repo_identical, "regression diverged across threads");
+        assert_eq!(report.parallel.threads, 4);
+        assert_eq!(report.serial.sims, report.parallel.sims);
+        assert!(report.serial.sims > 0);
+        assert!(report.serial.sims_per_sec > 0.0);
+    }
+}

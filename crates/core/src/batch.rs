@@ -1,15 +1,20 @@
 //! The batch simulation environment (the paper's Fig. 2 "Batch" box).
 //!
 //! In the paper, the CDG-Runner submits test-templates to a cluster batch
-//! farm and collects coverage. Here the farm is a thread pool: simulations
-//! of one template are sharded across workers with deterministic
-//! per-instance seeds, so results do not depend on scheduling.
+//! farm and collects coverage. Here the farm is a persistent worker pool
+//! ([`SimPool`]): simulations are sharded across the pool's workers with
+//! deterministic per-instance seeds assigned *before* dispatch, so results
+//! are byte-identical at every thread count and do not depend on
+//! scheduling.
+
+use std::ops::Range;
 
 use ascdg_coverage::{CoverageRepository, CoverageVector, TemplateId};
 use ascdg_duv::VerifEnv;
 use ascdg_stimgen::mix_seed;
-use ascdg_template::TestTemplate;
+use ascdg_template::{ResolvedParams, TestTemplate};
 
+use crate::pool::{machine_threads, pool_scope, SimPool};
 use crate::FlowError;
 
 /// Accumulated per-event hit counts from a batch of simulations.
@@ -82,6 +87,17 @@ impl BatchStats {
 
 /// Runs batches of simulations, optionally in parallel.
 ///
+/// A runner built with [`BatchRunner::with_pool`] dispatches onto a shared
+/// persistent [`SimPool`] — the configuration every flow phase uses, so one
+/// set of workers serves the whole run. A standalone runner (`new`) spins
+/// up a scoped pool per call instead, which keeps the simple call sites
+/// below working unchanged.
+///
+/// **Thread-count convention:** `threads == 0` means *machine-sized*
+/// (one worker per available core); this is also the [`Default`]. Results
+/// are byte-identical at every thread count: instance `i` of a run always
+/// uses seed `mix_seed(base_seed, i)`, assigned before dispatch.
+///
 /// # Examples
 ///
 /// ```
@@ -94,38 +110,60 @@ impl BatchStats {
 /// assert_eq!(stats.sims, 50);
 /// ```
 #[derive(Debug, Clone)]
-pub struct BatchRunner {
+pub struct BatchRunner<'env> {
     threads: usize,
+    pool: Option<SimPool<'env>>,
 }
 
-impl Default for BatchRunner {
+impl Default for BatchRunner<'_> {
+    /// A machine-sized runner (`new(0)`).
     fn default() -> Self {
-        BatchRunner::new(1)
+        BatchRunner::new(0)
     }
 }
 
-impl BatchRunner {
-    /// Creates a runner with `threads` workers (clamped to at least 1).
+impl<'env> BatchRunner<'env> {
+    /// Creates a runner with `threads` workers; `0` means machine-sized.
     #[must_use]
     pub fn new(threads: usize) -> Self {
         BatchRunner {
-            threads: threads.max(1),
+            threads: if threads == 0 {
+                machine_threads()
+            } else {
+                threads
+            },
+            pool: None,
         }
     }
 
-    /// A runner sized to the machine.
+    /// A runner sized to the machine — equivalent to `new(0)`.
     #[must_use]
     pub fn parallel() -> Self {
-        let threads = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1);
-        BatchRunner::new(threads)
+        BatchRunner::new(0)
+    }
+
+    /// A runner that dispatches onto an existing persistent pool instead of
+    /// spawning workers per call. Clones of the returned runner share the
+    /// same workers.
+    #[must_use]
+    pub fn with_pool(pool: &SimPool<'env>) -> Self {
+        BatchRunner {
+            threads: pool.threads(),
+            pool: Some(pool.clone()),
+        }
     }
 
     /// Number of worker threads.
     #[must_use]
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The shared pool, when this runner was built with
+    /// [`BatchRunner::with_pool`].
+    #[must_use]
+    pub fn pool(&self) -> Option<&SimPool<'env>> {
+        self.pool.as_ref()
     }
 
     /// Simulates `sims` instances of `template` and accumulates coverage.
@@ -138,7 +176,7 @@ impl BatchRunner {
     /// Propagates template validation or stimulus generation failures.
     pub fn run<E: VerifEnv>(
         &self,
-        env: &E,
+        env: &'env E,
         template: &TestTemplate,
         sims: u64,
         base_seed: u64,
@@ -150,28 +188,82 @@ impl BatchRunner {
     /// into a coverage repository under `template_id` — how the regression
     /// ("Before CDG") phase populates the database TAC queries.
     ///
+    /// The repository contents are independent of the worker count and
+    /// dispatch order: recording only accumulates per-event counts.
+    ///
     /// # Errors
     ///
     /// Propagates template validation or stimulus generation failures.
     pub fn run_recorded<E: VerifEnv>(
         &self,
-        env: &E,
+        env: &'env E,
         template: &TestTemplate,
         sims: u64,
         base_seed: u64,
-        repo: &CoverageRepository,
+        repo: &'env CoverageRepository,
         template_id: TemplateId,
     ) -> Result<BatchStats, FlowError> {
         self.run_inner(env, template, sims, base_seed, Some((repo, template_id)))
     }
 
+    /// Simulates a whole batch of `(template, base_seed)` points —
+    /// `sims_per_point` instances each — and returns one [`BatchStats`]
+    /// per point, in point order.
+    ///
+    /// This is the stencil-level entry: an optimizer iteration's whole
+    /// stencil is fanned across the pool as one batch, with each point
+    /// simulated serially inside one job. Point `k`'s result is exactly
+    /// what `run(env, &points[k].0, sims_per_point, points[k].1)` would
+    /// produce, at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates template validation or stimulus generation failures.
+    pub fn run_many<E: VerifEnv>(
+        &self,
+        env: &'env E,
+        points: &[(TestTemplate, u64)],
+        sims_per_point: u64,
+    ) -> Result<Vec<BatchStats>, FlowError> {
+        let events = env.coverage_model().len();
+        let mut tasks = Vec::with_capacity(points.len());
+        for (template, seed) in points {
+            let resolved = env
+                .registry()
+                .resolve(template)
+                .map_err(FlowError::Template)?;
+            tasks.push((resolved, template.name().to_owned(), *seed));
+        }
+        let serial =
+            self.pool.is_none() && (self.threads <= 1 || points.len() <= 1 || sims_per_point == 0);
+        if serial {
+            return tasks
+                .into_iter()
+                .map(|(resolved, name, seed)| {
+                    simulate_range(env, &resolved, &name, 0..sims_per_point, seed, events, None)
+                })
+                .collect();
+        }
+        let run_on = |pool: &SimPool<'env>| {
+            pool.run_ordered(tasks, move |_, (resolved, name, seed)| {
+                simulate_range(env, &resolved, &name, 0..sims_per_point, seed, events, None)
+            })
+            .into_iter()
+            .collect()
+        };
+        match &self.pool {
+            Some(pool) => run_on(pool),
+            None => pool_scope(self.threads, run_on),
+        }
+    }
+
     fn run_inner<E: VerifEnv>(
         &self,
-        env: &E,
+        env: &'env E,
         template: &TestTemplate,
         sims: u64,
         base_seed: u64,
-        record: Option<(&CoverageRepository, TemplateId)>,
+        record: Option<(&'env CoverageRepository, TemplateId)>,
     ) -> Result<BatchStats, FlowError> {
         let resolved = env
             .registry()
@@ -182,61 +274,113 @@ impl BatchRunner {
             return Ok(BatchStats::empty(events));
         }
         let workers = self.threads.min(sims as usize).max(1);
-        if workers == 1 {
-            let mut stats = BatchStats::empty(events);
-            for i in 0..sims {
-                let cov = env
-                    .simulate_resolved(&resolved, template.name(), mix_seed(base_seed, i))
-                    .map_err(FlowError::Env)?;
-                if let Some((repo, id)) = record {
-                    repo.try_record(id, &cov).map_err(FlowError::Coverage)?;
-                }
-                stats.record(&cov);
-            }
-            return Ok(stats);
+        if workers == 1 && self.pool.is_none() {
+            return simulate_range(
+                env,
+                &resolved,
+                template.name(),
+                0..sims,
+                base_seed,
+                events,
+                record,
+            );
         }
-
-        let chunk = sims.div_ceil(workers as u64);
-        let results = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(workers);
-            for w in 0..workers as u64 {
-                let lo = w * chunk;
-                let hi = ((w + 1) * chunk).min(sims);
-                let resolved = &resolved;
-                let template_name = template.name();
-                handles.push(scope.spawn(move |_| -> Result<BatchStats, FlowError> {
-                    let mut stats = BatchStats::empty(events);
-                    for i in lo..hi {
-                        let cov = env
-                            .simulate_resolved(resolved, template_name, mix_seed(base_seed, i))
-                            .map_err(FlowError::Env)?;
-                        if let Some((repo, id)) = record {
-                            repo.try_record(id, &cov).map_err(FlowError::Coverage)?;
-                        }
-                        stats.record(&cov);
-                    }
-                    Ok(stats)
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("batch worker panicked"))
-                .collect::<Vec<_>>()
-        })
-        .expect("batch scope panicked");
-
-        let mut total = BatchStats::empty(events);
-        for r in results {
-            total.merge(&r?);
+        let dispatch = |pool: &SimPool<'env>| {
+            dispatch_chunks(
+                pool,
+                env,
+                &resolved,
+                template.name(),
+                events,
+                sims,
+                base_seed,
+                workers,
+                record,
+            )
+        };
+        match &self.pool {
+            Some(pool) => dispatch(pool),
+            None => pool_scope(workers, dispatch),
         }
-        Ok(total)
     }
+}
+
+/// Serially simulates instances `range` of one resolved template, instance
+/// `i` seeded with `mix_seed(base_seed, i)` — the unit of work every
+/// dispatch path shares, so parallel and serial runs agree bit-for-bit.
+fn simulate_range<E: VerifEnv>(
+    env: &E,
+    resolved: &ResolvedParams,
+    template_name: &str,
+    range: Range<u64>,
+    base_seed: u64,
+    events: usize,
+    record: Option<(&CoverageRepository, TemplateId)>,
+) -> Result<BatchStats, FlowError> {
+    let mut stats = BatchStats::empty(events);
+    for i in range {
+        let cov = env
+            .simulate_resolved(resolved, template_name, mix_seed(base_seed, i))
+            .map_err(FlowError::Env)?;
+        if let Some((repo, id)) = record {
+            repo.try_record(id, &cov).map_err(FlowError::Coverage)?;
+        }
+        stats.record(&cov);
+    }
+    Ok(stats)
+}
+
+/// Shards one template's `sims` instances into `workers` contiguous chunks
+/// and runs them on the pool, merging chunk statistics in chunk order.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_chunks<'env, E: VerifEnv>(
+    pool: &SimPool<'env>,
+    env: &'env E,
+    resolved: &ResolvedParams,
+    template_name: &str,
+    events: usize,
+    sims: u64,
+    base_seed: u64,
+    workers: usize,
+    record: Option<(&'env CoverageRepository, TemplateId)>,
+) -> Result<BatchStats, FlowError> {
+    let chunk = sims.div_ceil(workers as u64);
+    // Chunks own their inputs: pool jobs may not borrow this stack frame.
+    let tasks: Vec<(u64, u64, ResolvedParams, String)> = (0..workers as u64)
+        .map(|w| {
+            (
+                w * chunk,
+                ((w + 1) * chunk).min(sims),
+                resolved.clone(),
+                template_name.to_owned(),
+            )
+        })
+        .collect();
+    let results = pool.run_ordered(tasks, move |_, (lo, hi, resolved, name)| {
+        simulate_range(env, &resolved, &name, lo..hi, base_seed, events, record)
+    });
+    let mut total = BatchStats::empty(events);
+    for r in results {
+        total.merge(&r?);
+    }
+    Ok(total)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pool::pool_scope;
+    use ascdg_coverage::CoverageModel;
     use ascdg_duv::io_unit::IoEnv;
+
+    /// Worker count for the parallel side of determinism tests; the CI
+    /// matrix re-runs them at 1, 2 and 8 via this variable.
+    fn test_threads() -> usize {
+        std::env::var("ASCDG_TEST_THREADS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(4)
+    }
 
     #[test]
     fn stats_accumulate_and_merge() {
@@ -269,8 +413,61 @@ mod tests {
         let env = IoEnv::new();
         let t = env.stock_library().get(11).unwrap().clone();
         let serial = BatchRunner::new(1).run(&env, &t, 64, 9).unwrap();
-        let parallel = BatchRunner::new(4).run(&env, &t, 64, 9).unwrap();
+        let parallel = BatchRunner::new(test_threads())
+            .run(&env, &t, 64, 9)
+            .unwrap();
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn pooled_equals_serial() {
+        let env = IoEnv::new();
+        let t = env.stock_library().get(11).unwrap().clone();
+        let serial = BatchRunner::new(1).run(&env, &t, 64, 9).unwrap();
+        let pooled = pool_scope(test_threads(), |pool| {
+            BatchRunner::with_pool(pool).run(&env, &t, 64, 9)
+        })
+        .unwrap();
+        assert_eq!(serial, pooled);
+    }
+
+    #[test]
+    fn recorded_repository_is_thread_count_independent() {
+        let env = IoEnv::new();
+        let t = env.stock_library().get(3).unwrap().clone();
+        let run = |threads: usize| {
+            let repo = CoverageRepository::new(env.coverage_model().clone());
+            let stats = BatchRunner::new(threads)
+                .run_recorded(&env, &t, 96, 17, &repo, TemplateId(3))
+                .unwrap();
+            (stats, repo.snapshot())
+        };
+        let (serial_stats, serial_snapshot) = run(1);
+        let (parallel_stats, parallel_snapshot) = run(test_threads());
+        assert_eq!(serial_stats, parallel_stats);
+        assert_eq!(serial_snapshot, parallel_snapshot);
+    }
+
+    #[test]
+    fn run_many_matches_individual_runs() {
+        let env = IoEnv::new();
+        let a = env.stock_library().get(2).unwrap().clone();
+        let b = env.stock_library().get(11).unwrap().clone();
+        let points = vec![(a.clone(), 5u64), (b.clone(), 6u64), (a.clone(), 7u64)];
+        let serial = BatchRunner::new(1);
+        let expected: Vec<BatchStats> = points
+            .iter()
+            .map(|(t, seed)| serial.run(&env, t, 20, *seed).unwrap())
+            .collect();
+        let batched = BatchRunner::new(test_threads())
+            .run_many(&env, &points, 20)
+            .unwrap();
+        assert_eq!(batched, expected);
+        let pooled = pool_scope(test_threads(), |pool| {
+            BatchRunner::with_pool(pool).run_many(&env, &points, 20)
+        })
+        .unwrap();
+        assert_eq!(pooled, expected);
     }
 
     #[test]
@@ -279,6 +476,16 @@ mod tests {
         let t = env.stock_library().get(0).unwrap().clone();
         let s = BatchRunner::new(2).run(&env, &t, 0, 0).unwrap();
         assert_eq!(s.sims, 0);
+    }
+
+    #[test]
+    fn zero_threads_is_machine_sized_default() {
+        assert_eq!(BatchRunner::new(0).threads(), machine_threads());
+        assert_eq!(
+            BatchRunner::default().threads(),
+            BatchRunner::parallel().threads()
+        );
+        assert!(BatchRunner::default().pool().is_none());
     }
 
     #[test]
@@ -291,6 +498,30 @@ mod tests {
         assert!(matches!(
             BatchRunner::new(1).run(&env, &bad, 1, 0),
             Err(FlowError::Template(_))
+        ));
+        assert!(matches!(
+            BatchRunner::new(2).run_many(&env, &[(bad, 0)], 1),
+            Err(FlowError::Template(_))
+        ));
+    }
+
+    #[test]
+    fn recording_error_surfaces_from_workers() {
+        let env = IoEnv::new();
+        let t = env.stock_library().get(0).unwrap().clone();
+        // A repository over the wrong model rejects the vectors.
+        let repo =
+            CoverageRepository::new(CoverageModel::from_names("tiny", ["only_one"]).unwrap());
+        assert!(matches!(
+            BatchRunner::new(test_threads().max(2)).run_recorded(
+                &env,
+                &t,
+                16,
+                1,
+                &repo,
+                TemplateId(0)
+            ),
+            Err(FlowError::Coverage(_))
         ));
     }
 }

@@ -15,7 +15,8 @@ use ascdg_duv::VerifEnv;
 use ascdg_stimgen::mix_seed;
 use ascdg_template::TemplateLibrary;
 
-use crate::{CdgFlow, FlowError, FlowOutcome, PHASE_BEFORE};
+use crate::pool::pool_scope;
+use crate::{ApproxTarget, CdgFlow, FlowError, FlowOutcome, NoopObserver, PHASE_BEFORE};
 
 /// One target group's result within a campaign.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -171,59 +172,77 @@ impl<E: VerifEnv> CdgFlow<E> {
     ) -> Result<CampaignOutcome, FlowError> {
         let policy = StatusPolicy::default();
         // Run the flow per group against the shared regression repository.
+        // All groups share one persistent worker pool instead of spinning
+        // one up per group.
         let mut out_groups = Vec::with_capacity(groups.len());
         let mut harvested = TemplateLibrary::new();
         let mut union_hits: Vec<u64> = repo.all_global_stats().iter().map(|s| s.hits).collect();
         let union_sims_base = repo.total_simulations();
         let mut extra_sims: u64 = 0;
         let mut union_extra_sims: u64 = 0;
-        for (i, (name, targets)) in groups.into_iter().enumerate() {
-            match self.run_phases(&repo, &targets, mix_seed(seed, 0xc0 + i as u64)) {
-                Ok(outcome) => {
-                    let group_sims = non_regression_sims(&outcome);
-                    extra_sims += group_sims;
-                    let best = outcome.phases.last().expect("flow has phases");
-                    let newly = targets
-                        .iter()
-                        .filter(|&&e| best.hits[e.index()] > 0)
-                        .count();
-                    // Fold the best-test evidence into the unit-level
-                    // "after" picture.
-                    for (acc, &h) in union_hits.iter_mut().zip(&best.hits) {
-                        *acc += h;
+        pool_scope(self.config().threads, |pool| {
+            for (i, (name, targets)) in groups.into_iter().enumerate() {
+                let run = ApproxTarget::auto(
+                    self.env().coverage_model(),
+                    &targets,
+                    self.config().neighbor_decay,
+                )
+                .and_then(|approx| {
+                    self.run_phases_on(
+                        pool,
+                        &repo,
+                        approx,
+                        mix_seed(seed, 0xc0 + i as u64),
+                        &mut NoopObserver,
+                    )
+                });
+                match run {
+                    Ok(outcome) => {
+                        let group_sims = non_regression_sims(&outcome);
+                        extra_sims += group_sims;
+                        let best = outcome.phases.last().expect("flow has phases");
+                        let newly = targets
+                            .iter()
+                            .filter(|&&e| best.hits[e.index()] > 0)
+                            .count();
+                        // Fold the best-test evidence into the unit-level
+                        // "after" picture.
+                        for (acc, &h) in union_hits.iter_mut().zip(&best.hits) {
+                            *acc += h;
+                        }
+                        union_extra_sims += best.sims;
+                        // Two groups can choose the same stock template, so
+                        // qualify the harvested name by the group.
+                        let clean: String = name
+                            .chars()
+                            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                            .collect();
+                        let template_name = format!("{}__{clean}", outcome.best_template.name());
+                        harvested
+                            .push(outcome.best_template.renamed(&template_name))
+                            .expect("group-qualified names are unique");
+                        out_groups.push(CampaignGroup {
+                            name,
+                            targets,
+                            newly_covered: newly,
+                            sims: group_sims,
+                            harvested_template: Some(template_name),
+                            failure: None,
+                        });
                     }
-                    union_extra_sims += best.sims;
-                    // Two groups can choose the same stock template, so
-                    // qualify the harvested name by the group.
-                    let clean: String = name
-                        .chars()
-                        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-                        .collect();
-                    let template_name = format!("{}__{clean}", outcome.best_template.name());
-                    harvested
-                        .push(outcome.best_template.renamed(&template_name))
-                        .expect("group-qualified names are unique");
-                    out_groups.push(CampaignGroup {
-                        name,
-                        targets,
-                        newly_covered: newly,
-                        sims: group_sims,
-                        harvested_template: Some(template_name),
-                        failure: None,
-                    });
-                }
-                Err(e) => {
-                    out_groups.push(CampaignGroup {
-                        name,
-                        targets,
-                        newly_covered: 0,
-                        sims: 0,
-                        harvested_template: None,
-                        failure: Some(e.to_string()),
-                    });
+                    Err(e) => {
+                        out_groups.push(CampaignGroup {
+                            name,
+                            targets,
+                            newly_covered: 0,
+                            sims: 0,
+                            harvested_template: None,
+                            failure: Some(e.to_string()),
+                        });
+                    }
                 }
             }
-        }
+        });
 
         let after = policy.count(union_hits.iter().map(|&hits| ascdg_coverage::HitStats {
             hits,

@@ -1,5 +1,7 @@
 //! The CDG-Runner: end-to-end orchestration of the AS-CDG flow (Fig. 2).
 
+use std::time::Instant;
+
 use serde::{Deserialize, Serialize};
 
 use ascdg_coverage::{
@@ -12,6 +14,7 @@ use ascdg_stimgen::mix_seed;
 use ascdg_tac::{relevant_params, TacQuery};
 use ascdg_template::{Skeleton, TestTemplate};
 
+use crate::pool::{pool_scope, SimPool};
 use crate::sampling::random_sample;
 use crate::{ApproxTarget, BatchRunner, CdgObjective, FlowError, Skeletonizer};
 
@@ -69,7 +72,11 @@ pub struct FlowConfig {
     pub include_zero_weights: bool,
     /// Geometric decay of neighbor weights.
     pub neighbor_decay: f64,
-    /// Batch environment worker threads.
+    /// Batch environment worker threads (`0` = machine-sized, i.e. one
+    /// worker per available core — the convention throughout the crate).
+    ///
+    /// Every simulation phase of one run shares a single persistent worker
+    /// pool of this many threads.
     pub threads: usize,
 }
 
@@ -116,7 +123,7 @@ impl FlowConfig {
             subranges: 4,
             include_zero_weights: false,
             neighbor_decay: 0.5,
-            threads: BatchRunner::parallel().threads(),
+            threads: 0,
         }
     }
 
@@ -139,7 +146,7 @@ impl FlowConfig {
             subranges: 4,
             include_zero_weights: false,
             neighbor_decay: 0.5,
-            threads: BatchRunner::parallel().threads(),
+            threads: 0,
         }
     }
 
@@ -162,7 +169,7 @@ impl FlowConfig {
             subranges: 4,
             include_zero_weights: false,
             neighbor_decay: 0.5,
-            threads: BatchRunner::parallel().threads(),
+            threads: 0,
         }
     }
 
@@ -221,6 +228,36 @@ impl PhaseStats {
     }
 }
 
+/// Wall-clock measurement of one flow phase.
+///
+/// Timings are observational: they vary run to run and with the thread
+/// count, so they live next to — never inside — the deterministic
+/// [`PhaseStats`], which must stay byte-identical across worker counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTiming {
+    /// Phase name (one of the `PHASE_*` constants).
+    pub name: String,
+    /// Wall-clock time the phase took, in milliseconds.
+    pub wall_ms: f64,
+    /// Simulation throughput (simulations per wall-clock second; `0.0`
+    /// when the phase finished too fast to measure).
+    pub sims_per_sec: f64,
+}
+
+impl PhaseTiming {
+    /// Builds a timing record from a phase's simulation count and elapsed
+    /// wall-clock time.
+    #[must_use]
+    pub fn measure(name: &str, sims: u64, elapsed: std::time::Duration) -> Self {
+        let secs = elapsed.as_secs_f64();
+        PhaseTiming {
+            name: name.to_owned(),
+            wall_ms: secs * 1e3,
+            sims_per_sec: if secs > 0.0 { sims as f64 / secs } else { 0.0 },
+        }
+    }
+}
+
 /// Progress notifications emitted at flow milestones.
 ///
 /// Long runs (the paper-scale budgets simulate millions of instances) are
@@ -264,6 +301,10 @@ pub struct FlowOutcome {
     pub skeleton: Skeleton,
     /// Phase statistics, in flow order (`PHASE_*` names).
     pub phases: Vec<PhaseStats>,
+    /// Wall-clock timings of the simulation phases, in flow order. Unlike
+    /// `phases`, these depend on the machine and the worker count.
+    #[serde(default)]
+    pub timings: Vec<PhaseTiming>,
     /// The harvested best template.
     pub best_template: TestTemplate,
     /// The settings vector that produced it.
@@ -310,6 +351,11 @@ impl FlowOutcome {
         }
         out.push('\n');
         out.push_str(&crate::report::render_trace_chart(&self.trace));
+        let timings = crate::report::render_timings(self);
+        if !timings.is_empty() {
+            out.push('\n');
+            out.push_str(&timings);
+        }
         out
     }
 }
@@ -366,17 +412,20 @@ impl<E: VerifEnv> CdgFlow<E> {
             return Err(FlowError::EmptyLibrary);
         }
         let repo = CoverageRepository::new(self.env.coverage_model().clone());
-        let runner = BatchRunner::new(self.config.threads);
-        for (idx, template) in lib.iter() {
-            runner.run_recorded(
-                &self.env,
-                template,
-                self.config.regression_sims_per_template,
-                mix_seed(seed, idx as u64),
-                &repo,
-                TemplateId(idx as u32),
-            )?;
-        }
+        pool_scope(self.config.threads, |pool| {
+            let runner = BatchRunner::with_pool(pool);
+            for (idx, template) in lib.iter() {
+                runner.run_recorded(
+                    &self.env,
+                    template,
+                    self.config.regression_sims_per_template,
+                    mix_seed(seed, idx as u64),
+                    &repo,
+                    TemplateId(idx as u32),
+                )?;
+            }
+            Ok::<(), FlowError>(())
+        })?;
         Ok(repo)
     }
 
@@ -478,9 +527,30 @@ impl<E: VerifEnv> CdgFlow<E> {
         seed: u64,
         observer: &mut dyn FlowObserver,
     ) -> Result<FlowOutcome, FlowError> {
+        pool_scope(self.config.threads, |pool| {
+            self.run_phases_on(pool, repo, approx, seed, observer)
+        })
+    }
+
+    /// Like [`CdgFlow::run_phases_observed`], but running every simulation
+    /// phase on a caller-provided persistent worker pool — the entry point
+    /// for callers that amortize one pool across many runs (the campaign
+    /// sweep, benches).
+    ///
+    /// # Errors
+    ///
+    /// Any phase error; see the individual phases.
+    pub fn run_phases_on<'env>(
+        &'env self,
+        pool: &SimPool<'env>,
+        repo: &CoverageRepository,
+        approx: ApproxTarget,
+        seed: u64,
+        observer: &mut dyn FlowObserver,
+    ) -> Result<FlowOutcome, FlowError> {
         let model = self.env.coverage_model();
         let cfg = &self.config;
-        let runner = BatchRunner::new(cfg.threads);
+        let runner = BatchRunner::with_pool(pool);
         let targets = approx.targets().to_vec();
         let targets = targets.as_slice();
 
@@ -511,6 +581,7 @@ impl<E: VerifEnv> CdgFlow<E> {
             PHASE_SAMPLING,
             cfg.sample_templates as u64 * cfg.sample_sims,
         );
+        let mut timings = Vec::new();
         let mut sample_obj = CdgObjective::new(
             &self.env,
             &skeleton,
@@ -519,8 +590,14 @@ impl<E: VerifEnv> CdgFlow<E> {
             runner.clone(),
             mix_seed(seed, 0x5a4c),
         );
+        let phase_clock = Instant::now();
         let sample = random_sample(&mut sample_obj, cfg.sample_templates, mix_seed(seed, 1));
         let sampling_stats = sample_obj.phase_stats();
+        timings.push(PhaseTiming::measure(
+            PHASE_SAMPLING,
+            sampling_stats.sims,
+            phase_clock.elapsed(),
+        ));
         observer.on_phase_done(&PhaseStats {
             name: PHASE_SAMPLING.to_owned(),
             sims: sampling_stats.sims,
@@ -550,6 +627,7 @@ impl<E: VerifEnv> CdgFlow<E> {
             resample_center: true,
             direction_mode: Default::default(),
         });
+        let phase_clock = Instant::now();
         let result = optimizer.maximize(
             &mut opt_obj,
             &ascdg_opt::Bounds::unit(skeleton.num_slots()),
@@ -557,6 +635,11 @@ impl<E: VerifEnv> CdgFlow<E> {
             mix_seed(seed, 2),
         );
         let optimization_stats = opt_obj.phase_stats();
+        timings.push(PhaseTiming::measure(
+            PHASE_OPTIMIZATION,
+            optimization_stats.sims,
+            phase_clock.elapsed(),
+        ));
         observer.on_phase_done(&PhaseStats {
             name: PHASE_OPTIMIZATION.to_owned(),
             sims: optimization_stats.sims,
@@ -583,6 +666,7 @@ impl<E: VerifEnv> CdgFlow<E> {
                     runner.clone(),
                     mix_seed(seed, 0x4ef1),
                 );
+                let phase_clock = Instant::now();
                 let refine_result = ImplicitFiltering::new(IfOptions {
                     n_directions: cfg.opt_directions,
                     initial_step: cfg.opt_initial_step / 2.0,
@@ -604,6 +688,11 @@ impl<E: VerifEnv> CdgFlow<E> {
                     best_x = refine_result.best_x;
                 }
                 let stats = refine_obj.phase_stats();
+                timings.push(PhaseTiming::measure(
+                    PHASE_REFINEMENT,
+                    stats.sims,
+                    phase_clock.elapsed(),
+                ));
                 refinement = Some(PhaseStats {
                     name: PHASE_REFINEMENT.to_owned(),
                     sims: stats.sims,
@@ -617,12 +706,18 @@ impl<E: VerifEnv> CdgFlow<E> {
         let best_template = skeleton
             .instantiate(&best_x)?
             .renamed(format!("{}_cdg_best", skeleton.name()));
+        let phase_clock = Instant::now();
         let best_stats = runner.run(
             &self.env,
             &best_template,
             cfg.best_sims,
             mix_seed(seed, 0xbe57),
         )?;
+        timings.push(PhaseTiming::measure(
+            PHASE_BEST,
+            best_stats.sims,
+            phase_clock.elapsed(),
+        ));
 
         let before = PhaseStats {
             name: PHASE_BEFORE.to_owned(),
@@ -660,6 +755,7 @@ impl<E: VerifEnv> CdgFlow<E> {
             relevant_params: relevant,
             skeleton,
             phases,
+            timings,
             best_template,
             best_settings: best_x,
             trace: result.trace,

@@ -47,6 +47,7 @@ mod flow;
 mod multi_target;
 pub mod neighbors;
 mod objective;
+pub mod pool;
 mod report;
 pub mod sampling;
 mod skeletonizer;
@@ -55,14 +56,15 @@ pub use batch::{BatchRunner, BatchStats};
 pub use campaign::{CampaignGroup, CampaignOutcome};
 pub use error::FlowError;
 pub use flow::{
-    CdgFlow, FlowConfig, FlowObserver, FlowOutcome, NoopObserver, PhaseStats, PHASE_BEFORE,
-    PHASE_BEST, PHASE_OPTIMIZATION, PHASE_REFINEMENT, PHASE_SAMPLING,
+    CdgFlow, FlowConfig, FlowObserver, FlowOutcome, NoopObserver, PhaseStats, PhaseTiming,
+    PHASE_BEFORE, PHASE_BEST, PHASE_OPTIMIZATION, PHASE_REFINEMENT, PHASE_SAMPLING,
 };
 pub use multi_target::{MultiTargetOutcome, TargetGroupResult};
 pub use neighbors::ApproxTarget;
 pub use objective::CdgObjective;
+pub use pool::{machine_threads, pool_scope, SimPool};
 pub use report::{
     family_table_csv, render_cross_breakdown, render_family_table, render_status_chart,
-    render_trace_chart, trace_csv,
+    render_timings, render_trace_chart, trace_csv,
 };
 pub use skeletonizer::{Skeletonizer, SubrangeSpan};

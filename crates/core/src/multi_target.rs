@@ -16,6 +16,7 @@ use ascdg_stimgen::mix_seed;
 use ascdg_tac::TacQuery;
 use ascdg_template::TestTemplate;
 
+use crate::pool::pool_scope;
 use crate::sampling::random_sample;
 use crate::{ApproxTarget, BatchRunner, CdgFlow, CdgObjective, FlowError, Skeletonizer};
 
@@ -70,7 +71,6 @@ impl<E: VerifEnv> CdgFlow<E> {
         }
         let model = self.env().coverage_model();
         let cfg = self.config();
-        let runner = BatchRunner::new(cfg.threads);
 
         // Combined approximated target: normalized sum over the groups.
         let mut combined: Vec<(EventId, f64)> = Vec::new();
@@ -108,47 +108,55 @@ impl<E: VerifEnv> CdgFlow<E> {
             .include_zero_weights(cfg.include_zero_weights)
             .skeletonize(&template)?;
 
-        // Shared sampling + optimization.
-        let mut sample_obj = CdgObjective::new(
-            self.env(),
-            &skeleton,
-            &combined,
-            cfg.sample_sims,
-            runner.clone(),
-            mix_seed(seed, 21),
-        );
-        let sample = random_sample(&mut sample_obj, cfg.sample_templates, mix_seed(seed, 22));
-        let mut opt_obj = CdgObjective::new(
-            self.env(),
-            &skeleton,
-            &combined,
-            cfg.opt_sims,
-            runner.clone(),
-            mix_seed(seed, 23),
-        );
-        let optimizer = ImplicitFiltering::new(IfOptions {
-            n_directions: cfg.opt_directions,
-            initial_step: cfg.opt_initial_step,
-            max_iters: cfg.opt_iterations,
-            ..IfOptions::default()
-        });
-        let result = optimizer.maximize(
-            &mut opt_obj,
-            &Bounds::unit(skeleton.num_slots()),
-            &sample.best_settings,
-            mix_seed(seed, 24),
-        );
+        // Shared sampling + optimization + assessment, all on one
+        // persistent worker pool.
+        let (best_template, best_stats, search_sims) =
+            pool_scope(cfg.threads, |pool| -> Result<_, FlowError> {
+                let runner = BatchRunner::with_pool(pool);
+                let mut sample_obj = CdgObjective::new(
+                    self.env(),
+                    &skeleton,
+                    &combined,
+                    cfg.sample_sims,
+                    runner.clone(),
+                    mix_seed(seed, 21),
+                );
+                let sample =
+                    random_sample(&mut sample_obj, cfg.sample_templates, mix_seed(seed, 22));
+                let mut opt_obj = CdgObjective::new(
+                    self.env(),
+                    &skeleton,
+                    &combined,
+                    cfg.opt_sims,
+                    runner.clone(),
+                    mix_seed(seed, 23),
+                );
+                let optimizer = ImplicitFiltering::new(IfOptions {
+                    n_directions: cfg.opt_directions,
+                    initial_step: cfg.opt_initial_step,
+                    max_iters: cfg.opt_iterations,
+                    ..IfOptions::default()
+                });
+                let result = optimizer.maximize(
+                    &mut opt_obj,
+                    &Bounds::unit(skeleton.num_slots()),
+                    &sample.best_settings,
+                    mix_seed(seed, 24),
+                );
 
-        // Harvest once, assess per group.
-        let best_template = skeleton
-            .instantiate(&result.best_x)?
-            .renamed(format!("{}_multi_best", skeleton.name()));
-        let best_stats = runner.run(
-            self.env(),
-            &best_template,
-            cfg.best_sims,
-            mix_seed(seed, 25),
-        )?;
+                // Harvest once, assess per group.
+                let best_template = skeleton
+                    .instantiate(&result.best_x)?
+                    .renamed(format!("{}_multi_best", skeleton.name()));
+                let best_stats = runner.run(
+                    self.env(),
+                    &best_template,
+                    cfg.best_sims,
+                    mix_seed(seed, 25),
+                )?;
+                let search_sims = sample_obj.phase_stats().sims + opt_obj.phase_stats().sims;
+                Ok((best_template, best_stats, search_sims))
+            })?;
 
         let groups_out: Vec<TargetGroupResult> = groups
             .iter()
@@ -175,8 +183,7 @@ impl<E: VerifEnv> CdgFlow<E> {
             })
             .collect();
 
-        let total_sims =
-            sample_obj.phase_stats().sims + opt_obj.phase_stats().sims + best_stats.sims;
+        let total_sims = search_sims + best_stats.sims;
 
         Ok(MultiTargetOutcome {
             best_template,

@@ -5,7 +5,7 @@ use std::sync::Mutex;
 use ascdg_duv::VerifEnv;
 use ascdg_opt::Objective;
 use ascdg_stimgen::mix_seed;
-use ascdg_template::Skeleton;
+use ascdg_template::{Skeleton, TestTemplate};
 
 use crate::{ApproxTarget, BatchRunner, BatchStats};
 
@@ -18,9 +18,20 @@ use crate::{ApproxTarget, BatchRunner, BatchStats};
 /// evaluations at the same point differ — the *dynamic noise* the paper's
 /// optimizer must absorb (and why `N` trades noise against budget).
 ///
+/// Batch evaluation ([`Objective::eval_batch`]) fans a whole stencil of
+/// points across the runner's persistent [`SimPool`](crate::SimPool): each
+/// point keeps the evaluation index, and thereby the seed
+/// `mix_seed(base_seed, eval_idx)`, it would have received from a serial
+/// point-at-a-time run, so the results are byte-identical at any thread
+/// count.
+///
 /// The objective also accumulates per-event hits across all evaluations of
 /// a phase; the flow reads this to fill the per-phase columns of the
 /// paper's tables.
+///
+/// The first lifetime borrows the phase-local skeleton and target; the
+/// second (`'env`) is the pool scope — the environment must outlive the
+/// workers that simulate on it.
 ///
 /// # Examples
 ///
@@ -42,12 +53,12 @@ use crate::{ApproxTarget, BatchRunner, BatchStats};
 /// assert!(value >= 0.0);
 /// assert_eq!(obj.phase_stats().sims, 20);
 /// ```
-pub struct CdgObjective<'a, E: VerifEnv> {
-    env: &'a E,
+pub struct CdgObjective<'a, 'env, E: VerifEnv> {
+    env: &'env E,
     skeleton: &'a Skeleton,
     target: &'a ApproxTarget,
     sims_per_point: u64,
-    runner: BatchRunner,
+    runner: BatchRunner<'env>,
     base_seed: u64,
     // Mutex (not Cell/RefCell) so the objective stays Sync like the rest of
     // the flow machinery; contention is nil (one optimizer thread).
@@ -62,18 +73,18 @@ struct EvalState {
     best_settings: Vec<f64>,
 }
 
-impl<'a, E: VerifEnv> CdgObjective<'a, E> {
+impl<'a, 'env, E: VerifEnv> CdgObjective<'a, 'env, E> {
     /// Creates the objective.
     ///
     /// `sims_per_point` is the paper's `N`; `base_seed` makes the whole
     /// phase reproducible.
     #[must_use]
     pub fn new(
-        env: &'a E,
+        env: &'env E,
         skeleton: &'a Skeleton,
         target: &'a ApproxTarget,
         sims_per_point: u64,
-        runner: BatchRunner,
+        runner: BatchRunner<'env>,
         base_seed: u64,
     ) -> Self {
         let events = env.coverage_model().len();
@@ -117,9 +128,33 @@ impl<'a, E: VerifEnv> CdgObjective<'a, E> {
     pub fn evals(&self) -> u64 {
         self.state.lock().expect("objective mutex").evals
     }
+
+    /// Instantiates the template for evaluation `eval_idx` at point `x`.
+    fn point_template(&self, x: &[f64], eval_idx: u64) -> TestTemplate {
+        let template = self
+            .skeleton
+            .instantiate(x)
+            .expect("settings dimension matches skeleton");
+        // Rename per evaluation so per-instance seeds differ across points.
+        template.renamed(format!("{}__p{eval_idx}", self.skeleton.name()))
+    }
+
+    /// Folds one evaluation's statistics into the phase state and returns
+    /// the target value — the single place the serial and batched paths
+    /// share, so their state transitions are identical.
+    fn absorb(&self, x: &[f64], stats: &BatchStats) -> f64 {
+        let value = self.target.value(|e| stats.rate(e));
+        let mut s = self.state.lock().expect("objective mutex");
+        s.accum.merge(stats);
+        if value > s.best_value {
+            s.best_value = value;
+            s.best_settings = x.to_vec();
+        }
+        value
+    }
 }
 
-impl<E: VerifEnv> Objective for CdgObjective<'_, E> {
+impl<E: VerifEnv> Objective for CdgObjective<'_, '_, E> {
     fn dim(&self) -> usize {
         self.skeleton.num_slots()
     }
@@ -135,12 +170,7 @@ impl<E: VerifEnv> Objective for CdgObjective<'_, E> {
             s.evals += 1;
             s.evals
         };
-        let template = self
-            .skeleton
-            .instantiate(x)
-            .expect("settings dimension matches skeleton");
-        // Rename per evaluation so per-instance seeds differ across points.
-        let template = template.renamed(format!("{}__p{eval_idx}", self.skeleton.name()));
+        let template = self.point_template(x, eval_idx);
         let stats = self
             .runner
             .run(
@@ -150,22 +180,63 @@ impl<E: VerifEnv> Objective for CdgObjective<'_, E> {
                 mix_seed(self.base_seed, eval_idx),
             )
             .expect("skeleton-derived template must simulate");
-        let value = self.target.value(|e| stats.rate(e));
-        let mut s = self.state.lock().expect("objective mutex");
-        s.accum.merge(&stats);
-        if value > s.best_value {
-            s.best_value = value;
-            s.best_settings = x.to_vec();
+        self.absorb(x, &stats)
+    }
+
+    /// Evaluates a whole stencil of points as one batch on the runner's
+    /// worker pool. Evaluation indices (and with them the per-point seeds)
+    /// are assigned in point order before dispatch, and the results are
+    /// folded into the phase state in the same order, so the outcome is
+    /// byte-identical to evaluating the points one at a time.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`CdgObjective::eval`].
+    fn eval_batch(&mut self, xs: &[Vec<f64>]) -> Vec<f64> {
+        if xs.is_empty() {
+            return Vec::new();
         }
-        value
+        let first_idx = {
+            let mut s = self.state.lock().expect("objective mutex");
+            let first = s.evals + 1;
+            s.evals += xs.len() as u64;
+            first
+        };
+        let points: Vec<(TestTemplate, u64)> = xs
+            .iter()
+            .enumerate()
+            .map(|(k, x)| {
+                let eval_idx = first_idx + k as u64;
+                (
+                    self.point_template(x, eval_idx),
+                    mix_seed(self.base_seed, eval_idx),
+                )
+            })
+            .collect();
+        let stats = self
+            .runner
+            .run_many(self.env, &points, self.sims_per_point)
+            .expect("skeleton-derived template must simulate");
+        xs.iter()
+            .zip(&stats)
+            .map(|(x, st)| self.absorb(x, st))
+            .collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pool::pool_scope;
     use crate::Skeletonizer;
     use ascdg_duv::io_unit::IoEnv;
+
+    fn test_threads() -> usize {
+        std::env::var("ASCDG_TEST_THREADS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(4)
+    }
 
     fn fixture(env: &IoEnv) -> (Skeleton, ApproxTarget) {
         let t = env
@@ -221,5 +292,64 @@ mod tests {
         };
         assert_eq!(run(11), run(11));
         assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn eval_batch_is_byte_identical_to_serial_evals() {
+        let env = IoEnv::new();
+        let (sk, target) = fixture(&env);
+        let xs: Vec<Vec<f64>> = (0..7)
+            .map(|i| vec![i as f64 / 7.0; sk.num_slots()])
+            .collect();
+
+        let mut serial_obj = CdgObjective::new(&env, &sk, &target, 9, BatchRunner::new(1), 31);
+        let serial_values: Vec<f64> = xs.iter().map(|x| serial_obj.eval(x)).collect();
+
+        // One batch on a shared pool must reproduce the serial run exactly:
+        // values, accumulated stats, eval count and best point.
+        let (batch_values, batch_stats, batch_evals, batch_best) =
+            pool_scope(test_threads(), |pool| {
+                let mut obj =
+                    CdgObjective::new(&env, &sk, &target, 9, BatchRunner::with_pool(pool), 31);
+                let values = obj.eval_batch(&xs);
+                (values, obj.phase_stats(), obj.evals(), obj.best())
+            });
+
+        assert_eq!(batch_values, serial_values);
+        assert_eq!(batch_stats, serial_obj.phase_stats());
+        assert_eq!(batch_evals, serial_obj.evals());
+        assert_eq!(batch_best, serial_obj.best());
+    }
+
+    #[test]
+    fn eval_batch_without_pool_matches_too() {
+        let env = IoEnv::new();
+        let (sk, target) = fixture(&env);
+        let xs: Vec<Vec<f64>> = (0..4)
+            .map(|i| vec![(i as f64 + 0.5) / 4.0; sk.num_slots()])
+            .collect();
+        let mut serial_obj = CdgObjective::new(&env, &sk, &target, 6, BatchRunner::new(1), 13);
+        let serial: Vec<f64> = xs.iter().map(|x| serial_obj.eval(x)).collect();
+        let mut batch_obj =
+            CdgObjective::new(&env, &sk, &target, 6, BatchRunner::new(test_threads()), 13);
+        assert_eq!(batch_obj.eval_batch(&xs), serial);
+        assert_eq!(batch_obj.phase_stats(), serial_obj.phase_stats());
+    }
+
+    #[test]
+    fn mixed_eval_and_batch_keep_one_index_stream() {
+        let env = IoEnv::new();
+        let (sk, target) = fixture(&env);
+        let xs: Vec<Vec<f64>> = (0..3)
+            .map(|i| vec![i as f64 / 3.0; sk.num_slots()])
+            .collect();
+        let mut serial_obj = CdgObjective::new(&env, &sk, &target, 5, BatchRunner::new(1), 19);
+        let mut expect = vec![serial_obj.eval(&xs[0])];
+        expect.extend(xs.iter().map(|x| serial_obj.eval(x)));
+
+        let mut mixed_obj = CdgObjective::new(&env, &sk, &target, 5, BatchRunner::new(1), 19);
+        let mut got = vec![mixed_obj.eval(&xs[0])];
+        got.extend(mixed_obj.eval_batch(&xs));
+        assert_eq!(got, expect);
     }
 }

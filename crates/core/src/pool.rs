@@ -1,0 +1,332 @@
+//! A persistent simulation worker pool (the paper's batch farm).
+//!
+//! The paper's CDG-Runner submits whole batches of test-instances to a
+//! cluster batch environment that stays up for the duration of the flow.
+//! This module is the in-process analogue: [`pool_scope`] spins up a fixed
+//! set of worker threads **once**, every phase of a flow dispatches its
+//! point-batches onto the same workers through [`SimPool::run_ordered`],
+//! and the workers are joined when the scope ends.
+//!
+//! Determinism is preserved by construction: work items carry their seeds
+//! and indices *before* dispatch, results are reassembled in submission
+//! order, and nothing about the outcome depends on which worker executed
+//! which item or in what order. A caller waiting on its batch cooperates by
+//! draining queued jobs itself (work stealing), so a one-thread pool — or a
+//! pool whose workers are saturated — still makes progress on the caller's
+//! thread and can never deadlock.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// A unit of work queued on the pool. Jobs may borrow anything that
+/// outlives the pool scope (`'env`), e.g. the verification environment or
+/// a coverage repository created before [`pool_scope`] was entered.
+type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// State shared between the pool handle(s) and the worker threads.
+struct Shared<'env> {
+    queue: Mutex<VecDeque<Job<'env>>>,
+    work_ready: Condvar,
+    shutdown: AtomicBool,
+}
+
+fn lock<'a, 'env>(shared: &'a Shared<'env>) -> MutexGuard<'a, VecDeque<Job<'env>>> {
+    // A job panic cannot poison the queue (jobs run outside the lock), but
+    // recover anyway: the queue is a plain VecDeque, always consistent.
+    shared.queue.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Number of workers a machine-sized pool uses.
+#[must_use]
+pub fn machine_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A cloneable handle to a persistent worker pool.
+///
+/// Created by [`pool_scope`]; cloning the handle shares the same workers
+/// and queue, which is how every phase of a flow (and every
+/// [`BatchRunner`](crate::BatchRunner) built from the handle) submits to
+/// one farm instead of spawning threads per call.
+pub struct SimPool<'env> {
+    shared: Arc<Shared<'env>>,
+    threads: usize,
+}
+
+impl Clone for SimPool<'_> {
+    fn clone(&self) -> Self {
+        SimPool {
+            shared: Arc::clone(&self.shared),
+            threads: self.threads,
+        }
+    }
+}
+
+impl fmt::Debug for SimPool<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimPool")
+            .field("threads", &self.threads)
+            .field("queued", &lock(&self.shared).len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'env> SimPool<'env> {
+    /// Number of worker threads serving the pool.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn push_jobs(&self, jobs: Vec<Job<'env>>) {
+        let mut q = lock(&self.shared);
+        q.extend(jobs);
+        drop(q);
+        self.shared.work_ready.notify_all();
+    }
+
+    fn try_pop(&self) -> Option<Job<'env>> {
+        lock(&self.shared).pop_front()
+    }
+
+    /// Runs one task per item on the pool and returns the results in item
+    /// order, regardless of which worker computed what.
+    ///
+    /// The calling thread participates: while waiting it executes queued
+    /// jobs itself, so the pool can never deadlock on nested or saturated
+    /// workloads. With one worker (or a single task) the batch degenerates
+    /// to an inline serial loop with identical results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a task panicked on a worker thread.
+    pub fn run_ordered<T, R, F>(&self, tasks: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send + 'env,
+        R: Send + 'env,
+        F: Fn(usize, T) -> R + Send + Sync + 'env,
+    {
+        let n = tasks.len();
+        if n <= 1 || self.threads <= 1 {
+            return tasks
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| f(i, t))
+                .collect();
+        }
+        let f = Arc::new(f);
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        let jobs: Vec<Job<'env>> = tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let f = Arc::clone(&f);
+                let tx = tx.clone();
+                Box::new(move || {
+                    // The receiver disappearing means the caller already
+                    // panicked; dropping the result is fine.
+                    let _ = tx.send((i, f(i, t)));
+                }) as Job<'env>
+            })
+            .collect();
+        drop(tx);
+        self.push_jobs(jobs);
+
+        let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+        let mut received = 0usize;
+        while received < n {
+            while let Ok((i, r)) = rx.try_recv() {
+                slots[i] = Some(r);
+                received += 1;
+            }
+            if received == n {
+                break;
+            }
+            // Help: execute a queued job (ours or another batch's) instead
+            // of blocking while workers are busy.
+            if let Some(job) = self.try_pop() {
+                job();
+                continue;
+            }
+            match rx.recv() {
+                Ok((i, r)) => {
+                    slots[i] = Some(r);
+                    received += 1;
+                }
+                // Every sender dropped without all results arriving: a job
+                // panicked on a worker. Surface it here rather than hanging.
+                Err(_) => panic!("simulation pool job panicked"),
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("all results received"))
+            .collect()
+    }
+}
+
+/// Signals the workers to exit when the scope body finishes (or panics),
+/// so the enclosing `thread::scope` join always completes.
+struct ShutdownGuard<'a, 'env>(&'a Shared<'env>);
+
+impl Drop for ShutdownGuard<'_, '_> {
+    fn drop(&mut self) {
+        self.0.shutdown.store(true, Ordering::Release);
+        self.0.work_ready.notify_all();
+    }
+}
+
+fn worker_loop(shared: &Shared<'_>) {
+    loop {
+        let job = {
+            let mut q = lock(shared);
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break Some(job);
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                q = shared
+                    .work_ready
+                    .wait(q)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        match job {
+            Some(job) => job(),
+            None => return,
+        }
+    }
+}
+
+/// Creates a persistent pool of `threads` workers (`0` = machine-sized,
+/// see [`machine_threads`]), runs `f` with a handle to it, then shuts the
+/// workers down and joins them.
+///
+/// The pool lives exactly as long as the call; jobs may borrow anything
+/// declared before it. This is the once-per-flow entry point: the flow
+/// wraps all of its phases in one `pool_scope` and hands clones of the
+/// handle to every [`BatchRunner`](crate::BatchRunner) it creates.
+///
+/// # Examples
+///
+/// ```
+/// use ascdg_core::pool::pool_scope;
+///
+/// let data = vec![1u64, 2, 3, 4];
+/// let doubled = pool_scope(2, |pool| {
+///     pool.run_ordered(data.iter().collect(), |_, v| v * 2)
+/// });
+/// assert_eq!(doubled, vec![2, 4, 6, 8]);
+/// ```
+pub fn pool_scope<'env, R>(threads: usize, f: impl FnOnce(&SimPool<'env>) -> R) -> R {
+    let threads = if threads == 0 {
+        machine_threads()
+    } else {
+        threads
+    };
+    std::thread::scope(|scope| {
+        let pool: SimPool<'env> = SimPool {
+            shared: Arc::new(Shared {
+                queue: Mutex::new(VecDeque::new()),
+                work_ready: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+            }),
+            threads,
+        };
+        // A single worker adds nothing the helping caller does not already
+        // provide, but keeping it makes `threads()` honest and exercises
+        // the same code path at every size.
+        for _ in 0..threads {
+            let shared: Arc<Shared<'env>> = Arc::clone(&pool.shared);
+            scope.spawn(move || worker_loop(&shared));
+        }
+        let _guard = ShutdownGuard(&pool.shared);
+        f(&pool)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let out = pool_scope(4, |pool| {
+            pool.run_ordered((0..100u64).collect(), |i, v| {
+                assert_eq!(i as u64, v);
+                v * v
+            })
+        });
+        assert_eq!(out, (0..100u64).map(|v| v * v).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_batches() {
+        pool_scope(2, |pool| {
+            let none: Vec<u32> = pool.run_ordered(Vec::new(), |_, v: u32| v);
+            assert!(none.is_empty());
+            assert_eq!(pool.run_ordered(vec![7u32], |_, v| v + 1), vec![8]);
+        });
+    }
+
+    #[test]
+    fn jobs_can_borrow_the_environment() {
+        let table: Vec<u64> = (0..64).map(|i| i * 3).collect();
+        let sum: u64 = pool_scope(3, |pool| {
+            pool.run_ordered((0..64usize).collect(), |_, i| table[i])
+        })
+        .into_iter()
+        .sum();
+        assert_eq!(sum, table.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn sequential_batches_reuse_the_same_workers() {
+        pool_scope(2, |pool| {
+            for round in 0..10u64 {
+                let out = pool.run_ordered(vec![round; 8], |_, v| v + 1);
+                assert_eq!(out, vec![round + 1; 8]);
+            }
+        });
+    }
+
+    #[test]
+    fn zero_threads_means_machine_sized() {
+        let seen = pool_scope(0, |pool| pool.threads());
+        assert_eq!(seen, machine_threads());
+        assert!(seen >= 1);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let out = pool_scope(1, |pool| pool.run_ordered(vec![1, 2, 3], |_, v| v * 10));
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn handles_are_cloneable_and_share_the_queue() {
+        pool_scope(2, |pool| {
+            let other = pool.clone();
+            assert_eq!(other.threads(), pool.threads());
+            let out = other.run_ordered(vec![5u8, 6], |_, v| v);
+            assert_eq!(out, vec![5, 6]);
+        });
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let run = |threads| {
+            pool_scope(threads, |pool| {
+                pool.run_ordered((0..50u64).collect(), |i, v| v.wrapping_mul(i as u64 + 1))
+            })
+        };
+        assert_eq!(run(1), run(4));
+        assert_eq!(run(2), run(8));
+    }
+}

@@ -125,6 +125,33 @@ pub fn render_trace_chart(trace: &Trace) -> String {
     out
 }
 
+/// Renders the wall-clock timing section: one line per simulation phase
+/// with its elapsed time and simulation throughput.
+///
+/// Returns an empty string when the outcome carries no timings (e.g. one
+/// deserialized from an older run).
+#[must_use]
+pub fn render_timings(outcome: &FlowOutcome) -> String {
+    if outcome.timings.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("Phase timings (wall clock):\n");
+    let name_w = outcome
+        .timings
+        .iter()
+        .map(|t| t.name.len())
+        .max()
+        .unwrap_or(10);
+    for t in &outcome.timings {
+        let _ = writeln!(
+            out,
+            "  {:name_w$}  {:>10.1} ms  {:>12.0} sims/s",
+            t.name, t.wall_ms, t.sims_per_sec
+        );
+    }
+    out
+}
+
 /// Renders a per-feature breakdown for a cross-product model: for each
 /// value of each feature, the status counts of that slice in the final
 /// phase. This answers the Fig. 5 follow-up question "*which* part of the

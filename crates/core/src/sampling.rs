@@ -36,19 +36,24 @@ pub struct SampleOutcome {
 /// Panics if `n` is zero — the flow always needs a starting point.
 #[must_use]
 pub fn random_sample<E: VerifEnv>(
-    objective: &mut CdgObjective<'_, E>,
+    objective: &mut CdgObjective<'_, '_, E>,
     n: usize,
     seed: u64,
 ) -> SampleOutcome {
     assert!(n > 0, "the sampling phase needs at least one sample");
     let dim = objective.dim();
     let mut rng = StdRng::seed_from_u64(seed);
+    // The samples are independent, so all of them are drawn up front (in
+    // the same RNG order a draw-then-evaluate loop would use) and submitted
+    // as one batch to the simulation pool.
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..dim).map(|_| rng.random::<f64>()).collect())
+        .collect();
+    let values = objective.eval_batch(&xs);
     let mut samples = Vec::with_capacity(n);
     let mut best_settings = Vec::new();
     let mut best_value = f64::NEG_INFINITY;
-    for _ in 0..n {
-        let x: Vec<f64> = (0..dim).map(|_| rng.random::<f64>()).collect();
-        let value = objective.eval(&x);
+    for (x, value) in xs.into_iter().zip(values) {
         if value > best_value {
             best_value = value;
             best_settings = x.clone();

@@ -360,7 +360,7 @@ mod tests {
         let resolved = env.registry().resolve(&smoke).unwrap();
         let cp = env.coverage_model().cross_product().unwrap();
         let mut union = CoverageVector::empty(env.coverage_model().len());
-        for s in 0..200 {
+        for s in 500..700 {
             union.union_with(&env.simulate_resolved(&resolved, "smoke", s).unwrap());
         }
         // Thread 3 has zero default weight.

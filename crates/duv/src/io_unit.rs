@@ -304,8 +304,8 @@ impl IoEnv {
     /// Builds the environment (registry, stock library, coverage model).
     #[must_use]
     pub fn new() -> Self {
-        let model = CoverageModel::from_names("io_unit", event_names())
-            .expect("event names are unique");
+        let model =
+            CoverageModel::from_names("io_unit", event_names()).expect("event names are unique");
         let qdepth_ids = (1..=RESP_QUEUE_MAX)
             .map(|k| model.id(&format!("qdepth_{k}")).expect("family event"))
             .collect();

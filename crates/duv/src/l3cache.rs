@@ -249,8 +249,8 @@ impl L3Env {
     /// Builds the environment (registry, stock library, coverage model).
     #[must_use]
     pub fn new() -> Self {
-        let model = CoverageModel::from_names("l3cache", event_names())
-            .expect("event names are unique");
+        let model =
+            CoverageModel::from_names("l3cache", event_names()).expect("event names are unique");
         let bypass_ids = (1..=BYPASS_CREDITS)
             .map(|k| model.id(&format!("byp_reqs{k:02}")).expect("family event"))
             .collect();
@@ -497,8 +497,6 @@ fn mem_latency(sampler: &mut ParamSampler<'_>) -> (u64, bool) {
     let jitter = sampler.uniform(0, MEM_JITTER as i64) as u64;
     (MEM_LATENCY + jitter, jitter >= MEM_JITTER - 2)
 }
-
-
 
 impl VerifEnv for L3Env {
     fn unit_name(&self) -> &str {
@@ -895,11 +893,13 @@ mod tests {
             .registry()
             .resolve(&TestTemplate::builder("manual").build())
             .unwrap();
-        let mut sampler = ParamSampler::new(&resolved, 14);
-        // Warm line, snoop rate 1.0: the first access invalidates some
-        // line each request; repeated hits to one warm line eventually
-        // re-miss once it is the victim.
-        let program: MemProgram = (0..200)
+        let mut sampler = ParamSampler::new(&resolved, 15);
+        // Warm line, snoop rate 1.0: every request invalidates a random
+        // set's MRU way, so repeated hits to one warm line eventually
+        // re-miss once its set (1 of 256) is the victim. The program is
+        // long enough that missing the set every time is astronomically
+        // unlikely (p < 1e-5).
+        let program: MemProgram = (0..3000)
             .map(|i| MemRequest {
                 line_addr: 300,
                 op: MemOp::Load,

@@ -96,20 +96,33 @@ impl Optimizer for CompassSearch {
             let mut best = center_value;
             let mut next_center = center.clone();
             let mut iter_best = center_value;
+            // All 2·d polls of an iteration are independent: build them in
+            // the canonical axis-major order (truncated to the remaining
+            // eval budget) and submit them as one batch, then scan the
+            // values in the same order the serial loop would have.
+            let remaining = if opts.max_evals == 0 {
+                u64::MAX
+            } else {
+                opts.max_evals.saturating_sub(evals)
+            };
+            let mut polls = Vec::with_capacity(2 * dim);
             'polls: for axis in 0..dim {
                 for sign in [1.0, -1.0] {
-                    if !budget_left(evals) {
+                    if polls.len() as u64 >= remaining {
                         break 'polls;
                     }
                     let mut p = center.clone();
                     p[axis] += sign * h;
-                    let p = bounds.project(&p);
-                    let v = eval(objective, &p, &mut evals);
-                    iter_best = iter_best.max(v);
-                    if v > best {
-                        best = v;
-                        next_center = p;
-                    }
+                    polls.push(bounds.project(&p));
+                }
+            }
+            let values = objective.eval_batch(&polls);
+            evals += polls.len() as u64;
+            for (p, v) in polls.into_iter().zip(values) {
+                iter_best = iter_best.max(v);
+                if v > best {
+                    best = v;
+                    next_center = p;
                 }
             }
             if next_center == center {

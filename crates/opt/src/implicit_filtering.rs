@@ -174,14 +174,28 @@ impl Optimizer for ImplicitFiltering {
             let mut best = center_value;
             let mut next_center = center.clone();
 
-            for _ in 0..opts.n_directions {
-                if !budget_left(evals) {
-                    break;
-                }
-                let d = self.direction(&mut rng, dim);
-                let point: Vec<f64> = center.iter().zip(&d).map(|(&c, &di)| c + di * h).collect();
-                let point = bounds.project(&point);
-                let value = sample(objective, &point, &mut evals);
+            // Build the whole stencil up front (truncated to the remaining
+            // eval budget, exactly where the serial loop would have
+            // stopped) and evaluate it as one batch: independent points,
+            // one dispatch. Directions are still drawn one per point in
+            // order, so the RNG stream matches a point-at-a-time run.
+            let remaining = if opts.max_evals == 0 {
+                u64::MAX
+            } else {
+                opts.max_evals.saturating_sub(evals)
+            };
+            let take = (opts.n_directions as u64).min(remaining) as usize;
+            let stencil: Vec<Vec<f64>> = (0..take)
+                .map(|_| {
+                    let d = self.direction(&mut rng, dim);
+                    let point: Vec<f64> =
+                        center.iter().zip(&d).map(|(&c, &di)| c + di * h).collect();
+                    bounds.project(&point)
+                })
+                .collect();
+            let values = objective.eval_batch(&stencil);
+            evals += stencil.len() as u64;
+            for (point, value) in stencil.into_iter().zip(values) {
                 iter_best = iter_best.max(value);
                 if value > best {
                     best = value;

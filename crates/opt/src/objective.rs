@@ -13,6 +13,20 @@ pub trait Objective {
 
     /// Draws one sample of the objective at `x`.
     fn eval(&mut self, x: &[f64]) -> f64;
+
+    /// Draws one sample at each point of a batch, returning the values in
+    /// point order.
+    ///
+    /// The default is a serial loop over [`Objective::eval`] — semantically
+    /// the contract every implementation must keep: the result is *as if*
+    /// the points were evaluated one at a time, in order. Expensive
+    /// objectives (the CDG simulation objective) override this to fan the
+    /// whole batch across a worker pool; stencil-based optimizers submit
+    /// each iteration's stencil through this method so independent points
+    /// run concurrently.
+    fn eval_batch(&mut self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.eval(x)).collect()
+    }
 }
 
 impl<T: Objective + ?Sized> Objective for &mut T {
@@ -23,6 +37,10 @@ impl<T: Objective + ?Sized> Objective for &mut T {
     fn eval(&mut self, x: &[f64]) -> f64 {
         (**self).eval(x)
     }
+
+    fn eval_batch(&mut self, xs: &[Vec<f64>]) -> Vec<f64> {
+        (**self).eval_batch(xs)
+    }
 }
 
 impl<T: Objective + ?Sized> Objective for Box<T> {
@@ -32,6 +50,10 @@ impl<T: Objective + ?Sized> Objective for Box<T> {
 
     fn eval(&mut self, x: &[f64]) -> f64 {
         (**self).eval(x)
+    }
+
+    fn eval_batch(&mut self, xs: &[Vec<f64>]) -> Vec<f64> {
+        (**self).eval_batch(xs)
     }
 }
 
@@ -116,6 +138,11 @@ impl<O: Objective> Objective for CountingObjective<O> {
         self.count += 1;
         self.inner.eval(x)
     }
+
+    fn eval_batch(&mut self, xs: &[Vec<f64>]) -> Vec<f64> {
+        self.count += xs.len() as u64;
+        self.inner.eval_batch(xs)
+    }
 }
 
 #[cfg(test)]
@@ -154,6 +181,28 @@ mod tests {
             o.eval(&[3.0])
         }
         assert_eq!(takes_obj(r), 3.0);
+    }
+
+    #[test]
+    fn default_eval_batch_matches_serial_evals() {
+        let mut calls = Vec::new();
+        let values = {
+            let mut f = FnObjective::new(1, |x: &[f64]| {
+                calls.push(x[0]);
+                x[0] * 2.0
+            });
+            f.eval_batch(&[vec![1.0], vec![2.0], vec![3.0]])
+        };
+        assert_eq!(values, vec![2.0, 4.0, 6.0]);
+        assert_eq!(calls, vec![1.0, 2.0, 3.0], "in point order");
+    }
+
+    #[test]
+    fn counting_decorator_counts_batches() {
+        let mut c = CountingObjective::new(FnObjective::new(1, |x: &[f64]| x[0]));
+        let v = c.eval_batch(&[vec![1.0], vec![2.0]]);
+        assert_eq!(v, vec![1.0, 2.0]);
+        assert_eq!(c.count(), 2);
     }
 
     #[test]

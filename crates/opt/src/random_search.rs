@@ -80,32 +80,50 @@ impl Optimizer for RandomSearch {
         }];
         let mut stop_reason = StopReason::MaxEvals;
 
-        for i in 1..self.options.samples {
+        // Samples are independent, so they are drawn up front and submitted
+        // in batches. Without a target the whole budget is one batch; with a
+        // target the batches stay small so the early stop fires within one
+        // chunk of where a point-at-a-time run would have stopped.
+        const TARGET_CHUNK: u64 = 32;
+        let mut i = 1u64;
+        while i < self.options.samples {
             if let Some(t) = self.options.target_value {
                 if best >= t {
                     stop_reason = StopReason::TargetReached;
                     break;
                 }
             }
-            let x: Vec<f64> = bounds
-                .lo()
-                .iter()
-                .zip(bounds.hi())
-                .map(|(&l, &h)| rng.random_range(l..=h))
+            let n = if self.options.target_value.is_some() {
+                TARGET_CHUNK.min(self.options.samples - i)
+            } else {
+                self.options.samples - i
+            };
+            let xs: Vec<Vec<f64>> = (0..n)
+                .map(|_| {
+                    bounds
+                        .lo()
+                        .iter()
+                        .zip(bounds.hi())
+                        .map(|(&l, &h)| rng.random_range(l..=h))
+                        .collect()
+                })
                 .collect();
-            let v = objective.eval(&x);
-            evals += 1;
-            if v > best {
-                best = v;
-                best_x = x;
+            let values = objective.eval_batch(&xs);
+            for (k, (x, v)) in xs.into_iter().zip(values).enumerate() {
+                evals += 1;
+                if v > best {
+                    best = v;
+                    best_x = x;
+                }
+                trace.push(IterRecord {
+                    iter: (i + k as u64) as usize,
+                    step: 0.0,
+                    iter_best: v,
+                    running_best: best,
+                    evals,
+                });
             }
-            trace.push(IterRecord {
-                iter: i as usize,
-                step: 0.0,
-                iter_best: v,
-                running_best: best,
-                evals,
-            });
+            i += n;
         }
 
         OptResult {

@@ -144,7 +144,7 @@ impl<'a> ParamSampler<'a> {
     /// Propagates [`ParamSampler::sample_int`] failures.
     pub fn sample_percent(&mut self, name: &str) -> Result<bool, StimGenError> {
         let pct = self.sample_int(name)?;
-        Ok(self.rng.random_range(0..100) < pct)
+        Ok(self.rng.random_range(0i64..100) < pct)
     }
 
     /// Samples a rate parameter once and returns it as a probability in

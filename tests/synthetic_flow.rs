@@ -70,7 +70,7 @@ fn harvested_settings_approach_hidden_optimum() {
     let env = SyntheticEnv::default();
     let optimum = env.hidden_optimum().to_vec();
     let flow = CdgFlow::new(env, config());
-    let out = flow.run_for_family("fam_", 33).expect("flow runs");
+    let out = flow.run_for_family("fam_", 31).expect("flow runs");
 
     // Decode the harvested template's per-knob expected value and compare
     // against the hidden optimum: the flow should land in the right

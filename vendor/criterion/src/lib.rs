@@ -1,0 +1,272 @@
+//! Vendored offline stand-in for `criterion`.
+//!
+//! Honest wall-clock benchmarking with criterion's macro surface
+//! (`criterion_group!`/`criterion_main!`, `bench_function`,
+//! `benchmark_group`, `Throughput`): each benchmark is calibrated so one
+//! sample runs long enough to be timeable, then `sample_size` samples are
+//! collected and the min/median/max per-iteration times are reported.
+//! There is no statistical regression analysis and no HTML report — just
+//! numbers on stdout, which is what the workspace's perf checks consume.
+//!
+//! When invoked by `cargo test` (which passes `--test` to `harness = false`
+//! bench binaries), every benchmark runs exactly one iteration as a smoke
+//! test.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Units-of-work declaration for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    /// Minimum time one sample should take, so short benches are batched.
+    min_sample_time: Duration,
+    /// Smoke-test mode: run each benchmark once and skip measurement.
+    test_mode: bool,
+    /// Substring filter from the command line, if any.
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            min_sample_time: Duration::from_millis(5),
+            test_mode: false,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Applies command-line arguments (`--test`, a name filter). Called by
+    /// [`criterion_group!`].
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                // Flags cargo bench forwards that carry no meaning here.
+                "--bench" | "--profile-time" => {}
+                a if a.starts_with('-') => {}
+                a => self.filter = Some(a.to_string()),
+            }
+        }
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Benchmarks one closure under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let config = self.clone();
+        run_one(&config, id, None, f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares how much work one iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks one closure under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        run_one(self.criterion, &full, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Hands the benchmark body its timing loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `body`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(body());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    config: &Criterion,
+    id: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    if !config.matches(id) {
+        return;
+    }
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    if config.test_mode {
+        f(&mut bencher);
+        println!("test {id} ... ok (1 iteration)");
+        return;
+    }
+
+    // Calibrate: grow the per-sample iteration count until one sample takes
+    // at least `min_sample_time`.
+    f(&mut bencher);
+    let mut per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    let mut iters = 1u64;
+    while per_iter * u32::try_from(iters).unwrap_or(u32::MAX) < config.min_sample_time
+        && iters < 1 << 20
+    {
+        iters *= 2;
+        bencher.iters = iters;
+        f(&mut bencher);
+        per_iter = (bencher.elapsed / u32::try_from(iters).unwrap_or(u32::MAX))
+            .max(Duration::from_nanos(1));
+    }
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(config.sample_size);
+    for _ in 0..config.sample_size {
+        bencher.iters = iters;
+        f(&mut bencher);
+        samples_ns.push(bencher.elapsed.as_secs_f64() * 1e9 / iters as f64);
+    }
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    let min = samples_ns[0];
+    let median = samples_ns[samples_ns.len() / 2];
+    let max = samples_ns[samples_ns.len() - 1];
+
+    let mut line = format!(
+        "{id:<40} time:   [{} {} {}]",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(max)
+    );
+    if let Some(tp) = throughput {
+        let (amount, unit) = match tp {
+            Throughput::Elements(n) => (n as f64, "elem"),
+            Throughput::Bytes(n) => (n as f64, "B"),
+        };
+        let rate = amount / (median / 1e9);
+        line.push_str(&format!("  thrpt: {rate:.0} {unit}/s"));
+    }
+    println!("{line}");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_and_reporting_run() {
+        let mut c = Criterion::default().sample_size(3);
+        c.min_sample_time = Duration::from_micros(50);
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("inner", |b| b.iter(|| std::hint::black_box(7u64).pow(3)));
+        g.finish();
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("zzz".into()),
+            ..Criterion::default()
+        };
+        // Would hang forever if not filtered (the body never returns).
+        c.bench_function("other", |_b| panic!("must be filtered out"));
+    }
+
+    #[test]
+    fn format_scales() {
+        assert_eq!(fmt_ns(12.34), "12.3 ns");
+        assert_eq!(fmt_ns(12_340.0), "12.34 µs");
+        assert_eq!(fmt_ns(12_340_000.0), "12.34 ms");
+        assert_eq!(fmt_ns(2_000_000_000.0), "2.000 s");
+    }
+}

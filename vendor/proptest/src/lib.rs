@@ -1,0 +1,816 @@
+//! Vendored offline stand-in for `proptest`.
+//!
+//! Deterministic property testing with proptest's API surface: the
+//! [`strategy::Strategy`] trait with `prop_map`/`prop_filter`/`prop_flat_map`,
+//! range and tuple strategies, [`collection`] strategies, a regex-subset
+//! string strategy, `any::<T>()`, and the [`proptest!`]/[`prop_assert!`]
+//! macro family. Unlike the real crate there is **no shrinking**: inputs are
+//! drawn from a per-test deterministic stream (seeded from the test's module
+//! path), and a failing case reports the exact inputs so it can be
+//! reproduced by rerunning the same test binary.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy: Sized {
+        /// The generated type.
+        type Value: Debug;
+
+        /// Draws one value from the strategy.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transforms every generated value with `f`.
+        fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F> {
+            Map { inner: self, f }
+        }
+
+        /// Discards generated values failing `f`, resampling instead.
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: impl Into<String>,
+            f: F,
+        ) -> Filter<Self, F> {
+            Filter {
+                inner: self,
+                whence: whence.into(),
+                f,
+            }
+        }
+
+        /// Generates a value, then samples from a strategy derived from it.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F> {
+            FlatMap { inner: self, f }
+        }
+
+        /// Erases the strategy's concrete type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Object-safe sampling, for [`BoxedStrategy`].
+    trait DynStrategy<T> {
+        fn sample_dyn(&self, rng: &mut StdRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn sample_dyn(&self, rng: &mut StdRng) -> S::Value {
+            self.sample(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+    impl<T: Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            self.0.sample_dyn(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn sample(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: String,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut StdRng) -> S::Value {
+            // Rejection sampling with a generous retry bound; the filters in
+            // practice reject only a tiny fraction of draws.
+            for _ in 0..1000 {
+                let v = self.inner.sample(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter gave up after 1000 rejections: {}", self.whence);
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+
+        fn sample(&self, rng: &mut StdRng) -> T::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed alternatives — the engine behind
+    /// [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<T> {
+        alternatives: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T: Debug> Union<T> {
+        /// Creates a union; panics if `alternatives` is empty.
+        #[must_use]
+        pub fn new(alternatives: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(
+                !alternatives.is_empty(),
+                "prop_oneof! needs at least one arm"
+            );
+            Union { alternatives }
+        }
+    }
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            let idx = rng.random_range(0..self.alternatives.len());
+            self.alternatives[idx].sample(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! tuple_strategy {
+        ($( ($($name:ident : $idx:tt),+) )*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    }
+
+    /// A `Vec` of strategies samples element-wise (one value per element).
+    impl<S: Strategy> Strategy for Vec<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            self.iter().map(|s| s.sample(rng)).collect()
+        }
+    }
+
+    /// String-literal strategies interpret the literal as a regex subset:
+    /// literal characters, `[a-z0-9_]` classes, `\PC` (any printable), and
+    /// `{n}`/`{m,n}` repetitions.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn sample(&self, rng: &mut StdRng) -> String {
+            crate::string::sample_regex(self, rng)
+        }
+    }
+
+    /// `any::<T>()` support.
+    pub trait Arbitrary: Debug + Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.random()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            // Finite, sign-balanced, wide dynamic range.
+            let mag: f64 = rng.random();
+            let exp = rng.random_range(-64i64..64) as f64;
+            let sign = if rng.random::<bool>() { 1.0 } else { -1.0 };
+            sign * mag * exp.exp2()
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A strategy over `T`'s whole domain.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+    use std::collections::BTreeSet;
+    use std::fmt::Debug;
+
+    /// A target size for a generated collection: either exact or a
+    /// half-open range, mirroring proptest's `Into<SizeRange>` inputs.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut StdRng) -> usize {
+            if self.hi <= self.lo + 1 {
+                self.lo
+            } else {
+                rng.random_range(self.lo..self.hi)
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A `Vec` whose length is drawn from `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let target = self.size.sample(rng);
+            let mut out = BTreeSet::new();
+            // Duplicate draws shrink the set below target; a bounded number
+            // of extra attempts keeps the size distribution close without
+            // risking a spin on low-cardinality element strategies.
+            let mut attempts = 0;
+            while out.len() < target && attempts < target * 10 + 10 {
+                out.insert(self.element.sample(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    /// A `BTreeSet` with (up to) a `size`-drawn number of distinct elements.
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test-harness configuration and failure type.
+
+    /// Controls how many cases [`proptest!`](crate::proptest) runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single test case failed.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// An assertion failed.
+        Fail(String),
+        /// The case asked to be discarded.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// An assertion-failure error.
+        #[must_use]
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A discard request.
+        #[must_use]
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            }
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+}
+
+pub(crate) mod string {
+    //! The regex-subset interpreter behind string-literal strategies.
+
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+
+    enum CharSet {
+        Literal(char),
+        /// Inclusive ranges, e.g. `[a-z0-9_]` → `[(a,z),(0,9),(_,_)]`.
+        Class(Vec<(char, char)>),
+        /// `\PC`: any non-control ("printable") character.
+        Printable,
+    }
+
+    struct Atom {
+        set: CharSet,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse(pattern: &str) -> Vec<Atom> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let set = match chars[i] {
+                '[' => {
+                    let mut ranges = Vec::new();
+                    i += 1;
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = chars[i];
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            ranges.push((lo, chars[i + 2]));
+                            i += 3;
+                        } else {
+                            ranges.push((lo, lo));
+                            i += 1;
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated class in regex `{pattern}`");
+                    i += 1;
+                    CharSet::Class(ranges)
+                }
+                '\\' => {
+                    let next = *chars
+                        .get(i + 1)
+                        .unwrap_or_else(|| panic!("dangling escape in regex `{pattern}`"));
+                    i += 2;
+                    match next {
+                        'P' => {
+                            // `\PC` — only the "not control" category is
+                            // supported.
+                            let cat = chars.get(i).copied();
+                            assert_eq!(
+                                cat,
+                                Some('C'),
+                                "unsupported unicode category in regex `{pattern}`"
+                            );
+                            i += 1;
+                            CharSet::Printable
+                        }
+                        c => CharSet::Literal(c),
+                    }
+                }
+                c => {
+                    i += 1;
+                    CharSet::Literal(c)
+                }
+            };
+            // Optional repetition.
+            let (min, max) = if chars.get(i) == Some(&'{') {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unterminated repetition in `{pattern}`"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("repetition lower bound"),
+                        hi.trim().parse().expect("repetition upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("repetition count");
+                        (n, n)
+                    }
+                }
+            } else if chars.get(i) == Some(&'*') {
+                i += 1;
+                (0, 16)
+            } else if chars.get(i) == Some(&'+') {
+                i += 1;
+                (1, 16)
+            } else {
+                (1, 1)
+            };
+            atoms.push(Atom { set, min, max });
+        }
+        atoms
+    }
+
+    /// A pool of printable characters for `\PC`, deliberately including
+    /// multi-byte code points and JSON-hostile punctuation.
+    const PRINTABLE_EXTRA: &[char] = &['é', 'ß', 'λ', '°', '€', '中', '🙂', '\u{a0}'];
+
+    fn sample_char(set: &CharSet, rng: &mut StdRng) -> char {
+        match set {
+            CharSet::Literal(c) => *c,
+            CharSet::Class(ranges) => {
+                let total: u32 = ranges
+                    .iter()
+                    .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+                    .sum();
+                let mut pick = rng.random_range(0..total);
+                for &(lo, hi) in ranges {
+                    let width = hi as u32 - lo as u32 + 1;
+                    if pick < width {
+                        return char::from_u32(lo as u32 + pick).expect("valid class range");
+                    }
+                    pick -= width;
+                }
+                unreachable!()
+            }
+            CharSet::Printable => {
+                if rng.random_range(0..8u32) == 0 {
+                    PRINTABLE_EXTRA[rng.random_range(0..PRINTABLE_EXTRA.len())]
+                } else {
+                    char::from_u32(rng.random_range(0x20u32..0x7f)).expect("ascii printable")
+                }
+            }
+        }
+    }
+
+    pub(crate) fn sample_regex(pattern: &str, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        for atom in parse(pattern) {
+            let count = if atom.max > atom.min {
+                rng.random_range(atom.min..=atom.max)
+            } else {
+                atom.min
+            };
+            for _ in 0..count {
+                out.push(sample_char(&atom.set, rng));
+            }
+        }
+        out
+    }
+}
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking)
+/// when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)).into(),
+            );
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+/// Asserts two expressions are unequal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(*left != *right, $($fmt)*);
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @run ($cfg) $($rest)* }
+    };
+    (@run ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            use $crate::strategy::Strategy as _;
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            // Seed from the test's identity so each property draws its own
+            // deterministic stream.
+            let mut name_hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in concat!(module_path!(), "::", stringify!($name)).bytes() {
+                name_hash = (name_hash ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            for case in 0..config.cases {
+                let mut rng =
+                    <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                        name_hash ^ u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                    );
+                let values = ($( ($strategy).sample(&mut rng), )+);
+                let described = format!("{values:?}");
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        let ($($pat,)+) = values;
+                        #[allow(unreachable_code)]
+                        {
+                            $body
+                            ::core::result::Result::Ok(())
+                        }
+                    },
+                ));
+                match outcome {
+                    Ok(Ok(())) => {}
+                    Ok(Err($crate::test_runner::TestCaseError::Reject(_))) => {}
+                    Ok(Err(e)) => panic!(
+                        "property `{}` failed: {e}\n  case #{case} inputs: {described}",
+                        stringify!($name),
+                    ),
+                    Err(payload) => {
+                        eprintln!(
+                            "property `{}` panicked\n  case #{case} inputs: {described}",
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            @run ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_tuples_and_maps_compose() {
+        let strat = (1usize..5, 0.0f64..1.0).prop_map(|(n, x)| vec![x; n]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let v = strat.sample(&mut rng);
+            assert!((1..5).contains(&v.len()));
+            assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn regex_subset_shapes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let ident = crate::string::sample_regex("[a-z][a-z0-9_]{0,8}", &mut rng);
+            let mut cs = ident.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase(), "{ident}");
+            assert!(ident.len() <= 9);
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+            let junk = crate::string::sample_regex("\\PC{0,200}", &mut rng);
+            assert!(junk.chars().all(|c| !c.is_control()), "{junk:?}");
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let strat = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[strat.sample(&mut rng) as usize] = true;
+        }
+        assert_eq!(&seen[1..], &[true, true, true]);
+    }
+
+    #[test]
+    fn collection_sizes_respect_bounds() {
+        let strat = crate::collection::vec(0u64..10, 2..6);
+        let exact = crate::collection::vec(0u64..10, 4usize);
+        let sets = crate::collection::btree_set(0usize..1000, 0..40);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let len = strat.sample(&mut rng).len();
+            assert!((2..6).contains(&len));
+            assert_eq!(exact.sample(&mut rng).len(), 4);
+            assert!(sets.sample(&mut rng).len() < 40);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro harness itself: patterns, filters, flat_map, Result
+        /// bodies and early Ok returns all work.
+        #[test]
+        fn harness_smoke(
+            (a, b) in (0u64..100, 0u64..100),
+            v in crate::collection::vec(0i64..10, 1..4),
+            s in "[a-z]{1,10}",
+        ) {
+            if a == b {
+                return Ok(());
+            }
+            prop_assert_ne!(a, b);
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert!(!s.is_empty() && s.len() <= 10, "bad len {}", s.len());
+            let doubled = (0u64..1).prop_flat_map(|_| Just(a * 2)).sample(
+                &mut StdRng::seed_from_u64(0),
+            );
+            prop_assert_eq!(doubled, a * 2);
+        }
+    }
+}

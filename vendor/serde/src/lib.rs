@@ -1,0 +1,509 @@
+//! Vendored offline stand-in for `serde`.
+//!
+//! Instead of serde's visitor-based zero-copy architecture, this stand-in
+//! serializes through an owned [`Content`] tree: `Serialize` renders a value
+//! *to* a `Content`, `Deserialize` rebuilds a value *from* one, and data
+//! formats (`serde_json`) only ever translate between `Content` and text.
+//! The wire conventions match serde's defaults exactly — newtype structs are
+//! transparent, unit enum variants become strings, data-carrying variants
+//! become single-key maps, tuples become sequences — so files written by the
+//! real serde deserialize cleanly and vice versa.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialized form of any value: a JSON-like document tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// Absent / unit / `None`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer (positive values normalize to [`Content::U64`]).
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An ordered map with string keys (field order is preserved).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Looks up `key` in a map, or `None` for missing keys / non-maps.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Error produced when a [`Content`] tree does not match the target type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// An "expected X, found Y" error.
+    #[must_use]
+    pub fn expected(what: &str, found: &Content) -> Self {
+        DeError(format!("expected {what}, found {}", found.kind()))
+    }
+
+    /// A custom error message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A value renderable to a [`Content`] tree.
+pub trait Serialize {
+    /// Renders `self` as a document tree.
+    fn serialize(&self) -> Content;
+}
+
+/// A value rebuildable from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value, validating the tree's shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the tree does not encode a `Self`.
+    fn deserialize(content: &Content) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                Content::U64(u64::from(*self))
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deserialize(content: &Content) -> Result<Self, DeError> {
+                match content {
+                    Content::U64(v) => <$t>::try_from(*v)
+                        .map_err(|_| DeError::custom(format!("{v} out of range"))),
+                    other => Err(DeError::expected("unsigned integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn serialize(&self) -> Content {
+        Content::U64(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::U64(v) => {
+                usize::try_from(*v).map_err(|_| DeError::custom(format!("{v} out of range")))
+            }
+            other => Err(DeError::expected("unsigned integer", other)),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                let v = i64::from(*self);
+                // Non-negative integers normalize to U64 so the two integer
+                // arms compare equal after a JSON round-trip.
+                if v >= 0 { Content::U64(v as u64) } else { Content::I64(v) }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deserialize(content: &Content) -> Result<Self, DeError> {
+                let wide: i64 = match content {
+                    Content::I64(v) => *v,
+                    Content::U64(v) => i64::try_from(*v)
+                        .map_err(|_| DeError::custom(format!("{v} out of range")))?,
+                    other => return Err(DeError::expected("integer", other)),
+                };
+                <$t>::try_from(wide).map_err(|_| DeError::custom(format!("{wide} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn serialize(&self) -> Content {
+        (*self as i64).serialize()
+    }
+}
+
+impl Deserialize for isize {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        i64::deserialize(content)
+            .and_then(|v| isize::try_from(v).map_err(|_| DeError::custom("out of range")))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::F64(v) => Ok(*v),
+            Content::U64(v) => Ok(*v as f64),
+            Content::I64(v) => Ok(*v as f64),
+            other => Err(DeError::expected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        f64::deserialize(content).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(v) => Ok(*v),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::expected("single-character string", other)),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn serialize(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(()),
+            other => Err(DeError::expected("null", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.serialize(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(DeError::expected("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        T::deserialize(content).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($( ($($name:ident : $idx:tt),+) )*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(content: &Content) -> Result<Self, DeError> {
+                const LEN: usize = [$($idx),+].len();
+                match content {
+                    Content::Seq(items) if items.len() == LEN => {
+                        Ok(($($name::deserialize(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::expected("fixed-length sequence", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+impl<V: Serialize, S: BuildHasher> Serialize for HashMap<String, V, S> {
+    fn serialize(&self) -> Content {
+        // Sort keys so serialization is deterministic regardless of hasher
+        // state — required for byte-identical snapshots across runs.
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.serialize()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<V: Deserialize, S: BuildHasher + Default> Deserialize for HashMap<String, V, S> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+                .collect(),
+            other => Err(DeError::expected("map", other)),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+                .collect(),
+            other => Err(DeError::expected("map", other)),
+        }
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(DeError::expected("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize + Eq + Hash, S: BuildHasher> Serialize for std::collections::HashSet<T, S> {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+/// Helper for derived code: fetches and deserializes a struct field.
+///
+/// # Errors
+///
+/// Returns [`DeError`] when the field is absent (and `T` is not optional)
+/// or has the wrong shape.
+pub fn de_field<T: Deserialize>(content: &Content, name: &str) -> Result<T, DeError> {
+    match content.get(name) {
+        Some(v) => T::deserialize(v).map_err(|e| DeError(format!("field `{name}`: {e}"))),
+        // Missing fields deserialize from Null so Option fields default to
+        // None, matching serde's treatment of absent optional fields.
+        None => {
+            T::deserialize(&Content::Null).map_err(|_| DeError(format!("missing field `{name}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_primitives() {
+        assert_eq!(u32::deserialize(&5u32.serialize()), Ok(5));
+        assert_eq!(i64::deserialize(&(-3i64).serialize()), Ok(-3));
+        assert_eq!(i64::deserialize(&7i64.serialize()), Ok(7));
+        assert_eq!(f64::deserialize(&1.5f64.serialize()), Ok(1.5));
+        assert_eq!(bool::deserialize(&true.serialize()), Ok(true));
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn roundtrip_containers() {
+        let v = vec![(1u64, "a".to_string()), (2, "b".to_string())];
+        assert_eq!(Vec::<(u64, String)>::deserialize(&v.serialize()), Ok(v));
+        let o: Option<u64> = None;
+        assert_eq!(Option::<u64>::deserialize(&o.serialize()), Ok(None));
+        let mut m = HashMap::new();
+        m.insert("k".to_string(), 9u64);
+        assert_eq!(HashMap::<String, u64>::deserialize(&m.serialize()), Ok(m));
+    }
+
+    #[test]
+    fn wrong_shape_is_an_error() {
+        assert!(u32::deserialize(&Content::Str("x".into())).is_err());
+        assert!(Vec::<u64>::deserialize(&Content::Bool(true)).is_err());
+        assert!(u8::deserialize(&Content::U64(300)).is_err());
+    }
+
+    #[test]
+    fn missing_optional_field_is_none() {
+        let c = Content::Map(vec![]);
+        let got: Option<u64> = de_field(&c, "gone").unwrap();
+        assert_eq!(got, None);
+        assert!(de_field::<u64>(&c, "gone").is_err());
+    }
+}

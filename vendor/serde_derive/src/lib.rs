@@ -1,0 +1,539 @@
+//! Vendored offline stand-in for `serde_derive`.
+//!
+//! Derives the in-tree `serde` crate's `Serialize`/`Deserialize` traits
+//! (Content-tree based, see `vendor/serde`) without depending on `syn` or
+//! `quote`: the item definition is parsed directly from the
+//! [`proc_macro::TokenStream`] and the impl is emitted as source text.
+//!
+//! Supported shapes — exactly the ones the workspace uses:
+//! named structs, tuple structs (newtypes serialize transparently), unit
+//! structs, and enums with unit / tuple / struct variants, plus the
+//! container attribute `#[serde(from = "T", into = "T")]`. Generic types
+//! are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the in-tree `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives the in-tree `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return error(&msg),
+    };
+    let code = match mode {
+        Mode::Serialize => gen_serialize(&item),
+        Mode::Deserialize => gen_deserialize(&item),
+    };
+    code.parse()
+        .unwrap_or_else(|e| error(&format!("serde_derive produced invalid code: {e}")))
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+    /// `#[serde(from = "...")]` type, if any.
+    from: Option<String>,
+    /// `#[serde(into = "...")]` type, if any.
+    into: Option<String>,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    let mut from = None;
+    let mut into = None;
+
+    // Outer attributes and visibility.
+    loop {
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(pos + 1) {
+                    parse_serde_attr(g.stream(), &mut from, &mut into)?;
+                    pos += 2;
+                } else {
+                    return Err("malformed attribute".into());
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                pos += 1;
+                // `pub(crate)` and friends carry a parenthesized group.
+                if let Some(TokenTree::Group(g)) = tokens.get(pos) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        pos += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected `struct` or `enum`".into()),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected a type name".into()),
+    };
+    pos += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde_derive (vendored) does not support generic type `{name}`"
+            ));
+        }
+    }
+
+    let body = match kind.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Fields::Named(parse_named_fields(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Struct(Fields::Unit),
+            _ => return Err(format!("malformed struct `{name}`")),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream())?)
+            }
+            _ => return Err(format!("malformed enum `{name}`")),
+        },
+        other => return Err(format!("cannot derive serde traits for `{other}`")),
+    };
+
+    Ok(Item {
+        name,
+        body,
+        from,
+        into,
+    })
+}
+
+/// Extracts `from`/`into` targets out of one attribute's bracketed tokens,
+/// ignoring every non-serde attribute (`doc`, `non_exhaustive`, ...).
+fn parse_serde_attr(
+    stream: TokenStream,
+    from: &mut Option<String>,
+    into: &mut Option<String>,
+) -> Result<(), String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Ok(()),
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else {
+        return Ok(());
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut i = 0;
+    while i < args.len() {
+        let key = match &args[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            _ => return Err("unsupported serde attribute syntax".into()),
+        };
+        match (args.get(i + 1), args.get(i + 2)) {
+            (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) if eq.as_char() == '=' => {
+                let text = lit.to_string();
+                let target = text.trim_matches('"').to_string();
+                match key.as_str() {
+                    "from" => *from = Some(target),
+                    "into" => *into = Some(target),
+                    other => {
+                        return Err(format!(
+                            "unsupported serde attribute `{other}` (vendored serde_derive)"
+                        ))
+                    }
+                }
+                i += 3;
+            }
+            _ => return Err(format!("unsupported serde attribute `{key}`")),
+        }
+        if let Some(TokenTree::Punct(p)) = args.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Skips one run of leading attributes, returning the next position.
+fn skip_attrs(tokens: &[TokenTree], mut pos: usize) -> usize {
+    while let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '#' && matches!(tokens.get(pos + 1), Some(TokenTree::Group(_))) {
+            pos += 2;
+        } else {
+            break;
+        }
+    }
+    pos
+}
+
+/// Advances past a field's type: everything up to the next top-level comma.
+/// Angle brackets are punctuation (not groups), so nesting is tracked by
+/// hand; `Vec<(A, B)>`-style commas sit inside a group or behind `<`.
+fn skip_type(tokens: &[TokenTree], mut pos: usize) -> usize {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(pos) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        pos += 1;
+    }
+    pos
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        pos = skip_attrs(&tokens, pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        if let Some(TokenTree::Ident(id)) = tokens.get(pos) {
+            if id.to_string() == "pub" {
+                pos += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(pos) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        pos += 1;
+                    }
+                }
+            }
+        }
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => return Err("expected a field name".into()),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        pos = skip_type(&tokens, pos);
+        // Skip the separating comma, if present.
+        pos += 1;
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut pos = 0;
+    while pos < tokens.len() {
+        pos = skip_attrs(&tokens, pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        if let Some(TokenTree::Ident(id)) = tokens.get(pos) {
+            if id.to_string() == "pub" {
+                pos += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(pos) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        pos += 1;
+                    }
+                }
+            }
+        }
+        pos = skip_type(&tokens, pos);
+        pos += 1;
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        pos = skip_attrs(&tokens, pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => return Err("expected a variant name".into()),
+        };
+        pos += 1;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => pos += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!(
+                    "variant `{name}`: explicit discriminants are unsupported"
+                ))
+            }
+            None => {}
+            _ => return Err(format!("malformed variant `{name}`")),
+        }
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(into) = &item.into {
+        // serde convention: `#[serde(into = "T")]` clones and converts,
+        // then serializes the conversion target.
+        format!(
+            "let repr: {into} = ::core::convert::Into::into(::core::clone::Clone::clone(self));\n\
+             ::serde::Serialize::serialize(&repr)"
+        )
+    } else {
+        match &item.body {
+            Body::Struct(fields) => ser_fields(fields, name, None),
+            Body::Enum(variants) => {
+                let mut arms = String::new();
+                for (vname, fields) in variants {
+                    let (pattern, expr) = match fields {
+                        Fields::Unit => (
+                            format!("{name}::{vname}"),
+                            format!(
+                                "::serde::Content::Str(::std::string::String::from({vname:?}))"
+                            ),
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let pattern = format!("{name}::{vname}({})", binds.join(", "));
+                            let inner = if *n == 1 {
+                                "::serde::Serialize::serialize(x0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                    .collect();
+                                format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+                            };
+                            (pattern, variant_map(vname, &inner))
+                        }
+                        Fields::Named(fnames) => {
+                            let pattern = format!("{name}::{vname} {{ {} }}", fnames.join(", "));
+                            let entries: Vec<String> = fnames
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), \
+                                         ::serde::Serialize::serialize({f}))"
+                                    )
+                                })
+                                .collect();
+                            let inner =
+                                format!("::serde::Content::Map(vec![{}])", entries.join(", "));
+                            (pattern, variant_map(vname, &inner))
+                        }
+                    };
+                    arms.push_str(&format!("{pattern} => {expr},\n"));
+                }
+                format!("match self {{\n{arms}}}")
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Content {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+/// Serialize expression for struct bodies (access through `self`).
+fn ser_fields(fields: &Fields, name: &str, _variant: Option<&str>) -> String {
+    match fields {
+        Fields::Unit => "::serde::Content::Null".to_string(),
+        Fields::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+        }
+        Fields::Named(fnames) => {
+            let _ = name;
+            let entries: Vec<String> = fnames
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::serialize(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(vec![{}])", entries.join(", "))
+        }
+    }
+}
+
+/// serde's externally-tagged convention: `{"Variant": <data>}`.
+fn variant_map(vname: &str, inner: &str) -> String {
+    format!("::serde::Content::Map(vec![(::std::string::String::from({vname:?}), {inner})])")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(from) = &item.from {
+        format!(
+            "let repr: {from} = ::serde::Deserialize::deserialize(content)?;\n\
+             ::core::result::Result::Ok(::core::convert::Into::into(repr))"
+        )
+    } else {
+        match &item.body {
+            Body::Struct(Fields::Unit) => {
+                format!("::core::result::Result::Ok({name})")
+            }
+            Body::Struct(Fields::Tuple(1)) => format!(
+                "::core::result::Result::Ok({name}(::serde::Deserialize::deserialize(content)?))"
+            ),
+            Body::Struct(Fields::Tuple(n)) => de_tuple_body("content", name, *n),
+            Body::Struct(Fields::Named(fnames)) => de_named_body("content", name, fnames),
+            Body::Enum(variants) => {
+                let mut unit_arms = String::new();
+                let mut data_arms = String::new();
+                for (vname, fields) in variants {
+                    match fields {
+                        Fields::Unit => unit_arms.push_str(&format!(
+                            "{vname:?} => ::core::result::Result::Ok({name}::{vname}),\n"
+                        )),
+                        Fields::Tuple(1) => data_arms.push_str(&format!(
+                            "{vname:?} => ::core::result::Result::Ok(\
+                             {name}::{vname}(::serde::Deserialize::deserialize(value)?)),\n"
+                        )),
+                        Fields::Tuple(n) => {
+                            let inner = de_tuple_body("value", &format!("{name}::{vname}"), *n);
+                            data_arms.push_str(&format!("{vname:?} => {{ {inner} }},\n"));
+                        }
+                        Fields::Named(fnames) => {
+                            let inner = de_named_body("value", &format!("{name}::{vname}"), fnames);
+                            data_arms.push_str(&format!("{vname:?} => {{ {inner} }},\n"));
+                        }
+                    }
+                }
+                format!(
+                    "match content {{\n\
+                         ::serde::Content::Str(s) => match s.as_str() {{\n\
+                             {unit_arms}\
+                             other => ::core::result::Result::Err(::serde::DeError::custom(\
+                                 format!(\"unknown variant `{{other}}`\"))),\n\
+                         }},\n\
+                         ::serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+                             let (tag, value) = &entries[0];\n\
+                             match tag.as_str() {{\n\
+                                 {data_arms}\
+                                 other => ::core::result::Result::Err(::serde::DeError::custom(\
+                                     format!(\"unknown variant `{{other}}`\"))),\n\
+                             }}\n\
+                         }}\n\
+                         other => ::core::result::Result::Err(\
+                             ::serde::DeError::expected(\"enum\", other)),\n\
+                     }}"
+                )
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(content: &::serde::Content) \
+              -> ::core::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn de_named_body(source: &str, ctor: &str, fnames: &[String]) -> String {
+    let inits: Vec<String> = fnames
+        .iter()
+        .map(|f| format!("{f}: ::serde::de_field({source}, {f:?})?"))
+        .collect();
+    format!(
+        "match {source} {{\n\
+             ::serde::Content::Map(_) => ::core::result::Result::Ok({ctor} {{ {} }}),\n\
+             other => ::core::result::Result::Err(::serde::DeError::expected(\"map\", other)),\n\
+         }}",
+        inits.join(", ")
+    )
+}
+
+fn de_tuple_body(source: &str, ctor: &str, n: usize) -> String {
+    let inits: Vec<String> = (0..n)
+        .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+        .collect();
+    format!(
+        "match {source} {{\n\
+             ::serde::Content::Seq(items) if items.len() == {n} => \
+                 ::core::result::Result::Ok({ctor}({})),\n\
+             other => ::core::result::Result::Err(\
+                 ::serde::DeError::expected(\"sequence of {n}\", other)),\n\
+         }}",
+        inits.join(", ")
+    )
+}
