@@ -16,7 +16,7 @@ use ascdg_stimgen::mix_seed;
 use ascdg_template::TemplateLibrary;
 
 use crate::pool::pool_scope;
-use crate::{ApproxTarget, CdgFlow, FlowError, FlowOutcome, NoopObserver, PHASE_BEFORE};
+use crate::{ApproxTarget, CdgFlow, FlowEngine, FlowError, FlowOutcome, PHASE_BEFORE, PHASE_BEST};
 
 /// One target group's result within a campaign.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -171,9 +171,9 @@ impl<E: VerifEnv> CdgFlow<E> {
         seed: u64,
     ) -> Result<CampaignOutcome, FlowError> {
         let policy = StatusPolicy::default();
-        // Run the flow per group against the shared regression repository.
-        // All groups share one persistent worker pool instead of spinning
-        // one up per group.
+        // Run one engine session per group against the shared regression
+        // repository. All groups share one persistent worker pool (and one
+        // engine) instead of spinning a pool up per group.
         let mut out_groups = Vec::with_capacity(groups.len());
         let mut harvested = TemplateLibrary::new();
         let mut union_hits: Vec<u64> = repo.all_global_stats().iter().map(|s| s.hits).collect();
@@ -181,6 +181,7 @@ impl<E: VerifEnv> CdgFlow<E> {
         let mut extra_sims: u64 = 0;
         let mut union_extra_sims: u64 = 0;
         pool_scope(self.config().threads, |pool| {
+            let engine = FlowEngine::new(self.env(), self.config().clone(), pool);
             for (i, (name, targets)) in groups.into_iter().enumerate() {
                 let run = ApproxTarget::auto(
                     self.env().coverage_model(),
@@ -188,57 +189,65 @@ impl<E: VerifEnv> CdgFlow<E> {
                     self.config().neighbor_decay,
                 )
                 .and_then(|approx| {
-                    self.run_phases_on(
-                        pool,
-                        &repo,
-                        approx,
-                        mix_seed(seed, 0xc0 + i as u64),
-                        &mut NoopObserver,
-                    )
+                    let mut cx =
+                        engine.session_with_repo(&repo, approx, mix_seed(seed, 0xc0 + i as u64))?;
+                    engine.run(&mut cx)
                 });
-                match run {
-                    Ok(outcome) => {
-                        let group_sims = non_regression_sims(&outcome);
-                        extra_sims += group_sims;
-                        let best = outcome.phases.last().expect("flow has phases");
-                        let newly = targets
-                            .iter()
-                            .filter(|&&e| best.hits[e.index()] > 0)
-                            .count();
-                        // Fold the best-test evidence into the unit-level
-                        // "after" picture.
-                        for (acc, &h) in union_hits.iter_mut().zip(&best.hits) {
-                            *acc += h;
-                        }
-                        union_extra_sims += best.sims;
-                        // Two groups can choose the same stock template, so
-                        // qualify the harvested name by the group.
-                        let clean: String = name
-                            .chars()
-                            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-                            .collect();
-                        let template_name = format!("{}__{clean}", outcome.best_template.name());
-                        harvested
-                            .push(outcome.best_template.renamed(&template_name))
-                            .expect("group-qualified names are unique");
-                        out_groups.push(CampaignGroup {
-                            name,
-                            targets,
-                            newly_covered: newly,
-                            sims: group_sims,
-                            harvested_template: Some(template_name),
-                            failure: None,
-                        });
-                    }
+                let outcome = match run {
+                    Ok(outcome) => outcome,
                     Err(e) => {
-                        out_groups.push(CampaignGroup {
+                        fail_group(&mut out_groups, name, targets, e.to_string());
+                        continue;
+                    }
+                };
+                let Some(best) = outcome.phase(PHASE_BEST).cloned() else {
+                    fail_group(
+                        &mut out_groups,
+                        name,
+                        targets,
+                        "flow produced no best-test phase".to_owned(),
+                    );
+                    continue;
+                };
+                let group_sims = non_regression_sims(&outcome);
+                extra_sims += group_sims;
+                let newly = targets
+                    .iter()
+                    .filter(|&&e| best.hits[e.index()] > 0)
+                    .count();
+                // Fold the best-test evidence into the unit-level "after"
+                // picture.
+                for (acc, &h) in union_hits.iter_mut().zip(&best.hits) {
+                    *acc += h;
+                }
+                union_extra_sims += best.sims;
+                // Two groups can choose the same stock template, so qualify
+                // the harvested name by the group (and, should two groups
+                // still collide, by the group index).
+                let clean: String = name
+                    .chars()
+                    .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                    .collect();
+                let mut template_name = format!("{}__{clean}", outcome.best_template.name());
+                if harvested.by_name(&template_name).is_some() {
+                    template_name = format!("{template_name}_{i}");
+                }
+                match harvested.push(outcome.best_template.renamed(&template_name)) {
+                    Ok(_) => out_groups.push(CampaignGroup {
+                        name,
+                        targets,
+                        newly_covered: newly,
+                        sims: group_sims,
+                        harvested_template: Some(template_name),
+                        failure: None,
+                    }),
+                    Err(e) => {
+                        fail_group(
+                            &mut out_groups,
                             name,
                             targets,
-                            newly_covered: 0,
-                            sims: 0,
-                            harvested_template: None,
-                            failure: Some(e.to_string()),
-                        });
+                            FlowError::from(e).to_string(),
+                        );
                     }
                 }
             }
@@ -258,6 +267,19 @@ impl<E: VerifEnv> CdgFlow<E> {
             harvested,
         })
     }
+}
+
+/// Records a group the flow could not complete — the paper's "failed to
+/// provide the desired results" category.
+fn fail_group(out: &mut Vec<CampaignGroup>, name: String, targets: Vec<EventId>, why: String) {
+    out.push(CampaignGroup {
+        name,
+        targets,
+        newly_covered: 0,
+        sims: 0,
+        harvested_template: None,
+        failure: Some(why),
+    });
 }
 
 /// Sum of a flow outcome's phase simulations, excluding the shared

@@ -1,0 +1,394 @@
+//! The stage engine: sequences pipeline stages over a session context.
+//!
+//! [`FlowEngine`] owns the worker pool, the configuration and the stage
+//! list; a [`SessionCx`] carries one run's accumulated state between the
+//! stages. Because every stage draws its randomness from seed streams
+//! derived *only* from the session seed (never from a shared RNG, the
+//! wall clock, or the worker count), the engine's [`FlowOutcome`] is
+//! byte-identical to the pre-engine inline flow at any thread count — and
+//! a run resumed from any post-stage snapshot reproduces the identical
+//! outcome, because the skipped stages' products are already in the state.
+
+use ascdg_coverage::CoverageRepository;
+use ascdg_duv::VerifEnv;
+
+use crate::events::FlowEvent;
+use crate::pool::SimPool;
+use crate::session::{SessionCx, SessionState, TargetSpec};
+use crate::stages::{default_stages, Stage};
+use crate::{
+    ApproxTarget, BatchRunner, FlowConfig, FlowError, FlowOutcome, PhaseStats, PHASE_BEFORE,
+};
+
+/// Executes a stage list against flow sessions.
+///
+/// # Examples
+///
+/// ```
+/// use ascdg_core::{pool_scope, FlowConfig, FlowEngine, TargetSpec};
+/// use ascdg_duv::io_unit::IoEnv;
+///
+/// let env = IoEnv::new();
+/// let config = FlowConfig::quick();
+/// let outcome = pool_scope(config.threads, |pool| {
+///     let engine = FlowEngine::new(&env, config.clone(), pool);
+///     let mut cx = engine.session(TargetSpec::Family("crc_".to_owned()), 7);
+///     engine.run(&mut cx)
+/// })?;
+/// assert_eq!(outcome.unit, "io_unit");
+/// # Ok::<(), ascdg_core::FlowError>(())
+/// ```
+pub struct FlowEngine<'env, E: VerifEnv> {
+    env: &'env E,
+    config: FlowConfig,
+    pool: SimPool<'env>,
+    stages: Vec<Box<dyn Stage<E>>>,
+}
+
+impl<'env, E: VerifEnv> FlowEngine<'env, E> {
+    /// An engine running the full single-target stage list
+    /// ([`default_stages`]) on the given worker pool.
+    #[must_use]
+    pub fn new(env: &'env E, config: FlowConfig, pool: &SimPool<'env>) -> Self {
+        FlowEngine::with_stages(env, config, pool, default_stages())
+    }
+
+    /// An engine running a custom stage list (e.g. the multi-target flow's
+    /// shared prefix, or a pipeline with extra analysis stages).
+    #[must_use]
+    pub fn with_stages(
+        env: &'env E,
+        config: FlowConfig,
+        pool: &SimPool<'env>,
+        stages: Vec<Box<dyn Stage<E>>>,
+    ) -> Self {
+        FlowEngine {
+            env,
+            config,
+            pool: pool.clone(),
+            stages,
+        }
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &FlowConfig {
+        &self.config
+    }
+
+    /// The stage names, in execution order.
+    #[must_use]
+    pub fn stage_names(&self) -> Vec<&'static str> {
+        self.stages.iter().map(|s| s.name()).collect()
+    }
+
+    /// A fresh session: every stage (including regression) will run.
+    #[must_use]
+    pub fn session<'bus>(&self, spec: TargetSpec, seed: u64) -> SessionCx<'env, 'bus, E> {
+        let state = SessionState::new(self.env.unit_name(), self.config.clone(), spec, seed);
+        SessionCx::from_parts(self.env, BatchRunner::with_pool(&self.pool), None, state)
+    }
+
+    /// A session seeded with a pre-built regression repository and an
+    /// explicit approximated target; the regression stage is marked
+    /// completed and will be skipped.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Coverage`] when the repository does not belong to the
+    /// engine's environment model.
+    pub fn session_with_repo<'bus>(
+        &self,
+        repo: &CoverageRepository,
+        approx: ApproxTarget,
+        seed: u64,
+    ) -> Result<SessionCx<'env, 'bus, E>, FlowError> {
+        let snapshot = repo.snapshot();
+        let live = CoverageRepository::from_snapshot(self.env.coverage_model().clone(), &snapshot)?;
+        let mut state = SessionState::new(
+            self.env.unit_name(),
+            self.config.clone(),
+            TargetSpec::Weighted(approx.clone()),
+            seed,
+        );
+        state.repo = Some(snapshot);
+        state.approx = Some(approx);
+        state
+            .completed
+            .push(crate::stages::STAGE_REGRESSION.to_owned());
+        Ok(SessionCx::from_parts(
+            self.env,
+            BatchRunner::with_pool(&self.pool),
+            Some(live),
+            state,
+        ))
+    }
+
+    /// Rebuilds a session from a post-stage snapshot; [`FlowEngine::run`]
+    /// will skip the completed stages and reproduce the identical outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::SnapshotMismatch`] when the snapshot belongs to a
+    /// different unit, [`FlowError::Coverage`] when its repository does
+    /// not match the environment's model.
+    pub fn resume<'bus>(&self, state: SessionState) -> Result<SessionCx<'env, 'bus, E>, FlowError> {
+        if state.unit != self.env.unit_name() {
+            return Err(FlowError::SnapshotMismatch(format!(
+                "snapshot is for unit `{}`, engine runs `{}`",
+                state.unit,
+                self.env.unit_name()
+            )));
+        }
+        let live = state
+            .repo
+            .as_ref()
+            .map(|snap| CoverageRepository::from_snapshot(self.env.coverage_model().clone(), snap))
+            .transpose()?;
+        Ok(SessionCx::from_parts(
+            self.env,
+            BatchRunner::with_pool(&self.pool),
+            live,
+            state,
+        ))
+    }
+
+    /// Runs every not-yet-completed stage, in order, then assembles the
+    /// [`FlowOutcome`].
+    ///
+    /// # Errors
+    ///
+    /// The first failing stage's error; [`FlowError::MissingStageState`]
+    /// when the stage list (or a resumed snapshot) left a required product
+    /// missing.
+    pub fn run(&self, cx: &mut SessionCx<'_, '_, E>) -> Result<FlowOutcome, FlowError> {
+        for stage in &self.stages {
+            let name = stage.name();
+            if cx.state().is_completed(name) {
+                cx.emit(FlowEvent::StageSkipped {
+                    stage: name.to_owned(),
+                });
+                continue;
+            }
+            cx.emit(FlowEvent::StageStarted {
+                stage: name.to_owned(),
+            });
+            let output = stage.run(cx)?;
+            cx.state_mut().completed.push(name.to_owned());
+            cx.emit(FlowEvent::StageCompleted {
+                stage: name.to_owned(),
+                sims: output.sims,
+            });
+            cx.take_checkpoint(name);
+        }
+        self.outcome(cx)
+    }
+
+    /// Assembles the outcome from a session whose stages all ran.
+    fn outcome(&self, cx: &SessionCx<'_, '_, E>) -> Result<FlowOutcome, FlowError> {
+        fn missing(what: &'static str) -> FlowError {
+            FlowError::MissingStageState {
+                stage: "outcome",
+                missing: what,
+            }
+        }
+        let state = cx.state();
+        let repo = cx.repo()?;
+        let approx = state
+            .approx
+            .clone()
+            .ok_or_else(|| missing("approximated target"))?;
+        let chosen = state
+            .chosen_template
+            .as_ref()
+            .ok_or_else(|| missing("chosen template"))?;
+        let before = PhaseStats {
+            name: PHASE_BEFORE.to_owned(),
+            sims: repo.total_simulations(),
+            hits: repo.all_global_stats().iter().map(|s| s.hits).collect(),
+        };
+        let mut phases = Vec::with_capacity(state.phases.len() + 1);
+        phases.push(before);
+        phases.extend(state.phases.iter().cloned());
+        Ok(FlowOutcome {
+            unit: state.unit.clone(),
+            model: self.env.coverage_model().clone(),
+            targets: approx.targets().to_vec(),
+            approx_target: approx,
+            chosen_template: chosen.name().to_owned(),
+            relevant_params: state.relevant_params.clone(),
+            skeleton: state.skeleton.clone().ok_or_else(|| missing("skeleton"))?,
+            phases,
+            timings: state.timings.clone(),
+            best_template: state
+                .best_template
+                .clone()
+                .ok_or_else(|| missing("harvested template"))?,
+            best_settings: state
+                .best_settings
+                .clone()
+                .ok_or_else(|| missing("optimized settings"))?,
+            trace: state
+                .trace
+                .clone()
+                .ok_or_else(|| missing("optimizer trace"))?,
+        })
+    }
+}
+
+impl<E: VerifEnv> std::fmt::Debug for FlowEngine<'_, E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlowEngine")
+            .field("stages", &self.stage_names())
+            .field("threads", &self.pool.threads())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::EventLog;
+    use crate::pool::pool_scope;
+    use crate::stages::{Optimize, STAGE_HARVEST, STAGE_REGRESSION};
+    use ascdg_duv::io_unit::IoEnv;
+
+    fn test_threads() -> usize {
+        std::env::var("ASCDG_TEST_THREADS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(4)
+    }
+
+    fn config() -> FlowConfig {
+        let mut c = FlowConfig::quick();
+        c.threads = test_threads();
+        c
+    }
+
+    fn strip_timings(mut outcome: FlowOutcome) -> FlowOutcome {
+        outcome.timings.clear();
+        outcome
+    }
+
+    #[test]
+    fn default_stage_list_is_the_paper_flow() {
+        let env = IoEnv::new();
+        pool_scope(1, |pool| {
+            let engine = FlowEngine::new(&env, config(), pool);
+            assert_eq!(
+                engine.stage_names(),
+                vec![
+                    "regression",
+                    "coarse-search",
+                    "skeletonize",
+                    "random-sample",
+                    "optimize",
+                    "refine",
+                    "harvest"
+                ]
+            );
+        });
+    }
+
+    #[test]
+    fn engine_emits_structured_events_and_checkpoints() {
+        let env = IoEnv::new();
+        let mut log = EventLog::new();
+        let cfg = config();
+        pool_scope(cfg.threads, |pool| {
+            let engine = FlowEngine::new(&env, cfg.clone(), pool);
+            let mut cx = engine.session(TargetSpec::Family("crc_".to_owned()), 3);
+            cx.enable_checkpoints();
+            cx.subscribe(&mut log);
+            let out = engine.run(&mut cx).expect("flow runs");
+            assert_eq!(out.phases.len(), 4);
+            assert_eq!(cx.checkpoints().len(), 7);
+            // Each checkpoint extends the previous one's completed list.
+            for (i, snap) in cx.checkpoints().iter().enumerate() {
+                assert_eq!(snap.completed.len(), i + 1);
+            }
+        });
+        assert_eq!(
+            log.completed_stages(),
+            vec![
+                "regression",
+                "coarse-search",
+                "skeletonize",
+                "random-sample",
+                "optimize",
+                "refine",
+                "harvest"
+            ]
+        );
+        assert!(log.skipped_stages().is_empty());
+        let checkpoints = log
+            .events()
+            .iter()
+            .filter(|e| matches!(e, FlowEvent::Checkpoint { .. }))
+            .count();
+        assert_eq!(checkpoints, 7);
+        // The optimizer trace surfaced as best-objective events.
+        assert!(log
+            .events()
+            .iter()
+            .any(|e| matches!(e, FlowEvent::BestObjective { phase, .. }
+                if phase == crate::PHASE_OPTIMIZATION)));
+    }
+
+    #[test]
+    fn resume_from_every_checkpoint_reproduces_the_outcome() {
+        let env = IoEnv::new();
+        let cfg = config();
+        let (baseline, snapshots) = pool_scope(cfg.threads, |pool| {
+            let engine = FlowEngine::new(&env, cfg.clone(), pool);
+            let mut cx = engine.session(TargetSpec::Family("crc_".to_owned()), 11);
+            cx.enable_checkpoints();
+            let out = engine.run(&mut cx).expect("flow runs");
+            (out, cx.checkpoints().to_vec())
+        });
+        let golden = serde_json::to_string(&strip_timings(baseline)).unwrap();
+        for (i, snap) in snapshots.into_iter().enumerate() {
+            let resumed = pool_scope(cfg.threads, |pool| {
+                let engine = FlowEngine::new(&env, cfg.clone(), pool);
+                let mut cx = engine.resume(snap).expect("snapshot resumes");
+                engine.run(&mut cx).expect("resumed flow runs")
+            });
+            assert_eq!(
+                serde_json::to_string(&strip_timings(resumed)).unwrap(),
+                golden,
+                "resume after checkpoint {i} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn resume_rejects_foreign_snapshots() {
+        let env = IoEnv::new();
+        let cfg = config();
+        let mut state = SessionState::new("not_this_unit", cfg.clone(), TargetSpec::Uncovered, 1);
+        state.completed.push(STAGE_REGRESSION.to_owned());
+        pool_scope(1, |pool| {
+            let engine = FlowEngine::new(&env, cfg.clone(), pool);
+            assert!(matches!(
+                engine.resume(state.clone()),
+                Err(FlowError::SnapshotMismatch(_))
+            ));
+        });
+    }
+
+    #[test]
+    fn out_of_order_stage_list_reports_missing_state() {
+        let env = IoEnv::new();
+        let cfg = config();
+        pool_scope(1, |pool| {
+            let engine = FlowEngine::with_stages(&env, cfg.clone(), pool, vec![Box::new(Optimize)]);
+            let mut cx = engine.session(TargetSpec::Uncovered, 1);
+            assert!(matches!(
+                engine.run(&mut cx),
+                Err(FlowError::MissingStageState { .. })
+            ));
+            assert_ne!(STAGE_HARVEST, STAGE_REGRESSION);
+        });
+    }
+}

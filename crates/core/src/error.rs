@@ -28,6 +28,25 @@ pub enum FlowError {
     NoEvidence,
     /// The chosen template skeletonized to zero tunable settings.
     EmptySkeleton(String),
+    /// The coverage repository ranks a template the environment's stock
+    /// library no longer contains — the repository was built against a
+    /// different (stale) library.
+    StaleRepository {
+        /// The library index the repository referenced.
+        template_index: usize,
+    },
+    /// A stage ran without a product an earlier stage should have left in
+    /// the session context (out-of-order stage list, or a snapshot from an
+    /// incompatible pipeline).
+    MissingStageState {
+        /// The stage (or step) that needed the product.
+        stage: &'static str,
+        /// The missing product.
+        missing: &'static str,
+    },
+    /// A session snapshot cannot be resumed by this engine (e.g. it was
+    /// taken against a different unit).
+    SnapshotMismatch(String),
 }
 
 impl fmt::Display for FlowError {
@@ -49,6 +68,20 @@ impl fmt::Display for FlowError {
             ),
             FlowError::EmptySkeleton(name) => {
                 write!(f, "template `{name}` skeletonized to zero tunable settings")
+            }
+            FlowError::StaleRepository { template_index } => write!(
+                f,
+                "coverage repository references stock template index {template_index}, \
+                 which the environment's library does not contain; \
+                 rebuild the regression repository against the current library"
+            ),
+            FlowError::MissingStageState { stage, missing } => write!(
+                f,
+                "stage `{stage}` needs the {missing} produced by an earlier stage; \
+                 run the stages in flow order or resume from a complete snapshot"
+            ),
+            FlowError::SnapshotMismatch(why) => {
+                write!(f, "session snapshot cannot be resumed: {why}")
             }
         }
     }
@@ -96,5 +129,19 @@ mod tests {
             .to_string()
             .contains("crc_"));
         assert!(std::error::Error::source(&FlowError::NoEvidence).is_none());
+    }
+
+    #[test]
+    fn stage_errors_display() {
+        let e = FlowError::MissingStageState {
+            stage: "optimize",
+            missing: "skeleton",
+        };
+        assert!(e.to_string().contains("optimize"));
+        assert!(e.to_string().contains("skeleton"));
+        let e = FlowError::StaleRepository { template_index: 9 };
+        assert!(e.to_string().contains('9'));
+        let e = FlowError::SnapshotMismatch("wrong unit".to_owned());
+        assert!(e.to_string().contains("wrong unit"));
     }
 }

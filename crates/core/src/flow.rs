@@ -1,22 +1,20 @@
 //! The CDG-Runner: end-to-end orchestration of the AS-CDG flow (Fig. 2).
 
-use std::time::Instant;
-
 use serde::{Deserialize, Serialize};
 
 use ascdg_coverage::{
     CoverageModel, CoverageRepository, EventFamily, EventId, HitStats, StatusCounts, StatusPolicy,
-    TemplateId,
 };
 use ascdg_duv::VerifEnv;
-use ascdg_opt::{IfOptions, ImplicitFiltering, Optimizer, Trace};
-use ascdg_stimgen::mix_seed;
-use ascdg_tac::{relevant_params, TacQuery};
+use ascdg_opt::Trace;
 use ascdg_template::{Skeleton, TestTemplate};
 
+use crate::engine::FlowEngine;
+use crate::events::ObserverBridge;
 use crate::pool::{pool_scope, SimPool};
-use crate::sampling::random_sample;
-use crate::{ApproxTarget, BatchRunner, CdgObjective, FlowError, Skeletonizer};
+use crate::session::TargetSpec;
+use crate::stages::regression_repository;
+use crate::{ApproxTarget, FlowError};
 
 /// Name of the regression ("Before CDG") phase.
 pub const PHASE_BEFORE: &str = "Before CDG";
@@ -175,13 +173,17 @@ impl FlowConfig {
 
     /// Scales every simulation budget by `factor` (each count stays at
     /// least 1; template/direction counts are scaled too, with floors that
-    /// keep the flow functional).
+    /// keep the flow functional — in particular `sample_templates` and
+    /// `tac_top_n` can never scale below 1, so an aggressive factor cannot
+    /// produce a zero-template sampling phase or an empty coarse search).
     #[must_use]
     pub fn scaled(mut self, factor: f64) -> Self {
         let f = factor.max(0.0);
         let scale_u64 = |v: u64| ((v as f64 * f).round() as u64).max(1);
-        let scale_usize = |v: usize, floor: usize| ((v as f64 * f).round() as usize).max(floor);
+        let scale_usize =
+            |v: usize, floor: usize| ((v as f64 * f).round() as usize).max(floor.max(1));
         self.regression_sims_per_template = scale_u64(self.regression_sims_per_template);
+        self.tac_top_n = scale_usize(self.tac_top_n, 1);
         self.sample_templates = scale_usize(self.sample_templates, 4);
         self.sample_sims = scale_u64(self.sample_sims);
         self.opt_iterations = scale_usize(self.opt_iterations, 3);
@@ -407,26 +409,17 @@ impl<E: VerifEnv> CdgFlow<E> {
     /// Returns [`FlowError::EmptyLibrary`] when there is nothing to run,
     /// or any batch error.
     pub fn run_regression(&self, seed: u64) -> Result<CoverageRepository, FlowError> {
-        let lib = self.env.stock_library();
-        if lib.is_empty() {
-            return Err(FlowError::EmptyLibrary);
-        }
-        let repo = CoverageRepository::new(self.env.coverage_model().clone());
+        regression_repository(&self.env, &self.config, seed)
+    }
+
+    /// Runs a full engine session (all stages, including regression) on a
+    /// scoped worker pool.
+    fn run_session(&self, spec: TargetSpec, seed: u64) -> Result<FlowOutcome, FlowError> {
         pool_scope(self.config.threads, |pool| {
-            let runner = BatchRunner::with_pool(pool);
-            for (idx, template) in lib.iter() {
-                runner.run_recorded(
-                    &self.env,
-                    template,
-                    self.config.regression_sims_per_template,
-                    mix_seed(seed, idx as u64),
-                    &repo,
-                    TemplateId(idx as u32),
-                )?;
-            }
-            Ok::<(), FlowError>(())
-        })?;
-        Ok(repo)
+            let engine = FlowEngine::new(&self.env, self.config.clone(), pool);
+            let mut cx = engine.session(spec, seed);
+            engine.run(&mut cx)
+        })
     }
 
     /// Full flow against the uncovered members of the event family with
@@ -438,23 +431,15 @@ impl<E: VerifEnv> CdgFlow<E> {
     /// [`FlowError::NoTargets`] if all its members are already covered
     /// after regression, plus any downstream phase error.
     pub fn run_for_family(&self, stem: &str, seed: u64) -> Result<FlowOutcome, FlowError> {
+        // Validate the family before spending any simulations on the
+        // regression (the engine's coarse-search stage re-resolves it
+        // against the repository to pick the uncovered members).
         let model = self.env.coverage_model();
-        let family = EventFamily::discover(model)
+        EventFamily::discover(model)
             .into_iter()
             .find(|f| f.stem() == stem)
             .ok_or_else(|| FlowError::UnknownFamily(stem.to_owned()))?;
-        let repo = self.run_regression(mix_seed(seed, 0xbef0))?;
-        let targets: Vec<EventId> = family
-            .events()
-            .into_iter()
-            .filter(|&e| repo.global_stats(e).hits == 0)
-            .collect();
-        if targets.is_empty() {
-            return Err(FlowError::NoTargets(format!(
-                "family `{stem}` is already fully covered"
-            )));
-        }
-        self.run_phases(&repo, &targets, seed)
+        self.run_session(TargetSpec::Family(stem.to_owned()), seed)
     }
 
     /// Full flow against every event still uncovered after regression —
@@ -465,14 +450,7 @@ impl<E: VerifEnv> CdgFlow<E> {
     /// Returns [`FlowError::NoTargets`] when nothing is uncovered, plus
     /// any downstream phase error.
     pub fn run_for_uncovered(&self, seed: u64) -> Result<FlowOutcome, FlowError> {
-        let repo = self.run_regression(mix_seed(seed, 0xbef0))?;
-        let targets = repo.uncovered_events();
-        if targets.is_empty() {
-            return Err(FlowError::NoTargets(
-                "every event is already covered".to_owned(),
-            ));
-        }
-        self.run_phases(&repo, &targets, seed)
+        self.run_session(TargetSpec::Uncovered, seed)
     }
 
     /// Full flow against explicit target events, using a pre-built
@@ -548,218 +526,10 @@ impl<E: VerifEnv> CdgFlow<E> {
         seed: u64,
         observer: &mut dyn FlowObserver,
     ) -> Result<FlowOutcome, FlowError> {
-        let model = self.env.coverage_model();
-        let cfg = &self.config;
-        let runner = BatchRunner::with_pool(pool);
-        let targets = approx.targets().to_vec();
-        let targets = targets.as_slice();
-
-        // Section IV-B: coarse-grained search (a TAC query).
-        let ranking = TacQuery::new(approx.weights().iter().copied())
-            .with_min_sims(cfg.regression_sims_per_template.min(10))
-            .top_n(repo, cfg.tac_top_n);
-        let chosen = ranking
-            .first()
-            .filter(|r| r.score > 0.0)
-            .ok_or(FlowError::NoEvidence)?;
-        let library = self.env.stock_library();
-        let chosen_template = library
-            .get(chosen.template.index())
-            .expect("TAC ranks only recorded templates")
-            .clone();
-        let relevant = relevant_params(library, &ranking);
-
-        // Section IV-C: skeletonize the chosen template.
-        let skeleton = Skeletonizer::new()
-            .with_subranges(cfg.subranges)
-            .include_zero_weights(cfg.include_zero_weights)
-            .skeletonize(&chosen_template)?;
-        observer.on_coarse_choice(chosen_template.name(), &relevant);
-
-        // Section IV-D: random sample.
-        observer.on_phase_start(
-            PHASE_SAMPLING,
-            cfg.sample_templates as u64 * cfg.sample_sims,
-        );
-        let mut timings = Vec::new();
-        let mut sample_obj = CdgObjective::new(
-            &self.env,
-            &skeleton,
-            &approx,
-            cfg.sample_sims,
-            runner.clone(),
-            mix_seed(seed, 0x5a4c),
-        );
-        let phase_clock = Instant::now();
-        let sample = random_sample(&mut sample_obj, cfg.sample_templates, mix_seed(seed, 1));
-        let sampling_stats = sample_obj.phase_stats();
-        timings.push(PhaseTiming::measure(
-            PHASE_SAMPLING,
-            sampling_stats.sims,
-            phase_clock.elapsed(),
-        ));
-        observer.on_phase_done(&PhaseStats {
-            name: PHASE_SAMPLING.to_owned(),
-            sims: sampling_stats.sims,
-            hits: sampling_stats.hits.clone(),
-        });
-
-        // Section IV-E: implicit filtering from the best sample.
-        observer.on_phase_start(
-            PHASE_OPTIMIZATION,
-            cfg.opt_iterations as u64 * (cfg.opt_directions as u64 + 1) * cfg.opt_sims,
-        );
-        let mut opt_obj = CdgObjective::new(
-            &self.env,
-            &skeleton,
-            &approx,
-            cfg.opt_sims,
-            runner.clone(),
-            mix_seed(seed, 0x0b7),
-        );
-        let optimizer = ImplicitFiltering::new(IfOptions {
-            n_directions: cfg.opt_directions,
-            initial_step: cfg.opt_initial_step,
-            min_step: 1e-4,
-            max_iters: cfg.opt_iterations,
-            max_evals: 0,
-            target_value: cfg.opt_target_value,
-            resample_center: true,
-            direction_mode: Default::default(),
-        });
-        let phase_clock = Instant::now();
-        let result = optimizer.maximize(
-            &mut opt_obj,
-            &ascdg_opt::Bounds::unit(skeleton.num_slots()),
-            &sample.best_settings,
-            mix_seed(seed, 2),
-        );
-        let optimization_stats = opt_obj.phase_stats();
-        timings.push(PhaseTiming::measure(
-            PHASE_OPTIMIZATION,
-            optimization_stats.sims,
-            phase_clock.elapsed(),
-        ));
-        observer.on_phase_done(&PhaseStats {
-            name: PHASE_OPTIMIZATION.to_owned(),
-            sims: optimization_stats.sims,
-            hits: optimization_stats.hits.clone(),
-        });
-
-        // Optional Section IV-E second stage: once the optimization phase
-        // produced evidence for the real targets, repeat the search with
-        // the real objective function.
-        let mut best_x = result.best_x;
-        let mut refinement: Option<PhaseStats> = None;
-        if cfg.refine_iterations > 0 {
-            let evidence = targets
-                .iter()
-                .any(|e| optimization_stats.hits[e.index()] > 0);
-            if evidence {
-                let real_target =
-                    ApproxTarget::from_weights(targets.to_vec(), targets.iter().map(|&e| (e, 1.0)));
-                let mut refine_obj = CdgObjective::new(
-                    &self.env,
-                    &skeleton,
-                    &real_target,
-                    cfg.opt_sims,
-                    runner.clone(),
-                    mix_seed(seed, 0x4ef1),
-                );
-                let phase_clock = Instant::now();
-                let refine_result = ImplicitFiltering::new(IfOptions {
-                    n_directions: cfg.opt_directions,
-                    initial_step: cfg.opt_initial_step / 2.0,
-                    min_step: 1e-4,
-                    max_iters: cfg.refine_iterations,
-                    resample_center: true,
-                    ..IfOptions::default()
-                })
-                .maximize(
-                    &mut refine_obj,
-                    &ascdg_opt::Bounds::unit(skeleton.num_slots()),
-                    &best_x,
-                    mix_seed(seed, 0x4ef2),
-                );
-                // Keep the refined point only if it genuinely improved the
-                // real target (the refinement may wander when evidence is
-                // thin).
-                if refine_result.best_value > 0.0 {
-                    best_x = refine_result.best_x;
-                }
-                let stats = refine_obj.phase_stats();
-                timings.push(PhaseTiming::measure(
-                    PHASE_REFINEMENT,
-                    stats.sims,
-                    phase_clock.elapsed(),
-                ));
-                refinement = Some(PhaseStats {
-                    name: PHASE_REFINEMENT.to_owned(),
-                    sims: stats.sims,
-                    hits: stats.hits,
-                });
-            }
-        }
-
-        // Section IV-F: harvest and assess the best template.
-        observer.on_phase_start(PHASE_BEST, cfg.best_sims);
-        let best_template = skeleton
-            .instantiate(&best_x)?
-            .renamed(format!("{}_cdg_best", skeleton.name()));
-        let phase_clock = Instant::now();
-        let best_stats = runner.run(
-            &self.env,
-            &best_template,
-            cfg.best_sims,
-            mix_seed(seed, 0xbe57),
-        )?;
-        timings.push(PhaseTiming::measure(
-            PHASE_BEST,
-            best_stats.sims,
-            phase_clock.elapsed(),
-        ));
-
-        let before = PhaseStats {
-            name: PHASE_BEFORE.to_owned(),
-            sims: repo.total_simulations(),
-            hits: repo.all_global_stats().iter().map(|s| s.hits).collect(),
-        };
-        let mut phases = vec![
-            before,
-            PhaseStats {
-                name: PHASE_SAMPLING.to_owned(),
-                sims: sampling_stats.sims,
-                hits: sampling_stats.hits,
-            },
-            PhaseStats {
-                name: PHASE_OPTIMIZATION.to_owned(),
-                sims: optimization_stats.sims,
-                hits: optimization_stats.hits,
-            },
-        ];
-        phases.extend(refinement);
-        let best_phase = PhaseStats {
-            name: PHASE_BEST.to_owned(),
-            sims: best_stats.sims,
-            hits: best_stats.hits,
-        };
-        observer.on_phase_done(&best_phase);
-        phases.push(best_phase);
-
-        Ok(FlowOutcome {
-            unit: self.env.unit_name().to_owned(),
-            model: model.clone(),
-            targets: targets.to_vec(),
-            approx_target: approx,
-            chosen_template: chosen_template.name().to_owned(),
-            relevant_params: relevant,
-            skeleton,
-            phases,
-            timings,
-            best_template,
-            best_settings: best_x,
-            trace: result.trace,
-        })
+        let engine = FlowEngine::new(&self.env, self.config.clone(), pool);
+        let mut cx = engine.session_with_repo(repo, approx, seed)?;
+        cx.subscribe(ObserverBridge::new(observer));
+        engine.run(&mut cx)
     }
 }
 
@@ -775,6 +545,12 @@ mod tests {
         assert!(c.regression_sims_per_template >= 1);
         assert!(c.sample_templates >= 4);
         assert!(c.opt_iterations >= 3);
+        // Aggressive factors must never zero out the coarse search or the
+        // sampling phase.
+        assert!(c.tac_top_n >= 1);
+        assert!(c.sample_sims >= 1 && c.opt_sims >= 1 && c.best_sims >= 1);
+        let c = FlowConfig::quick().scaled(0.0);
+        assert!(c.tac_top_n >= 1 && c.sample_templates >= 4);
     }
 
     #[test]

@@ -42,7 +42,9 @@
 
 mod batch;
 mod campaign;
+mod engine;
 mod error;
+mod events;
 mod flow;
 mod multi_target;
 pub mod neighbors;
@@ -50,11 +52,15 @@ mod objective;
 pub mod pool;
 mod report;
 pub mod sampling;
+mod session;
 mod skeletonizer;
+mod stages;
 
 pub use batch::{BatchRunner, BatchStats};
 pub use campaign::{CampaignGroup, CampaignOutcome};
+pub use engine::FlowEngine;
 pub use error::FlowError;
+pub use events::{EventBus, EventLog, FlowEvent, FlowSubscriber, ObserverBridge};
 pub use flow::{
     CdgFlow, FlowConfig, FlowObserver, FlowOutcome, NoopObserver, PhaseStats, PhaseTiming,
     PHASE_BEFORE, PHASE_BEST, PHASE_OPTIMIZATION, PHASE_REFINEMENT, PHASE_SAMPLING,
@@ -67,4 +73,10 @@ pub use report::{
     family_table_csv, render_cross_breakdown, render_family_table, render_status_chart,
     render_timings, render_trace_chart, trace_csv,
 };
+pub use session::{SessionCx, SessionState, TargetSpec};
 pub use skeletonizer::{Skeletonizer, SubrangeSpan};
+pub use stages::{
+    default_stages, CoarseSearch, Harvest, Optimize, RandomSample, Refine, Regression, Skeletonize,
+    Stage, StageOutput, STAGE_COARSE, STAGE_HARVEST, STAGE_OPTIMIZE, STAGE_REFINE,
+    STAGE_REGRESSION, STAGE_SAMPLE, STAGE_SKELETONIZE,
+};

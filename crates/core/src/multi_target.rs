@@ -11,14 +11,11 @@ use serde::{Deserialize, Serialize};
 
 use ascdg_coverage::{CoverageRepository, EventId, HitStats};
 use ascdg_duv::VerifEnv;
-use ascdg_opt::{Bounds, IfOptions, ImplicitFiltering, Optimizer};
-use ascdg_stimgen::mix_seed;
-use ascdg_tac::TacQuery;
 use ascdg_template::TestTemplate;
 
 use crate::pool::pool_scope;
-use crate::sampling::random_sample;
-use crate::{ApproxTarget, BatchRunner, CdgFlow, CdgObjective, FlowError, Skeletonizer};
+use crate::stages::{CoarseSearch, Harvest, Optimize, RandomSample, Skeletonize, Stage};
+use crate::{ApproxTarget, CdgFlow, FlowEngine, FlowError, PHASE_BEFORE, PHASE_BEST};
 
 /// Per-target-group assessment of the shared best template.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -74,7 +71,6 @@ impl<E: VerifEnv> CdgFlow<E> {
 
         // Combined approximated target: normalized sum over the groups.
         let mut combined: Vec<(EventId, f64)> = Vec::new();
-        let mut approx_per_group = Vec::with_capacity(groups.len());
         for targets in groups {
             if targets.is_empty() {
                 continue;
@@ -84,80 +80,29 @@ impl<E: VerifEnv> CdgFlow<E> {
             for &(e, w) in at.weights() {
                 combined.push((e, w / mass.max(1e-12)));
             }
-            approx_per_group.push(at);
         }
         let all_targets: Vec<EventId> = groups.iter().flatten().copied().collect();
         let combined = ApproxTarget::from_weights(all_targets, combined);
 
-        // Coarse search against the combined target.
-        let ranking = TacQuery::new(combined.weights().iter().copied())
-            .with_min_sims(cfg.regression_sims_per_template.min(10))
-            .top_n(repo, cfg.tac_top_n);
-        let chosen = ranking
-            .first()
-            .filter(|r| r.score > 0.0)
-            .ok_or(FlowError::NoEvidence)?;
-        let template = self
-            .env()
-            .stock_library()
-            .get(chosen.template.index())
-            .expect("TAC ranks only recorded templates")
-            .clone();
-        let skeleton = Skeletonizer::new()
-            .with_subranges(cfg.subranges)
-            .include_zero_weights(cfg.include_zero_weights)
-            .skeletonize(&template)?;
+        // Shared coarse search + sampling + optimization + harvest: the
+        // single-target engine's stage prefix (no refinement stage — the
+        // real multi-group objective is the combined one), run once for
+        // every group on one persistent worker pool.
+        let outcome = pool_scope(cfg.threads, |pool| {
+            let engine =
+                FlowEngine::with_stages(self.env(), cfg.clone(), pool, multi_target_stages());
+            let mut cx = engine.session_with_repo(repo, combined, seed)?;
+            engine.run(&mut cx)
+        })?;
 
-        // Shared sampling + optimization + assessment, all on one
-        // persistent worker pool.
-        let (best_template, best_stats, search_sims) =
-            pool_scope(cfg.threads, |pool| -> Result<_, FlowError> {
-                let runner = BatchRunner::with_pool(pool);
-                let mut sample_obj = CdgObjective::new(
-                    self.env(),
-                    &skeleton,
-                    &combined,
-                    cfg.sample_sims,
-                    runner.clone(),
-                    mix_seed(seed, 21),
-                );
-                let sample =
-                    random_sample(&mut sample_obj, cfg.sample_templates, mix_seed(seed, 22));
-                let mut opt_obj = CdgObjective::new(
-                    self.env(),
-                    &skeleton,
-                    &combined,
-                    cfg.opt_sims,
-                    runner.clone(),
-                    mix_seed(seed, 23),
-                );
-                let optimizer = ImplicitFiltering::new(IfOptions {
-                    n_directions: cfg.opt_directions,
-                    initial_step: cfg.opt_initial_step,
-                    max_iters: cfg.opt_iterations,
-                    ..IfOptions::default()
-                });
-                let result = optimizer.maximize(
-                    &mut opt_obj,
-                    &Bounds::unit(skeleton.num_slots()),
-                    &sample.best_settings,
-                    mix_seed(seed, 24),
-                );
-
-                // Harvest once, assess per group.
-                let best_template = skeleton
-                    .instantiate(&result.best_x)?
-                    .renamed(format!("{}_multi_best", skeleton.name()));
-                let best_stats = runner.run(
-                    self.env(),
-                    &best_template,
-                    cfg.best_sims,
-                    mix_seed(seed, 25),
-                )?;
-                let search_sims = sample_obj.phase_stats().sims + opt_obj.phase_stats().sims;
-                Ok((best_template, best_stats, search_sims))
+        // Assess the shared best template per group.
+        let best = outcome
+            .phase(PHASE_BEST)
+            .cloned()
+            .ok_or(FlowError::MissingStageState {
+                stage: "multi-target",
+                missing: "best-test statistics",
             })?;
-
         let groups_out: Vec<TargetGroupResult> = groups
             .iter()
             .filter(|t| !t.is_empty())
@@ -168,8 +113,8 @@ impl<E: VerifEnv> CdgFlow<E> {
                         (
                             e,
                             HitStats {
-                                hits: best_stats.hits[e.index()],
-                                sims: best_stats.sims,
+                                hits: best.hits[e.index()],
+                                sims: best.sims,
                             },
                         )
                     })
@@ -183,14 +128,32 @@ impl<E: VerifEnv> CdgFlow<E> {
             })
             .collect();
 
-        let total_sims = search_sims + best_stats.sims;
+        // Every non-regression simulation was shared by all groups.
+        let total_sims = outcome
+            .phases
+            .iter()
+            .filter(|p| p.name != PHASE_BEFORE)
+            .map(|p| p.sims)
+            .sum();
 
         Ok(MultiTargetOutcome {
-            best_template,
+            best_template: outcome.best_template,
             groups: groups_out,
             total_sims,
         })
     }
+}
+
+/// The multi-target stage list: the single-target flow minus regression
+/// (the caller supplies the repository) and minus refinement.
+fn multi_target_stages<E: VerifEnv>() -> Vec<Box<dyn Stage<E>>> {
+    vec![
+        Box::new(CoarseSearch),
+        Box::new(Skeletonize),
+        Box::new(RandomSample),
+        Box::new(Optimize),
+        Box::new(Harvest::with_suffix("multi_best")),
+    ]
 }
 
 #[cfg(test)]

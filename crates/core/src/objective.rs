@@ -61,7 +61,10 @@ pub struct CdgObjective<'a, 'env, E: VerifEnv> {
     runner: BatchRunner<'env>,
     base_seed: u64,
     // Mutex (not Cell/RefCell) so the objective stays Sync like the rest of
-    // the flow machinery; contention is nil (one optimizer thread).
+    // the flow machinery; contention is nil (one optimizer thread). Lock
+    // poisoning is recoverable: the guarded state is a plain accumulator
+    // that every critical section leaves consistent, so a panic elsewhere
+    // must not cascade into the flow's error path.
     state: Mutex<EvalState>,
 }
 
@@ -108,14 +111,21 @@ impl<'a, 'env, E: VerifEnv> CdgObjective<'a, 'env, E> {
     /// phase-level statistics reported in the paper's tables).
     #[must_use]
     pub fn phase_stats(&self) -> BatchStats {
-        self.state.lock().expect("objective mutex").accum.clone()
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .accum
+            .clone()
     }
 
     /// The best `(settings, value)` pair observed so far, if any
     /// evaluation happened.
     #[must_use]
     pub fn best(&self) -> Option<(Vec<f64>, f64)> {
-        let s = self.state.lock().expect("objective mutex");
+        let s = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if s.best_settings.is_empty() {
             None
         } else {
@@ -126,7 +136,10 @@ impl<'a, 'env, E: VerifEnv> CdgObjective<'a, 'env, E> {
     /// Number of evaluations so far.
     #[must_use]
     pub fn evals(&self) -> u64 {
-        self.state.lock().expect("objective mutex").evals
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .evals
     }
 
     /// Instantiates the template for evaluation `eval_idx` at point `x`.
@@ -144,7 +157,10 @@ impl<'a, 'env, E: VerifEnv> CdgObjective<'a, 'env, E> {
     /// share, so their state transitions are identical.
     fn absorb(&self, x: &[f64], stats: &BatchStats) -> f64 {
         let value = self.target.value(|e| stats.rate(e));
-        let mut s = self.state.lock().expect("objective mutex");
+        let mut s = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         s.accum.merge(stats);
         if value > s.best_value {
             s.best_value = value;
@@ -166,7 +182,10 @@ impl<E: VerifEnv> Objective for CdgObjective<'_, '_, E> {
     /// bug in the caller, not a recoverable condition.
     fn eval(&mut self, x: &[f64]) -> f64 {
         let eval_idx = {
-            let mut s = self.state.lock().expect("objective mutex");
+            let mut s = self
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             s.evals += 1;
             s.evals
         };
@@ -197,7 +216,10 @@ impl<E: VerifEnv> Objective for CdgObjective<'_, '_, E> {
             return Vec::new();
         }
         let first_idx = {
-            let mut s = self.state.lock().expect("objective mutex");
+            let mut s = self
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             let first = s.evals + 1;
             s.evals += xs.len() as u64;
             first

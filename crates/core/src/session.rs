@@ -1,0 +1,360 @@
+//! The session context threaded between flow stages, and its serializable
+//! snapshot.
+//!
+//! A [`SessionCx`] is everything one AS-CDG run accumulates: the live
+//! coverage repository, the chosen template, the skeleton, the phase
+//! statistics, plus the run-time machinery (environment handle, batch
+//! runner, event bus). The accumulated *data* lives in a [`SessionState`],
+//! which is plain serde — snapshotting it after each stage is what gives
+//! the engine checkpoint/resume
+//! (see [`FlowEngine::resume`](crate::FlowEngine::resume)).
+
+use serde::{Deserialize, Serialize};
+
+use ascdg_coverage::{CoverageRepository, EventId, RepoSnapshot};
+use ascdg_duv::VerifEnv;
+use ascdg_opt::Trace;
+use ascdg_stimgen::mix_seed;
+use ascdg_template::{Skeleton, TestTemplate};
+
+use crate::events::{EventBus, FlowEvent, FlowSubscriber};
+use crate::{ApproxTarget, BatchRunner, FlowConfig, FlowError, PhaseStats, PhaseTiming};
+
+/// A streaming consumer of post-stage snapshots
+/// (see [`SessionCx::on_checkpoint`]).
+type CheckpointSink<'bus> = Box<dyn FnMut(&SessionState) + 'bus>;
+
+/// How a session chooses its target events once the regression repository
+/// exists.
+///
+/// [`CoarseSearch`](crate::CoarseSearch) resolves the spec into an
+/// [`ApproxTarget`] (Section IV-A's automatic strategy) unless an explicit
+/// one was supplied.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum TargetSpec {
+    /// The uncovered members of the event family with this name stem.
+    Family(String),
+    /// Every event still uncovered after regression (Fig. 5's usage).
+    Uncovered,
+    /// An explicit list of target events.
+    Explicit(Vec<EventId>),
+    /// A fully pre-built approximated target (skips automatic weighting).
+    Weighted(ApproxTarget),
+}
+
+/// The serializable data a flow session has accumulated so far.
+///
+/// Every field a stage writes lives here, so `serde`-snapshotting this
+/// struct after a stage captures the session completely; feeding the
+/// snapshot to [`FlowEngine::resume`](crate::FlowEngine::resume) skips the
+/// stages listed in `completed` and reproduces the identical
+/// [`FlowOutcome`](crate::FlowOutcome) (timings aside, which are
+/// wall-clock).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionState {
+    /// Unit name of the environment the session ran against (checked on
+    /// resume).
+    pub unit: String,
+    /// The configuration in effect.
+    pub config: FlowConfig,
+    /// The session's base seed; stages derive their own streams from it.
+    pub seed: u64,
+    /// How the session picks its targets.
+    pub target_spec: TargetSpec,
+    /// Names of the stages that already ran, in order.
+    pub completed: Vec<String>,
+    /// Regression coverage repository ([`Regression`](crate::Regression)).
+    #[serde(default)]
+    pub repo: Option<RepoSnapshot>,
+    /// Resolved approximated target
+    /// ([`CoarseSearch`](crate::CoarseSearch)).
+    #[serde(default)]
+    pub approx: Option<ApproxTarget>,
+    /// The stock template the coarse search chose.
+    #[serde(default)]
+    pub chosen_template: Option<TestTemplate>,
+    /// Relevant parameters mined from the top TAC templates.
+    #[serde(default)]
+    pub relevant_params: Vec<String>,
+    /// The skeleton ([`Skeletonize`](crate::Skeletonize)).
+    #[serde(default)]
+    pub skeleton: Option<Skeleton>,
+    /// Best settings found by the sampling phase
+    /// ([`RandomSample`](crate::RandomSample)).
+    #[serde(default)]
+    pub start_settings: Option<Vec<f64>>,
+    /// Best settings so far ([`Optimize`](crate::Optimize), possibly
+    /// improved by [`Refine`](crate::Refine)).
+    #[serde(default)]
+    pub best_settings: Option<Vec<f64>>,
+    /// The optimizer's per-iteration trace.
+    #[serde(default)]
+    pub trace: Option<Trace>,
+    /// Simulation-phase statistics, in stage order (the regression phase is
+    /// kept in `repo`, not here).
+    #[serde(default)]
+    pub phases: Vec<PhaseStats>,
+    /// Wall-clock timings of the simulation phases run so far.
+    #[serde(default)]
+    pub timings: Vec<PhaseTiming>,
+    /// The harvested best template ([`Harvest`](crate::Harvest)).
+    #[serde(default)]
+    pub best_template: Option<TestTemplate>,
+}
+
+impl SessionState {
+    /// A fresh state for `unit` with nothing completed yet.
+    #[must_use]
+    pub fn new(unit: &str, config: FlowConfig, target_spec: TargetSpec, seed: u64) -> Self {
+        SessionState {
+            unit: unit.to_owned(),
+            config,
+            seed,
+            target_spec,
+            completed: Vec::new(),
+            repo: None,
+            approx: None,
+            chosen_template: None,
+            relevant_params: Vec::new(),
+            skeleton: None,
+            start_settings: None,
+            best_settings: None,
+            trace: None,
+            phases: Vec::new(),
+            timings: Vec::new(),
+            best_template: None,
+        }
+    }
+
+    /// Whether the named stage already ran.
+    #[must_use]
+    pub fn is_completed(&self, stage: &str) -> bool {
+        self.completed.iter().any(|s| s == stage)
+    }
+
+    /// Looks up an accumulated phase by name.
+    #[must_use]
+    pub fn phase(&self, name: &str) -> Option<&PhaseStats> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+}
+
+/// The mutable context a [`FlowEngine`](crate::FlowEngine) threads through
+/// its stages.
+///
+/// Couples the serializable [`SessionState`] with the run-time machinery
+/// stages need: the environment, a [`BatchRunner`] on the engine's worker
+/// pool, the live coverage repository, and the event bus.
+pub struct SessionCx<'env, 'bus, E: VerifEnv> {
+    env: &'env E,
+    runner: BatchRunner<'env>,
+    repo: Option<CoverageRepository>,
+    state: SessionState,
+    bus: EventBus<'bus>,
+    checkpoints: Option<Vec<SessionState>>,
+    checkpoint_sink: Option<CheckpointSink<'bus>>,
+}
+
+impl<'env, 'bus, E: VerifEnv> SessionCx<'env, 'bus, E> {
+    pub(crate) fn from_parts(
+        env: &'env E,
+        runner: BatchRunner<'env>,
+        repo: Option<CoverageRepository>,
+        state: SessionState,
+    ) -> Self {
+        SessionCx {
+            env,
+            runner,
+            repo,
+            state,
+            bus: EventBus::new(),
+            checkpoints: None,
+            checkpoint_sink: None,
+        }
+    }
+
+    /// The environment the session runs against.
+    #[must_use]
+    pub fn env(&self) -> &'env E {
+        self.env
+    }
+
+    /// A batch runner sharing the engine's persistent worker pool.
+    #[must_use]
+    pub fn runner(&self) -> BatchRunner<'env> {
+        self.runner.clone()
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &FlowConfig {
+        &self.state.config
+    }
+
+    /// The session's base seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.state.seed
+    }
+
+    /// Derives a stage-local seed stream from the session seed. Stages must
+    /// draw all their randomness through this, never from a shared RNG, so
+    /// the outcome is independent of stage timing and worker count.
+    #[must_use]
+    pub fn stage_seed(&self, salt: u64) -> u64 {
+        mix_seed(self.state.seed, salt)
+    }
+
+    /// The accumulated session data.
+    #[must_use]
+    pub fn state(&self) -> &SessionState {
+        &self.state
+    }
+
+    /// Mutable access to the accumulated session data.
+    pub fn state_mut(&mut self) -> &mut SessionState {
+        &mut self.state
+    }
+
+    /// The live regression repository.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::MissingStageState`] when the regression stage has not
+    /// run (and the session was not seeded with a repository).
+    pub fn repo(&self) -> Result<&CoverageRepository, FlowError> {
+        self.repo.as_ref().ok_or(FlowError::MissingStageState {
+            stage: crate::stages::STAGE_COARSE,
+            missing: "regression repository",
+        })
+    }
+
+    /// Installs the regression repository (also recording its snapshot in
+    /// the serializable state).
+    pub fn set_repo(&mut self, repo: CoverageRepository) {
+        self.state.repo = Some(repo.snapshot());
+        self.repo = Some(repo);
+    }
+
+    /// Adds an event subscriber for the rest of the session.
+    pub fn subscribe(&mut self, subscriber: impl FlowSubscriber + 'bus) {
+        self.bus.subscribe(subscriber);
+    }
+
+    /// Adds a closure event subscriber for the rest of the session.
+    pub fn subscribe_fn(&mut self, f: impl FnMut(&FlowEvent) + 'bus) {
+        self.bus.subscribe_fn(f);
+    }
+
+    /// Emits an event to every subscriber.
+    pub fn emit(&mut self, event: FlowEvent) {
+        self.bus.emit(event);
+    }
+
+    /// Starts collecting a [`SessionState`] snapshot after every completed
+    /// stage (retrieve them with [`SessionCx::checkpoints`]).
+    pub fn enable_checkpoints(&mut self) {
+        self.checkpoints.get_or_insert_with(Vec::new);
+    }
+
+    /// Streams every post-stage snapshot to `sink` as it is taken — e.g.
+    /// to persist checkpoints to disk while the run is still going.
+    pub fn on_checkpoint(&mut self, sink: impl FnMut(&SessionState) + 'bus) {
+        self.checkpoint_sink = Some(Box::new(sink));
+    }
+
+    /// The post-stage snapshots collected so far (empty unless
+    /// [`SessionCx::enable_checkpoints`] was called).
+    #[must_use]
+    pub fn checkpoints(&self) -> &[SessionState] {
+        self.checkpoints.as_deref().unwrap_or(&[])
+    }
+
+    /// A snapshot of the current session data.
+    #[must_use]
+    pub fn snapshot(&self) -> SessionState {
+        self.state.clone()
+    }
+
+    /// Records a finished simulation phase: appends its statistics and
+    /// timing and emits [`FlowEvent::PhaseFinished`].
+    pub fn record_phase(&mut self, stats: PhaseStats, timing: PhaseTiming) {
+        self.state.timings.push(timing);
+        self.emit(FlowEvent::PhaseFinished {
+            stats: stats.clone(),
+        });
+        self.state.phases.push(stats);
+    }
+
+    /// Takes a post-stage checkpoint if any checkpoint consumer is
+    /// installed; emits [`FlowEvent::Checkpoint`] when one is taken.
+    pub(crate) fn take_checkpoint(&mut self, stage: &str) {
+        if self.checkpoints.is_none() && self.checkpoint_sink.is_none() {
+            return;
+        }
+        let snap = self.snapshot();
+        if let Some(sink) = &mut self.checkpoint_sink {
+            sink(&snap);
+        }
+        if let Some(log) = &mut self.checkpoints {
+            log.push(snap);
+        }
+        self.emit(FlowEvent::Checkpoint {
+            stage: stage.to_owned(),
+        });
+    }
+}
+
+impl<E: VerifEnv> std::fmt::Debug for SessionCx<'_, '_, E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionCx")
+            .field("unit", &self.state.unit)
+            .field("seed", &self.state.seed)
+            .field("completed", &self.state.completed)
+            .field("subscribers", &self.bus.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_serde_round_trips() {
+        let mut state = SessionState::new(
+            "io_unit",
+            FlowConfig::quick(),
+            TargetSpec::Family("crc_".to_owned()),
+            42,
+        );
+        state.completed.push("regression".to_owned());
+        state.relevant_params.push("PktLen".to_owned());
+        state.start_settings = Some(vec![0.25, 0.75]);
+        state.phases.push(PhaseStats {
+            name: "Sampling phase".to_owned(),
+            sims: 100,
+            hits: vec![3, 0],
+        });
+        let json = serde_json::to_string(&state).unwrap();
+        let back: SessionState = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, state);
+        assert!(back.is_completed("regression"));
+        assert!(!back.is_completed("harvest"));
+        assert_eq!(back.phase("Sampling phase").unwrap().sims, 100);
+    }
+
+    #[test]
+    fn target_specs_serialize() {
+        for spec in [
+            TargetSpec::Family("crc_".to_owned()),
+            TargetSpec::Uncovered,
+            TargetSpec::Explicit(vec![EventId(3)]),
+        ] {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: TargetSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, spec);
+        }
+    }
+}

@@ -10,7 +10,7 @@
 //! simultaneously queued. The environment defaults make deep queues rare,
 //! and one stock template carries the relevant parameters.
 
-use ascdg::core::{CdgFlow, FlowConfig};
+use ascdg::core::{pool_scope, FlowConfig, FlowEngine, FlowEvent, TargetSpec};
 use ascdg::coverage::{CoverageModel, CoverageVector};
 use ascdg::duv::{EnvError, VerifEnv};
 use ascdg::stimgen::{instance_seed, ParamSampler};
@@ -133,8 +133,23 @@ impl VerifEnv for RetryQueueEnv {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let env = RetryQueueEnv::new();
-    let flow = CdgFlow::new(env, FlowConfig::quick().scaled(4.0));
-    let outcome = flow.run_for_family("retry_depth", 7)?;
+    let config = FlowConfig::quick().scaled(4.0);
+    // The engine runs the same stage list against any `VerifEnv`; the
+    // coarse-choice event shows which stock template it mined.
+    let outcome = pool_scope(config.threads, |pool| {
+        let engine = FlowEngine::new(&env, config.clone(), pool);
+        let mut cx = engine.session(TargetSpec::Family("retry_depth".to_owned()), 7);
+        cx.subscribe_fn(|event| {
+            if let FlowEvent::CoarseChoice {
+                template,
+                relevant_params,
+            } = event
+            {
+                eprintln!("coarse search chose `{template}`; relevant: {relevant_params:?}");
+            }
+        });
+        engine.run(&mut cx)
+    })?;
     println!("{}", outcome.report());
     println!("best template:\n{}", outcome.best_template);
     Ok(())

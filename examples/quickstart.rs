@@ -9,17 +9,30 @@
 //! members, (3) mines the template library for relevant parameters,
 //! (4) skeletonizes the best template, (5) random-samples the settings
 //! space, (6) optimizes with implicit filtering and (7) harvests the best
-//! template.
+//! template. Each step is a named stage on the `FlowEngine`, which emits
+//! structured events as it goes.
 
-use ascdg::core::{CdgFlow, FlowConfig};
+use ascdg::core::{pool_scope, FlowConfig, FlowEngine, FlowEvent, TargetSpec};
 use ascdg::duv::l3cache::L3Env;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // `quick()` uses a tiny budget (seconds); see `FlowConfig::paper_l3()`
     // for the budgets of the paper's Fig. 4.
-    let flow = CdgFlow::new(L3Env::new(), FlowConfig::quick().scaled(4.0));
+    let env = L3Env::new();
+    let config = FlowConfig::quick().scaled(4.0);
 
-    let outcome = flow.run_for_family("byp_reqs", 42)?;
+    let outcome = pool_scope(config.threads, |pool| {
+        let engine = FlowEngine::new(&env, config.clone(), pool);
+        let mut cx = engine.session(TargetSpec::Family("byp_reqs".to_owned()), 42);
+        // Structured events replace ad-hoc print statements: subscribe to
+        // whatever granularity you want.
+        cx.subscribe_fn(|event| {
+            if let FlowEvent::StageCompleted { stage, sims } = event {
+                eprintln!("stage `{stage}` done ({sims} simulations)");
+            }
+        });
+        engine.run(&mut cx)
+    })?;
 
     println!("{}", outcome.report());
     println!(

@@ -9,7 +9,9 @@
 
 use std::process::ExitCode;
 
-use ascdg::core::{ApproxTarget, CdgFlow, FlowConfig, FlowObserver, PhaseStats};
+use ascdg::core::{
+    pool_scope, ApproxTarget, CdgFlow, FlowConfig, FlowEngine, FlowEvent, SessionState, TargetSpec,
+};
 use ascdg::coverage::{CoverageRepository, EventFamily, RepoSnapshot, StatusPolicy};
 use ascdg::duv::synthetic::{SyntheticConfig, SyntheticEnv};
 use ascdg::duv::{ifu::IfuEnv, io_unit::IoEnv, l3cache::L3Env, VerifEnv};
@@ -45,11 +47,14 @@ USAGE:
   ascdg units
       List the built-in simulated units and their environments.
   ascdg run --unit <io|l3|ifu|synthetic> [--family <stem>] [--scale <f>] [--seed <n>]
-            [--snapshot <path>] [--json <path>]
+            [--snapshot <path>] [--checkpoint <path>] [--resume <path>] [--json <path>]
       Run the full AS-CDG flow. Without --family, targets every event
       still uncovered after regression (the IFU cross-product usage).
       --scale multiplies the paper's simulation budgets (default 0.1);
       --snapshot reuses a saved regression instead of re-running it.
+      --checkpoint writes the session snapshot to <path> after every
+      stage; --resume restarts from such a snapshot, skipping the
+      completed stages and reproducing the identical outcome.
   ascdg skeletonize <file> [--subranges <n>] [--include-zero-weights]
       Parse a test-template file and print its skeleton.
   ascdg regress --unit <io|l3|ifu|synthetic> [--sims <n>] [--save <path>]
@@ -62,20 +67,22 @@ USAGE:
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
 
-/// Streams flow progress to stderr so long runs are not silent.
-struct StderrProgress;
-
-impl FlowObserver for StderrProgress {
-    fn on_coarse_choice(&mut self, template: &str, relevant_params: &[String]) {
-        eprintln!("coarse search chose `{template}`; relevant: {relevant_params:?}");
-    }
-
-    fn on_phase_start(&mut self, phase: &str, planned_sims: u64) {
-        eprintln!("{phase}: ~{planned_sims} simulations ...");
-    }
-
-    fn on_phase_done(&mut self, stats: &PhaseStats) {
-        eprintln!("{}: done ({} simulations)", stats.name, stats.sims);
+/// Streams flow events to stderr so long runs are not silent.
+fn progress_events() -> impl FnMut(&FlowEvent) {
+    |event| match event {
+        FlowEvent::StageSkipped { stage } => eprintln!("stage `{stage}`: done, skipped"),
+        FlowEvent::CoarseChoice {
+            template,
+            relevant_params,
+        } => eprintln!("coarse search chose `{template}`; relevant: {relevant_params:?}"),
+        FlowEvent::PhaseStarted {
+            phase,
+            planned_sims,
+        } => eprintln!("{phase}: ~{planned_sims} simulations ..."),
+        FlowEvent::PhaseFinished { stats } => {
+            eprintln!("{}: done ({} simulations)", stats.name, stats.sims);
+        }
+        _ => {}
     }
 }
 
@@ -167,22 +174,40 @@ fn cmd_units() -> CliResult {
     Ok(())
 }
 
+/// How `ascdg run` enters the stage engine.
+enum Start {
+    /// Restart from a `--checkpoint` file: skip the completed stages.
+    Resume(Box<SessionState>),
+    /// Reuse a saved regression repository (`--snapshot`).
+    WithRepo(Box<CoverageRepository>, ApproxTarget),
+    /// Fresh session: every stage runs.
+    Fresh(TargetSpec),
+}
+
 fn cmd_run(args: &[String]) -> CliResult {
     let unit = Unit::from_name(flag_value(args, "--unit").ok_or("missing --unit")?)?;
     let scale: f64 = flag_value(args, "--scale").map_or(Ok(0.1), str::parse)?;
     let seed: u64 = flag_value(args, "--seed").map_or(Ok(2021), str::parse)?;
     let family = flag_value(args, "--family").or_else(|| unit.default_family());
+    let checkpoint_path = flag_value(args, "--checkpoint").map(str::to_owned);
+    let env = unit.env();
 
-    let config = unit.paper_config().scaled(scale);
-    let flow = CdgFlow::new(unit.env(), config);
-    let outcome = if let Some(snap_path) = flag_value(args, "--snapshot") {
+    let (config, start) = if let Some(resume_path) = flag_value(args, "--resume") {
+        let state: SessionState = serde_json::from_str(&std::fs::read_to_string(resume_path)?)?;
+        eprintln!(
+            "resuming `{}` after {:?} (seed {})",
+            state.unit, state.completed, state.seed
+        );
+        (state.config.clone(), Start::Resume(Box::new(state)))
+    } else if let Some(snap_path) = flag_value(args, "--snapshot") {
         // Reuse a saved regression: restore the repository and derive the
-        // targets from it, skipping the (expensive) regression phase.
+        // targets from it, skipping the (expensive) regression stage.
+        let config = unit.paper_config().scaled(scale);
         let snap: RepoSnapshot = serde_json::from_str(&std::fs::read_to_string(snap_path)?)?;
-        let repo = CoverageRepository::from_snapshot(unit.env().coverage_model().clone(), &snap)?;
+        let repo = CoverageRepository::from_snapshot(env.coverage_model().clone(), &snap)?;
         let targets = match family {
             Some(stem) => {
-                let fam = EventFamily::discover(unit.env().coverage_model())
+                let fam = EventFamily::discover(env.coverage_model())
                     .into_iter()
                     .find(|f| f.stem() == stem)
                     .ok_or_else(|| format!("no family with stem `{stem}`"))?;
@@ -196,30 +221,44 @@ fn cmd_run(args: &[String]) -> CliResult {
         if targets.is_empty() {
             return Err("nothing uncovered in the snapshot".into());
         }
-        flow.run_phases(&repo, &targets, seed)?
-    } else {
-        eprintln!("running stock regression ...");
-        let repo = flow.run_regression(seed.wrapping_add(0xbef0))?;
-        let targets = match family {
-            Some(stem) => {
-                let fam = EventFamily::discover(unit.env().coverage_model())
-                    .into_iter()
-                    .find(|f| f.stem() == stem)
-                    .ok_or_else(|| format!("no family with stem `{stem}`"))?;
-                fam.events()
-                    .into_iter()
-                    .filter(|&e| repo.global_stats(e).hits == 0)
-                    .collect::<Vec<_>>()
-            }
-            None => repo.uncovered_events(),
-        };
-        if targets.is_empty() {
-            return Err("nothing uncovered after regression".into());
-        }
         eprintln!("targets: {} uncovered events", targets.len());
-        let approx = ApproxTarget::auto(unit.env().coverage_model(), &targets, 0.5)?;
-        flow.run_phases_observed(&repo, approx, seed, &mut StderrProgress)?
+        let approx = ApproxTarget::auto(env.coverage_model(), &targets, config.neighbor_decay)?;
+        (config, Start::WithRepo(Box::new(repo), approx))
+    } else {
+        let spec = match family {
+            Some(stem) => TargetSpec::Family(stem.to_owned()),
+            None => TargetSpec::Uncovered,
+        };
+        (unit.paper_config().scaled(scale), Start::Fresh(spec))
     };
+
+    let outcome = pool_scope(config.threads, |pool| {
+        let engine = FlowEngine::new(&env, config.clone(), pool);
+        let mut cx = match &start {
+            Start::Resume(state) => engine.resume((**state).clone())?,
+            Start::WithRepo(repo, approx) => {
+                engine.session_with_repo(repo, approx.clone(), seed)?
+            }
+            Start::Fresh(spec) => engine.session(spec.clone(), seed),
+        };
+        cx.subscribe_fn(progress_events());
+        if let Some(path) = checkpoint_path.clone() {
+            cx.on_checkpoint(move |snap| {
+                let json = match serde_json::to_string(snap) {
+                    Ok(json) => json,
+                    Err(e) => {
+                        eprintln!("warning: checkpoint did not serialize: {e}");
+                        return;
+                    }
+                };
+                match std::fs::write(&path, json) {
+                    Ok(()) => eprintln!("checkpoint -> {path}"),
+                    Err(e) => eprintln!("warning: could not write checkpoint {path}: {e}"),
+                }
+            });
+        }
+        engine.run(&mut cx)
+    })?;
     println!("{}", outcome.report());
     println!("harvested template:\n{}", outcome.best_template);
 
