@@ -23,9 +23,25 @@ fn main() {
         report.parallel.sims,
         report.parallel.threads
     );
+    match report.speedup {
+        Some(speedup) => eprintln!(
+            "speedup: {:.2}x | phase identical: {} | repo identical: {}",
+            speedup, report.phase_identical, report.repo_identical
+        ),
+        None => eprintln!(
+            "speedup: skipped ({} hardware thread) | phase identical: {} | repo identical: {}",
+            report.machine_threads, report.phase_identical, report.repo_identical
+        ),
+    }
     eprintln!(
-        "speedup: {:.2}x | phase identical: {} | repo identical: {}",
-        report.speedup, report.phase_identical, report.repo_identical
+        "regression: {} sims through {} repo merges (serial) / {} merges (pooled)",
+        report.regression_serial.sims_recorded,
+        report.regression_serial.repo_merges,
+        report.regression_parallel.repo_merges
+    );
+    eprintln!(
+        "phase resolve cache: {} hits / {} misses",
+        report.serial.counters.resolve_hits, report.serial.counters.resolve_misses
     );
     assert!(
         report.phase_identical && report.repo_identical,

@@ -10,9 +10,11 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
+use std::sync::Arc;
+
 use ascdg_core::{
     machine_threads, pool_scope, ApproxTarget, BatchRunner, BatchStats, CdgFlow, CdgObjective,
-    FlowConfig, FlowError, Skeletonizer,
+    CounterSnapshot, FlowConfig, FlowError, Skeletonizer,
 };
 use ascdg_coverage::EventFamily;
 use ascdg_duv::{io_unit::IoEnv, VerifEnv};
@@ -32,6 +34,10 @@ pub struct ThreadMeasurement {
     pub sims: u64,
     /// Simulation throughput (simulations per wall-clock second).
     pub sims_per_sec: f64,
+    /// Hot-path counters of the phase run (resolve-cache hits/misses;
+    /// the optimization phase records nothing, so merges stay zero).
+    #[serde(default)]
+    pub counters: CounterSnapshot,
 }
 
 /// The full report written to `BENCH_parallel.json`.
@@ -47,14 +53,24 @@ pub struct ParallelBenchReport {
     pub serial: ThreadMeasurement,
     /// The same phase on the parallel worker pool.
     pub parallel: ThreadMeasurement,
-    /// `serial.wall_ms / parallel.wall_ms`.
-    pub speedup: f64,
+    /// `serial.wall_ms / parallel.wall_ms`, or `None` when the machine has
+    /// a single hardware thread — a "pool" of N workers on one core only
+    /// measures oversubscription, so no speedup verdict is rendered.
+    pub speedup: Option<f64>,
     /// Whether the serial and parallel phase results (per-event hit
     /// counts, best value, best settings) were byte-identical.
     pub phase_identical: bool,
     /// Whether a 1-thread and an N-thread regression produced identical
     /// repository contents.
     pub repo_identical: bool,
+    /// Hot-path counters of the 1-thread regression: `repo_merges` is the
+    /// number of repository-lock acquisitions that recorded
+    /// `sims_recorded` simulations (the sharded-accumulation win).
+    #[serde(default)]
+    pub regression_serial: CounterSnapshot,
+    /// Hot-path counters of the pooled regression.
+    #[serde(default)]
+    pub regression_parallel: CounterSnapshot,
 }
 
 /// The paper_io setup the measurements share: everything up to (but not
@@ -68,6 +84,8 @@ pub struct PhaseHarness {
     approx: ApproxTarget,
     start: Vec<f64>,
     repo_identical: bool,
+    regression_serial: CounterSnapshot,
+    regression_parallel: CounterSnapshot,
 }
 
 impl PhaseHarness {
@@ -86,15 +104,15 @@ impl PhaseHarness {
 
         // Regression once serially and once on the pool: the repository
         // contents must not depend on the worker count.
-        let serial_repo = {
+        let (serial_repo, regression_serial) = {
             let mut cfg = config.clone();
             cfg.threads = 1;
-            CdgFlow::new(env.clone(), cfg).run_regression(mix_seed(seed, 0xbef0))?
+            CdgFlow::new(env.clone(), cfg).run_regression_counted(mix_seed(seed, 0xbef0))?
         };
-        let parallel_repo = {
+        let (parallel_repo, regression_parallel) = {
             let mut cfg = config.clone();
             cfg.threads = parallel_threads;
-            CdgFlow::new(env.clone(), cfg).run_regression(mix_seed(seed, 0xbef0))?
+            CdgFlow::new(env.clone(), cfg).run_regression_counted(mix_seed(seed, 0xbef0))?
         };
         let repo_identical = serial_repo.snapshot() == parallel_repo.snapshot();
 
@@ -131,6 +149,8 @@ impl PhaseHarness {
             approx,
             start,
             repo_identical,
+            regression_serial,
+            regression_parallel,
         })
     }
 
@@ -141,6 +161,12 @@ impl PhaseHarness {
         self.repo_identical
     }
 
+    /// Hot-path counters of the (serial, pooled) regression runs.
+    #[must_use]
+    pub fn regression_counters(&self) -> (CounterSnapshot, CounterSnapshot) {
+        (self.regression_serial, self.regression_parallel)
+    }
+
     /// Runs the implicit-filtering phase on a pool of `threads` workers
     /// and returns its measurement plus the phase statistics and best
     /// settings for identity checking.
@@ -149,6 +175,7 @@ impl PhaseHarness {
         let cfg = &self.config;
         pool_scope(threads, |pool| {
             let runner = BatchRunner::with_pool(pool);
+            let counters = Arc::clone(runner.counters());
             let mut obj = CdgObjective::new(
                 &self.env,
                 &self.skeleton,
@@ -183,6 +210,7 @@ impl PhaseHarness {
                 } else {
                     0.0
                 },
+                counters: counters.snapshot(),
             };
             (m, stats, result.best_x)
         })
@@ -210,11 +238,14 @@ pub fn parallel_bench(
     let (serial, serial_stats, serial_best) = harness.run(1, seed);
     let (parallel, parallel_stats, parallel_best) = harness.run(parallel_threads, seed);
     let phase_identical = serial_stats == parallel_stats && serial_best == parallel_best;
-    let speedup = if parallel.wall_ms > 0.0 {
-        serial.wall_ms / parallel.wall_ms
+    // A single-core machine cannot measure parallel speedup, only
+    // oversubscription overhead: skip the verdict rather than report noise.
+    let speedup = if machine_threads() > 1 && parallel.wall_ms > 0.0 {
+        Some(serial.wall_ms / parallel.wall_ms)
     } else {
-        0.0
+        None
     };
+    let (regression_serial, regression_parallel) = harness.regression_counters();
     Ok(ParallelBenchReport {
         scale,
         seed,
@@ -224,6 +255,8 @@ pub fn parallel_bench(
         speedup,
         phase_identical,
         repo_identical: harness.repo_identical(),
+        regression_serial,
+        regression_parallel,
     })
 }
 
@@ -240,5 +273,35 @@ mod tests {
         assert_eq!(report.serial.sims, report.parallel.sims);
         assert!(report.serial.sims > 0);
         assert!(report.serial.sims_per_sec > 0.0);
+        // The speedup verdict exists exactly when the machine can render one.
+        assert_eq!(report.speedup.is_some(), report.machine_threads > 1);
+        if let Some(speedup) = report.speedup {
+            assert!(speedup > 0.0);
+        }
+    }
+
+    #[test]
+    fn report_counters_reflect_the_hot_path() {
+        let report = parallel_bench(0.02, 7, 2).expect("bench runs");
+        // The regression records every simulation through bulk merges; the
+        // lock is taken O(chunks), far below O(simulations).
+        assert!(report.regression_serial.sims_recorded > 0);
+        assert_eq!(
+            report.regression_serial.sims_recorded,
+            report.regression_parallel.sims_recorded
+        );
+        assert!(report.regression_serial.repo_merges < report.regression_serial.sims_recorded);
+        assert!(report.regression_parallel.repo_merges < report.regression_parallel.sims_recorded);
+        // The optimization phase records nothing; its counters show the
+        // resolve cache working, identically at both thread counts.
+        assert_eq!(report.serial.counters.repo_merges, 0);
+        assert_eq!(report.serial.counters.sims_recorded, 0);
+        assert!(report.serial.counters.resolve_misses > 0);
+        assert!(report.serial.counters.resolve_hits > 0);
+        assert_eq!(report.serial.counters, report.parallel.counters);
+        // The enriched report survives a JSON round trip.
+        let json = serde_json::to_string(&report).expect("serialize");
+        let back: ParallelBenchReport = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, report);
     }
 }

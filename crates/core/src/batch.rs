@@ -8,11 +8,14 @@
 //! scheduling.
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use ascdg_coverage::{CoverageRepository, CoverageVector, TemplateId};
 use ascdg_duv::VerifEnv;
-use ascdg_stimgen::mix_seed;
+use ascdg_stimgen::{name_hash, SeedStream};
 use ascdg_template::{ResolvedParams, TestTemplate};
+use serde::{Deserialize, Serialize};
 
 use crate::pool::{machine_threads, pool_scope, SimPool};
 use crate::FlowError;
@@ -44,9 +47,7 @@ impl BatchStats {
     pub fn record(&mut self, cov: &CoverageVector) {
         assert_eq!(cov.len(), self.hits.len(), "coverage width mismatch");
         self.sims += 1;
-        for e in cov.iter_hits() {
-            self.hits[e.index()] += 1;
-        }
+        cov.accumulate_into(&mut self.hits);
     }
 
     /// Merges another batch into this one.
@@ -85,6 +86,148 @@ impl BatchStats {
     }
 }
 
+/// A template fully prepared for the simulation hot path: parameters
+/// resolved against the environment's registry exactly once, template name
+/// hashed exactly once.
+///
+/// Workers sample from the shared immutable parameter set (an
+/// [`Arc<ResolvedParams>`]) and derive per-instance seeds numerically from
+/// the precomputed name hash (a [`SeedStream`]), so the per-simulation cost
+/// carries neither registry resolution nor string hashing. Cloning is
+/// cheap; clones share the parameter set.
+#[derive(Debug, Clone)]
+pub struct ResolvedTemplate {
+    name: String,
+    name_hash: u64,
+    params: Arc<ResolvedParams>,
+}
+
+impl ResolvedTemplate {
+    /// Resolves `template` against `env`'s registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Template`] when the template does not validate.
+    pub fn resolve<E: VerifEnv>(env: &E, template: &TestTemplate) -> Result<Self, FlowError> {
+        let params = env
+            .registry()
+            .resolve(template)
+            .map_err(FlowError::Template)?;
+        Ok(ResolvedTemplate::from_parts(
+            template.name().to_owned(),
+            Arc::new(params),
+        ))
+    }
+
+    /// Wraps an already-resolved parameter set under `name`.
+    #[must_use]
+    pub fn from_parts(name: String, params: Arc<ResolvedParams>) -> Self {
+        let name_hash = name_hash(&name);
+        ResolvedTemplate {
+            name,
+            name_hash,
+            params,
+        }
+    }
+
+    /// The instance-naming template name (seeds derive from its hash).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The effective parameter set workers sample from.
+    #[must_use]
+    pub fn params(&self) -> &ResolvedParams {
+        &self.params
+    }
+
+    /// A shared handle to the parameter set (what dispatch hands workers).
+    #[must_use]
+    pub fn share_params(&self) -> Arc<ResolvedParams> {
+        Arc::clone(&self.params)
+    }
+
+    /// The seed stream of a run over this template under `base` — instance
+    /// `i` uses `stream.sampler_seed(i)`, byte-identical to the historical
+    /// per-sim string-hashing derivation.
+    #[must_use]
+    pub fn seed_stream(&self, base: u64) -> SeedStream {
+        SeedStream::with_hash(base, self.name_hash)
+    }
+}
+
+/// Shared hot-path counters: how often the repository lock was taken, how
+/// many simulations flowed through it, and how the resolve cache behaved.
+///
+/// Counters are monotonic across a runner's lifetime (clones of a
+/// [`BatchRunner`] share one set); phases report deltas between
+/// [`BatchCounters::snapshot`]s. Updates are relaxed atomics — observability
+/// only, never synchronization.
+#[derive(Debug, Default)]
+pub struct BatchCounters {
+    repo_merges: AtomicU64,
+    sims_recorded: AtomicU64,
+    resolve_hits: AtomicU64,
+    resolve_misses: AtomicU64,
+}
+
+impl BatchCounters {
+    /// A point-in-time copy of all counters.
+    #[must_use]
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            repo_merges: self.repo_merges.load(Ordering::Relaxed),
+            sims_recorded: self.sims_recorded.load(Ordering::Relaxed),
+            resolve_hits: self.resolve_hits.load(Ordering::Relaxed),
+            resolve_misses: self.resolve_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Notes one bulk merge of `sims` simulations into the repository.
+    fn add_merge(&self, sims: u64) {
+        self.repo_merges.fetch_add(1, Ordering::Relaxed);
+        self.sims_recorded.fetch_add(sims, Ordering::Relaxed);
+    }
+
+    /// Notes a resolve-cache hit (a template re-used without re-resolution).
+    pub fn note_resolve_hit(&self) {
+        self.resolve_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Notes a registry resolution actually performed.
+    pub fn note_resolve_miss(&self) {
+        self.resolve_misses.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A plain-number snapshot of [`BatchCounters`], serializable into reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Repository write-lock acquisitions ([`CoverageRepository::merge_counts`] calls).
+    pub repo_merges: u64,
+    /// Simulations folded into the repository through those merges.
+    pub sims_recorded: u64,
+    /// Resolve-cache hits (template instantiations served without resolving).
+    pub resolve_hits: u64,
+    /// Registry resolutions performed.
+    pub resolve_misses: u64,
+}
+
+impl CounterSnapshot {
+    /// The counter movement since `earlier` (saturating, so a snapshot pair
+    /// taken out of order degrades to zeros instead of wrapping).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot {
+            repo_merges: self.repo_merges.saturating_sub(earlier.repo_merges),
+            sims_recorded: self.sims_recorded.saturating_sub(earlier.sims_recorded),
+            resolve_hits: self.resolve_hits.saturating_sub(earlier.resolve_hits),
+            resolve_misses: self.resolve_misses.saturating_sub(earlier.resolve_misses),
+        }
+    }
+}
+
 /// Runs batches of simulations, optionally in parallel.
 ///
 /// A runner built with [`BatchRunner::with_pool`] dispatches onto a shared
@@ -96,7 +239,12 @@ impl BatchStats {
 /// **Thread-count convention:** `threads == 0` means *machine-sized*
 /// (one worker per available core); this is also the [`Default`]. Results
 /// are byte-identical at every thread count: instance `i` of a run always
-/// uses seed `mix_seed(base_seed, i)`, assigned before dispatch.
+/// uses the seed a [`SeedStream`] derives for it, fixed before dispatch.
+///
+/// Workers touch no shared state between batch boundaries: coverage
+/// accumulates into worker-local shards and merges into the repository once
+/// per chunk ([`CoverageRepository::merge_counts`]), and hot-path activity
+/// is visible through the runner's shared [`BatchCounters`].
 ///
 /// # Examples
 ///
@@ -113,6 +261,7 @@ impl BatchStats {
 pub struct BatchRunner<'env> {
     threads: usize,
     pool: Option<SimPool<'env>>,
+    counters: Arc<BatchCounters>,
 }
 
 impl Default for BatchRunner<'_> {
@@ -133,6 +282,7 @@ impl<'env> BatchRunner<'env> {
                 threads
             },
             pool: None,
+            counters: Arc::new(BatchCounters::default()),
         }
     }
 
@@ -150,6 +300,7 @@ impl<'env> BatchRunner<'env> {
         BatchRunner {
             threads: pool.threads(),
             pool: Some(pool.clone()),
+            counters: Arc::new(BatchCounters::default()),
         }
     }
 
@@ -166,10 +317,23 @@ impl<'env> BatchRunner<'env> {
         self.pool.as_ref()
     }
 
+    /// The runner's hot-path counters. Clones of a runner share one set, so
+    /// a phase can snapshot before/after a batch and report the delta.
+    #[must_use]
+    pub fn counters(&self) -> &Arc<BatchCounters> {
+        &self.counters
+    }
+
+    /// Convenience for `counters().snapshot()`.
+    #[must_use]
+    pub fn counter_snapshot(&self) -> CounterSnapshot {
+        self.counters.snapshot()
+    }
+
     /// Simulates `sims` instances of `template` and accumulates coverage.
     ///
-    /// Instance `i` uses seed `mix(base_seed, i)`; results are identical
-    /// regardless of the thread count.
+    /// Instance `i` uses the seed the template's [`SeedStream`] derives for
+    /// it; results are identical regardless of the thread count.
     ///
     /// # Errors
     ///
@@ -181,6 +345,25 @@ impl<'env> BatchRunner<'env> {
         sims: u64,
         base_seed: u64,
     ) -> Result<BatchStats, FlowError> {
+        let rt = ResolvedTemplate::resolve(env, template)?;
+        self.counters.note_resolve_miss();
+        self.run_inner(env, &rt, sims, base_seed, None)
+    }
+
+    /// Like [`BatchRunner::run`] for a pre-resolved template — the hot-path
+    /// entry: no registry resolution and no string hashing happen per call,
+    /// let alone per simulation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stimulus generation failures.
+    pub fn run_resolved<E: VerifEnv>(
+        &self,
+        env: &'env E,
+        template: &ResolvedTemplate,
+        sims: u64,
+        base_seed: u64,
+    ) -> Result<BatchStats, FlowError> {
         self.run_inner(env, template, sims, base_seed, None)
     }
 
@@ -189,7 +372,10 @@ impl<'env> BatchRunner<'env> {
     /// ("Before CDG") phase populates the database TAC queries.
     ///
     /// The repository contents are independent of the worker count and
-    /// dispatch order: recording only accumulates per-event counts.
+    /// dispatch order: each worker accumulates its chunk locally and merges
+    /// once ([`CoverageRepository::merge_counts`]), and per-event counting
+    /// is commutative, so the merged state is byte-identical to recording
+    /// every simulation individually.
     ///
     /// # Errors
     ///
@@ -203,7 +389,9 @@ impl<'env> BatchRunner<'env> {
         repo: &'env CoverageRepository,
         template_id: TemplateId,
     ) -> Result<BatchStats, FlowError> {
-        self.run_inner(env, template, sims, base_seed, Some((repo, template_id)))
+        let rt = ResolvedTemplate::resolve(env, template)?;
+        self.counters.note_resolve_miss();
+        self.run_inner(env, &rt, sims, base_seed, Some((repo, template_id)))
     }
 
     /// Simulates a whole batch of `(template, base_seed)` points —
@@ -225,28 +413,65 @@ impl<'env> BatchRunner<'env> {
         points: &[(TestTemplate, u64)],
         sims_per_point: u64,
     ) -> Result<Vec<BatchStats>, FlowError> {
-        let events = env.coverage_model().len();
-        let mut tasks = Vec::with_capacity(points.len());
+        let mut resolved = Vec::with_capacity(points.len());
         for (template, seed) in points {
-            let resolved = env
-                .registry()
-                .resolve(template)
-                .map_err(FlowError::Template)?;
-            tasks.push((resolved, template.name().to_owned(), *seed));
+            resolved.push((ResolvedTemplate::resolve(env, template)?, *seed));
+            self.counters.note_resolve_miss();
         }
+        self.run_many_resolved(env, &resolved, sims_per_point)
+    }
+
+    /// Like [`BatchRunner::run_many`] for pre-resolved points — what the
+    /// objective's stencil evaluation calls after resolving each point
+    /// exactly once. Workers share each point's parameter set through an
+    /// [`Arc`]; nothing is re-resolved, re-named or re-hashed at dispatch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stimulus generation failures.
+    pub fn run_many_resolved<E: VerifEnv>(
+        &self,
+        env: &'env E,
+        points: &[(ResolvedTemplate, u64)],
+        sims_per_point: u64,
+    ) -> Result<Vec<BatchStats>, FlowError> {
+        let events = env.coverage_model().len();
         let serial =
             self.pool.is_none() && (self.threads <= 1 || points.len() <= 1 || sims_per_point == 0);
         if serial {
-            return tasks
-                .into_iter()
-                .map(|(resolved, name, seed)| {
-                    simulate_range(env, &resolved, &name, 0..sims_per_point, seed, events, None)
+            return points
+                .iter()
+                .map(|(rt, seed)| {
+                    simulate_range(
+                        env,
+                        rt.params(),
+                        rt.seed_stream(*seed),
+                        0..sims_per_point,
+                        events,
+                        None,
+                        &self.counters,
+                    )
                 })
                 .collect();
         }
-        let run_on = |pool: &SimPool<'env>| {
-            pool.run_ordered(tasks, move |_, (resolved, name, seed)| {
-                simulate_range(env, &resolved, &name, 0..sims_per_point, seed, events, None)
+        // Tasks own their inputs (pool jobs may not borrow this stack
+        // frame); each carries a shared handle to its point's parameters.
+        let tasks: Vec<(Arc<ResolvedParams>, SeedStream)> = points
+            .iter()
+            .map(|(rt, seed)| (rt.share_params(), rt.seed_stream(*seed)))
+            .collect();
+        let counters = Arc::clone(&self.counters);
+        let run_on = move |pool: &SimPool<'env>| {
+            pool.run_ordered(tasks, move |_, (params, stream)| {
+                simulate_range(
+                    env,
+                    &params,
+                    stream,
+                    0..sims_per_point,
+                    events,
+                    None,
+                    &counters,
+                )
             })
             .into_iter()
             .collect()
@@ -260,42 +485,33 @@ impl<'env> BatchRunner<'env> {
     fn run_inner<E: VerifEnv>(
         &self,
         env: &'env E,
-        template: &TestTemplate,
+        template: &ResolvedTemplate,
         sims: u64,
         base_seed: u64,
         record: Option<(&'env CoverageRepository, TemplateId)>,
     ) -> Result<BatchStats, FlowError> {
-        let resolved = env
-            .registry()
-            .resolve(template)
-            .map_err(FlowError::Template)?;
         let events = env.coverage_model().len();
         if sims == 0 {
             return Ok(BatchStats::empty(events));
         }
+        let stream = template.seed_stream(base_seed);
         let workers = self.threads.min(sims as usize).max(1);
         if workers == 1 && self.pool.is_none() {
             return simulate_range(
                 env,
-                &resolved,
-                template.name(),
+                template.params(),
+                stream,
                 0..sims,
-                base_seed,
                 events,
                 record,
+                &self.counters,
             );
         }
-        let dispatch = |pool: &SimPool<'env>| {
+        let params = template.share_params();
+        let counters = Arc::clone(&self.counters);
+        let dispatch = move |pool: &SimPool<'env>| {
             dispatch_chunks(
-                pool,
-                env,
-                &resolved,
-                template.name(),
-                events,
-                sims,
-                base_seed,
-                workers,
-                record,
+                pool, env, &params, stream, events, sims, workers, record, &counters,
             )
         };
         match &self.pool {
@@ -305,27 +521,38 @@ impl<'env> BatchRunner<'env> {
     }
 }
 
-/// Serially simulates instances `range` of one resolved template, instance
-/// `i` seeded with `mix_seed(base_seed, i)` — the unit of work every
-/// dispatch path shares, so parallel and serial runs agree bit-for-bit.
+/// Serially simulates instances `range` of one resolved parameter set,
+/// instance `i` seeded with `stream.sampler_seed(i)` — the unit of work
+/// every dispatch path shares, so parallel and serial runs agree
+/// bit-for-bit.
+///
+/// Coverage accumulates into the chunk-local [`BatchStats`] shard; when
+/// recording, the shard merges into the repository **once** at the end of
+/// the chunk, so the repository lock is taken O(chunks) instead of
+/// O(simulations). Per-event counting is commutative, which makes the
+/// merged state byte-identical to per-simulation recording.
 fn simulate_range<E: VerifEnv>(
     env: &E,
     resolved: &ResolvedParams,
-    template_name: &str,
+    stream: SeedStream,
     range: Range<u64>,
-    base_seed: u64,
     events: usize,
     record: Option<(&CoverageRepository, TemplateId)>,
+    counters: &BatchCounters,
 ) -> Result<BatchStats, FlowError> {
     let mut stats = BatchStats::empty(events);
     for i in range {
         let cov = env
-            .simulate_resolved(resolved, template_name, mix_seed(base_seed, i))
+            .simulate_seeded(resolved, stream.sampler_seed(i))
             .map_err(FlowError::Env)?;
-        if let Some((repo, id)) = record {
-            repo.try_record(id, &cov).map_err(FlowError::Coverage)?;
-        }
         stats.record(&cov);
+    }
+    if let Some((repo, id)) = record {
+        if stats.sims > 0 {
+            repo.merge_counts(id, stats.sims, &stats.hits)
+                .map_err(FlowError::Coverage)?;
+            counters.add_merge(stats.sims);
+        }
     }
     Ok(stats)
 }
@@ -336,28 +563,23 @@ fn simulate_range<E: VerifEnv>(
 fn dispatch_chunks<'env, E: VerifEnv>(
     pool: &SimPool<'env>,
     env: &'env E,
-    resolved: &ResolvedParams,
-    template_name: &str,
+    params: &Arc<ResolvedParams>,
+    stream: SeedStream,
     events: usize,
     sims: u64,
-    base_seed: u64,
     workers: usize,
     record: Option<(&'env CoverageRepository, TemplateId)>,
+    counters: &Arc<BatchCounters>,
 ) -> Result<BatchStats, FlowError> {
     let chunk = sims.div_ceil(workers as u64);
-    // Chunks own their inputs: pool jobs may not borrow this stack frame.
-    let tasks: Vec<(u64, u64, ResolvedParams, String)> = (0..workers as u64)
-        .map(|w| {
-            (
-                w * chunk,
-                ((w + 1) * chunk).min(sims),
-                resolved.clone(),
-                template_name.to_owned(),
-            )
-        })
+    // Chunks own their inputs (pool jobs may not borrow this stack frame);
+    // the resolved parameters are shared, not cloned, per chunk.
+    let tasks: Vec<(u64, u64, Arc<ResolvedParams>)> = (0..workers as u64)
+        .map(|w| (w * chunk, ((w + 1) * chunk).min(sims), Arc::clone(params)))
         .collect();
-    let results = pool.run_ordered(tasks, move |_, (lo, hi, resolved, name)| {
-        simulate_range(env, &resolved, &name, lo..hi, base_seed, events, record)
+    let counters = Arc::clone(counters);
+    let results = pool.run_ordered(tasks, move |_, (lo, hi, params)| {
+        simulate_range(env, &params, stream, lo..hi, events, record, &counters)
     });
     let mut total = BatchStats::empty(events);
     for r in results {
@@ -468,6 +690,80 @@ mod tests {
         })
         .unwrap();
         assert_eq!(pooled, expected);
+    }
+
+    #[test]
+    fn sharded_merge_matches_per_sim_record() {
+        let env = IoEnv::new();
+        let t = env.stock_library().get(3).unwrap().clone();
+        // Reference: record every simulation individually, the pre-shard
+        // protocol.
+        let rt = ResolvedTemplate::resolve(&env, &t).unwrap();
+        let stream = rt.seed_stream(17);
+        let reference = CoverageRepository::new(env.coverage_model().clone());
+        for i in 0..96 {
+            let cov = env
+                .simulate_seeded(rt.params(), stream.sampler_seed(i))
+                .unwrap();
+            reference.try_record(TemplateId(3), &cov).unwrap();
+        }
+        // Sharded: chunk-local accumulation, one merge per chunk, at the CI
+        // matrix thread count.
+        let repo = CoverageRepository::new(env.coverage_model().clone());
+        let runner = BatchRunner::new(test_threads());
+        runner
+            .run_recorded(&env, &t, 96, 17, &repo, TemplateId(3))
+            .unwrap();
+        assert_eq!(repo.snapshot(), reference.snapshot());
+        let counters = runner.counter_snapshot();
+        assert_eq!(counters.sims_recorded, 96);
+        assert!(counters.repo_merges >= 1);
+        assert!(counters.repo_merges <= test_threads().max(1) as u64);
+        assert_eq!(counters.resolve_misses, 1);
+    }
+
+    #[test]
+    fn resolved_paths_match_resolving_wrappers() {
+        let env = IoEnv::new();
+        let a = env.stock_library().get(2).unwrap().clone();
+        let b = env.stock_library().get(11).unwrap().clone();
+        let runner = BatchRunner::new(test_threads());
+        let ra = ResolvedTemplate::resolve(&env, &a).unwrap();
+        let rb = ResolvedTemplate::resolve(&env, &b).unwrap();
+        assert_eq!(ra.name(), a.name());
+        assert_eq!(
+            runner.run_resolved(&env, &ra, 20, 5).unwrap(),
+            runner.run(&env, &a, 20, 5).unwrap()
+        );
+        let points = vec![(a, 5u64), (b, 6u64)];
+        let rpoints = vec![(ra, 5u64), (rb, 6u64)];
+        assert_eq!(
+            runner.run_many_resolved(&env, &rpoints, 12).unwrap(),
+            runner.run_many(&env, &points, 12).unwrap()
+        );
+    }
+
+    #[test]
+    fn counter_snapshots_delta() {
+        let a = CounterSnapshot {
+            repo_merges: 3,
+            sims_recorded: 100,
+            resolve_hits: 2,
+            resolve_misses: 5,
+        };
+        let b = CounterSnapshot {
+            repo_merges: 5,
+            sims_recorded: 180,
+            resolve_hits: 6,
+            resolve_misses: 5,
+        };
+        let d = b.delta_since(&a);
+        assert_eq!(d.repo_merges, 2);
+        assert_eq!(d.sims_recorded, 80);
+        assert_eq!(d.resolve_hits, 4);
+        assert_eq!(d.resolve_misses, 0);
+        // Out-of-order pairs saturate to zero instead of wrapping.
+        assert_eq!(a.delta_since(&b), CounterSnapshot::default());
     }
 
     #[test]

@@ -244,6 +244,19 @@ pub struct PhaseTiming {
     /// Simulation throughput (simulations per wall-clock second; `0.0`
     /// when the phase finished too fast to measure).
     pub sims_per_sec: f64,
+    /// Repository write-lock acquisitions during the phase (bulk merges).
+    #[serde(default)]
+    pub repo_merges: u64,
+    /// Simulations folded into the repository through those merges.
+    #[serde(default)]
+    pub sims_recorded: u64,
+    /// Resolve-cache hits during the phase (instantiations served without
+    /// a registry resolution).
+    #[serde(default)]
+    pub resolve_hits: u64,
+    /// Registry resolutions performed during the phase.
+    #[serde(default)]
+    pub resolve_misses: u64,
 }
 
 impl PhaseTiming {
@@ -256,7 +269,22 @@ impl PhaseTiming {
             name: name.to_owned(),
             wall_ms: secs * 1e3,
             sims_per_sec: if secs > 0.0 { sims as f64 / secs } else { 0.0 },
+            repo_merges: 0,
+            sims_recorded: 0,
+            resolve_hits: 0,
+            resolve_misses: 0,
         }
+    }
+
+    /// Attaches the phase's hot-path counter movement (a
+    /// [`CounterSnapshot`](crate::CounterSnapshot) delta) to the record.
+    #[must_use]
+    pub fn with_counters(mut self, counters: crate::CounterSnapshot) -> Self {
+        self.repo_merges = counters.repo_merges;
+        self.sims_recorded = counters.sims_recorded;
+        self.resolve_hits = counters.resolve_hits;
+        self.resolve_misses = counters.resolve_misses;
+        self
     }
 }
 
@@ -409,6 +437,21 @@ impl<E: VerifEnv> CdgFlow<E> {
     /// Returns [`FlowError::EmptyLibrary`] when there is nothing to run,
     /// or any batch error.
     pub fn run_regression(&self, seed: u64) -> Result<CoverageRepository, FlowError> {
+        Ok(self.run_regression_counted(seed)?.0)
+    }
+
+    /// Like [`CdgFlow::run_regression`], additionally returning the batch
+    /// runner's hot-path counters for the regression (repository merges,
+    /// simulations recorded) — what benchmarks report to show the lock is
+    /// taken O(chunks), not O(simulations).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CdgFlow::run_regression`].
+    pub fn run_regression_counted(
+        &self,
+        seed: u64,
+    ) -> Result<(CoverageRepository, crate::CounterSnapshot), FlowError> {
         regression_repository(&self.env, &self.config, seed)
     }
 

@@ -56,7 +56,7 @@ mod session;
 mod skeletonizer;
 mod stages;
 
-pub use batch::{BatchRunner, BatchStats};
+pub use batch::{BatchCounters, BatchRunner, BatchStats, CounterSnapshot, ResolvedTemplate};
 pub use campaign::{CampaignGroup, CampaignOutcome};
 pub use engine::FlowEngine;
 pub use error::FlowError;

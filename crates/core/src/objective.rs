@@ -1,13 +1,20 @@
 //! The CDG objective: settings vector → estimated approximated target.
 
-use std::sync::Mutex;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use ascdg_duv::VerifEnv;
 use ascdg_opt::Objective;
 use ascdg_stimgen::mix_seed;
-use ascdg_template::{Skeleton, TestTemplate};
+use ascdg_template::{ResolvedParams, Skeleton};
 
-use crate::{ApproxTarget, BatchRunner, BatchStats};
+use crate::{ApproxTarget, BatchRunner, BatchStats, ResolvedTemplate};
+
+/// Backstop bound on the per-phase resolve cache. Implicit filtering
+/// revisits only a handful of stencil centers, so the cache stays tiny in
+/// practice; at the bound it is simply cleared (resolution is pure, so a
+/// cleared entry only costs a re-resolve).
+const RESOLVE_CACHE_CAP: usize = 256;
 
 /// The noisy objective the optimizer maximizes (Section IV-E).
 ///
@@ -74,6 +81,11 @@ struct EvalState {
     accum: BatchStats,
     best_value: f64,
     best_settings: Vec<f64>,
+    // Settings-vector (bit pattern) → resolved parameters. Instantiation
+    // and resolution are pure functions of `x`, so re-evaluated points
+    // (implicit filtering resamples its center every iteration) reuse the
+    // resolved set instead of rebuilding the full parameter map.
+    resolve_cache: HashMap<Vec<u64>, Arc<ResolvedParams>>,
 }
 
 impl<'a, 'env, E: VerifEnv> CdgObjective<'a, 'env, E> {
@@ -103,6 +115,7 @@ impl<'a, 'env, E: VerifEnv> CdgObjective<'a, 'env, E> {
                 accum: BatchStats::empty(events),
                 best_value: f64::NEG_INFINITY,
                 best_settings: Vec::new(),
+                resolve_cache: HashMap::new(),
             }),
         }
     }
@@ -142,14 +155,50 @@ impl<'a, 'env, E: VerifEnv> CdgObjective<'a, 'env, E> {
             .evals
     }
 
-    /// Instantiates the template for evaluation `eval_idx` at point `x`.
-    fn point_template(&self, x: &[f64], eval_idx: u64) -> TestTemplate {
-        let template = self
-            .skeleton
-            .instantiate(x)
-            .expect("settings dimension matches skeleton");
-        // Rename per evaluation so per-instance seeds differ across points.
-        template.renamed(format!("{}__p{eval_idx}", self.skeleton.name()))
+    /// Prepares evaluation `eval_idx` at point `x` for the hot path:
+    /// parameters resolved at most once per distinct `x` (cached by the
+    /// settings vector's bit pattern), point-named per evaluation so
+    /// per-instance seed streams differ across points — byte-identical to
+    /// the historical `renamed(...)` + per-sim string-hash derivation, with
+    /// the name hashed once per evaluation instead of once per simulation.
+    fn resolved_point(&self, x: &[f64], eval_idx: u64) -> ResolvedTemplate {
+        let key: Vec<u64> = x.iter().map(|v| v.to_bits()).collect();
+        let cached = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .resolve_cache
+            .get(&key)
+            .cloned();
+        let params = match cached {
+            Some(params) => {
+                self.runner.counters().note_resolve_hit();
+                params
+            }
+            None => {
+                let template = self
+                    .skeleton
+                    .instantiate(x)
+                    .expect("settings dimension matches skeleton");
+                let params = Arc::new(
+                    self.env
+                        .registry()
+                        .resolve(&template)
+                        .expect("skeleton-derived template must validate"),
+                );
+                self.runner.counters().note_resolve_miss();
+                let mut s = self
+                    .state
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                if s.resolve_cache.len() >= RESOLVE_CACHE_CAP {
+                    s.resolve_cache.clear();
+                }
+                s.resolve_cache.insert(key, Arc::clone(&params));
+                params
+            }
+        };
+        ResolvedTemplate::from_parts(format!("{}__p{eval_idx}", self.skeleton.name()), params)
     }
 
     /// Folds one evaluation's statistics into the phase state and returns
@@ -189,10 +238,10 @@ impl<E: VerifEnv> Objective for CdgObjective<'_, '_, E> {
             s.evals += 1;
             s.evals
         };
-        let template = self.point_template(x, eval_idx);
+        let template = self.resolved_point(x, eval_idx);
         let stats = self
             .runner
-            .run(
+            .run_resolved(
                 self.env,
                 &template,
                 self.sims_per_point,
@@ -224,20 +273,20 @@ impl<E: VerifEnv> Objective for CdgObjective<'_, '_, E> {
             s.evals += xs.len() as u64;
             first
         };
-        let points: Vec<(TestTemplate, u64)> = xs
+        let points: Vec<(ResolvedTemplate, u64)> = xs
             .iter()
             .enumerate()
             .map(|(k, x)| {
                 let eval_idx = first_idx + k as u64;
                 (
-                    self.point_template(x, eval_idx),
+                    self.resolved_point(x, eval_idx),
                     mix_seed(self.base_seed, eval_idx),
                 )
             })
             .collect();
         let stats = self
             .runner
-            .run_many(self.env, &points, self.sims_per_point)
+            .run_many_resolved(self.env, &points, self.sims_per_point)
             .expect("skeleton-derived template must simulate");
         xs.iter()
             .zip(&stats)
@@ -356,6 +405,29 @@ mod tests {
             CdgObjective::new(&env, &sk, &target, 6, BatchRunner::new(test_threads()), 13);
         assert_eq!(batch_obj.eval_batch(&xs), serial);
         assert_eq!(batch_obj.phase_stats(), serial_obj.phase_stats());
+    }
+
+    #[test]
+    fn repeated_points_hit_the_resolve_cache() {
+        let env = IoEnv::new();
+        let (sk, target) = fixture(&env);
+        let runner = BatchRunner::new(1);
+        let counters = Arc::clone(runner.counters());
+        let mut obj = CdgObjective::new(&env, &sk, &target, 5, runner, 7);
+        let x = vec![0.5; sk.num_slots()];
+        let _ = obj.eval(&x);
+        let _ = obj.eval(&x); // same point: must reuse the resolution
+        let _ = obj.eval(&vec![0.25; sk.num_slots()]);
+        let snap = counters.snapshot();
+        assert_eq!(snap.resolve_hits, 1);
+        assert_eq!(snap.resolve_misses, 2);
+        // The cached path stays byte-identical to a fresh objective.
+        let mut fresh = CdgObjective::new(&env, &sk, &target, 5, BatchRunner::new(1), 7);
+        let a = fresh.eval(&x);
+        let b = fresh.eval(&x);
+        let mut again = CdgObjective::new(&env, &sk, &target, 5, BatchRunner::new(1), 7);
+        assert_eq!(again.eval(&x), a);
+        assert_eq!(again.eval(&x), b);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 /// A unit of work queued on the pool. Jobs may borrow anything that
@@ -30,6 +30,7 @@ struct Shared<'env> {
     queue: Mutex<VecDeque<Job<'env>>>,
     work_ready: Condvar,
     shutdown: AtomicBool,
+    jobs_dispatched: AtomicU64,
 }
 
 fn lock<'a, 'env>(shared: &'a Shared<'env>) -> MutexGuard<'a, VecDeque<Job<'env>>> {
@@ -83,10 +84,21 @@ impl<'env> SimPool<'env> {
     }
 
     fn push_jobs(&self, jobs: Vec<Job<'env>>) {
+        self.shared
+            .jobs_dispatched
+            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
         let mut q = lock(&self.shared);
         q.extend(jobs);
         drop(q);
         self.shared.work_ready.notify_all();
+    }
+
+    /// Number of jobs enqueued on the shared queue over the pool's lifetime
+    /// (observability only; inline degenerate batches never enqueue). All
+    /// handle clones report the same counter.
+    #[must_use]
+    pub fn jobs_dispatched(&self) -> u64 {
+        self.shared.jobs_dispatched.load(Ordering::Relaxed)
     }
 
     fn try_pop(&self) -> Option<Job<'env>> {
@@ -236,6 +248,7 @@ pub fn pool_scope<'env, R>(threads: usize, f: impl FnOnce(&SimPool<'env>) -> R) 
                 queue: Mutex::new(VecDeque::new()),
                 work_ready: Condvar::new(),
                 shutdown: AtomicBool::new(false),
+                jobs_dispatched: AtomicU64::new(0),
             }),
             threads,
         };
@@ -316,6 +329,20 @@ mod tests {
             assert_eq!(other.threads(), pool.threads());
             let out = other.run_ordered(vec![5u8, 6], |_, v| v);
             assert_eq!(out, vec![5, 6]);
+        });
+    }
+
+    #[test]
+    fn dispatch_counter_tracks_enqueued_jobs() {
+        pool_scope(2, |pool| {
+            assert_eq!(pool.jobs_dispatched(), 0);
+            let _ = pool.run_ordered((0..8u64).collect(), |_, v| v);
+            assert_eq!(pool.jobs_dispatched(), 8);
+            // Degenerate single-task batches run inline, never enqueued.
+            let _ = pool.run_ordered(vec![1u64], |_, v| v);
+            assert_eq!(pool.jobs_dispatched(), 8);
+            // Clones observe the same counter.
+            assert_eq!(pool.clone().jobs_dispatched(), 8);
         });
     }
 

@@ -186,6 +186,15 @@ impl<'env, 'bus, E: VerifEnv> SessionCx<'env, 'bus, E> {
         self.runner.clone()
     }
 
+    /// A snapshot of the session runner's hot-path counters. Every runner
+    /// handed out by [`SessionCx::runner`] shares one counter set, so a
+    /// stage can diff the snapshots taken around a phase and attach the
+    /// movement to its [`PhaseTiming`].
+    #[must_use]
+    pub fn counter_snapshot(&self) -> crate::CounterSnapshot {
+        self.runner.counter_snapshot()
+    }
+
     /// The configuration in effect.
     #[must_use]
     pub fn config(&self) -> &FlowConfig {

@@ -138,13 +138,13 @@ pub(crate) fn regression_repository<E: VerifEnv>(
     env: &E,
     config: &FlowConfig,
     seed: u64,
-) -> Result<CoverageRepository, FlowError> {
+) -> Result<(CoverageRepository, crate::CounterSnapshot), FlowError> {
     let lib = env.stock_library();
     if lib.is_empty() {
         return Err(FlowError::EmptyLibrary);
     }
     let repo = CoverageRepository::new(env.coverage_model().clone());
-    pool_scope(config.threads, |pool| {
+    let counters = pool_scope(config.threads, |pool| {
         let runner = BatchRunner::with_pool(pool);
         for (idx, template) in lib.iter() {
             runner.run_recorded(
@@ -156,9 +156,9 @@ pub(crate) fn regression_repository<E: VerifEnv>(
                 TemplateId(idx as u32),
             )?;
         }
-        Ok::<(), FlowError>(())
+        Ok::<_, FlowError>(runner.counter_snapshot())
     })?;
-    Ok(repo)
+    Ok((repo, counters))
 }
 
 impl<E: VerifEnv> Stage<E> for Regression {
@@ -168,7 +168,7 @@ impl<E: VerifEnv> Stage<E> for Regression {
 
     fn run(&self, cx: &mut SessionCx<'_, '_, E>) -> Result<StageOutput, FlowError> {
         let seed = cx.stage_seed(0xbef0);
-        let repo = regression_repository(cx.env(), cx.config(), seed)?;
+        let (repo, _counters) = regression_repository(cx.env(), cx.config(), seed)?;
         let sims = repo.total_simulations();
         cx.set_repo(repo);
         Ok(StageOutput::simulated(sims))
@@ -308,10 +308,12 @@ impl<E: VerifEnv> Stage<E> for RandomSample {
             cx.runner(),
             cx.stage_seed(0x5a4c),
         );
+        let counters_before = cx.counter_snapshot();
         let phase_clock = Instant::now();
         let sample = random_sample(&mut obj, cfg.sample_templates, cx.stage_seed(1));
         let stats = obj.phase_stats();
-        let timing = PhaseTiming::measure(PHASE_SAMPLING, stats.sims, phase_clock.elapsed());
+        let timing = PhaseTiming::measure(PHASE_SAMPLING, stats.sims, phase_clock.elapsed())
+            .with_counters(cx.counter_snapshot().delta_since(&counters_before));
         cx.emit(FlowEvent::BestObjective {
             phase: PHASE_SAMPLING.to_owned(),
             iteration: 0,
@@ -373,6 +375,7 @@ impl<E: VerifEnv> Stage<E> for Optimize {
             resample_center: true,
             direction_mode: Default::default(),
         });
+        let counters_before = cx.counter_snapshot();
         let phase_clock = Instant::now();
         let result = optimizer.maximize(
             &mut obj,
@@ -381,7 +384,8 @@ impl<E: VerifEnv> Stage<E> for Optimize {
             cx.stage_seed(2),
         );
         let stats = obj.phase_stats();
-        let timing = PhaseTiming::measure(PHASE_OPTIMIZATION, stats.sims, phase_clock.elapsed());
+        let timing = PhaseTiming::measure(PHASE_OPTIMIZATION, stats.sims, phase_clock.elapsed())
+            .with_counters(cx.counter_snapshot().delta_since(&counters_before));
         for rec in &result.trace {
             cx.emit(FlowEvent::BestObjective {
                 phase: PHASE_OPTIMIZATION.to_owned(),
@@ -454,6 +458,7 @@ impl<E: VerifEnv> Stage<E> for Refine {
             cx.runner(),
             cx.stage_seed(0x4ef1),
         );
+        let counters_before = cx.counter_snapshot();
         let phase_clock = Instant::now();
         let refine_result = ImplicitFiltering::new(IfOptions {
             n_directions: cfg.opt_directions,
@@ -470,7 +475,8 @@ impl<E: VerifEnv> Stage<E> for Refine {
             cx.stage_seed(0x4ef2),
         );
         let stats = obj.phase_stats();
-        let timing = PhaseTiming::measure(PHASE_REFINEMENT, stats.sims, phase_clock.elapsed());
+        let timing = PhaseTiming::measure(PHASE_REFINEMENT, stats.sims, phase_clock.elapsed())
+            .with_counters(cx.counter_snapshot().delta_since(&counters_before));
         for rec in &refine_result.trace {
             cx.emit(FlowEvent::BestObjective {
                 phase: PHASE_REFINEMENT.to_owned(),
@@ -538,6 +544,7 @@ impl<E: VerifEnv> Stage<E> for Harvest {
             skeleton
                 .instantiate(&best_x)?
                 .renamed(format!("{}_{}", skeleton.name(), self.suffix));
+        let counters_before = cx.counter_snapshot();
         let phase_clock = Instant::now();
         let stats = cx.runner().run(
             cx.env(),
@@ -545,7 +552,8 @@ impl<E: VerifEnv> Stage<E> for Harvest {
             cfg.best_sims,
             cx.stage_seed(0xbe57),
         )?;
-        let timing = PhaseTiming::measure(PHASE_BEST, stats.sims, phase_clock.elapsed());
+        let timing = PhaseTiming::measure(PHASE_BEST, stats.sims, phase_clock.elapsed())
+            .with_counters(cx.counter_snapshot().delta_since(&counters_before));
         cx.record_phase(
             PhaseStats {
                 name: PHASE_BEST.to_owned(),

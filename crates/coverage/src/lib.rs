@@ -50,4 +50,4 @@ pub use family::{family_index, family_of, EventFamily};
 pub use model::CoverageModel;
 pub use repo::{CoverageRepository, HitStats, RepoSnapshot};
 pub use status::{EventStatus, StatusCounts, StatusPolicy};
-pub use vector::CoverageVector;
+pub use vector::{CoverageVector, HitIter};

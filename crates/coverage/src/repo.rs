@@ -103,6 +103,13 @@ impl Row {
             self.hits[e.index()] += 1;
         }
     }
+
+    fn merge_counts(&mut self, sims: u64, hits: &[u64]) {
+        self.sims += sims;
+        for (dst, &src) in self.hits.iter_mut().zip(hits) {
+            *dst += src;
+        }
+    }
 }
 
 /// The coverage database maintained during a verification project.
@@ -195,6 +202,45 @@ impl CoverageRepository {
             .entry(template)
             .or_insert_with(|| Row::new(len))
             .record(vector);
+        Ok(())
+    }
+
+    /// Merges a batch of pre-accumulated counters in one lock acquisition.
+    ///
+    /// `hits[e]` is the number of the `sims` simulations that hit event `e`.
+    /// Because recording is commutative per-event counting, merging
+    /// worker-local accumulators produces byte-identical repository state to
+    /// calling [`CoverageRepository::try_record`] once per simulation — while
+    /// taking the write lock O(batches) instead of O(simulations). This is
+    /// the batch runner's hot-path recording API.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoverageError::VectorSizeMismatch`] when `hits` was
+    /// accumulated against a different model width.
+    pub fn merge_counts(
+        &self,
+        template: TemplateId,
+        sims: u64,
+        hits: &[u64],
+    ) -> Result<(), CoverageError> {
+        if hits.len() != self.model.len() {
+            return Err(CoverageError::VectorSizeMismatch {
+                expected: self.model.len(),
+                actual: hits.len(),
+            });
+        }
+        if sims == 0 && hits.iter().all(|&h| h == 0) {
+            return Ok(());
+        }
+        let mut inner = self.inner.write();
+        inner.global.merge_counts(sims, hits);
+        let len = self.model.len();
+        inner
+            .per_template
+            .entry(template)
+            .or_insert_with(|| Row::new(len))
+            .merge_counts(sims, hits);
         Ok(())
     }
 
@@ -418,6 +464,55 @@ mod tests {
         assert_eq!(repo.template_stats(TemplateId(9), a), HitStats::default());
         assert_eq!(repo.templates(), vec![TemplateId(0), TemplateId(1)]);
         assert_eq!(repo.template_simulations(TemplateId(0)), 2);
+    }
+
+    #[test]
+    fn merge_counts_equals_per_sim_record() {
+        let m = model();
+        let by_record = CoverageRepository::new(m.clone());
+        let by_merge = CoverageRepository::new(m.clone());
+
+        // Simulations for two templates, recorded one at a time on one repo
+        // and as pre-accumulated shards on the other.
+        let sims: Vec<(TemplateId, CoverageVector)> = vec![
+            (TemplateId(0), vec_hitting(&m, &["a"])),
+            (TemplateId(0), vec_hitting(&m, &["a", "b"])),
+            (TemplateId(0), vec_hitting(&m, &[])),
+            (TemplateId(1), vec_hitting(&m, &["c"])),
+            (TemplateId(1), vec_hitting(&m, &["a", "c"])),
+        ];
+        for (t, v) in &sims {
+            by_record.record(*t, v);
+        }
+        for template in [TemplateId(0), TemplateId(1)] {
+            let mut counts = vec![0u64; m.len()];
+            let mut n = 0u64;
+            for (t, v) in sims.iter().filter(|(t, _)| *t == template) {
+                assert_eq!(*t, template);
+                n += 1;
+                for e in v.iter_hits() {
+                    counts[e.index()] += 1;
+                }
+            }
+            by_merge.merge_counts(template, n, &counts).unwrap();
+        }
+        assert_eq!(by_record.snapshot(), by_merge.snapshot());
+    }
+
+    #[test]
+    fn merge_counts_rejects_wrong_width_and_skips_empty() {
+        let m = model();
+        let repo = CoverageRepository::new(m);
+        assert!(matches!(
+            repo.merge_counts(TemplateId(0), 1, &[0, 0]),
+            Err(CoverageError::VectorSizeMismatch {
+                expected: 3,
+                actual: 2
+            })
+        ));
+        // An all-zero merge must not materialize a per-template row.
+        repo.merge_counts(TemplateId(7), 0, &[0, 0, 0]).unwrap();
+        assert!(repo.templates().is_empty());
     }
 
     #[test]

@@ -104,10 +104,39 @@ impl CoverageVector {
     }
 
     /// Iterates over the ids of all hit events, in increasing order.
-    pub fn iter_hits(&self) -> impl Iterator<Item = EventId> + '_ {
-        (0..self.len)
-            .filter(move |&i| self.words[i / 64] & (1 << (i % 64)) != 0)
-            .map(|i| EventId(i as u32))
+    ///
+    /// Word-at-a-time: zero words are skipped in one comparison and set bits
+    /// are extracted with `trailing_zeros`, so sparse vectors (the common
+    /// case — most simulations hit a handful of events) cost far less than a
+    /// per-bit scan.
+    pub fn iter_hits(&self) -> HitIter<'_> {
+        HitIter {
+            words: &self.words,
+            next_word: 0,
+            base: 0,
+            current: 0,
+        }
+    }
+
+    /// Adds this simulation's hits into a per-event count accumulator
+    /// (`counts[e] += 1` for every hit event `e`).
+    ///
+    /// This is the shard-accumulation primitive of the batch hot path:
+    /// workers fold vectors into a plain `Vec<u64>` and merge into the
+    /// repository once per chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` does not have exactly one slot per event.
+    pub fn accumulate_into(&self, counts: &mut [u64]) {
+        assert_eq!(
+            counts.len(),
+            self.len,
+            "accumulator width does not match coverage vector"
+        );
+        for e in self.iter_hits() {
+            counts[e.index()] += 1;
+        }
     }
 
     /// Merges another vector into this one (bitwise or).
@@ -120,6 +149,34 @@ impl CoverageVector {
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a |= b;
         }
+    }
+}
+
+/// Iterator over the hit events of a [`CoverageVector`], in increasing
+/// id order (see [`CoverageVector::iter_hits`]).
+///
+/// `set`/`clear` guarantee no bit beyond `len` is ever set, so the iterator
+/// never needs to mask the final partial word.
+pub struct HitIter<'a> {
+    words: &'a [u64],
+    next_word: usize,
+    base: u32,
+    current: u64,
+}
+
+impl Iterator for HitIter<'_> {
+    type Item = EventId;
+
+    fn next(&mut self) -> Option<EventId> {
+        while self.current == 0 {
+            let w = *self.words.get(self.next_word)?;
+            self.base = self.next_word as u32 * 64;
+            self.next_word += 1;
+            self.current = w;
+        }
+        let bit = self.current.trailing_zeros();
+        self.current &= self.current - 1;
+        Some(EventId(self.base + bit))
     }
 }
 
@@ -205,5 +262,97 @@ mod tests {
         let mut v = CoverageVector::empty(8);
         v.set(EventId(0));
         assert_eq!(format!("{v:?}"), "CoverageVector(1/8 hit)");
+    }
+
+    #[test]
+    fn accumulate_into_counts_each_hit_once() {
+        let mut v = CoverageVector::empty(65);
+        v.set(EventId(0));
+        v.set(EventId(64));
+        let mut counts = vec![0u64; 65];
+        v.accumulate_into(&mut counts);
+        v.accumulate_into(&mut counts);
+        assert_eq!(counts[0], 2);
+        assert_eq!(counts[64], 2);
+        assert_eq!(counts.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "accumulator width")]
+    fn accumulate_into_rejects_wrong_width() {
+        let v = CoverageVector::empty(10);
+        v.accumulate_into(&mut [0u64; 9]);
+    }
+
+    mod word_boundary_props {
+        use super::*;
+        use proptest::prelude::*;
+        use std::collections::BTreeSet;
+
+        /// A strategy over (len, hit-index set) pairs straddling the 64-bit
+        /// word boundary, where the word-level iteration is easiest to get
+        /// wrong.
+        fn len_and_hits() -> impl Strategy<Value = (usize, BTreeSet<u32>)> {
+            prop_oneof![Just(63usize), Just(64), Just(65)].prop_flat_map(|len| {
+                (
+                    Just(len),
+                    proptest::collection::btree_set(0..len as u32, 0..len + 1),
+                )
+            })
+        }
+
+        proptest! {
+            /// `set` then `iter_hits` round-trips the exact id set, in order.
+            #[test]
+            fn set_iter_round_trip((len, hits) in len_and_hits()) {
+                let mut v = CoverageVector::empty(len);
+                for &i in &hits {
+                    v.set(EventId(i));
+                }
+                let iterated: Vec<u32> = v.iter_hits().map(|e| e.0).collect();
+                let expected: Vec<u32> = hits.iter().copied().collect();
+                prop_assert_eq!(iterated, expected);
+            }
+
+            /// `count_hits` agrees with the number of distinct set bits and
+            /// with the iterator's length.
+            #[test]
+            fn count_matches_set_bits((len, hits) in len_and_hits()) {
+                let mut v = CoverageVector::empty(len);
+                for &i in &hits {
+                    v.set(EventId(i));
+                    v.set(EventId(i)); // double-set must be idempotent
+                }
+                prop_assert_eq!(v.count_hits(), hits.len());
+                prop_assert_eq!(v.iter_hits().count(), hits.len());
+            }
+
+            /// `get` sees exactly the bits that were set, across the whole
+            /// index range including the final partial word.
+            #[test]
+            fn get_matches_membership((len, hits) in len_and_hits()) {
+                let mut v = CoverageVector::empty(len);
+                for &i in &hits {
+                    v.set(EventId(i));
+                }
+                for i in 0..len as u32 {
+                    prop_assert_eq!(v.get(EventId(i)), hits.contains(&i));
+                }
+            }
+
+            /// `accumulate_into` counts exactly the hit events.
+            #[test]
+            fn accumulate_matches_iter((len, hits) in len_and_hits()) {
+                let mut v = CoverageVector::empty(len);
+                for &i in &hits {
+                    v.set(EventId(i));
+                }
+                let mut counts = vec![0u64; len];
+                v.accumulate_into(&mut counts);
+                for (i, &count) in counts.iter().enumerate() {
+                    prop_assert_eq!(count, u64::from(hits.contains(&(i as u32))));
+                }
+            }
+        }
     }
 }

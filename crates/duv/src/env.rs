@@ -1,6 +1,7 @@
 //! The verification-environment abstraction the AS-CDG flow runs against.
 
 use ascdg_coverage::{CoverageModel, CoverageVector};
+use ascdg_stimgen::instance_seed;
 use ascdg_template::{ParamRegistry, ResolvedParams, TemplateLibrary, TestTemplate};
 
 use crate::EnvError;
@@ -34,31 +35,58 @@ pub trait VerifEnv: Send + Sync {
     /// The existing test-template library.
     fn stock_library(&self) -> &TemplateLibrary;
 
-    /// Simulates one test-instance generated from pre-resolved parameters.
+    /// Simulates one test-instance generated from pre-resolved parameters
+    /// with a fully-derived generator seed.
     ///
-    /// `template_name` and `seed` identify the instance: the generator seed
-    /// is derived from them, so a (name, seed) pair is fully reproducible.
+    /// `sampler_seed` is the final seed the environment hands its
+    /// [`ParamSampler`](ascdg_stimgen::ParamSampler) — all derivation
+    /// (base seed, template-name hash, instance index) has already
+    /// happened in the caller. This is the batch hot path: runners hash
+    /// the template name once per point
+    /// ([`SeedStream`](ascdg_stimgen::SeedStream)) and derive each
+    /// instance's seed with pure integer mixing, so the per-simulation
+    /// cost carries no string hashing.
     ///
     /// # Errors
     ///
     /// Returns [`EnvError::StimGen`] if generation draws an incompatible
     /// value (cannot happen for parameters validated by the registry).
+    fn simulate_seeded(
+        &self,
+        resolved: &ResolvedParams,
+        sampler_seed: u64,
+    ) -> Result<CoverageVector, EnvError>;
+
+    /// Simulates one test-instance generated from pre-resolved parameters,
+    /// deriving the generator seed from the template name.
+    ///
+    /// `template_name` and `seed` identify the instance: the generator seed
+    /// is derived from them (`instance_seed(seed, template_name, 0)`), so a
+    /// (name, seed) pair is fully reproducible. Hot loops should hash the
+    /// name once and call [`VerifEnv::simulate_seeded`] instead — the
+    /// stream is byte-identical.
+    ///
+    /// # Errors
+    ///
+    /// Any [`VerifEnv::simulate_seeded`] error.
     fn simulate_resolved(
         &self,
         resolved: &ResolvedParams,
         template_name: &str,
         seed: u64,
-    ) -> Result<CoverageVector, EnvError>;
+    ) -> Result<CoverageVector, EnvError> {
+        self.simulate_seeded(resolved, instance_seed(seed, template_name, 0))
+    }
 
     /// Validates, resolves and simulates a template in one call.
     ///
     /// Batch runners should resolve once via [`ParamRegistry::resolve`] and
-    /// call [`VerifEnv::simulate_resolved`] per instance instead.
+    /// call [`VerifEnv::simulate_seeded`] per instance instead.
     ///
     /// # Errors
     ///
     /// Returns [`EnvError::Template`] when the template does not validate
-    /// against the registry, or any [`VerifEnv::simulate_resolved`] error.
+    /// against the registry, or any [`VerifEnv::simulate_seeded`] error.
     fn simulate(&self, template: &TestTemplate, seed: u64) -> Result<CoverageVector, EnvError> {
         let resolved = self.registry().resolve(template)?;
         self.simulate_resolved(&resolved, template.name(), seed)
@@ -80,6 +108,14 @@ impl<T: VerifEnv + ?Sized> VerifEnv for &T {
 
     fn stock_library(&self) -> &TemplateLibrary {
         (**self).stock_library()
+    }
+
+    fn simulate_seeded(
+        &self,
+        resolved: &ResolvedParams,
+        sampler_seed: u64,
+    ) -> Result<CoverageVector, EnvError> {
+        (**self).simulate_seeded(resolved, sampler_seed)
     }
 
     fn simulate_resolved(
@@ -107,6 +143,14 @@ impl<T: VerifEnv + ?Sized> VerifEnv for std::sync::Arc<T> {
 
     fn stock_library(&self) -> &TemplateLibrary {
         (**self).stock_library()
+    }
+
+    fn simulate_seeded(
+        &self,
+        resolved: &ResolvedParams,
+        sampler_seed: u64,
+    ) -> Result<CoverageVector, EnvError> {
+        (**self).simulate_seeded(resolved, sampler_seed)
     }
 
     fn simulate_resolved(

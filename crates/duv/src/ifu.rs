@@ -20,7 +20,7 @@
 //! parameters the coarse-grained search must discover.
 
 use ascdg_coverage::{CoverageModel, CoverageVector, CrossProduct, Feature};
-use ascdg_stimgen::{instance_seed, FetchOp, FetchProgram, ParamSampler};
+use ascdg_stimgen::{FetchOp, FetchProgram, ParamSampler};
 use ascdg_template::{
     ParamDef, ParamRegistry, ResolvedParams, TemplateLibrary, TestTemplate, Value,
 };
@@ -303,13 +303,12 @@ impl VerifEnv for IfuEnv {
         &self.library
     }
 
-    fn simulate_resolved(
+    fn simulate_seeded(
         &self,
         resolved: &ResolvedParams,
-        template_name: &str,
-        seed: u64,
+        sampler_seed: u64,
     ) -> Result<CoverageVector, EnvError> {
-        let mut sampler = ParamSampler::new(resolved, instance_seed(seed, template_name, 0));
+        let mut sampler = ParamSampler::new(resolved, sampler_seed);
         let program = self.generate(&mut sampler)?;
         Ok(self.run_program(&program))
     }

@@ -31,7 +31,7 @@
 //! rate) are the ones the coarse-grained search should discover.
 
 use ascdg_coverage::{CoverageModel, CoverageVector};
-use ascdg_stimgen::{instance_seed, IoCommand, IoProgram, ParamSampler};
+use ascdg_stimgen::{IoCommand, IoProgram, ParamSampler};
 use ascdg_template::{
     ParamDef, ParamRegistry, ResolvedParams, TemplateLibrary, TestTemplate, Value,
 };
@@ -499,13 +499,12 @@ impl VerifEnv for IoEnv {
         &self.library
     }
 
-    fn simulate_resolved(
+    fn simulate_seeded(
         &self,
         resolved: &ResolvedParams,
-        template_name: &str,
-        seed: u64,
+        sampler_seed: u64,
     ) -> Result<CoverageVector, EnvError> {
-        let mut sampler = ParamSampler::new(resolved, instance_seed(seed, template_name, 0));
+        let mut sampler = ParamSampler::new(resolved, sampler_seed);
         let unaligned = sampler.sample_choice("AddrAlign")? == "unaligned";
         let resp_queue_cap = sampler.sample_int("CreditInit")? as usize;
         let program = self.generate(&mut sampler)?;

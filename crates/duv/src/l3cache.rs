@@ -25,7 +25,7 @@
 //! [`PfDepth`]: struct.L3Env.html#method.registry
 
 use ascdg_coverage::{CoverageModel, CoverageVector};
-use ascdg_stimgen::{instance_seed, MemOp, MemProgram, MemRequest, ParamSampler};
+use ascdg_stimgen::{MemOp, MemProgram, MemRequest, ParamSampler};
 use ascdg_template::{
     ParamDef, ParamRegistry, ResolvedParams, TemplateLibrary, TestTemplate, Value,
 };
@@ -515,13 +515,12 @@ impl VerifEnv for L3Env {
         &self.library
     }
 
-    fn simulate_resolved(
+    fn simulate_seeded(
         &self,
         resolved: &ResolvedParams,
-        template_name: &str,
-        seed: u64,
+        sampler_seed: u64,
     ) -> Result<CoverageVector, EnvError> {
-        let mut sampler = ParamSampler::new(resolved, instance_seed(seed, template_name, 0));
+        let mut sampler = ParamSampler::new(resolved, sampler_seed);
         let stride_mode = sampler.sample_choice("AddrPattern")? == "stride";
         let snoop_rate = BASE_SNOOP_RATE + sampler.rate("SnoopPct")? * 0.15;
         let (program, base, working_set) = self.generate(&mut sampler, stride_mode)?;

@@ -19,7 +19,7 @@
 //! difficulty that makes real coverage closure hard.
 
 use ascdg_coverage::{CoverageModel, CoverageVector};
-use ascdg_stimgen::{instance_seed, mix_seed, ParamSampler};
+use ascdg_stimgen::{mix_seed, ParamSampler};
 use ascdg_template::{
     ParamDef, ParamRegistry, ResolvedParams, TemplateLibrary, TestTemplate, Value,
 };
@@ -261,13 +261,12 @@ impl VerifEnv for SyntheticEnv {
         &self.library
     }
 
-    fn simulate_resolved(
+    fn simulate_seeded(
         &self,
         resolved: &ResolvedParams,
-        template_name: &str,
-        seed: u64,
+        sampler_seed: u64,
     ) -> Result<CoverageVector, EnvError> {
-        let mut sampler = ParamSampler::new(resolved, instance_seed(seed, template_name, 0));
+        let mut sampler = ParamSampler::new(resolved, sampler_seed);
         // Draw the knob configuration of this instance.
         let mut xs = Vec::with_capacity(self.config.relevant_params);
         for i in 0..self.config.relevant_params {

@@ -10,6 +10,9 @@
 //!   *dynamic noise*: same template, different seeds, different coverage);
 //! * [`instance_seed`] — the canonical seed derivation for instance `i` of a
 //!   named template, so batch runs are reproducible and order-independent;
+//! * [`SeedStream`] — the same derivation with the template-name hash
+//!   precomputed, so batch hot loops derive per-simulation seeds with pure
+//!   integer mixing (byte-identical to [`instance_seed`]);
 //! * typed stimulus programs ([`IoProgram`], [`MemProgram`],
 //!   [`FetchProgram`]) — the interface between the generator and the
 //!   simulated units in `ascdg-duv`.
@@ -44,5 +47,5 @@ mod stimulus;
 
 pub use error::StimGenError;
 pub use sampler::ParamSampler;
-pub use seed::{instance_seed, mix_seed};
+pub use seed::{instance_seed, mix_seed, name_hash, SeedStream};
 pub use stimulus::{FetchOp, FetchProgram, IoCommand, IoProgram, MemOp, MemProgram, MemRequest};

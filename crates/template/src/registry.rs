@@ -167,12 +167,39 @@ impl ParamRegistry {
     ///
     /// Propagates [`ParamRegistry::validate`] failures.
     pub fn resolve(&self, template: &TestTemplate) -> Result<ResolvedParams, TemplateError> {
+        self.resolve_over(&self.resolve_defaults(), template)
+    }
+
+    /// Pre-resolves the registry defaults alone (no template overrides).
+    ///
+    /// Batch runners resolve the defaults once and layer each template over
+    /// the cached copy with [`ParamRegistry::resolve_over`], so resolving
+    /// many templates rebuilds the full parameter map only once.
+    #[must_use]
+    pub fn resolve_defaults(&self) -> ResolvedParams {
+        ResolvedParams {
+            effective: self
+                .params
+                .iter()
+                .map(|p| (p.name().to_owned(), p.clone()))
+                .collect(),
+        }
+    }
+
+    /// Merges a template over pre-resolved `defaults`. When `defaults` came
+    /// from this registry's [`ParamRegistry::resolve_defaults`], the result
+    /// is identical to [`ParamRegistry::resolve`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ParamRegistry::validate`] failures.
+    pub fn resolve_over(
+        &self,
+        defaults: &ResolvedParams,
+        template: &TestTemplate,
+    ) -> Result<ResolvedParams, TemplateError> {
         self.validate(template)?;
-        let mut effective: HashMap<String, ParamDef> = self
-            .params
-            .iter()
-            .map(|p| (p.name().to_owned(), p.clone()))
-            .collect();
+        let mut effective = defaults.effective.clone();
         for over in template.params() {
             effective.insert(over.name().to_owned(), over.clone());
         }
@@ -360,6 +387,27 @@ mod tests {
         );
         assert!(r.get("Delay").unwrap().kind().is_range());
         assert!(r.iter().count() == 2 && !r.is_empty());
+    }
+
+    #[test]
+    fn resolve_over_cached_defaults_matches_resolve() {
+        let reg = registry();
+        let defaults = reg.resolve_defaults();
+        assert_eq!(defaults.len(), 2);
+        let t = TestTemplate::builder("t")
+            .weights("Op", [("store", 100u32)])
+            .unwrap()
+            .build();
+        assert_eq!(
+            reg.resolve_over(&defaults, &t).unwrap(),
+            reg.resolve(&t).unwrap()
+        );
+        // Invalid overrides are still rejected through the cached path.
+        let bad = TestTemplate::builder("t")
+            .range("Delay", 50, 200)
+            .unwrap()
+            .build();
+        assert!(reg.resolve_over(&defaults, &bad).is_err());
     }
 
     #[test]

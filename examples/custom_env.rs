@@ -13,7 +13,7 @@
 use ascdg::core::{pool_scope, FlowConfig, FlowEngine, FlowEvent, TargetSpec};
 use ascdg::coverage::{CoverageModel, CoverageVector};
 use ascdg::duv::{EnvError, VerifEnv};
-use ascdg::stimgen::{instance_seed, ParamSampler};
+use ascdg::stimgen::ParamSampler;
 use ascdg::template::{
     ParamDef, ParamRegistry, ResolvedParams, TemplateLibrary, TestTemplate, Value,
 };
@@ -102,13 +102,12 @@ impl VerifEnv for RetryQueueEnv {
         &self.library
     }
 
-    fn simulate_resolved(
+    fn simulate_seeded(
         &self,
         resolved: &ResolvedParams,
-        template_name: &str,
-        seed: u64,
+        sampler_seed: u64,
     ) -> Result<CoverageVector, EnvError> {
-        let mut s = ParamSampler::new(resolved, instance_seed(seed, template_name, 0));
+        let mut s = ParamSampler::new(resolved, sampler_seed);
         let count = s.sample_int("CmdCount")?;
         let bounce = s.rate("BouncePct")?;
         let drain = s.sample_int("DrainRate")? as usize;
