@@ -43,13 +43,60 @@ fn main() {
         "phase resolve cache: {} hits / {} misses",
         report.serial.counters.resolve_hits, report.serial.counters.resolve_misses
     );
+    if let Some(probe) = &report.telemetry {
+        eprintln!(
+            "telemetry probe: {:.1} ms off / {:.1} ms on ({:+.2}%), identical: {}",
+            probe.disabled_wall_ms, probe.enabled_wall_ms, probe.overhead_pct, probe.identical
+        );
+    }
     assert!(
         report.phase_identical && report.repo_identical,
         "parallel run diverged from serial — determinism bug"
     );
+    assert!(
+        report.telemetry.as_ref().is_none_or(|p| p.identical),
+        "telemetry changed the phase outcome — instrumentation bug"
+    );
+    check_baseline(&report);
     let json = serde_json::to_string_pretty(&report).expect("serialize");
     std::fs::write("BENCH_parallel.json", json).expect("write BENCH_parallel.json");
     eprintln!("wrote BENCH_parallel.json");
+}
+
+/// Guards against a throughput regression of the *disabled-telemetry*
+/// serial phase vs the committed `BENCH_parallel.json`. Wall-clock
+/// comparisons across runs are noisy, so the hard assert is opt-in via
+/// `ASCDG_BENCH_STRICT=1`; without it a regression only prints a warning.
+fn check_baseline(report: &ascdg_bench::parallel::ParallelBenchReport) {
+    let Ok(old) = std::fs::read_to_string("BENCH_parallel.json") else {
+        return;
+    };
+    let Ok(baseline) = serde_json::from_str::<ascdg_bench::parallel::ParallelBenchReport>(&old)
+    else {
+        return;
+    };
+    if baseline.scale != report.scale
+        || baseline.seed != report.seed
+        || baseline.serial.sims_per_sec <= 0.0
+    {
+        return;
+    }
+    let delta_pct = (baseline.serial.sims_per_sec - report.serial.sims_per_sec)
+        / baseline.serial.sims_per_sec
+        * 100.0;
+    eprintln!(
+        "baseline: {:.0} sims/s -> {:.0} sims/s ({:+.2}% regression)",
+        baseline.serial.sims_per_sec, report.serial.sims_per_sec, delta_pct
+    );
+    let strict = std::env::var("ASCDG_BENCH_STRICT").is_ok_and(|v| v == "1");
+    if delta_pct > 2.0 {
+        if strict {
+            panic!(
+                "serial throughput regressed {delta_pct:.2}% vs committed baseline (>2% budget)"
+            );
+        }
+        eprintln!("warning: >2% regression vs baseline (set ASCDG_BENCH_STRICT=1 to fail)");
+    }
 }
 
 fn parse_threads(default: usize) -> usize {

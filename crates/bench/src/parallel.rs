@@ -13,8 +13,8 @@ use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 use ascdg_core::{
-    machine_threads, pool_scope, ApproxTarget, BatchRunner, BatchStats, CdgFlow, CdgObjective,
-    CounterSnapshot, FlowConfig, FlowError, Skeletonizer,
+    machine_threads, pool_scope_with, ApproxTarget, BatchRunner, BatchStats, CdgFlow, CdgObjective,
+    CounterSnapshot, FlowConfig, FlowError, Skeletonizer, Telemetry,
 };
 use ascdg_coverage::EventFamily;
 use ascdg_duv::{io_unit::IoEnv, VerifEnv};
@@ -71,6 +71,25 @@ pub struct ParallelBenchReport {
     /// Hot-path counters of the pooled regression.
     #[serde(default)]
     pub regression_parallel: CounterSnapshot,
+    /// Telemetry overhead probe: the serial phase re-run with a recording
+    /// telemetry handle, against a fresh disabled-handle baseline.
+    #[serde(default)]
+    pub telemetry: Option<TelemetryProbe>,
+}
+
+/// Measures what enabling telemetry costs (and proves it changes nothing).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryProbe {
+    /// Serial phase wall-clock with a disabled telemetry handle, ms.
+    pub disabled_wall_ms: f64,
+    /// The same phase with a recording handle, ms.
+    pub enabled_wall_ms: f64,
+    /// `(enabled - disabled) / disabled`, in percent (negative when the
+    /// enabled run happened to be faster — the probe is timing-noisy).
+    pub overhead_pct: f64,
+    /// Whether the two runs produced byte-identical phase statistics and
+    /// best settings. Must always be `true`.
+    pub identical: bool,
 }
 
 /// The paper_io setup the measurements share: everything up to (but not
@@ -172,9 +191,23 @@ impl PhaseHarness {
     /// settings for identity checking.
     #[must_use]
     pub fn run(&self, threads: usize, seed: u64) -> (ThreadMeasurement, BatchStats, Vec<f64>) {
+        self.run_with(threads, seed, &Telemetry::disabled())
+    }
+
+    /// [`PhaseHarness::run`] with an explicit telemetry handle — the
+    /// overhead probe runs the same phase with a disabled and a recording
+    /// handle and compares both outcome and wall clock.
+    #[must_use]
+    pub fn run_with(
+        &self,
+        threads: usize,
+        seed: u64,
+        telemetry: &Telemetry,
+    ) -> (ThreadMeasurement, BatchStats, Vec<f64>) {
         let cfg = &self.config;
-        pool_scope(threads, |pool| {
-            let runner = BatchRunner::with_pool(pool);
+        telemetry.set_stage("bench-optimize");
+        let out = pool_scope_with(threads, telemetry, |pool| {
+            let runner = BatchRunner::with_pool(pool).with_telemetry(telemetry.clone());
             let counters = Arc::clone(runner.counters());
             let mut obj = CdgObjective::new(
                 &self.env,
@@ -213,7 +246,9 @@ impl PhaseHarness {
                 counters: counters.snapshot(),
             };
             (m, stats, result.best_x)
-        })
+        });
+        telemetry.clear_stage();
+        out
     }
 }
 
@@ -246,6 +281,21 @@ pub fn parallel_bench(
         None
     };
     let (regression_serial, regression_parallel) = harness.regression_counters();
+    // Telemetry overhead probe: a fresh serial pair so both sides pay the
+    // same cache-warming costs, one with a recording handle.
+    let (probe_off, off_stats, off_best) = harness.run(1, seed);
+    let recording = Telemetry::enabled();
+    let (probe_on, on_stats, on_best) = harness.run_with(1, seed, &recording);
+    let telemetry = Some(TelemetryProbe {
+        disabled_wall_ms: probe_off.wall_ms,
+        enabled_wall_ms: probe_on.wall_ms,
+        overhead_pct: if probe_off.wall_ms > 0.0 {
+            (probe_on.wall_ms - probe_off.wall_ms) / probe_off.wall_ms * 100.0
+        } else {
+            0.0
+        },
+        identical: off_stats == on_stats && off_best == on_best,
+    });
     Ok(ParallelBenchReport {
         scale,
         seed,
@@ -257,6 +307,7 @@ pub fn parallel_bench(
         repo_identical: harness.repo_identical(),
         regression_serial,
         regression_parallel,
+        telemetry,
     })
 }
 
@@ -278,6 +329,12 @@ mod tests {
         if let Some(speedup) = report.speedup {
             assert!(speedup > 0.0);
         }
+        // The telemetry probe must prove observational purity; its timing
+        // numbers are noisy, so only identity is asserted here.
+        let probe = report.telemetry.expect("probe always runs");
+        assert!(probe.identical, "telemetry changed the phase outcome");
+        assert!(probe.disabled_wall_ms > 0.0);
+        assert!(probe.enabled_wall_ms > 0.0);
     }
 
     #[test]

@@ -14,6 +14,7 @@ use std::sync::Arc;
 use ascdg_coverage::{CoverageRepository, CoverageVector, TemplateId};
 use ascdg_duv::VerifEnv;
 use ascdg_stimgen::{name_hash, SeedStream};
+use ascdg_telemetry::Telemetry;
 use ascdg_template::{ResolvedParams, TestTemplate};
 use serde::{Deserialize, Serialize};
 
@@ -202,6 +203,10 @@ impl BatchCounters {
 }
 
 /// A plain-number snapshot of [`BatchCounters`], serializable into reports.
+///
+/// Snapshots are compared with [`CounterSnapshot::delta_since`], which
+/// saturates per field — see its documentation for the exact contract on
+/// out-of-order pairs.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CounterSnapshot {
     /// Repository write-lock acquisitions ([`CoverageRepository::merge_counts`] calls).
@@ -215,8 +220,16 @@ pub struct CounterSnapshot {
 }
 
 impl CounterSnapshot {
-    /// The counter movement since `earlier` (saturating, so a snapshot pair
-    /// taken out of order degrades to zeros instead of wrapping).
+    /// The counter movement since `earlier`.
+    ///
+    /// **Saturation contract:** each field subtracts independently with
+    /// [`u64::saturating_sub`], so a pair passed out of order (or two
+    /// snapshots from unrelated counter sets) degrades each regressed
+    /// field to `0` instead of wrapping to a huge value. The result is
+    /// therefore always a plausible (possibly understated) delta, never
+    /// garbage; callers that need to detect misordered pairs must compare
+    /// the snapshots themselves. Since [`BatchCounters`] is monotonic,
+    /// snapshots taken in order on one runner never saturate.
     #[must_use]
     pub fn delta_since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
         CounterSnapshot {
@@ -262,6 +275,7 @@ pub struct BatchRunner<'env> {
     threads: usize,
     pool: Option<SimPool<'env>>,
     counters: Arc<BatchCounters>,
+    telemetry: Telemetry,
 }
 
 impl Default for BatchRunner<'_> {
@@ -283,6 +297,7 @@ impl<'env> BatchRunner<'env> {
             },
             pool: None,
             counters: Arc::new(BatchCounters::default()),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -301,7 +316,25 @@ impl<'env> BatchRunner<'env> {
             threads: pool.threads(),
             pool: Some(pool.clone()),
             counters: Arc::new(BatchCounters::default()),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle: chunk execution records per-stage
+    /// sim-latency/chunk-size/merge histograms and `chunk` spans into it.
+    /// Telemetry is purely observational — simulation results are
+    /// byte-identical with any handle, and a disabled handle (the
+    /// default) costs one branch per chunk.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The runner's telemetry handle (disabled unless attached).
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Number of worker threads.
@@ -450,6 +483,7 @@ impl<'env> BatchRunner<'env> {
                         events,
                         None,
                         &self.counters,
+                        &self.telemetry,
                     )
                 })
                 .collect();
@@ -461,6 +495,7 @@ impl<'env> BatchRunner<'env> {
             .map(|(rt, seed)| (rt.share_params(), rt.seed_stream(*seed)))
             .collect();
         let counters = Arc::clone(&self.counters);
+        let telemetry = self.telemetry.clone();
         let run_on = move |pool: &SimPool<'env>| {
             pool.run_ordered(tasks, move |_, (params, stream)| {
                 simulate_range(
@@ -471,6 +506,7 @@ impl<'env> BatchRunner<'env> {
                     events,
                     None,
                     &counters,
+                    &telemetry,
                 )
             })
             .into_iter()
@@ -505,13 +541,15 @@ impl<'env> BatchRunner<'env> {
                 events,
                 record,
                 &self.counters,
+                &self.telemetry,
             );
         }
         let params = template.share_params();
         let counters = Arc::clone(&self.counters);
+        let telemetry = self.telemetry.clone();
         let dispatch = move |pool: &SimPool<'env>| {
             dispatch_chunks(
-                pool, env, &params, stream, events, sims, workers, record, &counters,
+                pool, env, &params, stream, events, sims, workers, record, &counters, &telemetry,
             )
         };
         match &self.pool {
@@ -531,6 +569,7 @@ impl<'env> BatchRunner<'env> {
 /// the chunk, so the repository lock is taken O(chunks) instead of
 /// O(simulations). Per-event counting is commutative, which makes the
 /// merged state byte-identical to per-simulation recording.
+#[allow(clippy::too_many_arguments)]
 fn simulate_range<E: VerifEnv>(
     env: &E,
     resolved: &ResolvedParams,
@@ -539,7 +578,13 @@ fn simulate_range<E: VerifEnv>(
     events: usize,
     record: Option<(&CoverageRepository, TemplateId)>,
     counters: &BatchCounters,
+    telemetry: &Telemetry,
 ) -> Result<BatchStats, FlowError> {
+    // `timed()` is `None` when telemetry is disabled: the whole
+    // instrumentation below then reduces to two `Option` branches, which
+    // is the allocation-free "off the hot path" guarantee the bench
+    // overhead probe asserts.
+    let chunk_clock = telemetry.timed();
     let mut stats = BatchStats::empty(events);
     for i in range {
         let cov = env
@@ -549,10 +594,23 @@ fn simulate_range<E: VerifEnv>(
     }
     if let Some((repo, id)) = record {
         if stats.sims > 0 {
+            let merge_clock = telemetry.timed();
             repo.merge_counts(id, stats.sims, &stats.hits)
                 .map_err(FlowError::Coverage)?;
             counters.add_merge(stats.sims);
+            if let (Some(t0), Some(stage)) = (merge_clock, telemetry.stage_metrics()) {
+                stage.merge_ns.record(t0.elapsed().as_nanos() as u64);
+            }
         }
+    }
+    if let Some(t0) = chunk_clock {
+        if let Some(stage) = telemetry.stage_metrics() {
+            stage.chunk_sims.record(stats.sims);
+            if let Some(per_sim) = (t0.elapsed().as_nanos() as u64).checked_div(stats.sims) {
+                stage.sim_latency_ns.record(per_sim);
+            }
+        }
+        telemetry.closed_span("chunk", "", chunk_clock, stats.sims);
     }
     Ok(stats)
 }
@@ -570,6 +628,7 @@ fn dispatch_chunks<'env, E: VerifEnv>(
     workers: usize,
     record: Option<(&'env CoverageRepository, TemplateId)>,
     counters: &Arc<BatchCounters>,
+    telemetry: &Telemetry,
 ) -> Result<BatchStats, FlowError> {
     let chunk = sims.div_ceil(workers as u64);
     // Chunks own their inputs (pool jobs may not borrow this stack frame);
@@ -578,8 +637,18 @@ fn dispatch_chunks<'env, E: VerifEnv>(
         .map(|w| (w * chunk, ((w + 1) * chunk).min(sims), Arc::clone(params)))
         .collect();
     let counters = Arc::clone(counters);
+    let telemetry = telemetry.clone();
     let results = pool.run_ordered(tasks, move |_, (lo, hi, params)| {
-        simulate_range(env, &params, stream, lo..hi, events, record, &counters)
+        simulate_range(
+            env,
+            &params,
+            stream,
+            lo..hi,
+            events,
+            record,
+            &counters,
+            &telemetry,
+        )
     });
     let mut total = BatchStats::empty(events);
     for r in results {
@@ -764,6 +833,47 @@ mod tests {
         assert_eq!(d.resolve_misses, 0);
         // Out-of-order pairs saturate to zero instead of wrapping.
         assert_eq!(a.delta_since(&b), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn counter_snapshot_delta_saturates_per_field() {
+        // Partially out-of-order pair (snapshots from unrelated counter
+        // sets): fields that moved forward report their delta, fields
+        // that regressed saturate to 0 independently — never wrap.
+        let a = CounterSnapshot {
+            repo_merges: 9,
+            sims_recorded: 50,
+            resolve_hits: 1,
+            resolve_misses: 7,
+        };
+        let b = CounterSnapshot {
+            repo_merges: 4,
+            sims_recorded: 120,
+            resolve_hits: 3,
+            resolve_misses: 7,
+        };
+        let d = b.delta_since(&a);
+        assert_eq!(
+            d,
+            CounterSnapshot {
+                repo_merges: 0,
+                sims_recorded: 70,
+                resolve_hits: 2,
+                resolve_misses: 0,
+            }
+        );
+        let r = a.delta_since(&b);
+        assert_eq!(
+            r,
+            CounterSnapshot {
+                repo_merges: 5,
+                sims_recorded: 0,
+                resolve_hits: 0,
+                resolve_misses: 0,
+            }
+        );
+        // Delta against the default (zero) snapshot is the identity.
+        assert_eq!(a.delta_since(&CounterSnapshot::default()), a);
     }
 
     #[test]

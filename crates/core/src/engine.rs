@@ -11,10 +11,11 @@
 
 use ascdg_coverage::CoverageRepository;
 use ascdg_duv::VerifEnv;
+use ascdg_telemetry::Telemetry;
 
 use crate::events::FlowEvent;
 use crate::pool::SimPool;
-use crate::session::{SessionCx, SessionState, TargetSpec};
+use crate::session::{SessionCx, SessionState, StageSims, TargetSpec};
 use crate::stages::{default_stages, Stage};
 use crate::{
     ApproxTarget, BatchRunner, FlowConfig, FlowError, FlowOutcome, PhaseStats, PHASE_BEFORE,
@@ -43,6 +44,7 @@ pub struct FlowEngine<'env, E: VerifEnv> {
     config: FlowConfig,
     pool: SimPool<'env>,
     stages: Vec<Box<dyn Stage<E>>>,
+    telemetry: Telemetry,
 }
 
 impl<'env, E: VerifEnv> FlowEngine<'env, E> {
@@ -67,7 +69,25 @@ impl<'env, E: VerifEnv> FlowEngine<'env, E> {
             config,
             pool: pool.clone(),
             stages,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle: sessions created afterwards record
+    /// spans, mirrored events and metrics into it. Telemetry is purely
+    /// observational — the [`FlowOutcome`] is byte-identical with it on or
+    /// off.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The engine's telemetry handle (disabled unless
+    /// [`FlowEngine::with_telemetry`] was called).
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The configuration in effect.
@@ -86,7 +106,12 @@ impl<'env, E: VerifEnv> FlowEngine<'env, E> {
     #[must_use]
     pub fn session<'bus>(&self, spec: TargetSpec, seed: u64) -> SessionCx<'env, 'bus, E> {
         let state = SessionState::new(self.env.unit_name(), self.config.clone(), spec, seed);
-        SessionCx::from_parts(self.env, BatchRunner::with_pool(&self.pool), None, state)
+        SessionCx::from_parts(self.env, self.runner(), None, state, self.telemetry.clone())
+    }
+
+    /// A batch runner on the engine's pool, sharing its telemetry handle.
+    fn runner(&self) -> BatchRunner<'env> {
+        BatchRunner::with_pool(&self.pool).with_telemetry(self.telemetry.clone())
     }
 
     /// A session seeded with a pre-built regression repository and an
@@ -111,6 +136,10 @@ impl<'env, E: VerifEnv> FlowEngine<'env, E> {
             TargetSpec::Weighted(approx.clone()),
             seed,
         );
+        state.stage_sims.push(StageSims {
+            stage: crate::stages::STAGE_REGRESSION.to_owned(),
+            sims: snapshot.global_sims,
+        });
         state.repo = Some(snapshot);
         state.approx = Some(approx);
         state
@@ -118,9 +147,10 @@ impl<'env, E: VerifEnv> FlowEngine<'env, E> {
             .push(crate::stages::STAGE_REGRESSION.to_owned());
         Ok(SessionCx::from_parts(
             self.env,
-            BatchRunner::with_pool(&self.pool),
+            self.runner(),
             Some(live),
             state,
+            self.telemetry.clone(),
         ))
     }
 
@@ -147,9 +177,10 @@ impl<'env, E: VerifEnv> FlowEngine<'env, E> {
             .transpose()?;
         Ok(SessionCx::from_parts(
             self.env,
-            BatchRunner::with_pool(&self.pool),
+            self.runner(),
             live,
             state,
+            self.telemetry.clone(),
         ))
     }
 
@@ -162,6 +193,7 @@ impl<'env, E: VerifEnv> FlowEngine<'env, E> {
     /// when the stage list (or a resumed snapshot) left a required product
     /// missing.
     pub fn run(&self, cx: &mut SessionCx<'_, '_, E>) -> Result<FlowOutcome, FlowError> {
+        let flow_span = self.telemetry.scope_span("flow", &cx.state().unit);
         for stage in &self.stages {
             let name = stage.name();
             if cx.state().is_completed(name) {
@@ -173,14 +205,26 @@ impl<'env, E: VerifEnv> FlowEngine<'env, E> {
             cx.emit(FlowEvent::StageStarted {
                 stage: name.to_owned(),
             });
-            let output = stage.run(cx)?;
+            self.telemetry.set_stage(name);
+            let stage_span = self.telemetry.scope_span("stage", name);
+            let result = stage.run(cx);
+            stage_span.finish(result.as_ref().map_or(0, |o| o.sims));
+            self.telemetry.clear_stage();
+            let output = result?;
             cx.state_mut().completed.push(name.to_owned());
+            cx.state_mut().stage_sims.push(StageSims {
+                stage: name.to_owned(),
+                sims: output.sims,
+            });
             cx.emit(FlowEvent::StageCompleted {
                 stage: name.to_owned(),
                 sims: output.sims,
             });
             cx.take_checkpoint(name);
         }
+        // The flow span is attributed the whole run's simulations,
+        // including stages completed before a resume.
+        flow_span.finish(cx.state().stage_sims.iter().map(|s| s.sims).sum());
         self.outcome(cx)
     }
 

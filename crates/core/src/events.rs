@@ -72,6 +72,21 @@ pub enum FlowEvent {
     },
 }
 
+/// The stable kind name of an event — the `name` field of the telemetry
+/// trace's `Event` records.
+pub(crate) fn event_name(event: &FlowEvent) -> &'static str {
+    match event {
+        FlowEvent::StageStarted { .. } => "StageStarted",
+        FlowEvent::StageCompleted { .. } => "StageCompleted",
+        FlowEvent::StageSkipped { .. } => "StageSkipped",
+        FlowEvent::CoarseChoice { .. } => "CoarseChoice",
+        FlowEvent::PhaseStarted { .. } => "PhaseStarted",
+        FlowEvent::PhaseFinished { .. } => "PhaseFinished",
+        FlowEvent::BestObjective { .. } => "BestObjective",
+        FlowEvent::Checkpoint { .. } => "Checkpoint",
+    }
+}
+
 /// A listener on the flow event stream.
 ///
 /// Implementors receive every event in emission order. Subscribers must not

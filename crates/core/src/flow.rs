@@ -241,9 +241,15 @@ pub struct PhaseTiming {
     pub name: String,
     /// Wall-clock time the phase took, in milliseconds.
     pub wall_ms: f64,
-    /// Simulation throughput (simulations per wall-clock second; `0.0`
-    /// when the phase finished too fast to measure).
-    pub sims_per_sec: f64,
+    /// Simulations the phase ran (the count behind `sims_per_sec`).
+    #[serde(default)]
+    pub sims: u64,
+    /// Simulation throughput (simulations per wall-clock second). `None`
+    /// when the phase finished too fast for the wall clock to resolve —
+    /// the session backfills it from the telemetry sim-latency histogram
+    /// when one is recording.
+    #[serde(default)]
+    pub sims_per_sec: Option<f64>,
     /// Repository write-lock acquisitions during the phase (bulk merges).
     #[serde(default)]
     pub repo_merges: u64,
@@ -268,7 +274,8 @@ impl PhaseTiming {
         PhaseTiming {
             name: name.to_owned(),
             wall_ms: secs * 1e3,
-            sims_per_sec: if secs > 0.0 { sims as f64 / secs } else { 0.0 },
+            sims,
+            sims_per_sec: (secs > 0.0).then(|| sims as f64 / secs),
             repo_merges: 0,
             sims_recorded: 0,
             resolve_hits: 0,
@@ -452,7 +459,12 @@ impl<E: VerifEnv> CdgFlow<E> {
         &self,
         seed: u64,
     ) -> Result<(CoverageRepository, crate::CounterSnapshot), FlowError> {
-        regression_repository(&self.env, &self.config, seed)
+        regression_repository(
+            &self.env,
+            &self.config,
+            seed,
+            &ascdg_telemetry::Telemetry::disabled(),
+        )
     }
 
     /// Runs a full engine session (all stages, including regression) on a

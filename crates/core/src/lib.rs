@@ -46,6 +46,7 @@ mod engine;
 mod error;
 mod events;
 mod flow;
+pub mod manifest;
 mod multi_target;
 pub mod neighbors;
 mod objective;
@@ -56,6 +57,7 @@ mod session;
 mod skeletonizer;
 mod stages;
 
+pub use ascdg_telemetry::Telemetry;
 pub use batch::{BatchCounters, BatchRunner, BatchStats, CounterSnapshot, ResolvedTemplate};
 pub use campaign::{CampaignGroup, CampaignOutcome};
 pub use engine::FlowEngine;
@@ -65,15 +67,16 @@ pub use flow::{
     CdgFlow, FlowConfig, FlowObserver, FlowOutcome, NoopObserver, PhaseStats, PhaseTiming,
     PHASE_BEFORE, PHASE_BEST, PHASE_OPTIMIZATION, PHASE_REFINEMENT, PHASE_SAMPLING,
 };
+pub use manifest::{CoverageSummary, RunManifest, MANIFEST_SCHEMA_VERSION};
 pub use multi_target::{MultiTargetOutcome, TargetGroupResult};
 pub use neighbors::ApproxTarget;
 pub use objective::CdgObjective;
-pub use pool::{machine_threads, pool_scope, SimPool};
+pub use pool::{machine_threads, pool_scope, pool_scope_with, SimPool};
 pub use report::{
     family_table_csv, render_cross_breakdown, render_family_table, render_status_chart,
     render_timings, render_trace_chart, trace_csv,
 };
-pub use session::{SessionCx, SessionState, TargetSpec};
+pub use session::{SessionCx, SessionState, StageSims, TargetSpec};
 pub use skeletonizer::{Skeletonizer, SubrangeSpan};
 pub use stages::{
     default_stages, CoarseSearch, Harvest, Optimize, RandomSample, Refine, Regression, Skeletonize,

@@ -1,0 +1,255 @@
+//! The run manifest: one self-describing JSON artifact per run (or per
+//! checkpoint) tying together configuration, provenance, per-stage
+//! simulation accounting, phase timings, final coverage and the metric
+//! snapshot.
+//!
+//! A manifest is written next to every checkpoint and at the end of a
+//! `--metrics-out` run, so resumed runs and bench reports are comparable:
+//! two manifests with the same config/seed must agree on every
+//! deterministic field (`stage_sims`, `coverage`), while timings and
+//! metrics are machine-dependent.
+
+use serde::{Deserialize, Serialize};
+
+use ascdg_telemetry::{MetricSnapshot, Provenance, Telemetry};
+
+use crate::session::{SessionState, StageSims};
+use crate::stages::{STAGE_HARVEST, STAGE_OPTIMIZE, STAGE_REFINE, STAGE_REGRESSION, STAGE_SAMPLE};
+use crate::{
+    FlowConfig, PhaseTiming, PHASE_BEST, PHASE_OPTIMIZATION, PHASE_REFINEMENT, PHASE_SAMPLING,
+};
+
+/// Version stamp of the manifest schema.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 1;
+
+/// The stage whose simulations a phase timing accounts for, by the
+/// `PHASE_*` → `STAGE_*` correspondence of the flow.
+fn stage_of_phase(phase: &str) -> Option<&'static str> {
+    match phase {
+        p if p == PHASE_SAMPLING => Some(STAGE_SAMPLE),
+        p if p == PHASE_OPTIMIZATION => Some(STAGE_OPTIMIZE),
+        p if p == PHASE_REFINEMENT => Some(STAGE_REFINE),
+        p if p == PHASE_BEST => Some(STAGE_HARVEST),
+        _ => None,
+    }
+}
+
+/// Final coverage-repository summary carried by the manifest.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoverageSummary {
+    /// Total simulations recorded into the repository.
+    pub total_sims: u64,
+    /// Number of events in the coverage model.
+    pub events: u64,
+    /// Events with at least one global hit.
+    pub covered: u64,
+}
+
+/// Everything needed to identify, reproduce and compare one flow run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// [`MANIFEST_SCHEMA_VERSION`] at export time.
+    pub schema_version: u32,
+    /// Unit (coverage model) the run targeted.
+    pub unit: String,
+    /// Session seed.
+    pub seed: u64,
+    /// Package version and git commit the binary was built from.
+    pub provenance: Provenance,
+    /// The configuration in effect.
+    pub config: FlowConfig,
+    /// Names of the completed stages, in order.
+    pub completed: Vec<String>,
+    /// Simulations attributed to each completed stage, in order.
+    pub stage_sims: Vec<StageSims>,
+    /// Wall-clock phase timings (machine-dependent).
+    pub timings: Vec<PhaseTiming>,
+    /// Final coverage summary, once the regression repository exists.
+    pub coverage: Option<CoverageSummary>,
+    /// Snapshot of every registered metric (empty without telemetry).
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+impl RunManifest {
+    /// Builds a manifest from a session's accumulated state plus the
+    /// session's telemetry handle (a disabled handle yields an empty
+    /// metric section).
+    #[must_use]
+    pub fn from_state(state: &SessionState, telemetry: &Telemetry) -> Self {
+        let coverage = state.repo.as_ref().map(|snap| CoverageSummary {
+            total_sims: snap.global_sims,
+            events: snap.events.len() as u64,
+            covered: snap.global_hits.iter().filter(|&&h| h > 0).count() as u64,
+        });
+        RunManifest {
+            schema_version: MANIFEST_SCHEMA_VERSION,
+            unit: state.unit.clone(),
+            seed: state.seed,
+            provenance: Provenance::detect(),
+            config: state.config.clone(),
+            completed: state.completed.clone(),
+            stage_sims: state.stage_sims.clone(),
+            timings: state.timings.clone(),
+            coverage,
+            metrics: telemetry
+                .metrics()
+                .map(ascdg_telemetry::MetricsRegistry::snapshot)
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Checks the manifest's internal accounting.
+    ///
+    /// Verified invariants: known schema version; every `stage_sims` entry
+    /// names a completed stage; every phase timing's simulation count
+    /// equals its stage's `stage_sims` entry; the regression stage's
+    /// simulations match the coverage repository's recorded total.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema_version != MANIFEST_SCHEMA_VERSION {
+            return Err(format!(
+                "unknown manifest schema version {} (expected {MANIFEST_SCHEMA_VERSION})",
+                self.schema_version
+            ));
+        }
+        for entry in &self.stage_sims {
+            if !self.completed.contains(&entry.stage) {
+                return Err(format!(
+                    "stage_sims entry `{}` is not in the completed list",
+                    entry.stage
+                ));
+            }
+        }
+        for timing in &self.timings {
+            let Some(stage) = stage_of_phase(&timing.name) else {
+                continue;
+            };
+            let Some(entry) = self.stage_sims.iter().find(|s| s.stage == stage) else {
+                return Err(format!(
+                    "phase `{}` has a timing but stage `{stage}` has no stage_sims entry",
+                    timing.name
+                ));
+            };
+            if entry.sims != timing.sims {
+                return Err(format!(
+                    "phase `{}` ran {} sims but stage `{stage}` accounts {}",
+                    timing.name, timing.sims, entry.sims
+                ));
+            }
+        }
+        if let (Some(cov), Some(reg)) = (
+            &self.coverage,
+            self.stage_sims.iter().find(|s| s.stage == STAGE_REGRESSION),
+        ) {
+            // Only the regression stage records into the repository, so
+            // the two totals must agree exactly.
+            if cov.total_sims != reg.sims {
+                return Err(format!(
+                    "coverage repository recorded {} sims but the regression stage ran {}",
+                    cov.total_sims, reg.sims
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes the manifest to pretty-printed JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `serde_json` encoding errors (non-finite floats).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses a manifest from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `serde_json` decoding errors.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::TargetSpec;
+
+    fn sample_state() -> SessionState {
+        let mut state = SessionState::new(
+            "io_unit",
+            FlowConfig::quick(),
+            TargetSpec::Family("crc_".to_owned()),
+            7,
+        );
+        state.completed = vec![STAGE_REGRESSION.to_owned(), STAGE_SAMPLE.to_owned()];
+        state.stage_sims = vec![
+            StageSims {
+                stage: STAGE_REGRESSION.to_owned(),
+                sims: 960,
+            },
+            StageSims {
+                stage: STAGE_SAMPLE.to_owned(),
+                sims: 240,
+            },
+        ];
+        let mut timing = PhaseTiming::measure(
+            crate::PHASE_SAMPLING,
+            240,
+            std::time::Duration::from_millis(5),
+        );
+        timing.sims_per_sec = None; // manifest identity must not depend on it
+        state.timings.push(timing);
+        state
+    }
+
+    #[test]
+    fn manifest_round_trips_and_validates() {
+        let state = sample_state();
+        let manifest = RunManifest::from_state(&state, &Telemetry::disabled());
+        assert!(manifest.metrics.is_empty());
+        manifest.validate().expect("consistent manifest");
+        let json = manifest.to_json().unwrap();
+        let back = RunManifest::from_json(&json).unwrap();
+        assert_eq!(back, manifest);
+    }
+
+    #[test]
+    fn validate_rejects_mismatched_accounting() {
+        let state = sample_state();
+        let mut manifest = RunManifest::from_state(&state, &Telemetry::disabled());
+        manifest.stage_sims[1].sims += 1;
+        let err = manifest.validate().unwrap_err();
+        assert!(err.contains("Sampling phase"), "{err}");
+
+        let mut manifest = RunManifest::from_state(&state, &Telemetry::disabled());
+        manifest.schema_version += 1;
+        assert!(manifest.validate().is_err());
+
+        let mut manifest = RunManifest::from_state(&state, &Telemetry::disabled());
+        manifest.stage_sims.push(StageSims {
+            stage: "not-a-stage".to_owned(),
+            sims: 0,
+        });
+        let err = manifest.validate().unwrap_err();
+        assert!(err.contains("not-a-stage"), "{err}");
+    }
+
+    #[test]
+    fn validate_checks_coverage_against_regression() {
+        use ascdg_duv::VerifEnv;
+        let mut state = sample_state();
+        // A repo snapshot whose sim total disagrees with the stage ledger.
+        let model = ascdg_duv::io_unit::IoEnv::new().coverage_model().clone();
+        let repo = ascdg_coverage::CoverageRepository::new(model);
+        state.repo = Some(repo.snapshot());
+        let manifest = RunManifest::from_state(&state, &Telemetry::disabled());
+        let err = manifest.validate().unwrap_err();
+        assert!(err.contains("regression"), "{err}");
+    }
+}

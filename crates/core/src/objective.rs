@@ -230,6 +230,7 @@ impl<E: VerifEnv> Objective for CdgObjective<'_, '_, E> {
     /// environment rejects a skeleton-derived template — both indicate a
     /// bug in the caller, not a recoverable condition.
     fn eval(&mut self, x: &[f64]) -> f64 {
+        let clock = self.runner.telemetry().timed();
         let eval_idx = {
             let mut s = self
                 .state
@@ -248,6 +249,13 @@ impl<E: VerifEnv> Objective for CdgObjective<'_, '_, E> {
                 mix_seed(self.base_seed, eval_idx),
             )
             .expect("skeleton-derived template must simulate");
+        if clock.is_some() {
+            let telemetry = self.runner.telemetry();
+            if let Some(m) = telemetry.metrics() {
+                m.counter("objective.evals").add(1);
+            }
+            telemetry.closed_span("objective", "eval", clock, stats.sims);
+        }
         self.absorb(x, &stats)
     }
 
@@ -264,6 +272,7 @@ impl<E: VerifEnv> Objective for CdgObjective<'_, '_, E> {
         if xs.is_empty() {
             return Vec::new();
         }
+        let clock = self.runner.telemetry().timed();
         let first_idx = {
             let mut s = self
                 .state
@@ -288,6 +297,14 @@ impl<E: VerifEnv> Objective for CdgObjective<'_, '_, E> {
             .runner
             .run_many_resolved(self.env, &points, self.sims_per_point)
             .expect("skeleton-derived template must simulate");
+        if clock.is_some() {
+            let telemetry = self.runner.telemetry();
+            if let Some(m) = telemetry.metrics() {
+                m.counter("objective.evals").add(xs.len() as u64);
+            }
+            let sims: u64 = stats.iter().map(|st| st.sims).sum();
+            telemetry.closed_span("objective", "eval_batch", clock, sims);
+        }
         xs.iter()
             .zip(&stats)
             .map(|(x, st)| self.absorb(x, st))

@@ -20,10 +20,35 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
+use ascdg_telemetry::{Counter, Histogram, Telemetry};
+
 /// A unit of work queued on the pool. Jobs may borrow anything that
 /// outlives the pool scope (`'env`), e.g. the verification environment or
 /// a coverage repository created before [`pool_scope`] was entered.
 type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// Pre-resolved pool metric handles (`pool.*` names), present only when
+/// the scope was opened with an enabled [`Telemetry`] via
+/// [`pool_scope_with`]. Recording through them is lock-free.
+struct PoolMetrics {
+    /// `pool.queue_depth`: shared-queue length after each batch enqueue.
+    queue_depth: Histogram,
+    /// `pool.jobs_dispatched`: jobs enqueued on the shared queue.
+    jobs: Counter,
+    /// `pool.steals`: jobs the waiting caller drained off the queue
+    /// itself instead of blocking (the work-stealing help path).
+    steals: Counter,
+}
+
+impl PoolMetrics {
+    fn resolve(telemetry: &Telemetry) -> Option<Self> {
+        telemetry.metrics().map(|m| PoolMetrics {
+            queue_depth: m.histogram("pool.queue_depth"),
+            jobs: m.counter("pool.jobs_dispatched"),
+            steals: m.counter("pool.steals"),
+        })
+    }
+}
 
 /// State shared between the pool handle(s) and the worker threads.
 struct Shared<'env> {
@@ -31,6 +56,7 @@ struct Shared<'env> {
     work_ready: Condvar,
     shutdown: AtomicBool,
     jobs_dispatched: AtomicU64,
+    metrics: Option<PoolMetrics>,
 }
 
 fn lock<'a, 'env>(shared: &'a Shared<'env>) -> MutexGuard<'a, VecDeque<Job<'env>>> {
@@ -84,12 +110,16 @@ impl<'env> SimPool<'env> {
     }
 
     fn push_jobs(&self, jobs: Vec<Job<'env>>) {
-        self.shared
-            .jobs_dispatched
-            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        let n = jobs.len() as u64;
+        self.shared.jobs_dispatched.fetch_add(n, Ordering::Relaxed);
         let mut q = lock(&self.shared);
         q.extend(jobs);
+        let depth = q.len() as u64;
         drop(q);
+        if let Some(m) = &self.shared.metrics {
+            m.jobs.add(n);
+            m.queue_depth.record(depth);
+        }
         self.shared.work_ready.notify_all();
     }
 
@@ -161,6 +191,9 @@ impl<'env> SimPool<'env> {
             // Help: execute a queued job (ours or another batch's) instead
             // of blocking while workers are busy.
             if let Some(job) = self.try_pop() {
+                if let Some(m) = &self.shared.metrics {
+                    m.steals.add(1);
+                }
                 job();
                 continue;
             }
@@ -237,6 +270,18 @@ fn worker_loop(shared: &Shared<'_>) {
 /// assert_eq!(doubled, vec![2, 4, 6, 8]);
 /// ```
 pub fn pool_scope<'env, R>(threads: usize, f: impl FnOnce(&SimPool<'env>) -> R) -> R {
+    pool_scope_with(threads, &Telemetry::disabled(), f)
+}
+
+/// [`pool_scope`] with pool-level telemetry: when `telemetry` is enabled,
+/// the pool records `pool.queue_depth`, `pool.jobs_dispatched` and
+/// `pool.steals` into its metrics registry. Instrumentation is purely
+/// observational — scheduling and results are identical either way.
+pub fn pool_scope_with<'env, R>(
+    threads: usize,
+    telemetry: &Telemetry,
+    f: impl FnOnce(&SimPool<'env>) -> R,
+) -> R {
     let threads = if threads == 0 {
         machine_threads()
     } else {
@@ -249,6 +294,7 @@ pub fn pool_scope<'env, R>(threads: usize, f: impl FnOnce(&SimPool<'env>) -> R) 
                 work_ready: Condvar::new(),
                 shutdown: AtomicBool::new(false),
                 jobs_dispatched: AtomicU64::new(0),
+                metrics: PoolMetrics::resolve(telemetry),
             }),
             threads,
         };
@@ -344,6 +390,31 @@ mod tests {
             // Clones observe the same counter.
             assert_eq!(pool.clone().jobs_dispatched(), 8);
         });
+    }
+
+    #[test]
+    fn pool_scope_with_records_pool_metrics() {
+        let telemetry = Telemetry::enabled();
+        let out = pool_scope_with(4, &telemetry, |pool| {
+            pool.run_ordered((0..32u64).collect(), |_, v| v + 1)
+        });
+        assert_eq!(out.len(), 32);
+        let snap = telemetry.metrics().unwrap().snapshot();
+        let jobs = snap
+            .iter()
+            .find(|m| m.name == "pool.jobs_dispatched")
+            .unwrap();
+        assert_eq!(jobs.value, 32.0);
+        let depth = snap.iter().find(|m| m.name == "pool.queue_depth").unwrap();
+        let depth = depth.histogram.unwrap();
+        assert_eq!(depth.count, 1);
+        assert!(depth.max <= 32);
+        // A disabled handle records nothing and changes nothing.
+        let quiet = Telemetry::disabled();
+        let out2 = pool_scope_with(4, &quiet, |pool| {
+            pool.run_ordered((0..32u64).collect(), |_, v| v + 1)
+        });
+        assert_eq!(out, out2);
     }
 
     #[test]

@@ -143,11 +143,22 @@ pub fn render_timings(outcome: &FlowOutcome) -> String {
         .max()
         .unwrap_or(10);
     for t in &outcome.timings {
-        let _ = writeln!(
-            out,
-            "  {:name_w$}  {:>10.1} ms  {:>12.0} sims/s",
-            t.name, t.wall_ms, t.sims_per_sec
-        );
+        match t.sims_per_sec {
+            Some(rate) => {
+                let _ = writeln!(
+                    out,
+                    "  {:name_w$}  {:>10.1} ms  {:>12.0} sims/s",
+                    t.name, t.wall_ms, rate
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "  {:name_w$}  {:>10.1} ms  {:>12} sims/s",
+                    t.name, t.wall_ms, "n/a"
+                );
+            }
+        }
     }
     out
 }

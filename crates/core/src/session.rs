@@ -15,9 +15,10 @@ use ascdg_coverage::{CoverageRepository, EventId, RepoSnapshot};
 use ascdg_duv::VerifEnv;
 use ascdg_opt::Trace;
 use ascdg_stimgen::mix_seed;
+use ascdg_telemetry::Telemetry;
 use ascdg_template::{Skeleton, TestTemplate};
 
-use crate::events::{EventBus, FlowEvent, FlowSubscriber};
+use crate::events::{event_name, EventBus, FlowEvent, FlowSubscriber};
 use crate::{ApproxTarget, BatchRunner, FlowConfig, FlowError, PhaseStats, PhaseTiming};
 
 /// A streaming consumer of post-stage snapshots
@@ -41,6 +42,17 @@ pub enum TargetSpec {
     Explicit(Vec<EventId>),
     /// A fully pre-built approximated target (skips automatic weighting).
     Weighted(ApproxTarget),
+}
+
+/// Simulations attributed to one completed stage — the per-stage sim
+/// ledger the run manifest reconciles against phase statistics and the
+/// coverage repository.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageSims {
+    /// Stage name (one of the `STAGE_*` constants).
+    pub stage: String,
+    /// Simulations the stage ran (0 for analysis-only stages).
+    pub sims: u64,
 }
 
 /// The serializable data a flow session has accumulated so far.
@@ -98,6 +110,9 @@ pub struct SessionState {
     /// Wall-clock timings of the simulation phases run so far.
     #[serde(default)]
     pub timings: Vec<PhaseTiming>,
+    /// Simulations attributed to each completed stage, in stage order.
+    #[serde(default)]
+    pub stage_sims: Vec<StageSims>,
     /// The harvested best template ([`Harvest`](crate::Harvest)).
     #[serde(default)]
     pub best_template: Option<TestTemplate>,
@@ -123,6 +138,7 @@ impl SessionState {
             trace: None,
             phases: Vec::new(),
             timings: Vec::new(),
+            stage_sims: Vec::new(),
             best_template: None,
         }
     }
@@ -152,6 +168,7 @@ pub struct SessionCx<'env, 'bus, E: VerifEnv> {
     repo: Option<CoverageRepository>,
     state: SessionState,
     bus: EventBus<'bus>,
+    telemetry: Telemetry,
     checkpoints: Option<Vec<SessionState>>,
     checkpoint_sink: Option<CheckpointSink<'bus>>,
 }
@@ -162,6 +179,7 @@ impl<'env, 'bus, E: VerifEnv> SessionCx<'env, 'bus, E> {
         runner: BatchRunner<'env>,
         repo: Option<CoverageRepository>,
         state: SessionState,
+        telemetry: Telemetry,
     ) -> Self {
         SessionCx {
             env,
@@ -169,9 +187,17 @@ impl<'env, 'bus, E: VerifEnv> SessionCx<'env, 'bus, E> {
             repo,
             state,
             bus: EventBus::new(),
+            telemetry,
             checkpoints: None,
             checkpoint_sink: None,
         }
+    }
+
+    /// The session's telemetry handle (disabled unless the engine was
+    /// built with one).
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The environment the session runs against.
@@ -256,8 +282,13 @@ impl<'env, 'bus, E: VerifEnv> SessionCx<'env, 'bus, E> {
         self.bus.subscribe_fn(f);
     }
 
-    /// Emits an event to every subscriber.
+    /// Emits an event to every subscriber (and mirrors it into the
+    /// telemetry trace when one is recording).
     pub fn emit(&mut self, event: FlowEvent) {
+        if self.telemetry.is_enabled() {
+            let detail = serde_json::to_string(&event).unwrap_or_default();
+            self.telemetry.event(event_name(&event), &detail);
+        }
         self.bus.emit(event);
     }
 
@@ -288,7 +319,32 @@ impl<'env, 'bus, E: VerifEnv> SessionCx<'env, 'bus, E> {
 
     /// Records a finished simulation phase: appends its statistics and
     /// timing and emits [`FlowEvent::PhaseFinished`].
-    pub fn record_phase(&mut self, stats: PhaseStats, timing: PhaseTiming) {
+    ///
+    /// With telemetry recording, the timing's counter movement is folded
+    /// into the metrics registry (`batch.*`, `resolve.hit_rate_pct`) and a
+    /// throughput that was too fast for the wall clock to resolve is
+    /// backfilled from the stage's sim-latency histogram.
+    pub fn record_phase(&mut self, stats: PhaseStats, mut timing: PhaseTiming) {
+        if let Some(m) = self.telemetry.metrics() {
+            m.counter("batch.repo_merges").add(timing.repo_merges);
+            m.counter("batch.sims_recorded").add(timing.sims_recorded);
+            m.counter("batch.resolve_hits").add(timing.resolve_hits);
+            m.counter("batch.resolve_misses").add(timing.resolve_misses);
+            let lookups = timing.resolve_hits + timing.resolve_misses;
+            if let Some(rate) = (timing.resolve_hits * 100).checked_div(lookups) {
+                m.histogram("resolve.hit_rate_pct").record(rate);
+            }
+        }
+        if timing.sims_per_sec.is_none() {
+            if let Some(stage) = self.telemetry.stage_metrics() {
+                let snap = stage.sim_latency_ns.snapshot();
+                if snap.count > 0 && snap.sum > 0 {
+                    // Mean per-sim latency inverts to sims/s even when the
+                    // phase's total wall time rounded to zero.
+                    timing.sims_per_sec = Some(1e9 * snap.count as f64 / snap.sum as f64);
+                }
+            }
+        }
         self.state.timings.push(timing);
         self.emit(FlowEvent::PhaseFinished {
             stats: stats.clone(),

@@ -16,10 +16,11 @@ use ascdg_duv::VerifEnv;
 use ascdg_opt::{Bounds, IfOptions, ImplicitFiltering, Optimizer};
 use ascdg_stimgen::mix_seed;
 use ascdg_tac::{relevant_params, TacQuery};
+use ascdg_telemetry::Telemetry;
 use ascdg_template::Skeleton;
 
 use crate::events::FlowEvent;
-use crate::pool::pool_scope;
+use crate::pool::pool_scope_with;
 use crate::sampling::random_sample;
 use crate::session::{SessionCx, TargetSpec};
 use crate::{
@@ -138,14 +139,15 @@ pub(crate) fn regression_repository<E: VerifEnv>(
     env: &E,
     config: &FlowConfig,
     seed: u64,
+    telemetry: &Telemetry,
 ) -> Result<(CoverageRepository, crate::CounterSnapshot), FlowError> {
     let lib = env.stock_library();
     if lib.is_empty() {
         return Err(FlowError::EmptyLibrary);
     }
     let repo = CoverageRepository::new(env.coverage_model().clone());
-    let counters = pool_scope(config.threads, |pool| {
-        let runner = BatchRunner::with_pool(pool);
+    let counters = pool_scope_with(config.threads, telemetry, |pool| {
+        let runner = BatchRunner::with_pool(pool).with_telemetry(telemetry.clone());
         for (idx, template) in lib.iter() {
             runner.run_recorded(
                 env,
@@ -168,7 +170,7 @@ impl<E: VerifEnv> Stage<E> for Regression {
 
     fn run(&self, cx: &mut SessionCx<'_, '_, E>) -> Result<StageOutput, FlowError> {
         let seed = cx.stage_seed(0xbef0);
-        let (repo, _counters) = regression_repository(cx.env(), cx.config(), seed)?;
+        let (repo, _counters) = regression_repository(cx.env(), cx.config(), seed, cx.telemetry())?;
         let sims = repo.total_simulations();
         cx.set_repo(repo);
         Ok(StageOutput::simulated(sims))
@@ -386,6 +388,7 @@ impl<E: VerifEnv> Stage<E> for Optimize {
         let stats = obj.phase_stats();
         let timing = PhaseTiming::measure(PHASE_OPTIMIZATION, stats.sims, phase_clock.elapsed())
             .with_counters(cx.counter_snapshot().delta_since(&counters_before));
+        ascdg_opt::record_trace(STAGE_OPTIMIZE, &result.trace, cx.telemetry());
         for rec in &result.trace {
             cx.emit(FlowEvent::BestObjective {
                 phase: PHASE_OPTIMIZATION.to_owned(),
@@ -477,6 +480,7 @@ impl<E: VerifEnv> Stage<E> for Refine {
         let stats = obj.phase_stats();
         let timing = PhaseTiming::measure(PHASE_REFINEMENT, stats.sims, phase_clock.elapsed())
             .with_counters(cx.counter_snapshot().delta_since(&counters_before));
+        ascdg_opt::record_trace(STAGE_REFINE, &refine_result.trace, cx.telemetry());
         for rec in &refine_result.trace {
             cx.emit(FlowEvent::BestObjective {
                 phase: PHASE_REFINEMENT.to_owned(),

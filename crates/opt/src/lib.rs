@@ -60,4 +60,4 @@ pub use nelder_mead::{NelderMead, NmOptions};
 pub use objective::{CountingObjective, FnObjective, Objective};
 pub use random_search::{RandomSearch, RsOptions};
 pub use spsa::{Spsa, SpsaOptions};
-pub use trace::{IterRecord, OptResult, Optimizer, StopReason, Trace, TraceMetrics};
+pub use trace::{record_trace, IterRecord, OptResult, Optimizer, StopReason, Trace, TraceMetrics};

@@ -132,6 +132,36 @@ impl TraceMetrics {
     }
 }
 
+/// Exports a finished convergence [`Trace`] into a telemetry handle:
+/// one `OptIter` record per iteration, plus `opt.<phase>.iterations` /
+/// `opt.<phase>.evals` counters and an `opt.<phase>.final_best` gauge.
+/// No-op on a disabled handle or an empty trace.
+pub fn record_trace(phase: &str, trace: &Trace, telemetry: &ascdg_telemetry::Telemetry) {
+    if !telemetry.is_enabled() || trace.is_empty() {
+        return;
+    }
+    for rec in trace {
+        telemetry.opt_iter(
+            phase,
+            rec.iter as u64,
+            rec.step,
+            rec.iter_best,
+            rec.running_best,
+            rec.evals,
+        );
+    }
+    if let Some(m) = telemetry.metrics() {
+        m.counter(&format!("opt.{phase}.iterations"))
+            .add(trace.len() as u64);
+        m.counter(&format!("opt.{phase}.evals"))
+            .add(trace.last().map_or(0, |r| r.evals));
+        let final_best = TraceMetrics::of(trace).final_best;
+        if final_best.is_finite() {
+            m.gauge(&format!("opt.{phase}.final_best")).set(final_best);
+        }
+    }
+}
+
 /// A derivative-free maximizer over a bounded box.
 ///
 /// Implementations draw only noisy samples of the objective. `start` is the

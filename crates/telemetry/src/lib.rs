@@ -1,0 +1,430 @@
+//! Unified telemetry for the AS-CDG flow.
+//!
+//! One [`Telemetry`] handle carries all three observability surfaces the
+//! flow previously spread across ad-hoc types:
+//!
+//! - a **span tracer**: parent-linked [`SpanRecord`]s with wall-clock and
+//!   simulation-count attribution, covering the flow, its stages, pool
+//!   chunk execution and objective evaluations;
+//! - a **metrics registry**: named [`Counter`]s, [`Gauge`]s and
+//!   log-bucketed [`Histogram`]s ([`MetricsRegistry`]);
+//! - **exporters**: a JSONL trace ([`write_jsonl`], [`render_trace`]) and
+//!   run-manifest provenance ([`Provenance`]).
+//!
+//! The handle is a cheap `Arc` clone and thread-safe. A *disabled* handle
+//! (the default) is a `None` — every instrumentation call short-circuits
+//! on one branch with no allocation, keeping the simulation hot path
+//! unaffected; the bench harness guards this with an overhead probe.
+//! Telemetry is purely observational: enabling it never changes flow
+//! outcomes (byte-identity is asserted in CI at several thread counts).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod provenance;
+mod trace;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricKind, MetricSnapshot, MetricsRegistry,
+};
+pub use provenance::{detect_git_commit, Provenance};
+pub use trace::{
+    parse_jsonl, render_trace, write_jsonl, EventRecord, OptIterRecord, SpanRecord, TraceMeta,
+    TraceRecord, TRACE_SCHEMA_VERSION,
+};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// Per-stage metric handles, pre-resolved once per stage so hot-path
+/// producers (chunk workers) record without touching the registry.
+///
+/// Metric names: `stage.<stage>.sim_latency_ns` (per-simulation latency
+/// of each chunk, ns), `stage.<stage>.chunk_sims` (simulations per
+/// dispatched chunk) and `stage.<stage>.merge_ns` (repository bulk-merge
+/// latency, ns).
+#[derive(Clone, Debug)]
+pub struct StageMetrics {
+    /// Per-simulation latency within a chunk, in nanoseconds.
+    pub sim_latency_ns: Histogram,
+    /// Simulations per executed chunk.
+    pub chunk_sims: Histogram,
+    /// Coverage-repository bulk-merge latency, in nanoseconds.
+    pub merge_ns: Histogram,
+}
+
+#[derive(Debug)]
+struct Inner {
+    epoch: Instant,
+    next_span: AtomicU64,
+    /// Innermost scoped span (0 = none); chunk/objective spans created
+    /// anywhere in the process parent-link to it.
+    current_parent: AtomicU64,
+    records: Mutex<Vec<TraceRecord>>,
+    metrics: MetricsRegistry,
+    stage: Mutex<Option<Arc<StageMetrics>>>,
+}
+
+/// The shared telemetry handle threaded through the flow.
+///
+/// Cloning shares the same tracer and registry. The [`Default`] handle is
+/// disabled: all recording methods are no-ops behind one `Option` branch.
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Telemetry {
+    /// A disabled handle: every instrumentation call is a no-op.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// A live handle with a fresh tracer and registry; "now" becomes the
+    /// epoch all span timestamps are relative to.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                next_span: AtomicU64::new(1),
+                current_parent: AtomicU64::new(0),
+                records: Mutex::new(Vec::new()),
+                metrics: MetricsRegistry::new(),
+                stage: Mutex::new(None),
+            })),
+        }
+    }
+
+    /// Whether this handle records anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The metrics registry, when enabled.
+    #[must_use]
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.inner.as_ref().map(|i| &i.metrics)
+    }
+
+    /// `Instant::now()` when enabled, `None` otherwise — the zero-cost
+    /// pattern for timing a section only under telemetry:
+    /// `let t0 = telemetry.timed(); ...; telemetry.closed_span(.., t0, ..)`.
+    #[must_use]
+    pub fn timed(&self) -> Option<Instant> {
+        self.inner.as_ref().map(|_| Instant::now())
+    }
+
+    fn now_us(inner: &Inner) -> u64 {
+        inner.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Records an already-finished span that started at `start` (from
+    /// [`Telemetry::timed`]), parented to the innermost scoped span.
+    /// No-op when disabled or `start` is `None`.
+    pub fn closed_span(&self, kind: &str, name: &str, start: Option<Instant>, sims: u64) {
+        let (Some(inner), Some(start)) = (self.inner.as_deref(), start) else {
+            return;
+        };
+        let id = inner.next_span.fetch_add(1, Ordering::Relaxed);
+        let parent = match inner.current_parent.load(Ordering::Relaxed) {
+            0 => None,
+            p => Some(p),
+        };
+        let start_us = start
+            .checked_duration_since(inner.epoch)
+            .map_or(0, |d| d.as_micros() as u64);
+        let record = TraceRecord::Span(SpanRecord {
+            id,
+            parent,
+            kind: kind.to_owned(),
+            name: name.to_owned(),
+            start_us,
+            dur_us: start.elapsed().as_micros() as u64,
+            sims,
+        });
+        inner.records.lock().push(record);
+    }
+
+    /// Opens a *scoped* span: until the returned guard is finished (or
+    /// dropped), spans recorded by any thread parent-link to it. Scoped
+    /// spans must nest LIFO (the engine opens one per stage).
+    #[must_use]
+    pub fn scope_span(&self, kind: &'static str, name: &str) -> Span {
+        let Some(inner) = self.inner.as_deref() else {
+            return Span::inert();
+        };
+        let id = inner.next_span.fetch_add(1, Ordering::Relaxed);
+        let prev = inner.current_parent.swap(id, Ordering::Relaxed);
+        Span {
+            telemetry: self.clone(),
+            id,
+            parent: prev,
+            kind,
+            name: name.to_owned(),
+            start: Instant::now(),
+            sims: 0,
+        }
+    }
+
+    /// Installs the pre-resolved per-stage metric handles for `stage`
+    /// (see [`StageMetrics`] for the naming convention).
+    pub fn set_stage(&self, stage: &str) {
+        let Some(inner) = self.inner.as_deref() else {
+            return;
+        };
+        let handles = StageMetrics {
+            sim_latency_ns: inner
+                .metrics
+                .histogram(&format!("stage.{stage}.sim_latency_ns")),
+            chunk_sims: inner
+                .metrics
+                .histogram(&format!("stage.{stage}.chunk_sims")),
+            merge_ns: inner.metrics.histogram(&format!("stage.{stage}.merge_ns")),
+        };
+        *inner.stage.lock() = Some(Arc::new(handles));
+    }
+
+    /// Uninstalls the per-stage metric handles.
+    pub fn clear_stage(&self) {
+        if let Some(inner) = self.inner.as_deref() {
+            *inner.stage.lock() = None;
+        }
+    }
+
+    /// The currently installed per-stage handles, if any.
+    #[must_use]
+    pub fn stage_metrics(&self) -> Option<Arc<StageMetrics>> {
+        self.inner.as_deref().and_then(|i| i.stage.lock().clone())
+    }
+
+    /// Mirrors a structured flow event into the trace.
+    pub fn event(&self, name: &str, detail: &str) {
+        let Some(inner) = self.inner.as_deref() else {
+            return;
+        };
+        let record = TraceRecord::Event(EventRecord {
+            at_us: Self::now_us(inner),
+            name: name.to_owned(),
+            detail: detail.to_owned(),
+        });
+        inner.records.lock().push(record);
+    }
+
+    /// Records one optimizer iteration (non-finite floats are dropped so
+    /// the export stays JSON-serializable).
+    pub fn opt_iter(
+        &self,
+        phase: &str,
+        iter: u64,
+        step: f64,
+        iter_best: f64,
+        running_best: f64,
+        evals: u64,
+    ) {
+        let Some(inner) = self.inner.as_deref() else {
+            return;
+        };
+        if !step.is_finite() || !iter_best.is_finite() || !running_best.is_finite() {
+            return;
+        }
+        let record = TraceRecord::OptIter(OptIterRecord {
+            at_us: Self::now_us(inner),
+            phase: phase.to_owned(),
+            iter,
+            step,
+            iter_best,
+            running_best,
+            evals,
+        });
+        inner.records.lock().push(record);
+    }
+
+    /// Exports the full trace: a `Meta` line, every span/event/opt-iter
+    /// in recorded order, then one `Metric` trailer per registered
+    /// metric. Empty when disabled.
+    #[must_use]
+    pub fn export_trace(&self, unit: &str, seed: u64) -> Vec<TraceRecord> {
+        let Some(inner) = self.inner.as_deref() else {
+            return Vec::new();
+        };
+        let mut out = vec![TraceRecord::Meta(TraceMeta {
+            schema: TRACE_SCHEMA_VERSION,
+            unit: unit.to_owned(),
+            seed,
+        })];
+        out.extend(inner.records.lock().iter().cloned());
+        out.extend(
+            inner
+                .metrics
+                .snapshot()
+                .into_iter()
+                .map(TraceRecord::Metric),
+        );
+        out
+    }
+}
+
+/// Guard for a scoped span (see [`Telemetry::scope_span`]). Recorded when
+/// finished or dropped; restores the previous scoped parent either way.
+#[derive(Debug)]
+pub struct Span {
+    telemetry: Telemetry,
+    id: u64,
+    parent: u64,
+    kind: &'static str,
+    name: String,
+    start: Instant,
+    sims: u64,
+}
+
+impl Span {
+    fn inert() -> Self {
+        Span {
+            telemetry: Telemetry::disabled(),
+            id: 0,
+            parent: 0,
+            kind: "",
+            name: String::new(),
+            start: Instant::now(),
+            sims: 0,
+        }
+    }
+
+    /// This span's id (0 for inert spans from a disabled handle).
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Attributes `sims` simulations and closes the span.
+    pub fn finish(mut self, sims: u64) {
+        self.sims = sims;
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.telemetry.inner.as_deref() else {
+            return;
+        };
+        inner.current_parent.store(self.parent, Ordering::Relaxed);
+        let start_us = self
+            .start
+            .checked_duration_since(inner.epoch)
+            .map_or(0, |d| d.as_micros() as u64);
+        let record = TraceRecord::Span(SpanRecord {
+            id: self.id,
+            parent: match self.parent {
+                0 => None,
+                p => Some(p),
+            },
+            kind: self.kind.to_owned(),
+            name: std::mem::take(&mut self.name),
+            start_us,
+            dur_us: self.start.elapsed().as_micros() as u64,
+            sims: self.sims,
+        });
+        inner.records.lock().push(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        assert!(t.timed().is_none());
+        t.closed_span("chunk", "", t.timed(), 10);
+        t.event("StageStarted", "{}");
+        t.opt_iter("optimize", 0, 0.1, 1.0, 1.0, 5);
+        let span = t.scope_span("stage", "regression");
+        span.finish(100);
+        assert!(t.export_trace("u", 1).is_empty());
+        assert!(t.metrics().is_none());
+        assert!(t.stage_metrics().is_none());
+    }
+
+    #[test]
+    fn spans_nest_and_restore_parents() {
+        let t = Telemetry::enabled();
+        let flow = t.scope_span("flow", "u");
+        let flow_id = flow.id();
+        let stage = t.scope_span("stage", "regression");
+        let stage_id = stage.id();
+        t.closed_span("chunk", "", t.timed(), 25);
+        stage.finish(25);
+        // After the stage closes, new spans parent to the flow again.
+        t.closed_span("objective", "eval", t.timed(), 5);
+        flow.finish(30);
+
+        let trace = t.export_trace("u", 7);
+        let spans: Vec<&SpanRecord> = trace
+            .iter()
+            .filter_map(|r| match r {
+                TraceRecord::Span(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spans.len(), 4);
+        let chunk = spans.iter().find(|s| s.kind == "chunk").unwrap();
+        assert_eq!(chunk.parent, Some(stage_id));
+        assert_eq!(chunk.sims, 25);
+        let objective = spans.iter().find(|s| s.kind == "objective").unwrap();
+        assert_eq!(objective.parent, Some(flow_id));
+        let stage = spans.iter().find(|s| s.kind == "stage").unwrap();
+        assert_eq!(stage.parent, Some(flow_id));
+        assert_eq!(stage.sims, 25);
+        let flow = spans.iter().find(|s| s.kind == "flow").unwrap();
+        assert_eq!(flow.parent, None);
+        assert!(matches!(trace[0], TraceRecord::Meta(_)));
+    }
+
+    #[test]
+    fn stage_metrics_are_shared_per_name() {
+        let t = Telemetry::enabled();
+        t.set_stage("regression");
+        let sm = t.stage_metrics().unwrap();
+        sm.chunk_sims.record(100);
+        // Re-installing the same stage resolves the same histograms.
+        t.set_stage("regression");
+        assert_eq!(t.stage_metrics().unwrap().chunk_sims.count(), 1);
+        t.clear_stage();
+        assert!(t.stage_metrics().is_none());
+        let snap = t.metrics().unwrap().snapshot();
+        assert!(snap
+            .iter()
+            .any(|m| m.name == "stage.regression.chunk_sims" && m.value == 100.0));
+    }
+
+    #[test]
+    fn export_appends_metric_trailers_and_opt_iters() {
+        let t = Telemetry::enabled();
+        t.metrics().unwrap().counter("objective.evals").add(3);
+        t.opt_iter("optimize", 1, 0.25, 0.5, 0.5, 21);
+        t.opt_iter("optimize", 2, f64::NAN, 0.5, 0.5, 42);
+        let trace = t.export_trace("io_unit", 2021);
+        let metrics: Vec<_> = trace
+            .iter()
+            .filter(|r| matches!(r, TraceRecord::Metric(_)))
+            .collect();
+        assert_eq!(metrics.len(), 1);
+        let iters: Vec<_> = trace
+            .iter()
+            .filter(|r| matches!(r, TraceRecord::OptIter(_)))
+            .collect();
+        assert_eq!(iters.len(), 1, "NaN iteration must be dropped");
+        // The whole export must be JSONL-serializable.
+        let text = write_jsonl(&trace).unwrap();
+        assert_eq!(parse_jsonl(&text).unwrap(), trace);
+    }
+}

@@ -1,0 +1,102 @@
+//! Build/run provenance for run manifests: workspace version plus the
+//! git commit of the source tree, detected with pure `std` (the build is
+//! vendored-only, so no `git2` and no shelling out).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+/// Where a run came from: enough to line manifests up against source
+/// history without consulting the machine that produced them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Provenance {
+    /// Workspace package version at build time.
+    pub package_version: String,
+    /// Git commit hash of the working tree, when detectable.
+    pub git_commit: Option<String>,
+}
+
+impl Provenance {
+    /// Detects provenance for the current process: the telemetry crate's
+    /// workspace version (all `ascdg-*` crates share it) and the git
+    /// commit found by walking up from the current directory.
+    #[must_use]
+    pub fn detect() -> Self {
+        Provenance {
+            package_version: env!("CARGO_PKG_VERSION").to_owned(),
+            git_commit: std::env::current_dir()
+                .ok()
+                .and_then(|dir| detect_git_commit(&dir)),
+        }
+    }
+}
+
+/// Resolves the commit hash of the repository containing `start`, by
+/// reading `.git/HEAD` (and the ref file or `packed-refs` it points at).
+/// Returns `None` outside a git checkout or on any unexpected layout.
+#[must_use]
+pub fn detect_git_commit(start: &Path) -> Option<String> {
+    let git_dir = find_git_dir(start)?;
+    let head = fs::read_to_string(git_dir.join("HEAD")).ok()?;
+    let head = head.trim();
+    if let Some(refname) = head.strip_prefix("ref: ") {
+        if let Ok(hash) = fs::read_to_string(git_dir.join(refname)) {
+            return normalize_hash(hash.trim());
+        }
+        // Refs may be packed instead of loose.
+        let packed = fs::read_to_string(git_dir.join("packed-refs")).ok()?;
+        for line in packed.lines() {
+            if let Some(hash) = line.strip_suffix(refname) {
+                return normalize_hash(hash.trim());
+            }
+        }
+        None
+    } else {
+        // Detached HEAD stores the hash directly.
+        normalize_hash(head)
+    }
+}
+
+fn find_git_dir(start: &Path) -> Option<PathBuf> {
+    let mut dir = start;
+    loop {
+        let candidate = dir.join(".git");
+        if candidate.is_dir() {
+            return Some(candidate);
+        }
+        dir = dir.parent()?;
+    }
+}
+
+fn normalize_hash(hash: &str) -> Option<String> {
+    let hash = hash.trim();
+    (hash.len() == 40 && hash.bytes().all(|b| b.is_ascii_hexdigit()))
+        .then(|| hash.to_ascii_lowercase())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_rejects_non_hashes() {
+        assert_eq!(normalize_hash("ref: refs/heads/main"), None);
+        assert_eq!(normalize_hash("abc123"), None);
+        let full = "0123456789abcdef0123456789ABCDEF01234567";
+        assert_eq!(
+            normalize_hash(full).as_deref(),
+            Some("0123456789abcdef0123456789abcdef01234567")
+        );
+    }
+
+    #[test]
+    fn detect_in_this_repo_finds_a_commit() {
+        // The workspace itself is a git checkout; detection from the
+        // crate's manifest dir must find a 40-hex commit.
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        if let Some(hash) = detect_git_commit(here) {
+            assert_eq!(hash.len(), 40);
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Golden tests pinning the JSONL trace schema — the exact field names,
+//! ordering and types of every record kind — plus a property test that
+//! any emitted line round-trips through `serde_json`.
+//!
+//! If one of the golden strings here changes, the on-disk trace format
+//! changed: bump `TRACE_SCHEMA_VERSION` and update `docs/OBSERVABILITY.md`.
+
+use proptest::prelude::*;
+use proptest::strategy::Union;
+
+use ascdg_telemetry::{
+    parse_jsonl, write_jsonl, EventRecord, HistogramSnapshot, MetricKind, MetricSnapshot,
+    OptIterRecord, SpanRecord, TraceMeta, TraceRecord, TRACE_SCHEMA_VERSION,
+};
+
+fn line(record: &TraceRecord) -> String {
+    serde_json::to_string(record).expect("trace record must serialize")
+}
+
+#[test]
+fn golden_meta_line() {
+    let record = TraceRecord::Meta(TraceMeta {
+        schema: TRACE_SCHEMA_VERSION,
+        unit: "io_unit".to_owned(),
+        seed: 2021,
+    });
+    assert_eq!(
+        line(&record),
+        r#"{"Meta":{"schema":1,"unit":"io_unit","seed":2021}}"#
+    );
+}
+
+#[test]
+fn golden_span_lines() {
+    let root = TraceRecord::Span(SpanRecord {
+        id: 1,
+        parent: None,
+        kind: "flow".to_owned(),
+        name: "io_unit".to_owned(),
+        start_us: 0,
+        dur_us: 1250,
+        sims: 4800,
+    });
+    assert_eq!(
+        line(&root),
+        r#"{"Span":{"id":1,"parent":null,"kind":"flow","name":"io_unit","start_us":0,"dur_us":1250,"sims":4800}}"#
+    );
+    let child = TraceRecord::Span(SpanRecord {
+        id: 3,
+        parent: Some(1),
+        kind: "chunk".to_owned(),
+        name: String::new(),
+        start_us: 10,
+        dur_us: 250,
+        sims: 300,
+    });
+    assert_eq!(
+        line(&child),
+        r#"{"Span":{"id":3,"parent":1,"kind":"chunk","name":"","start_us":10,"dur_us":250,"sims":300}}"#
+    );
+}
+
+#[test]
+fn golden_event_line() {
+    let record = TraceRecord::Event(EventRecord {
+        at_us: 12,
+        name: "StageStarted".to_owned(),
+        detail: r#"{"stage":"regression"}"#.to_owned(),
+    });
+    assert_eq!(
+        line(&record),
+        r#"{"Event":{"at_us":12,"name":"StageStarted","detail":"{\"stage\":\"regression\"}"}}"#
+    );
+}
+
+#[test]
+fn golden_opt_iter_line() {
+    let record = TraceRecord::OptIter(OptIterRecord {
+        at_us: 99,
+        phase: "optimize".to_owned(),
+        iter: 3,
+        step: 0.125,
+        iter_best: 0.5,
+        running_best: 0.75,
+        evals: 640,
+    });
+    assert_eq!(
+        line(&record),
+        r#"{"OptIter":{"at_us":99,"phase":"optimize","iter":3,"step":0.125,"iter_best":0.5,"running_best":0.75,"evals":640}}"#
+    );
+}
+
+#[test]
+fn golden_metric_lines() {
+    let counter = TraceRecord::Metric(MetricSnapshot {
+        name: "pool.steals".to_owned(),
+        kind: MetricKind::Counter,
+        value: 17.0,
+        histogram: None,
+    });
+    assert_eq!(
+        line(&counter),
+        r#"{"Metric":{"name":"pool.steals","kind":"Counter","value":17.0,"histogram":null}}"#
+    );
+    let histogram = TraceRecord::Metric(MetricSnapshot {
+        name: "stage.regression.chunk_sims".to_owned(),
+        kind: MetricKind::Histogram,
+        value: 300.0,
+        histogram: Some(HistogramSnapshot {
+            count: 16,
+            sum: 4800,
+            min: 300,
+            max: 300,
+            p50: 288,
+            p90: 288,
+            p99: 288,
+        }),
+    });
+    assert_eq!(
+        line(&histogram),
+        r#"{"Metric":{"name":"stage.regression.chunk_sims","kind":"Histogram","value":300.0,"histogram":{"count":16,"sum":4800,"min":300,"max":300,"p50":288,"p90":288,"p99":288}}}"#
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Property: every emitted line round-trips through serde_json.
+// ---------------------------------------------------------------------------
+
+fn finite_f64() -> BoxedStrategy<f64> {
+    (-1.0e9f64..1.0e9).boxed()
+}
+
+fn name_str() -> BoxedStrategy<String> {
+    "[a-z][a-z0-9._-]{0,24}".boxed()
+}
+
+fn span_strategy() -> BoxedStrategy<TraceRecord> {
+    (
+        1u64..1_000_000,
+        (any::<bool>(), any::<u64>()),
+        name_str(),
+        name_str(),
+        (any::<u32>(), any::<u32>(), any::<u64>()),
+    )
+        .prop_map(
+            |(id, (has_parent, parent), kind, name, (start_us, dur_us, sims))| {
+                TraceRecord::Span(SpanRecord {
+                    id,
+                    parent: has_parent.then_some(parent),
+                    kind,
+                    name,
+                    start_us: u64::from(start_us),
+                    dur_us: u64::from(dur_us),
+                    sims,
+                })
+            },
+        )
+        .boxed()
+}
+
+fn record_strategy() -> BoxedStrategy<TraceRecord> {
+    let meta = (any::<u32>(), name_str(), any::<u64>())
+        .prop_map(|(schema, unit, seed)| TraceRecord::Meta(TraceMeta { schema, unit, seed }))
+        .boxed();
+    let event = (any::<u32>(), name_str(), name_str())
+        .prop_map(|(at_us, name, detail)| {
+            TraceRecord::Event(EventRecord {
+                at_us: u64::from(at_us),
+                name,
+                detail,
+            })
+        })
+        .boxed();
+    let opt_iter = (
+        name_str(),
+        any::<u32>(),
+        finite_f64(),
+        finite_f64(),
+        (finite_f64(), any::<u64>()),
+    )
+        .prop_map(|(phase, iter, step, iter_best, (running_best, evals))| {
+            TraceRecord::OptIter(OptIterRecord {
+                at_us: 0,
+                phase,
+                iter: u64::from(iter),
+                step,
+                iter_best,
+                running_best,
+                evals,
+            })
+        })
+        .boxed();
+    let metric = (
+        name_str(),
+        any::<bool>(),
+        finite_f64(),
+        proptest::collection::vec(any::<u32>(), 7),
+    )
+        .prop_map(|(name, histo, value, h)| {
+            let (kind, histogram) = if histo {
+                (
+                    MetricKind::Histogram,
+                    Some(HistogramSnapshot {
+                        count: u64::from(h[0]),
+                        sum: u64::from(h[1]),
+                        min: u64::from(h[2]),
+                        max: u64::from(h[3]),
+                        p50: u64::from(h[4]),
+                        p90: u64::from(h[5]),
+                        p99: u64::from(h[6]),
+                    }),
+                )
+            } else {
+                (MetricKind::Counter, None)
+            };
+            TraceRecord::Metric(MetricSnapshot {
+                name,
+                kind,
+                value,
+                histogram,
+            })
+        })
+        .boxed();
+    Union::new(vec![meta, span_strategy(), event, opt_iter, metric]).boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn every_line_round_trips(records in proptest::collection::vec(record_strategy(), 1..8)) {
+        let text = write_jsonl(&records).expect("finite records must serialize");
+        prop_assert_eq!(text.lines().count(), records.len());
+        for line in text.lines() {
+            let one: TraceRecord = serde_json::from_str(line).expect("line must parse alone");
+            prop_assert!(records.contains(&one));
+        }
+        let reparsed = parse_jsonl(&text).expect("trace must parse");
+        prop_assert_eq!(reparsed, records);
+    }
+}

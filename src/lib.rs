@@ -13,6 +13,8 @@
 //!   baselines).
 //! * [`core`] — the AS-CDG flow itself: approximated targets, neighbor
 //!   discovery, Skeletonizer, random sampling, CDG-Runner, reports.
+//! * [`telemetry`] — span tracing, metrics registry and trace exporters
+//!   threaded through the flow when enabled.
 //!
 //! # Quickstart
 //!
@@ -36,4 +38,5 @@ pub use ascdg_duv as duv;
 pub use ascdg_opt as opt;
 pub use ascdg_stimgen as stimgen;
 pub use ascdg_tac as tac;
+pub use ascdg_telemetry as telemetry;
 pub use ascdg_template as template;

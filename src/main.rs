@@ -10,7 +10,8 @@
 use std::process::ExitCode;
 
 use ascdg::core::{
-    pool_scope, ApproxTarget, CdgFlow, FlowConfig, FlowEngine, FlowEvent, SessionState, TargetSpec,
+    pool_scope_with, ApproxTarget, CdgFlow, FlowConfig, FlowEngine, FlowEvent, RunManifest,
+    SessionState, TargetSpec, Telemetry,
 };
 use ascdg::coverage::{CoverageRepository, EventFamily, RepoSnapshot, StatusPolicy};
 use ascdg::duv::synthetic::{SyntheticConfig, SyntheticEnv};
@@ -25,6 +26,7 @@ fn main() -> ExitCode {
         Some("skeletonize") => cmd_skeletonize(&args[1..]),
         Some("regress") => cmd_regress(&args[1..]),
         Some("campaign") => cmd_campaign(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             Ok(())
@@ -48,6 +50,7 @@ USAGE:
       List the built-in simulated units and their environments.
   ascdg run --unit <io|l3|ifu|synthetic> [--family <stem>] [--scale <f>] [--seed <n>]
             [--snapshot <path>] [--checkpoint <path>] [--resume <path>] [--json <path>]
+            [--metrics-out <base>] [--threads <n>]
       Run the full AS-CDG flow. Without --family, targets every event
       still uncovered after regression (the IFU cross-product usage).
       --scale multiplies the paper's simulation budgets (default 0.1);
@@ -55,6 +58,9 @@ USAGE:
       --checkpoint writes the session snapshot to <path> after every
       stage; --resume restarts from such a snapshot, skipping the
       completed stages and reproducing the identical outcome.
+      --metrics-out enables telemetry and writes <base>.manifest.json
+      (run manifest) plus <base>.trace.jsonl (span/metric trace);
+      --threads overrides the configured worker-pool size.
   ascdg skeletonize <file> [--subranges <n>] [--include-zero-weights]
       Parse a test-template file and print its skeleton.
   ascdg regress --unit <io|l3|ifu|synthetic> [--sims <n>] [--save <path>]
@@ -63,6 +69,11 @@ USAGE:
   ascdg campaign --unit <io|l3|ifu|synthetic> [--scale <f>] [--seed <n>] [--json <path>]
       Sweep every uncovered family of the unit with one flow run each
       (the paper's per-unit deployment) and print the closure summary.
+  ascdg trace <file.trace.jsonl>
+      Render a `--metrics-out` trace: span tree with wall-clock and
+      simulation attribution, event counts and the metric table.
+  ascdg trace --manifest <file.manifest.json>
+      Print a run-manifest summary and check its internal accounting.
 ";
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
@@ -190,9 +201,15 @@ fn cmd_run(args: &[String]) -> CliResult {
     let seed: u64 = flag_value(args, "--seed").map_or(Ok(2021), str::parse)?;
     let family = flag_value(args, "--family").or_else(|| unit.default_family());
     let checkpoint_path = flag_value(args, "--checkpoint").map(str::to_owned);
+    let metrics_out = flag_value(args, "--metrics-out").map(str::to_owned);
+    let telemetry = if metrics_out.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
     let env = unit.env();
 
-    let (config, start) = if let Some(resume_path) = flag_value(args, "--resume") {
+    let (mut config, start) = if let Some(resume_path) = flag_value(args, "--resume") {
         let state: SessionState = serde_json::from_str(&std::fs::read_to_string(resume_path)?)?;
         eprintln!(
             "resuming `{}` after {:?} (seed {})",
@@ -231,9 +248,12 @@ fn cmd_run(args: &[String]) -> CliResult {
         };
         (unit.paper_config().scaled(scale), Start::Fresh(spec))
     };
+    if let Some(n) = flag_value(args, "--threads") {
+        config.threads = n.parse()?;
+    }
 
-    let outcome = pool_scope(config.threads, |pool| {
-        let engine = FlowEngine::new(&env, config.clone(), pool);
+    let (outcome, final_state) = pool_scope_with(config.threads, &telemetry, |pool| {
+        let engine = FlowEngine::new(&env, config.clone(), pool).with_telemetry(telemetry.clone());
         let mut cx = match &start {
             Start::Resume(state) => engine.resume((**state).clone())?,
             Start::WithRepo(repo, approx) => {
@@ -243,6 +263,7 @@ fn cmd_run(args: &[String]) -> CliResult {
         };
         cx.subscribe_fn(progress_events());
         if let Some(path) = checkpoint_path.clone() {
+            let checkpoint_telemetry = telemetry.clone();
             cx.on_checkpoint(move |snap| {
                 let json = match serde_json::to_string(snap) {
                     Ok(json) => json,
@@ -255,9 +276,22 @@ fn cmd_run(args: &[String]) -> CliResult {
                     Ok(()) => eprintln!("checkpoint -> {path}"),
                     Err(e) => eprintln!("warning: could not write checkpoint {path}: {e}"),
                 }
+                // With telemetry on, each checkpoint also gets a manifest
+                // so interrupted runs leave a comparable artifact behind.
+                if checkpoint_telemetry.is_enabled() {
+                    let manifest = RunManifest::from_state(snap, &checkpoint_telemetry);
+                    let mpath = format!("{path}.manifest.json");
+                    match manifest.to_json().map(|json| std::fs::write(&mpath, json)) {
+                        Ok(Ok(())) => {}
+                        Ok(Err(e)) => eprintln!("warning: could not write {mpath}: {e}"),
+                        Err(e) => eprintln!("warning: manifest did not serialize: {e}"),
+                    }
+                }
             });
         }
-        engine.run(&mut cx)
+        let result = engine.run(&mut cx);
+        let state = cx.state().clone();
+        result.map(|outcome| (outcome, state))
     })?;
     println!("{}", outcome.report());
     println!("harvested template:\n{}", outcome.best_template);
@@ -266,6 +300,63 @@ fn cmd_run(args: &[String]) -> CliResult {
         std::fs::write(path, serde_json::to_string_pretty(&outcome)?)?;
         eprintln!("wrote {path}");
     }
+    if let Some(base) = &metrics_out {
+        let manifest = RunManifest::from_state(&final_state, &telemetry);
+        manifest
+            .validate()
+            .map_err(|e| format!("run manifest failed validation: {e}"))?;
+        let mpath = format!("{base}.manifest.json");
+        std::fs::write(&mpath, manifest.to_json()?)?;
+        eprintln!("wrote {mpath}");
+        let trace = telemetry.export_trace(&final_state.unit, final_state.seed);
+        let tpath = format!("{base}.trace.jsonl");
+        std::fs::write(&tpath, ascdg::telemetry::write_jsonl(&trace)?)?;
+        eprintln!("wrote {tpath}");
+    }
+    Ok(())
+}
+
+/// `ascdg trace`: render a JSONL trace, or summarize + validate a
+/// run manifest with `--manifest`.
+fn cmd_trace(args: &[String]) -> CliResult {
+    if let Some(path) = flag_value(args, "--manifest") {
+        let manifest = RunManifest::from_json(&std::fs::read_to_string(path)?)?;
+        let commit = manifest
+            .provenance
+            .git_commit
+            .as_deref()
+            .map(|c| format!(" @ {c}"))
+            .unwrap_or_default();
+        println!(
+            "manifest schema v{} — unit {}, seed {}, ascdg {}{}",
+            manifest.schema_version,
+            manifest.unit,
+            manifest.seed,
+            manifest.provenance.package_version,
+            commit
+        );
+        for entry in &manifest.stage_sims {
+            println!("  {:<16} {:>10} sims", entry.stage, entry.sims);
+        }
+        if let Some(cov) = &manifest.coverage {
+            println!(
+                "coverage: {}/{} events covered over {} recorded sims",
+                cov.covered, cov.events, cov.total_sims
+            );
+        }
+        println!("{} metrics recorded", manifest.metrics.len());
+        manifest
+            .validate()
+            .map_err(|e| format!("manifest invalid: {e}"))?;
+        println!("accounting OK");
+        return Ok(());
+    }
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--") && flag_is_positional(args, a))
+        .ok_or("missing trace file (or --manifest <file>)")?;
+    let records = ascdg::telemetry::parse_jsonl(&std::fs::read_to_string(path)?)?;
+    print!("{}", ascdg::telemetry::render_trace(&records));
     Ok(())
 }
 

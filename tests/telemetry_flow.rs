@@ -1,0 +1,130 @@
+//! Telemetry is purely observational: the flow outcome must be
+//! byte-identical with telemetry on and off at every worker count, and
+//! the exported spans, metrics and run manifest must account every
+//! simulation exactly — flow span == Σ stage spans == the session's
+//! `stage_sims` ledger == phase timings == the coverage repository.
+//! Run under `ASCDG_TEST_THREADS={1,8}` in CI to pin the identity
+//! across worker counts.
+
+use ascdg::core::{
+    pool_scope_with, FlowConfig, FlowEngine, FlowOutcome, RunManifest, SessionState, TargetSpec,
+    Telemetry, STAGE_REGRESSION,
+};
+use ascdg::duv::io_unit::IoEnv;
+use ascdg::telemetry::{parse_jsonl, write_jsonl, SpanRecord, TraceRecord};
+
+fn test_threads() -> usize {
+    std::env::var("ASCDG_TEST_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4)
+}
+
+/// A budget that exercises every stage, refinement included.
+fn config(threads: usize) -> FlowConfig {
+    FlowConfig {
+        regression_sims_per_template: 400,
+        tac_top_n: 3,
+        sample_templates: 40,
+        sample_sims: 25,
+        opt_iterations: 8,
+        opt_directions: 10,
+        opt_sims: 30,
+        opt_initial_step: 0.25,
+        opt_target_value: None,
+        refine_iterations: 4,
+        best_sims: 600,
+        subranges: 4,
+        include_zero_weights: false,
+        neighbor_decay: 0.5,
+        threads,
+    }
+}
+
+fn run(threads: usize, telemetry: &Telemetry) -> (FlowOutcome, SessionState) {
+    let env = IoEnv::new();
+    let cfg = config(threads);
+    pool_scope_with(threads, telemetry, |pool| {
+        let engine = FlowEngine::new(&env, cfg.clone(), pool).with_telemetry(telemetry.clone());
+        let mut cx = engine.session(TargetSpec::Family("crc_".to_owned()), 11);
+        let outcome = engine.run(&mut cx).expect("flow runs");
+        (outcome, cx.state().clone())
+    })
+}
+
+/// Timings are wall-clock, so they are excluded from identity checks.
+fn outcome_json(mut outcome: FlowOutcome) -> String {
+    outcome.timings.clear();
+    serde_json::to_string(&outcome).expect("outcome serializes")
+}
+
+#[test]
+fn outcome_is_byte_identical_with_telemetry_on_and_off() {
+    for threads in [1, 2, test_threads()] {
+        let (off, _) = run(threads, &Telemetry::disabled());
+        let (on, _) = run(threads, &Telemetry::enabled());
+        assert_eq!(
+            outcome_json(off),
+            outcome_json(on),
+            "telemetry changed the outcome at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn spans_manifest_and_ledger_agree_on_every_simulation() {
+    let telemetry = Telemetry::enabled();
+    let (_outcome, state) = run(test_threads(), &telemetry);
+
+    // The manifest's own invariants: stage_sims ⊆ completed, phase
+    // timings match the ledger, coverage matches the regression stage.
+    let manifest = RunManifest::from_state(&state, &telemetry);
+    manifest.validate().expect("manifest accounting");
+    assert!(!manifest.metrics.is_empty(), "metrics were recorded");
+    let reg = state
+        .stage_sims
+        .iter()
+        .find(|s| s.stage == STAGE_REGRESSION)
+        .expect("regression ledger entry");
+    let coverage = manifest.coverage.as_ref().expect("coverage summary");
+    assert_eq!(coverage.total_sims, reg.sims);
+
+    // Span tree vs the ledger: every stage span carries exactly its
+    // stage's simulations, parented to the flow span which carries the
+    // total; every simulation went through an instrumented chunk.
+    let trace = telemetry.export_trace(&state.unit, state.seed);
+    let spans: Vec<&SpanRecord> = trace
+        .iter()
+        .filter_map(|r| match r {
+            TraceRecord::Span(s) => Some(s),
+            _ => None,
+        })
+        .collect();
+    let total: u64 = state.stage_sims.iter().map(|s| s.sims).sum();
+    let flow = spans.iter().find(|s| s.kind == "flow").expect("flow span");
+    assert_eq!(flow.sims, total);
+    assert_eq!(flow.parent, None);
+    for entry in &state.stage_sims {
+        let span = spans
+            .iter()
+            .find(|s| s.kind == "stage" && s.name == entry.stage)
+            .unwrap_or_else(|| panic!("no span for stage `{}`", entry.stage));
+        assert_eq!(span.sims, entry.sims, "stage `{}` span", entry.stage);
+        assert_eq!(span.parent, Some(flow.id), "stage `{}` parent", entry.stage);
+    }
+    let chunk_total: u64 = spans
+        .iter()
+        .filter(|s| s.kind == "chunk")
+        .map(|s| s.sims)
+        .sum();
+    assert_eq!(chunk_total, total, "chunk spans must cover every sim");
+
+    // Both export formats round-trip losslessly.
+    let text = write_jsonl(&trace).expect("trace serializes");
+    assert_eq!(parse_jsonl(&text).expect("trace parses"), trace);
+    let json = manifest.to_json().expect("manifest serializes");
+    assert_eq!(
+        RunManifest::from_json(&json).expect("manifest parses"),
+        manifest
+    );
+}
