@@ -49,6 +49,38 @@ fn main() {
             probe.disabled_wall_ms, probe.enabled_wall_ms, probe.overhead_pct, probe.identical
         );
     }
+    if let Some(probe) = &report.campaign {
+        match probe.speedup {
+            Some(speedup) => eprintln!(
+                "campaign: {:.1} ms at jobs=1 / {:.1} ms at jobs={} over {} groups — {:.2}x, identical: {}",
+                probe.sequential_wall_ms,
+                probe.concurrent_wall_ms,
+                probe.jobs,
+                probe.groups,
+                speedup,
+                probe.identical
+            ),
+            None => eprintln!(
+                "campaign: {:.1} ms at jobs=1 / {:.1} ms at jobs={} over {} groups — speedup skipped ({} hardware thread), identical: {}",
+                probe.sequential_wall_ms,
+                probe.concurrent_wall_ms,
+                probe.jobs,
+                probe.groups,
+                report.machine_threads,
+                probe.identical
+            ),
+        }
+    }
+    if let Some(probe) = &report.coalesce {
+        eprintln!(
+            "coalesce: {} evals, {} logical sims -> {} executed ({} evals coalesced), identical: {}",
+            probe.evals,
+            probe.sims_logical,
+            probe.sims_executed,
+            probe.coalesced_evals,
+            probe.identical
+        );
+    }
     assert!(
         report.phase_identical && report.repo_identical,
         "parallel run diverged from serial — determinism bug"
@@ -57,6 +89,15 @@ fn main() {
         report.telemetry.as_ref().is_none_or(|p| p.identical),
         "telemetry changed the phase outcome — instrumentation bug"
     );
+    assert!(
+        report.campaign.as_ref().is_none_or(|p| p.identical),
+        "concurrent campaign diverged from sequential — determinism bug"
+    );
+    assert!(
+        report.coalesce.as_ref().is_none_or(|p| p.identical),
+        "coalesced flow diverged from its point-seeded reference"
+    );
+    check_campaign_speedup(&report);
     check_baseline(&report);
     let json = serde_json::to_string_pretty(&report).expect("serialize");
     std::fs::write("BENCH_parallel.json", json).expect("write BENCH_parallel.json");
@@ -96,6 +137,36 @@ fn check_baseline(report: &ascdg_bench::parallel::ParallelBenchReport) {
             );
         }
         eprintln!("warning: >2% regression vs baseline (set ASCDG_BENCH_STRICT=1 to fail)");
+    }
+}
+
+/// Hard-gates the campaign overlap win under `ASCDG_BENCH_STRICT=1`: at
+/// least 1.5x on a machine with 4+ hardware threads. Smaller machines
+/// cannot render the verdict, so they log the skip instead of failing.
+fn check_campaign_speedup(report: &ascdg_bench::parallel::ParallelBenchReport) {
+    let strict = std::env::var("ASCDG_BENCH_STRICT").is_ok_and(|v| v == "1");
+    let Some(probe) = &report.campaign else {
+        return;
+    };
+    if report.machine_threads < 4 {
+        eprintln!(
+            "campaign speedup gate: skipped ({} hardware thread(s), need 4+ for a meaningful verdict)",
+            report.machine_threads
+        );
+        return;
+    }
+    match probe.speedup {
+        Some(speedup) if strict => assert!(
+            speedup >= 1.5,
+            "campaign overlap won only {speedup:.2}x on {} threads (need 1.5x)",
+            report.machine_threads
+        ),
+        Some(speedup) if speedup < 1.5 => {
+            eprintln!(
+                "warning: campaign overlap won only {speedup:.2}x (set ASCDG_BENCH_STRICT=1 to fail)"
+            );
+        }
+        _ => {}
     }
 }
 

@@ -14,7 +14,8 @@ use std::sync::Arc;
 
 use ascdg_core::{
     machine_threads, pool_scope_with, ApproxTarget, BatchRunner, BatchStats, CdgFlow, CdgObjective,
-    CounterSnapshot, FlowConfig, FlowError, Skeletonizer, Telemetry,
+    CounterSnapshot, EvalStrategy, FlowConfig, FlowEngine, FlowError, Skeletonizer, TargetSpec,
+    Telemetry,
 };
 use ascdg_coverage::EventFamily;
 use ascdg_duv::{io_unit::IoEnv, VerifEnv};
@@ -75,6 +76,53 @@ pub struct ParallelBenchReport {
     /// telemetry handle, against a fresh disabled-handle baseline.
     #[serde(default)]
     pub telemetry: Option<TelemetryProbe>,
+    /// Campaign-throughput probe: the whole-unit paper_io campaign at
+    /// `campaign_jobs = 1` vs a concurrent jobs count.
+    #[serde(default)]
+    pub campaign: Option<CampaignProbe>,
+    /// Evaluation-coalescing probe: the crc_ flow under the point-seeded
+    /// strategy with and without duplicate coalescing.
+    #[serde(default)]
+    pub coalesce: Option<CoalesceProbe>,
+}
+
+/// Measures what overlapping target-group flows on the shared pool buys —
+/// and proves the `CampaignOutcome` does not depend on the jobs count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignProbe {
+    /// Target groups the campaign swept.
+    pub groups: usize,
+    /// Concurrent jobs of the overlapped run.
+    pub jobs: usize,
+    /// Whole-campaign wall clock at `campaign_jobs = 1`, ms.
+    pub sequential_wall_ms: f64,
+    /// Whole-campaign wall clock at `campaign_jobs = jobs`, ms.
+    pub concurrent_wall_ms: f64,
+    /// `sequential / concurrent`, or `None` on a single-hardware-thread
+    /// machine (overlap can only measure oversubscription there).
+    pub speedup: Option<f64>,
+    /// Whether both runs produced a byte-identical `CampaignOutcome`.
+    /// Must always be `true`.
+    pub identical: bool,
+}
+
+/// Measures what duplicate-evaluation coalescing saves — and proves the
+/// flow outcome matches the uncoalesced point-seeded reference run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoalesceProbe {
+    /// Objective evaluations the coalesced flow performed.
+    pub evals: u64,
+    /// Simulations the *uncoalesced* point-seeded flow executed for those
+    /// evaluations (the logical demand).
+    pub sims_logical: u64,
+    /// Simulations the coalesced flow actually executed.
+    pub sims_executed: u64,
+    /// Evaluations served from the eval cache (or deduplicated within a
+    /// batch) instead of simulating.
+    pub coalesced_evals: u64,
+    /// Whether the coalesced and uncoalesced flows produced identical
+    /// outcomes (timings aside). Must always be `true`.
+    pub identical: bool,
 }
 
 /// Measures what enabling telemetry costs (and proves it changes nothing).
@@ -252,6 +300,87 @@ impl PhaseHarness {
     }
 }
 
+/// Times the whole paper_io campaign sequentially and with `jobs` group
+/// flows overlapped on a pool of `threads` workers, checking that the
+/// outcome stays byte-identical.
+///
+/// # Errors
+///
+/// Propagates campaign failures.
+pub fn campaign_probe(
+    scale: f64,
+    seed: u64,
+    threads: usize,
+    jobs: usize,
+) -> Result<CampaignProbe, FlowError> {
+    let env = IoEnv::new();
+    let run_at = |jobs: usize| -> Result<(f64, String, usize), FlowError> {
+        let mut cfg = FlowConfig::paper_io().scaled(scale);
+        cfg.threads = threads;
+        cfg.campaign_jobs = jobs;
+        let flow = CdgFlow::new(env.clone(), cfg);
+        let clock = Instant::now();
+        let outcome = flow.run_campaign(seed)?;
+        let wall_ms = clock.elapsed().as_secs_f64() * 1e3;
+        let json = serde_json::to_string(&outcome).expect("campaign outcome serializes");
+        Ok((wall_ms, json, outcome.groups.len()))
+    };
+    let (sequential_wall_ms, sequential_json, groups) = run_at(1)?;
+    let (concurrent_wall_ms, concurrent_json, _) = run_at(jobs)?;
+    let speedup = if machine_threads() > 1 && concurrent_wall_ms > 0.0 {
+        Some(sequential_wall_ms / concurrent_wall_ms)
+    } else {
+        None
+    };
+    Ok(CampaignProbe {
+        groups,
+        jobs,
+        sequential_wall_ms,
+        concurrent_wall_ms,
+        speedup,
+        identical: sequential_json == concurrent_json,
+    })
+}
+
+/// Runs the crc_ flow once under the uncoalesced point-seeded strategy and
+/// once with coalescing on, comparing outcomes and simulation demand.
+///
+/// # Errors
+///
+/// Propagates flow failures.
+pub fn coalesce_probe(scale: f64, seed: u64) -> Result<CoalesceProbe, FlowError> {
+    let env = IoEnv::new();
+    // (outcome-sans-timings JSON, evals, sims executed, coalesced evals)
+    let run = |strategy: EvalStrategy| -> Result<(String, u64, u64, u64), FlowError> {
+        let mut cfg = FlowConfig::paper_io().scaled(scale);
+        cfg.threads = 1;
+        cfg.eval_strategy = strategy;
+        let telemetry = Telemetry::enabled();
+        let mut outcome = pool_scope_with(cfg.threads, &telemetry, |pool| {
+            let engine = FlowEngine::new(&env, cfg.clone(), pool).with_telemetry(telemetry.clone());
+            let mut cx = engine.session(TargetSpec::Family("crc_".to_owned()), seed);
+            engine.run(&mut cx)
+        })?;
+        outcome.timings.clear();
+        let m = telemetry.metrics().expect("enabled telemetry has metrics");
+        Ok((
+            serde_json::to_string(&outcome).expect("flow outcome serializes"),
+            m.counter("objective.evals").value(),
+            m.counter("objective.sims_executed").value(),
+            m.counter("objective.coalesced").value(),
+        ))
+    };
+    let (reference_json, _, sims_logical, _) = run(EvalStrategy::PointSeeded)?;
+    let (coalesced_json, evals, sims_executed, coalesced_evals) = run(EvalStrategy::Coalesced)?;
+    Ok(CoalesceProbe {
+        evals,
+        sims_logical,
+        sims_executed,
+        coalesced_evals,
+        identical: reference_json == coalesced_json,
+    })
+}
+
 /// Runs the whole benchmark: regression identity, then the paper_io
 /// implicit-filtering phase at 1 thread and at `threads` (0 = machine
 /// size), with a byte-identity check between the two runs.
@@ -296,6 +425,13 @@ pub fn parallel_bench(
         },
         identical: off_stats == on_stats && off_best == on_best,
     });
+    let campaign = Some(campaign_probe(
+        scale,
+        seed,
+        parallel_threads,
+        parallel_threads.max(2),
+    )?);
+    let coalesce = Some(coalesce_probe(scale, seed)?);
     Ok(ParallelBenchReport {
         scale,
         seed,
@@ -308,6 +444,8 @@ pub fn parallel_bench(
         regression_serial,
         regression_parallel,
         telemetry,
+        campaign,
+        coalesce,
     })
 }
 
@@ -335,6 +473,19 @@ mod tests {
         assert!(probe.identical, "telemetry changed the phase outcome");
         assert!(probe.disabled_wall_ms > 0.0);
         assert!(probe.enabled_wall_ms > 0.0);
+        // Overlapping group flows must never change the campaign outcome.
+        let campaign = report.campaign.expect("probe always runs");
+        assert!(campaign.identical, "concurrent campaign diverged");
+        assert!(campaign.groups > 1, "paper_io should sweep several groups");
+        assert!(campaign.jobs >= 2);
+        // Coalescing must save simulations without changing the flow.
+        let coalesce = report.coalesce.expect("probe always runs");
+        assert!(coalesce.identical, "coalesced flow diverged from reference");
+        assert!(coalesce.coalesced_evals > 0, "nothing was coalesced");
+        assert!(
+            coalesce.sims_executed < coalesce.sims_logical,
+            "coalescing did not reduce executed simulations"
+        );
     }
 
     #[test]

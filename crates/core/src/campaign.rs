@@ -8,14 +8,19 @@
 //! for uncovered events outside any family), and a unit-level summary of
 //! what closed, what resisted, and what it cost.
 
+use std::sync::{Mutex, PoisonError};
+
 use serde::{Deserialize, Serialize};
 
 use ascdg_coverage::{EventFamily, EventId, StatusCounts, StatusPolicy};
 use ascdg_duv::VerifEnv;
 use ascdg_stimgen::mix_seed;
+use ascdg_telemetry::Telemetry;
 use ascdg_template::TemplateLibrary;
 
-use crate::pool::pool_scope;
+use crate::pool::pool_scope_with;
+use crate::scheduler;
+use crate::session::{CampaignProgress, GroupProgress, SessionState};
 use crate::{ApproxTarget, CdgFlow, FlowEngine, FlowError, FlowOutcome, PHASE_BEFORE, PHASE_BEST};
 
 /// One target group's result within a campaign.
@@ -99,10 +104,30 @@ impl CampaignOutcome {
     }
 }
 
+/// A campaign's outcome together with the per-group session evidence the
+/// scheduler kept: one final [`SessionState`] per group that ran (indexed
+/// like [`CampaignOutcome::groups`]), each carrying the group's full
+/// `stage_sims` ledger for manifest validation.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// The deterministic campaign outcome (byte-identical at any
+    /// `campaign_jobs` value).
+    pub outcome: CampaignOutcome,
+    /// Per-group final session states, in group order; `None` for groups
+    /// whose flow failed.
+    pub sessions: Vec<Option<SessionState>>,
+}
+
 impl<E: VerifEnv> CdgFlow<E> {
     /// Runs a whole-unit campaign: one shared regression, then one flow
     /// run per family with uncovered members, then one combined run for
     /// any uncovered events outside families.
+    ///
+    /// With `campaign_jobs > 1` in the configuration, the groups' flows
+    /// are interleaved stage by stage over the shared worker pool (see
+    /// the `scheduler` module); each group's seed is salted by its index
+    /// before any scheduling happens, so the outcome is byte-identical to
+    /// the sequential sweep.
     ///
     /// Groups that fail (no evidence, empty skeleton, ...) are recorded
     /// with their failure instead of aborting the campaign.
@@ -111,6 +136,48 @@ impl<E: VerifEnv> CdgFlow<E> {
     ///
     /// Only the shared regression can fail the whole campaign.
     pub fn run_campaign(&self, seed: u64) -> Result<CampaignOutcome, FlowError> {
+        self.run_campaign_inner(seed, &Telemetry::disabled(), None)
+            .map(|report| report.outcome)
+    }
+
+    /// Like [`CdgFlow::run_campaign`], with telemetry recording and the
+    /// per-group final session states in the returned report (for
+    /// per-group run manifests).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CdgFlow::run_campaign`].
+    pub fn run_campaign_with(
+        &self,
+        seed: u64,
+        telemetry: &Telemetry,
+    ) -> Result<CampaignReport, FlowError> {
+        self.run_campaign_inner(seed, telemetry, None)
+    }
+
+    /// Like [`CdgFlow::run_campaign_with`], streaming a whole-campaign
+    /// [`CampaignProgress`] checkpoint to `on_progress` after every
+    /// completed group stage. The sink may be called from any scheduler
+    /// worker (calls are serialized, states are consistent snapshots).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CdgFlow::run_campaign`].
+    pub fn run_campaign_observed(
+        &self,
+        seed: u64,
+        telemetry: &Telemetry,
+        on_progress: &(dyn Fn(&CampaignProgress) + Sync),
+    ) -> Result<CampaignReport, FlowError> {
+        self.run_campaign_inner(seed, telemetry, Some(on_progress))
+    }
+
+    fn run_campaign_inner(
+        &self,
+        seed: u64,
+        telemetry: &Telemetry,
+        on_progress: Option<&(dyn Fn(&CampaignProgress) + Sync)>,
+    ) -> Result<CampaignReport, FlowError> {
         let model = self.env().coverage_model();
         let policy = StatusPolicy::default();
         let repo = self.run_regression(mix_seed(seed, 0xca3))?;
@@ -122,13 +189,16 @@ impl<E: VerifEnv> CdgFlow<E> {
         let uncovered = repo.uncovered_events();
         if model.cross_product().is_some() {
             if uncovered.is_empty() {
-                return Ok(CampaignOutcome {
-                    unit: self.env().unit_name().to_owned(),
-                    before,
-                    after: before,
-                    groups: Vec::new(),
-                    total_sims: repo.total_simulations(),
-                    harvested: TemplateLibrary::new(),
+                return Ok(CampaignReport {
+                    outcome: CampaignOutcome {
+                        unit: self.env().unit_name().to_owned(),
+                        before,
+                        after: before,
+                        groups: Vec::new(),
+                        total_sims: repo.total_simulations(),
+                        harvested: TemplateLibrary::new(),
+                    },
+                    sessions: Vec::new(),
                 });
             }
             return self.run_campaign_groups(
@@ -136,6 +206,8 @@ impl<E: VerifEnv> CdgFlow<E> {
                 before,
                 vec![("(cross-product)".to_owned(), uncovered)],
                 seed,
+                telemetry,
+                on_progress,
             );
         }
         let mut groups: Vec<(String, Vec<EventId>)> = Vec::new();
@@ -159,112 +231,180 @@ impl<E: VerifEnv> CdgFlow<E> {
         if !leftovers.is_empty() {
             groups.push(("(ungrouped)".to_owned(), leftovers));
         }
-        self.run_campaign_groups(repo, before, groups, seed)
+        self.run_campaign_groups(repo, before, groups, seed, telemetry, on_progress)
     }
 
-    /// Shared campaign tail: runs the flow per pre-built group.
+    /// Shared campaign tail: schedules the flow per pre-built group.
+    ///
+    /// Every group's session is built — and its seed salted by its group
+    /// index — **before** any scheduling happens, the sessions share no
+    /// mutable state (each gets its own copy of the regression snapshot),
+    /// and the fold below walks the finished runs in group order. That is
+    /// the whole identity argument: nothing about the result depends on
+    /// which worker stepped which group when, so any `campaign_jobs`
+    /// value produces the same bytes.
     fn run_campaign_groups(
         &self,
         repo: ascdg_coverage::CoverageRepository,
         before: StatusCounts,
         groups: Vec<(String, Vec<EventId>)>,
         seed: u64,
-    ) -> Result<CampaignOutcome, FlowError> {
+        telemetry: &Telemetry,
+        on_progress: Option<&(dyn Fn(&CampaignProgress) + Sync)>,
+    ) -> Result<CampaignReport, FlowError> {
         let policy = StatusPolicy::default();
-        // Run one engine session per group against the shared regression
-        // repository. All groups share one persistent worker pool (and one
-        // engine) instead of spinning a pool up per group.
-        let mut out_groups = Vec::with_capacity(groups.len());
+        let n = groups.len();
+        let jobs = self.config().campaign_jobs;
+        // All groups share one persistent worker pool (and one engine)
+        // instead of spinning a pool up per group.
+        let (mut runs, prep_failures) = pool_scope_with(self.config().threads, telemetry, |pool| {
+            let engine = FlowEngine::new(self.env(), self.config().clone(), pool)
+                .with_telemetry(telemetry.clone());
+            let mut scheduled: Vec<(usize, SessionState)> = Vec::with_capacity(n);
+            let mut prep_failures: Vec<Option<String>> = vec![None; n];
+            for (i, (_, targets)) in groups.iter().enumerate() {
+                let prep = ApproxTarget::auto(
+                    self.env().coverage_model(),
+                    targets,
+                    self.config().neighbor_decay,
+                )
+                .and_then(|approx| {
+                    engine.session_with_repo(&repo, approx, mix_seed(seed, 0xc0 + i as u64))
+                });
+                match prep {
+                    Ok(cx) => scheduled.push((i, cx.into_state())),
+                    Err(e) => prep_failures[i] = Some(e.to_string()),
+                }
+            }
+            // Adapt the scheduler's per-group snapshots into
+            // whole-campaign progress checkpoints.
+            let tracker = on_progress.map(|sink| {
+                let init = CampaignProgress {
+                    unit: self.env().unit_name().to_owned(),
+                    seed,
+                    groups: groups
+                        .iter()
+                        .enumerate()
+                        .map(|(i, (name, _))| GroupProgress {
+                            name: name.clone(),
+                            session: None,
+                            failure: prep_failures[i].clone(),
+                        })
+                        .collect(),
+                };
+                (Mutex::new(init), sink)
+            });
+            let on_step = tracker.as_ref().map(|(progress, sink)| {
+                Box::new(move |i: usize, state: &SessionState| {
+                    let mut p = progress.lock().unwrap_or_else(PoisonError::into_inner);
+                    p.groups[i].session = Some(state.clone());
+                    sink(&p);
+                }) as Box<dyn Fn(usize, &SessionState) + Sync>
+            });
+            let runs = scheduler::run_interleaved(&engine, jobs, scheduled, n, on_step.as_deref());
+            (runs, prep_failures)
+        });
+
+        // Fold the finished runs in group order (the harvested-name
+        // collision suffix and the summary are order-sensitive; the hit
+        // union is commutative anyway).
+        let mut out_groups = Vec::with_capacity(n);
+        let mut sessions: Vec<Option<SessionState>> = vec![None; n];
         let mut harvested = TemplateLibrary::new();
         let mut union_hits: Vec<u64> = repo.all_global_stats().iter().map(|s| s.hits).collect();
         let union_sims_base = repo.total_simulations();
         let mut extra_sims: u64 = 0;
         let mut union_extra_sims: u64 = 0;
-        pool_scope(self.config().threads, |pool| {
-            let engine = FlowEngine::new(self.env(), self.config().clone(), pool);
-            for (i, (name, targets)) in groups.into_iter().enumerate() {
-                let run = ApproxTarget::auto(
-                    self.env().coverage_model(),
-                    &targets,
-                    self.config().neighbor_decay,
-                )
-                .and_then(|approx| {
-                    let mut cx =
-                        engine.session_with_repo(&repo, approx, mix_seed(seed, 0xc0 + i as u64))?;
-                    engine.run(&mut cx)
-                });
-                let outcome = match run {
-                    Ok(outcome) => outcome,
-                    Err(e) => {
-                        fail_group(&mut out_groups, name, targets, e.to_string());
-                        continue;
-                    }
-                };
-                let Some(best) = outcome.phase(PHASE_BEST).cloned() else {
-                    fail_group(
-                        &mut out_groups,
-                        name,
-                        targets,
-                        "flow produced no best-test phase".to_owned(),
-                    );
+        for (i, (name, targets)) in groups.into_iter().enumerate() {
+            let (outcome, state) = match runs[i].take() {
+                Some(Ok(run)) => run,
+                Some(Err(e)) => {
+                    fail_group(&mut out_groups, name, targets, e.to_string());
                     continue;
-                };
-                let group_sims = non_regression_sims(&outcome);
-                extra_sims += group_sims;
-                let newly = targets
-                    .iter()
-                    .filter(|&&e| best.hits[e.index()] > 0)
-                    .count();
-                // Fold the best-test evidence into the unit-level "after"
-                // picture.
-                for (acc, &h) in union_hits.iter_mut().zip(&best.hits) {
-                    *acc += h;
                 }
-                union_extra_sims += best.sims;
-                // Two groups can choose the same stock template, so qualify
-                // the harvested name by the group (and, should two groups
-                // still collide, by the group index).
-                let clean: String = name
-                    .chars()
-                    .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-                    .collect();
-                let mut template_name = format!("{}__{clean}", outcome.best_template.name());
-                if harvested.by_name(&template_name).is_some() {
-                    template_name = format!("{template_name}_{i}");
+                None => {
+                    let why = prep_failures[i]
+                        .clone()
+                        .unwrap_or_else(|| "group was never scheduled".to_owned());
+                    fail_group(&mut out_groups, name, targets, why);
+                    continue;
                 }
-                match harvested.push(outcome.best_template.renamed(&template_name)) {
-                    Ok(_) => out_groups.push(CampaignGroup {
+            };
+            let Some(best) = outcome.phase(PHASE_BEST).cloned() else {
+                fail_group(
+                    &mut out_groups,
+                    name,
+                    targets,
+                    "flow produced no best-test phase".to_owned(),
+                );
+                continue;
+            };
+            let group_sims = non_regression_sims(&outcome);
+            extra_sims += group_sims;
+            let newly = targets
+                .iter()
+                .filter(|&&e| best.hits[e.index()] > 0)
+                .count();
+            // Fold the best-test evidence into the unit-level "after"
+            // picture.
+            for (acc, &h) in union_hits.iter_mut().zip(&best.hits) {
+                *acc += h;
+            }
+            union_extra_sims += best.sims;
+            // Two groups can choose the same stock template, so qualify
+            // the harvested name by the group (and, should two groups
+            // still collide, by the group index).
+            let clean: String = name
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect();
+            let mut template_name = format!("{}__{clean}", outcome.best_template.name());
+            if harvested.by_name(&template_name).is_some() {
+                template_name = format!("{template_name}_{i}");
+            }
+            match harvested.push(outcome.best_template.renamed(&template_name)) {
+                Ok(_) => {
+                    sessions[i] = Some(state);
+                    out_groups.push(CampaignGroup {
                         name,
                         targets,
                         newly_covered: newly,
                         sims: group_sims,
                         harvested_template: Some(template_name),
                         failure: None,
-                    }),
-                    Err(e) => {
-                        fail_group(
-                            &mut out_groups,
-                            name,
-                            targets,
-                            FlowError::from(e).to_string(),
-                        );
-                    }
+                    });
+                }
+                Err(e) => {
+                    fail_group(
+                        &mut out_groups,
+                        name,
+                        targets,
+                        FlowError::from(e).to_string(),
+                    );
                 }
             }
-        });
+        }
+
+        if let Some(m) = telemetry.metrics() {
+            m.gauge("campaign.coalesced_evals")
+                .set(m.counter("objective.coalesced").value() as f64);
+        }
 
         let after = policy.count(union_hits.iter().map(|&hits| ascdg_coverage::HitStats {
             hits,
             sims: union_sims_base + union_extra_sims,
         }));
 
-        Ok(CampaignOutcome {
-            unit: self.env().unit_name().to_owned(),
-            before,
-            after,
-            groups: out_groups,
-            total_sims: union_sims_base + extra_sims,
-            harvested,
+        Ok(CampaignReport {
+            outcome: CampaignOutcome {
+                unit: self.env().unit_name().to_owned(),
+                before,
+                after,
+                groups: out_groups,
+                total_sims: union_sims_base + extra_sims,
+                harvested,
+            },
+            sessions,
         })
     }
 }

@@ -200,32 +200,80 @@ impl<'env, E: VerifEnv> FlowEngine<'env, E> {
                 cx.emit(FlowEvent::StageSkipped {
                     stage: name.to_owned(),
                 });
-                continue;
             }
-            cx.emit(FlowEvent::StageStarted {
-                stage: name.to_owned(),
-            });
-            self.telemetry.set_stage(name);
-            let stage_span = self.telemetry.scope_span("stage", name);
-            let result = stage.run(cx);
-            stage_span.finish(result.as_ref().map_or(0, |o| o.sims));
-            self.telemetry.clear_stage();
-            let output = result?;
-            cx.state_mut().completed.push(name.to_owned());
-            cx.state_mut().stage_sims.push(StageSims {
-                stage: name.to_owned(),
-                sims: output.sims,
-            });
-            cx.emit(FlowEvent::StageCompleted {
-                stage: name.to_owned(),
-                sims: output.sims,
-            });
-            cx.take_checkpoint(name);
         }
+        while self.step(cx)?.is_some() {}
         // The flow span is attributed the whole run's simulations,
         // including stages completed before a resume.
         flow_span.finish(cx.state().stage_sims.iter().map(|s| s.sims).sum());
         self.outcome(cx)
+    }
+
+    /// The first stage of the engine's list the session has not yet
+    /// completed, or `None` when every stage already ran.
+    #[must_use]
+    pub fn next_stage(&self, state: &SessionState) -> Option<&'static str> {
+        self.stages
+            .iter()
+            .map(|s| s.name())
+            .find(|name| !state.is_completed(name))
+    }
+
+    /// Runs exactly one pending stage — the schedulable unit the campaign
+    /// scheduler interleaves across sessions — with the same event,
+    /// telemetry and checkpoint bookkeeping as [`FlowEngine::run`].
+    /// Returns the name of the stage that ran, or `None` when every stage
+    /// had already completed. Stepping a session to exhaustion and calling
+    /// [`FlowEngine::finish`] is byte-identical to one [`FlowEngine::run`].
+    ///
+    /// # Errors
+    ///
+    /// The stage's error, exactly as [`FlowEngine::run`] would surface it.
+    pub fn step(&self, cx: &mut SessionCx<'_, '_, E>) -> Result<Option<&'static str>, FlowError> {
+        let Some(stage) = self
+            .stages
+            .iter()
+            .find(|s| !cx.state().is_completed(s.name()))
+        else {
+            return Ok(None);
+        };
+        let name = stage.name();
+        cx.emit(FlowEvent::StageStarted {
+            stage: name.to_owned(),
+        });
+        self.telemetry.set_stage(name);
+        let stage_span = self.telemetry.scope_span("stage", name);
+        let result = stage.run(cx);
+        stage_span.finish(result.as_ref().map_or(0, |o| o.sims));
+        self.telemetry.clear_stage();
+        let output = result?;
+        cx.state_mut().completed.push(name.to_owned());
+        cx.state_mut().stage_sims.push(StageSims {
+            stage: name.to_owned(),
+            sims: output.sims,
+        });
+        cx.emit(FlowEvent::StageCompleted {
+            stage: name.to_owned(),
+            sims: output.sims,
+        });
+        cx.take_checkpoint(name);
+        Ok(Some(name))
+    }
+
+    /// Assembles the [`FlowOutcome`] of a session whose stages have all
+    /// run (i.e. [`FlowEngine::step`] returned `None`).
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::MissingStageState`] when a required stage product is
+    /// absent from the session state.
+    pub fn finish(&self, cx: &SessionCx<'_, '_, E>) -> Result<FlowOutcome, FlowError> {
+        self.outcome(cx)
+    }
+
+    /// The engine's worker pool handle (for occupancy observability).
+    pub(crate) fn pool(&self) -> &SimPool<'env> {
+        &self.pool
     }
 
     /// Assembles the outcome from a session whose stages all ran.

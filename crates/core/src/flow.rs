@@ -11,6 +11,7 @@ use ascdg_template::{Skeleton, TestTemplate};
 
 use crate::engine::FlowEngine;
 use crate::events::ObserverBridge;
+use crate::objective::EvalStrategy;
 use crate::pool::{pool_scope, SimPool};
 use crate::session::TargetSpec;
 use crate::stages::regression_repository;
@@ -76,6 +77,24 @@ pub struct FlowConfig {
     /// Every simulation phase of one run shares a single persistent worker
     /// pool of this many threads.
     pub threads: usize,
+    /// Target-group flows a campaign keeps in flight concurrently over the
+    /// shared worker pool (`1` = sequential sweep). Group seeds are salted
+    /// per group index before any scheduling happens, so the
+    /// [`CampaignOutcome`](crate::CampaignOutcome) is byte-identical at
+    /// any value.
+    #[serde(default = "default_campaign_jobs")]
+    pub campaign_jobs: usize,
+    /// How [`CdgObjective`](crate::CdgObjective) evaluations derive their
+    /// seed streams (and whether duplicate points are coalesced). The
+    /// default, [`EvalStrategy::Indexed`], is the historical per-evaluation
+    /// scheme; switching strategy changes the sampled seeds and therefore
+    /// the outcome, so it is opt-in.
+    #[serde(default)]
+    pub eval_strategy: EvalStrategy,
+}
+
+fn default_campaign_jobs() -> usize {
+    1
 }
 
 impl FlowConfig {
@@ -98,6 +117,8 @@ impl FlowConfig {
             include_zero_weights: false,
             neighbor_decay: 0.5,
             threads: 1,
+            campaign_jobs: default_campaign_jobs(),
+            eval_strategy: EvalStrategy::Indexed,
         }
     }
 
@@ -122,6 +143,8 @@ impl FlowConfig {
             include_zero_weights: false,
             neighbor_decay: 0.5,
             threads: 0,
+            campaign_jobs: default_campaign_jobs(),
+            eval_strategy: EvalStrategy::Indexed,
         }
     }
 
@@ -145,6 +168,8 @@ impl FlowConfig {
             include_zero_weights: false,
             neighbor_decay: 0.5,
             threads: 0,
+            campaign_jobs: default_campaign_jobs(),
+            eval_strategy: EvalStrategy::Indexed,
         }
     }
 
@@ -168,6 +193,8 @@ impl FlowConfig {
             include_zero_weights: false,
             neighbor_decay: 0.5,
             threads: 0,
+            campaign_jobs: default_campaign_jobs(),
+            eval_strategy: EvalStrategy::Indexed,
         }
     }
 

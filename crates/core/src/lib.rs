@@ -53,13 +53,14 @@ mod objective;
 pub mod pool;
 mod report;
 pub mod sampling;
+mod scheduler;
 mod session;
 mod skeletonizer;
 mod stages;
 
 pub use ascdg_telemetry::Telemetry;
 pub use batch::{BatchCounters, BatchRunner, BatchStats, CounterSnapshot, ResolvedTemplate};
-pub use campaign::{CampaignGroup, CampaignOutcome};
+pub use campaign::{CampaignGroup, CampaignOutcome, CampaignReport};
 pub use engine::FlowEngine;
 pub use error::FlowError;
 pub use events::{EventBus, EventLog, FlowEvent, FlowSubscriber, ObserverBridge};
@@ -70,13 +71,15 @@ pub use flow::{
 pub use manifest::{CoverageSummary, RunManifest, MANIFEST_SCHEMA_VERSION};
 pub use multi_target::{MultiTargetOutcome, TargetGroupResult};
 pub use neighbors::ApproxTarget;
-pub use objective::CdgObjective;
+pub use objective::{CdgObjective, EvalStrategy};
 pub use pool::{machine_threads, pool_scope, pool_scope_with, SimPool};
 pub use report::{
     family_table_csv, render_cross_breakdown, render_family_table, render_status_chart,
     render_timings, render_trace_chart, trace_csv,
 };
-pub use session::{SessionCx, SessionState, StageSims, TargetSpec};
+pub use session::{
+    CampaignProgress, GroupProgress, SessionCx, SessionState, StageSims, TargetSpec,
+};
 pub use skeletonizer::{Skeletonizer, SubrangeSpan};
 pub use stages::{
     default_stages, CoarseSearch, Harvest, Optimize, RandomSample, Refine, Regression, Skeletonize,

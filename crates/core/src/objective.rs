@@ -3,6 +3,8 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
+use serde::{Deserialize, Serialize};
+
 use ascdg_duv::VerifEnv;
 use ascdg_opt::Objective;
 use ascdg_stimgen::mix_seed;
@@ -10,11 +12,40 @@ use ascdg_template::{ResolvedParams, Skeleton};
 
 use crate::{ApproxTarget, BatchRunner, BatchStats, ResolvedTemplate};
 
-/// Backstop bound on the per-phase resolve cache. Implicit filtering
-/// revisits only a handful of stencil centers, so the cache stays tiny in
-/// practice; at the bound it is simply cleared (resolution is pure, so a
-/// cleared entry only costs a re-resolve).
+/// Backstop bound on the per-phase resolve and evaluation caches. Implicit
+/// filtering revisits only a handful of stencil centers, so the caches stay
+/// tiny in practice; at the bound one arbitrary entry is evicted (both
+/// caches hold pure-function results, so an evicted entry only costs a
+/// recompute — or, for the evaluation cache, a re-simulation).
 const RESOLVE_CACHE_CAP: usize = 256;
+
+/// How [`CdgObjective`] derives the per-evaluation seed stream — and with
+/// it, whether two evaluations at the same point can share simulations.
+///
+/// * [`EvalStrategy::Indexed`] (the default) seeds evaluation `k` with
+///   `mix_seed(base_seed, k)`: re-evaluating a point yields fresh noise
+///   (the paper's dynamic noise), so nothing can be coalesced.
+/// * [`EvalStrategy::PointSeeded`] seeds each evaluation from a
+///   fingerprint of the settings vector instead: re-evaluating the same
+///   point replays the identical simulations. Every point is still
+///   simulated on every visit.
+/// * [`EvalStrategy::Coalesced`] is `PointSeeded` plus memoization:
+///   completed evaluations are cached by the settings bit pattern, and a
+///   batch dedupes identical points before dispatch, fanning the one
+///   result back out. Because `PointSeeded` replays are already bitwise
+///   identical, coalescing changes nothing about the values, phase
+///   statistics or best point — only how many simulations actually run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum EvalStrategy {
+    /// Fresh seeds per evaluation index (dynamic noise on revisits).
+    #[default]
+    Indexed,
+    /// Seeds derived from the settings vector: revisits replay bitwise.
+    PointSeeded,
+    /// `PointSeeded` plus completed-evaluation memoization and in-batch
+    /// dedup — each distinct point is simulated once.
+    Coalesced,
+}
 
 /// The noisy objective the optimizer maximizes (Section IV-E).
 ///
@@ -67,6 +98,7 @@ pub struct CdgObjective<'a, 'env, E: VerifEnv> {
     sims_per_point: u64,
     runner: BatchRunner<'env>,
     base_seed: u64,
+    strategy: EvalStrategy,
     // Mutex (not Cell/RefCell) so the objective stays Sync like the rest of
     // the flow machinery; contention is nil (one optimizer thread). Lock
     // poisoning is recoverable: the guarded state is a plain accumulator
@@ -86,6 +118,42 @@ struct EvalState {
     // (implicit filtering resamples its center every iteration) reuse the
     // resolved set instead of rebuilding the full parameter map.
     resolve_cache: HashMap<Vec<u64>, Arc<ResolvedParams>>,
+    // Settings-vector (bit pattern) → completed evaluation statistics.
+    // Only populated under `EvalStrategy::Coalesced`, where a revisit's
+    // simulations would replay bitwise anyway.
+    eval_cache: HashMap<Vec<u64>, Arc<BatchStats>>,
+    // Evaluations served from `eval_cache` (including in-batch duplicates
+    // beyond the first instance) and the simulations they did not re-run.
+    coalesced_evals: u64,
+    sims_saved: u64,
+}
+
+/// Evicts one arbitrary entry once the cache reaches the cap, keeping the
+/// other hot entries instead of clearing the whole map.
+fn evict_at_cap<V>(cache: &mut HashMap<Vec<u64>, V>) {
+    if cache.len() >= RESOLVE_CACHE_CAP {
+        if let Some(victim) = cache.keys().next().cloned() {
+            cache.remove(&victim);
+        }
+    }
+}
+
+/// The settings vector's bit pattern — the cache key both caches share.
+fn point_key(x: &[f64]) -> Vec<u64> {
+    x.iter().map(|v| v.to_bits()).collect()
+}
+
+/// FNV-1a over the settings bit pattern: the point fingerprint that names
+/// and seeds point-keyed evaluations.
+fn point_fingerprint(key: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &word in key {
+        for byte in word.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
 }
 
 impl<'a, 'env, E: VerifEnv> CdgObjective<'a, 'env, E> {
@@ -110,14 +178,46 @@ impl<'a, 'env, E: VerifEnv> CdgObjective<'a, 'env, E> {
             sims_per_point: sims_per_point.max(1),
             runner,
             base_seed,
+            strategy: EvalStrategy::Indexed,
             state: Mutex::new(EvalState {
                 evals: 0,
                 accum: BatchStats::empty(events),
                 best_value: f64::NEG_INFINITY,
                 best_settings: Vec::new(),
                 resolve_cache: HashMap::new(),
+                eval_cache: HashMap::new(),
+                coalesced_evals: 0,
+                sims_saved: 0,
             }),
         }
+    }
+
+    /// Selects the evaluation seeding/coalescing strategy (see
+    /// [`EvalStrategy`]; the default is [`EvalStrategy::Indexed`]).
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: EvalStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Evaluations served from the completed-evaluation cache so far
+    /// (only non-zero under [`EvalStrategy::Coalesced`]).
+    #[must_use]
+    pub fn coalesced_evals(&self) -> u64 {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .coalesced_evals
+    }
+
+    /// Simulations those coalesced evaluations did not re-run — the gap
+    /// between the logical phase statistics and what actually executed.
+    #[must_use]
+    pub fn sims_saved(&self) -> u64 {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .sims_saved
     }
 
     /// Per-event hits accumulated over every evaluation so far (the
@@ -155,22 +255,17 @@ impl<'a, 'env, E: VerifEnv> CdgObjective<'a, 'env, E> {
             .evals
     }
 
-    /// Prepares evaluation `eval_idx` at point `x` for the hot path:
-    /// parameters resolved at most once per distinct `x` (cached by the
-    /// settings vector's bit pattern), point-named per evaluation so
-    /// per-instance seed streams differ across points — byte-identical to
-    /// the historical `renamed(...)` + per-sim string-hash derivation, with
-    /// the name hashed once per evaluation instead of once per simulation.
-    fn resolved_point(&self, x: &[f64], eval_idx: u64) -> ResolvedTemplate {
-        let key: Vec<u64> = x.iter().map(|v| v.to_bits()).collect();
+    /// Resolves the parameters for point `x` at most once per distinct bit
+    /// pattern (the key both caches share).
+    fn resolved_params(&self, key: &[u64], x: &[f64]) -> Arc<ResolvedParams> {
         let cached = self
             .state
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .resolve_cache
-            .get(&key)
+            .get(key)
             .cloned();
-        let params = match cached {
+        match cached {
             Some(params) => {
                 self.runner.counters().note_resolve_hit();
                 params
@@ -191,14 +286,67 @@ impl<'a, 'env, E: VerifEnv> CdgObjective<'a, 'env, E> {
                     .state
                     .lock()
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
-                if s.resolve_cache.len() >= RESOLVE_CACHE_CAP {
-                    s.resolve_cache.clear();
-                }
-                s.resolve_cache.insert(key, Arc::clone(&params));
+                evict_at_cap(&mut s.resolve_cache);
+                s.resolve_cache.insert(key.to_vec(), Arc::clone(&params));
                 params
             }
+        }
+    }
+
+    /// Prepares evaluation `eval_idx` at point `x` for the hot path:
+    /// parameters resolved at most once per distinct `x` (cached by the
+    /// settings vector's bit pattern), and a `(template, seed)` identity
+    /// per the strategy. Under [`EvalStrategy::Indexed`] the name and seed
+    /// follow the evaluation index — byte-identical to the historical
+    /// `renamed(...)` + per-sim string-hash derivation, with the name
+    /// hashed once per evaluation instead of once per simulation. The
+    /// point-keyed strategies name and seed by the settings fingerprint
+    /// instead, so revisits replay bitwise.
+    fn resolved_point(&self, key: &[u64], x: &[f64], eval_idx: u64) -> (ResolvedTemplate, u64) {
+        let params = self.resolved_params(key, x);
+        let (name, seed) = match self.strategy {
+            EvalStrategy::Indexed => (
+                format!("{}__p{eval_idx}", self.skeleton.name()),
+                mix_seed(self.base_seed, eval_idx),
+            ),
+            EvalStrategy::PointSeeded | EvalStrategy::Coalesced => {
+                let fp = point_fingerprint(key);
+                (
+                    format!("{}__x{fp:016x}", self.skeleton.name()),
+                    mix_seed(self.base_seed, fp),
+                )
+            }
         };
-        ResolvedTemplate::from_parts(format!("{}__p{eval_idx}", self.skeleton.name()), params)
+        (ResolvedTemplate::from_parts(name, params), seed)
+    }
+
+    /// Looks up a completed evaluation of `key`, counting the coalesced
+    /// evaluation when one is found. Always misses unless the strategy is
+    /// [`EvalStrategy::Coalesced`].
+    fn cached_eval(&self, key: &[u64]) -> Option<Arc<BatchStats>> {
+        if self.strategy != EvalStrategy::Coalesced {
+            return None;
+        }
+        let mut s = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let hit = s.eval_cache.get(key).cloned();
+        if let Some(stats) = &hit {
+            s.coalesced_evals += 1;
+            s.sims_saved += stats.sims;
+        }
+        hit
+    }
+
+    /// Stores a completed evaluation for future coalescing.
+    fn cache_eval(&self, key: &[u64], stats: &BatchStats) {
+        let mut s = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        evict_at_cap(&mut s.eval_cache);
+        s.eval_cache.insert(key.to_vec(), Arc::new(stats.clone()));
     }
 
     /// Folds one evaluation's statistics into the phase state and returns
@@ -239,22 +387,32 @@ impl<E: VerifEnv> Objective for CdgObjective<'_, '_, E> {
             s.evals += 1;
             s.evals
         };
-        let template = self.resolved_point(x, eval_idx);
-        let stats = self
-            .runner
-            .run_resolved(
-                self.env,
-                &template,
-                self.sims_per_point,
-                mix_seed(self.base_seed, eval_idx),
-            )
-            .expect("skeleton-derived template must simulate");
+        let key = point_key(x);
+        let (stats, executed) = match self.cached_eval(&key) {
+            Some(stats) => ((*stats).clone(), 0),
+            None => {
+                let (template, seed) = self.resolved_point(&key, x, eval_idx);
+                let stats = self
+                    .runner
+                    .run_resolved(self.env, &template, self.sims_per_point, seed)
+                    .expect("skeleton-derived template must simulate");
+                if self.strategy == EvalStrategy::Coalesced {
+                    self.cache_eval(&key, &stats);
+                }
+                let executed = stats.sims;
+                (stats, executed)
+            }
+        };
         if clock.is_some() {
             let telemetry = self.runner.telemetry();
             if let Some(m) = telemetry.metrics() {
                 m.counter("objective.evals").add(1);
+                m.counter("objective.sims_executed").add(executed);
+                if executed == 0 {
+                    m.counter("objective.coalesced").add(1);
+                }
             }
-            telemetry.closed_span("objective", "eval", clock, stats.sims);
+            telemetry.closed_span("objective", "eval", clock, executed);
         }
         self.absorb(x, &stats)
     }
@@ -282,32 +440,75 @@ impl<E: VerifEnv> Objective for CdgObjective<'_, '_, E> {
             s.evals += xs.len() as u64;
             first
         };
-        let points: Vec<(ResolvedTemplate, u64)> = xs
+        let keys: Vec<Vec<u64>> = xs.iter().map(|x| point_key(x)).collect();
+        // Each batch entry is either served from the completed-evaluation
+        // cache, or mapped to a dispatch slot; identical points within the
+        // batch share one slot under `Coalesced` (the replayed simulations
+        // would be bitwise identical anyway), so each distinct point is
+        // simulated once and fanned back out.
+        enum Source {
+            Cached(Arc<BatchStats>),
+            Slot(usize),
+        }
+        let mut dispatch: Vec<(ResolvedTemplate, u64)> = Vec::with_capacity(xs.len());
+        let mut dispatch_keys: Vec<usize> = Vec::with_capacity(xs.len());
+        let mut slot_of: HashMap<&[u64], usize> = HashMap::new();
+        let coalesce = self.strategy == EvalStrategy::Coalesced;
+        let sources: Vec<Source> = xs
             .iter()
             .enumerate()
             .map(|(k, x)| {
-                let eval_idx = first_idx + k as u64;
-                (
-                    self.resolved_point(x, eval_idx),
-                    mix_seed(self.base_seed, eval_idx),
-                )
+                let key = keys[k].as_slice();
+                if let Some(stats) = self.cached_eval(key) {
+                    return Source::Cached(stats);
+                }
+                if coalesce {
+                    if let Some(&slot) = slot_of.get(key) {
+                        let mut s = self
+                            .state
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        s.coalesced_evals += 1;
+                        s.sims_saved += self.sims_per_point;
+                        return Source::Slot(slot);
+                    }
+                }
+                let slot = dispatch.len();
+                dispatch.push(self.resolved_point(key, x, first_idx + k as u64));
+                dispatch_keys.push(k);
+                if coalesce {
+                    slot_of.insert(key, slot);
+                }
+                Source::Slot(slot)
             })
             .collect();
-        let stats = self
+        drop(slot_of);
+        let fresh = self
             .runner
-            .run_many_resolved(self.env, &points, self.sims_per_point)
+            .run_many_resolved(self.env, &dispatch, self.sims_per_point)
             .expect("skeleton-derived template must simulate");
+        if coalesce {
+            for (slot, &k) in dispatch_keys.iter().enumerate() {
+                self.cache_eval(&keys[k], &fresh[slot]);
+            }
+        }
         if clock.is_some() {
             let telemetry = self.runner.telemetry();
+            let executed: u64 = fresh.iter().map(|st| st.sims).sum();
             if let Some(m) = telemetry.metrics() {
                 m.counter("objective.evals").add(xs.len() as u64);
+                m.counter("objective.sims_executed").add(executed);
+                m.counter("objective.coalesced")
+                    .add((xs.len() - fresh.len()) as u64);
             }
-            let sims: u64 = stats.iter().map(|st| st.sims).sum();
-            telemetry.closed_span("objective", "eval_batch", clock, sims);
+            telemetry.closed_span("objective", "eval_batch", clock, executed);
         }
         xs.iter()
-            .zip(&stats)
-            .map(|(x, st)| self.absorb(x, st))
+            .zip(&sources)
+            .map(|(x, src)| match src {
+                Source::Cached(stats) => self.absorb(x, stats),
+                Source::Slot(slot) => self.absorb(x, &fresh[*slot]),
+            })
             .collect()
     }
 }

@@ -56,7 +56,21 @@ struct Shared<'env> {
     work_ready: Condvar,
     shutdown: AtomicBool,
     jobs_dispatched: AtomicU64,
+    /// Jobs currently executing (workers, stealing callers and inline
+    /// degenerate batches alike) — the occupancy the campaign scheduler
+    /// samples into `campaign.pool_occupancy`.
+    busy: AtomicU64,
     metrics: Option<PoolMetrics>,
+}
+
+/// Runs `f` with the shared busy counter held. The count leaks if `f`
+/// panics, but a panicking job aborts the whole batch anyway (see
+/// [`SimPool::run_ordered`]), so the gauge is never read afterwards.
+fn run_busy<R>(shared: &Shared<'_>, f: impl FnOnce() -> R) -> R {
+    shared.busy.fetch_add(1, Ordering::Relaxed);
+    let out = f();
+    shared.busy.fetch_sub(1, Ordering::Relaxed);
+    out
 }
 
 fn lock<'a, 'env>(shared: &'a Shared<'env>) -> MutexGuard<'a, VecDeque<Job<'env>>> {
@@ -131,6 +145,14 @@ impl<'env> SimPool<'env> {
         self.shared.jobs_dispatched.load(Ordering::Relaxed)
     }
 
+    /// Number of jobs executing right now, counting workers, stealing
+    /// callers and inline degenerate batches (observability only — the
+    /// value is racy by nature). All handle clones report the same count.
+    #[must_use]
+    pub fn busy_workers(&self) -> u64 {
+        self.shared.busy.load(Ordering::Relaxed)
+    }
+
     fn try_pop(&self) -> Option<Job<'env>> {
         lock(&self.shared).pop_front()
     }
@@ -154,11 +176,13 @@ impl<'env> SimPool<'env> {
     {
         let n = tasks.len();
         if n <= 1 || self.threads <= 1 {
-            return tasks
-                .into_iter()
-                .enumerate()
-                .map(|(i, t)| f(i, t))
-                .collect();
+            return run_busy(&self.shared, || {
+                tasks
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, t)| f(i, t))
+                    .collect()
+            });
         }
         let f = Arc::new(f);
         let (tx, rx) = mpsc::channel::<(usize, R)>();
@@ -194,7 +218,7 @@ impl<'env> SimPool<'env> {
                 if let Some(m) = &self.shared.metrics {
                     m.steals.add(1);
                 }
-                job();
+                run_busy(&self.shared, job);
                 continue;
             }
             match rx.recv() {
@@ -243,7 +267,7 @@ fn worker_loop(shared: &Shared<'_>) {
             }
         };
         match job {
-            Some(job) => job(),
+            Some(job) => run_busy(shared, job),
             None => return,
         }
     }
@@ -294,6 +318,7 @@ pub fn pool_scope_with<'env, R>(
                 work_ready: Condvar::new(),
                 shutdown: AtomicBool::new(false),
                 jobs_dispatched: AtomicU64::new(0),
+                busy: AtomicU64::new(0),
                 metrics: PoolMetrics::resolve(telemetry),
             }),
             threads,

@@ -1,0 +1,289 @@
+//! Stage-granular scheduling of several flow sessions over one engine.
+//!
+//! The campaign scheduler turns each target group's session into a
+//! schedulable job whose unit of work is **one pipeline stage**
+//! ([`FlowEngine::step`]). A small worker crew pulls jobs off a shared
+//! ready queue, steps them once on the engine's persistent
+//! [`SimPool`](crate::SimPool), and requeues them at the back — so while
+//! one group sits in a cheap analysis stage (coarse search, skeletonize),
+//! another group's simulation batches keep the pool saturated.
+//!
+//! Determinism: the job passed between workers is the serializable
+//! [`SessionState`] (the live [`SessionCx`](crate::SessionCx) holds
+//! non-`Send` machinery and is rebuilt per step via
+//! [`FlowEngine::resume`]). Every session's seeds are salted *before*
+//! scheduling begins and sessions share no mutable state, so each group's
+//! [`FlowOutcome`] — and any order-independent fold over them — is
+//! byte-identical at any `jobs` count. Only wall-clock attribution
+//! (timings, telemetry) varies.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+use ascdg_duv::VerifEnv;
+use ascdg_telemetry::Gauge;
+
+use crate::engine::FlowEngine;
+use crate::session::SessionState;
+use crate::{FlowError, FlowOutcome};
+
+/// One scheduled session's result: the assembled outcome plus its final
+/// state (kept for manifests and per-group progress reporting).
+pub(crate) type GroupRun = Result<(FlowOutcome, SessionState), FlowError>;
+
+/// Streaming consumer of per-group post-stage snapshots: called with the
+/// group's slot index and its latest state after every completed stage.
+pub(crate) type StepSink<'a> = &'a (dyn Fn(usize, &SessionState) + Sync);
+
+/// What one scheduling quantum produced. Both payloads are boxed: each
+/// crosses the scheduler lock once per multi-second stage step, so the
+/// indirection costs nothing and keeps the enum pointer-sized.
+enum Stepped {
+    /// The session has stages left; back on the ready queue it goes.
+    Pending(Box<SessionState>),
+    /// The session finished (or failed); its slot is done.
+    Finished(Box<GroupRun>),
+}
+
+struct Sched {
+    /// `(slot, state)` jobs ready to be stepped, drained round-robin.
+    ready: VecDeque<(usize, SessionState)>,
+    /// Finished runs by slot (`None` while a slot is still in progress —
+    /// or was never scheduled at all).
+    done: Vec<Option<GroupRun>>,
+    /// Jobs currently being stepped by a worker.
+    in_flight: usize,
+}
+
+fn lock<'a>(sched: &'a Mutex<Sched>) -> MutexGuard<'a, Sched> {
+    sched.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Pre-resolved `campaign.*` gauges (present only with enabled telemetry).
+struct CampaignGauges {
+    in_flight_groups: Gauge,
+    pool_occupancy: Gauge,
+}
+
+/// Runs the given sessions to completion over the engine, keeping up to
+/// `jobs` of them in flight at once, and returns their runs in a
+/// `n_slots`-sized vector indexed by each session's slot (slots without a
+/// session stay `None`).
+///
+/// `jobs <= 1` degenerates to a sequential sweep in slot order — the exact
+/// historical campaign behavior — while still stepping stage by stage so
+/// `on_step` fires identically.
+pub(crate) fn run_interleaved<'env, E: VerifEnv>(
+    engine: &FlowEngine<'env, E>,
+    jobs: usize,
+    sessions: Vec<(usize, SessionState)>,
+    n_slots: usize,
+    on_step: Option<StepSink<'_>>,
+) -> Vec<Option<GroupRun>> {
+    let jobs = jobs.max(1).min(sessions.len().max(1));
+    if jobs <= 1 {
+        let mut done: Vec<Option<GroupRun>> =
+            std::iter::repeat_with(|| None).take(n_slots).collect();
+        for (slot, state) in sessions {
+            done[slot] = Some(run_to_completion(engine, slot, state, on_step));
+        }
+        return done;
+    }
+    let sched = Mutex::new(Sched {
+        ready: sessions.into_iter().collect(),
+        done: std::iter::repeat_with(|| None).take(n_slots).collect(),
+        in_flight: 0,
+    });
+    let work_ready = Condvar::new();
+    let gauges = engine.telemetry().metrics().map(|m| CampaignGauges {
+        in_flight_groups: m.gauge("campaign.in_flight_groups"),
+        pool_occupancy: m.gauge("campaign.pool_occupancy"),
+    });
+    // The workers only coordinate; the simulations inside each step still
+    // fan out over the engine's SimPool. The caller is worker zero.
+    std::thread::scope(|scope| {
+        for _ in 1..jobs {
+            scope.spawn(|| worker(engine, &sched, &work_ready, on_step, gauges.as_ref()));
+        }
+        worker(engine, &sched, &work_ready, on_step, gauges.as_ref());
+    });
+    sched
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+        .done
+}
+
+/// The sequential (`jobs = 1`) path: steps one session to exhaustion.
+fn run_to_completion<E: VerifEnv>(
+    engine: &FlowEngine<'_, E>,
+    slot: usize,
+    state: SessionState,
+    on_step: Option<StepSink<'_>>,
+) -> GroupRun {
+    let mut cx = engine.resume(state)?;
+    while engine.step(&mut cx)?.is_some() {
+        if let Some(sink) = on_step {
+            sink(slot, cx.state());
+        }
+    }
+    let outcome = engine.finish(&cx)?;
+    Ok((outcome, cx.into_state()))
+}
+
+/// One scheduler worker: pop a ready session, step it one stage, requeue
+/// or retire it; exit when the queue is empty and nothing is in flight.
+fn worker<E: VerifEnv>(
+    engine: &FlowEngine<'_, E>,
+    sched: &Mutex<Sched>,
+    work_ready: &Condvar,
+    on_step: Option<StepSink<'_>>,
+    gauges: Option<&CampaignGauges>,
+) {
+    loop {
+        let (slot, state) = {
+            let mut s = lock(sched);
+            loop {
+                if let Some(job) = s.ready.pop_front() {
+                    s.in_flight += 1;
+                    if let Some(g) = gauges {
+                        g.in_flight_groups.set(s.in_flight as f64);
+                    }
+                    break job;
+                }
+                if s.in_flight == 0 {
+                    // No work left and nobody can produce more: all done.
+                    return;
+                }
+                s = work_ready.wait(s).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let stepped = step_once(engine, state);
+        if let Some(g) = gauges {
+            g.pool_occupancy.set(engine.pool().busy_workers() as f64);
+        }
+        // Report progress outside the scheduler lock: sinks may do I/O.
+        if let Some(sink) = on_step {
+            match &stepped {
+                Stepped::Pending(state) => sink(slot, state),
+                Stepped::Finished(run) => {
+                    if let Ok((_, state)) = run.as_ref() {
+                        sink(slot, state);
+                    }
+                }
+            }
+        }
+        let mut s = lock(sched);
+        s.in_flight -= 1;
+        if let Some(g) = gauges {
+            g.in_flight_groups.set(s.in_flight as f64);
+        }
+        match stepped {
+            // Back of the queue: round-robin across groups, so no group's
+            // cheap stages starve another group's simulation batches.
+            Stepped::Pending(state) => s.ready.push_back((slot, *state)),
+            Stepped::Finished(run) => s.done[slot] = Some(*run),
+        }
+        drop(s);
+        work_ready.notify_all();
+    }
+}
+
+/// Resumes a session from its state, runs exactly one stage, and reports
+/// whether it still has work. A group's failure retires the group, never
+/// the scheduler.
+fn step_once<E: VerifEnv>(engine: &FlowEngine<'_, E>, state: SessionState) -> Stepped {
+    let mut cx = match engine.resume(state) {
+        Ok(cx) => cx,
+        Err(e) => return Stepped::Finished(Box::new(Err(e))),
+    };
+    match engine.step(&mut cx) {
+        Err(e) => Stepped::Finished(Box::new(Err(e))),
+        Ok(_) if engine.next_stage(cx.state()).is_none() => {
+            let outcome = engine.finish(&cx);
+            Stepped::Finished(Box::new(outcome.map(|o| (o, cx.into_state()))))
+        }
+        Ok(_) => Stepped::Pending(Box::new(cx.into_state())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::pool_scope;
+    use crate::session::TargetSpec;
+    use crate::FlowConfig;
+    use ascdg_duv::io_unit::IoEnv;
+    use ascdg_stimgen::mix_seed;
+
+    fn test_threads() -> usize {
+        std::env::var("ASCDG_TEST_THREADS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(4)
+    }
+
+    fn strip_timings(mut outcome: FlowOutcome) -> FlowOutcome {
+        outcome.timings.clear();
+        outcome
+    }
+
+    /// Two independent family sessions interleaved at jobs=2 must each
+    /// reproduce their sequential outcome bit for bit.
+    #[test]
+    fn interleaved_sessions_match_sequential_runs() {
+        let env = IoEnv::new();
+        let mut cfg = FlowConfig::quick();
+        cfg.threads = test_threads();
+        let specs = [
+            TargetSpec::Family("crc_".to_owned()),
+            TargetSpec::Family("qdepth_".to_owned()),
+        ];
+        let run_at = |jobs: usize| {
+            pool_scope(cfg.threads, |pool| {
+                let engine = FlowEngine::new(&env, cfg.clone(), pool);
+                let sessions: Vec<(usize, SessionState)> = specs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, spec)| {
+                        let cx = engine.session(spec.clone(), mix_seed(17, i as u64));
+                        (i, cx.into_state())
+                    })
+                    .collect();
+                run_interleaved(&engine, jobs, sessions, specs.len(), None)
+                    .into_iter()
+                    .map(|run| {
+                        let (outcome, state) = run.expect("slot scheduled").expect("flow runs");
+                        assert!(engine.next_stage(&state).is_none());
+                        serde_json::to_string(&strip_timings(outcome)).unwrap()
+                    })
+                    .collect::<Vec<_>>()
+            })
+        };
+        let sequential = run_at(1);
+        assert_eq!(run_at(2), sequential);
+        assert_eq!(run_at(8), sequential);
+    }
+
+    /// A session that cannot run (no targets) retires its own slot; the
+    /// healthy session still completes.
+    #[test]
+    fn one_failing_session_does_not_sink_the_others() {
+        let env = IoEnv::new();
+        let mut cfg = FlowConfig::quick();
+        cfg.threads = test_threads();
+        pool_scope(cfg.threads, |pool| {
+            let engine = FlowEngine::new(&env, cfg.clone(), pool);
+            let bad = engine.session(TargetSpec::Family("no_such_".to_owned()), 5);
+            let good = engine.session(TargetSpec::Family("crc_".to_owned()), 5);
+            let runs = run_interleaved(
+                &engine,
+                2,
+                vec![(0, bad.into_state()), (1, good.into_state())],
+                2,
+                None,
+            );
+            assert!(runs[0].as_ref().unwrap().is_err());
+            assert!(runs[1].as_ref().unwrap().is_ok());
+        });
+    }
+}

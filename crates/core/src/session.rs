@@ -156,6 +156,52 @@ impl SessionState {
     }
 }
 
+/// One target group's progress within a campaign checkpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupProgress {
+    /// Group name: the family stem, or `"(ungrouped)"` / `"(cross-product)"`.
+    pub name: String,
+    /// The latest post-stage session snapshot (the same [`SessionState`]
+    /// format single-flow checkpoints use); `None` until the group's first
+    /// stage completes, or when the group failed before scheduling.
+    #[serde(default)]
+    pub session: Option<SessionState>,
+    /// The failure that kept the group from being scheduled, if any.
+    #[serde(default)]
+    pub failure: Option<String>,
+}
+
+/// A whole-campaign checkpoint: per-group session progress, streamed by
+/// the campaign scheduler after every completed stage (see
+/// [`CdgFlow::run_campaign_observed`](crate::CdgFlow::run_campaign_observed)).
+///
+/// Unlike a single flow's checkpoint (one [`SessionState`]), a campaign
+/// interleaves several sessions, so its progress is one snapshot per
+/// group — each individually resumable through
+/// [`FlowEngine::resume`](crate::FlowEngine::resume).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignProgress {
+    /// The unit the campaign runs against.
+    pub unit: String,
+    /// The campaign's base seed (group seeds are salted from it).
+    pub seed: u64,
+    /// Per-group progress, in group order.
+    pub groups: Vec<GroupProgress>,
+}
+
+impl CampaignProgress {
+    /// Completed stages across all groups — a cheap monotone progress
+    /// measure for logging.
+    #[must_use]
+    pub fn completed_stages(&self) -> usize {
+        self.groups
+            .iter()
+            .filter_map(|g| g.session.as_ref())
+            .map(|s| s.completed.len())
+            .sum()
+    }
+}
+
 /// The mutable context a [`FlowEngine`](crate::FlowEngine) threads through
 /// its stages.
 ///
@@ -315,6 +361,15 @@ impl<'env, 'bus, E: VerifEnv> SessionCx<'env, 'bus, E> {
     #[must_use]
     pub fn snapshot(&self) -> SessionState {
         self.state.clone()
+    }
+
+    /// Consumes the context, returning the accumulated session data
+    /// without cloning — how the campaign scheduler hands a session
+    /// between workers (the context itself holds non-`Send` machinery,
+    /// the state is plain serde).
+    #[must_use]
+    pub fn into_state(self) -> SessionState {
+        self.state
     }
 
     /// Records a finished simulation phase: appends its statistics and

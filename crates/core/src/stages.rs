@@ -234,6 +234,28 @@ impl<E: VerifEnv> Stage<E> for CoarseSearch {
         let ranking = TacQuery::new(approx.weights().iter().copied())
             .with_min_sims(cfg.regression_sims_per_template.min(10))
             .top_n(cx.repo()?, cfg.tac_top_n);
+        // Per-template hit telemetry from the TAC ranking: what evidence
+        // the coarse search saw per candidate, keyed by template name
+        // (`stage.coarse-search.template_hits.<template>` and the sims
+        // behind it; see docs/OBSERVABILITY.md).
+        if let Some(m) = cx.telemetry().metrics() {
+            let library = cx.env().stock_library();
+            for r in &ranking {
+                if let Some(template) = library.get(r.template.index()) {
+                    let hits: u64 = r.per_event.iter().map(|(_, st)| st.hits).sum();
+                    m.counter(&format!(
+                        "stage.coarse-search.template_hits.{}",
+                        template.name()
+                    ))
+                    .add(hits);
+                    m.counter(&format!(
+                        "stage.coarse-search.template_sims.{}",
+                        template.name()
+                    ))
+                    .add(r.sims);
+                }
+            }
+        }
         let chosen = ranking
             .first()
             .filter(|r| r.score > 0.0)
@@ -309,7 +331,8 @@ impl<E: VerifEnv> Stage<E> for RandomSample {
             cfg.sample_sims,
             cx.runner(),
             cx.stage_seed(0x5a4c),
-        );
+        )
+        .with_strategy(cfg.eval_strategy);
         let counters_before = cx.counter_snapshot();
         let phase_clock = Instant::now();
         let sample = random_sample(&mut obj, cfg.sample_templates, cx.stage_seed(1));
@@ -366,7 +389,8 @@ impl<E: VerifEnv> Stage<E> for Optimize {
             cfg.opt_sims,
             cx.runner(),
             cx.stage_seed(0x0b7),
-        );
+        )
+        .with_strategy(cfg.eval_strategy);
         let optimizer = ImplicitFiltering::new(IfOptions {
             n_directions: cfg.opt_directions,
             initial_step: cfg.opt_initial_step,
@@ -460,7 +484,8 @@ impl<E: VerifEnv> Stage<E> for Refine {
             cfg.opt_sims,
             cx.runner(),
             cx.stage_seed(0x4ef1),
-        );
+        )
+        .with_strategy(cfg.eval_strategy);
         let counters_before = cx.counter_snapshot();
         let phase_clock = Instant::now();
         let refine_result = ImplicitFiltering::new(IfOptions {

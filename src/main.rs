@@ -10,8 +10,8 @@
 use std::process::ExitCode;
 
 use ascdg::core::{
-    pool_scope_with, ApproxTarget, CdgFlow, FlowConfig, FlowEngine, FlowEvent, RunManifest,
-    SessionState, TargetSpec, Telemetry,
+    pool_scope_with, ApproxTarget, CdgFlow, EvalStrategy, FlowConfig, FlowEngine, FlowEvent,
+    RunManifest, SessionState, TargetSpec, Telemetry,
 };
 use ascdg::coverage::{CoverageRepository, EventFamily, RepoSnapshot, StatusPolicy};
 use ascdg::duv::synthetic::{SyntheticConfig, SyntheticEnv};
@@ -50,7 +50,7 @@ USAGE:
       List the built-in simulated units and their environments.
   ascdg run --unit <io|l3|ifu|synthetic> [--family <stem>] [--scale <f>] [--seed <n>]
             [--snapshot <path>] [--checkpoint <path>] [--resume <path>] [--json <path>]
-            [--metrics-out <base>] [--threads <n>]
+            [--metrics-out <base>] [--threads <n>] [--campaign-jobs <n>] [--coalesce]
       Run the full AS-CDG flow. Without --family, targets every event
       still uncovered after regression (the IFU cross-product usage).
       --scale multiplies the paper's simulation budgets (default 0.1);
@@ -61,14 +61,24 @@ USAGE:
       --metrics-out enables telemetry and writes <base>.manifest.json
       (run manifest) plus <base>.trace.jsonl (span/metric trace);
       --threads overrides the configured worker-pool size.
+      --coalesce switches objective evaluations to point-seeded
+      coalescing: duplicate points are simulated once and replayed from
+      cache (a different — but equally deterministic — seed stream).
   ascdg skeletonize <file> [--subranges <n>] [--include-zero-weights]
       Parse a test-template file and print its skeleton.
   ascdg regress --unit <io|l3|ifu|synthetic> [--sims <n>] [--save <path>]
       Run the stock regression only and print the coverage status;
       --save writes the repository snapshot for later `run --snapshot`.
   ascdg campaign --unit <io|l3|ifu|synthetic> [--scale <f>] [--seed <n>] [--json <path>]
+            [--campaign-jobs <n>] [--threads <n>] [--coalesce]
+            [--metrics-out <base>] [--checkpoint <path>]
       Sweep every uncovered family of the unit with one flow run each
       (the paper's per-unit deployment) and print the closure summary.
+      --campaign-jobs keeps up to <n> group flows in flight at once over
+      the shared worker pool; the outcome is byte-identical at any value.
+      --metrics-out writes one <base>.group<i>.manifest.json per finished
+      group plus the shared <base>.trace.jsonl; --checkpoint streams a
+      whole-campaign progress snapshot to <path> after every group stage.
   ascdg trace <file.trace.jsonl>
       Render a `--metrics-out` trace: span tree with wall-clock and
       simulation attribution, event counts and the metric table.
@@ -251,6 +261,12 @@ fn cmd_run(args: &[String]) -> CliResult {
     if let Some(n) = flag_value(args, "--threads") {
         config.threads = n.parse()?;
     }
+    if let Some(n) = flag_value(args, "--campaign-jobs") {
+        config.campaign_jobs = n.parse()?;
+    }
+    if has_flag(args, "--coalesce") {
+        config.eval_strategy = EvalStrategy::Coalesced;
+    }
 
     let (outcome, final_state) = pool_scope_with(config.threads, &telemetry, |pool| {
         let engine = FlowEngine::new(&env, config.clone(), pool).with_telemetry(telemetry.clone());
@@ -426,10 +442,65 @@ fn cmd_campaign(args: &[String]) -> CliResult {
     let unit = Unit::from_name(flag_value(args, "--unit").ok_or("missing --unit")?)?;
     let scale: f64 = flag_value(args, "--scale").map_or(Ok(0.1), str::parse)?;
     let seed: u64 = flag_value(args, "--seed").map_or(Ok(2021), str::parse)?;
-    let config = unit.paper_config().scaled(scale);
+    let mut config = unit.paper_config().scaled(scale);
+    if let Some(n) = flag_value(args, "--threads") {
+        config.threads = n.parse()?;
+    }
+    if let Some(n) = flag_value(args, "--campaign-jobs") {
+        config.campaign_jobs = n.parse()?;
+    }
+    if has_flag(args, "--coalesce") {
+        config.eval_strategy = EvalStrategy::Coalesced;
+    }
+    let metrics_out = flag_value(args, "--metrics-out").map(str::to_owned);
+    let telemetry = if metrics_out.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    let jobs = config.campaign_jobs;
     let flow = CdgFlow::new(unit.env(), config);
-    eprintln!("running campaign (regression + one flow per uncovered family) ...");
-    let outcome = flow.run_campaign(seed)?;
+    eprintln!(
+        "running campaign (regression + one flow per uncovered family, {jobs} group(s) in flight) ..."
+    );
+    let report = match flag_value(args, "--checkpoint") {
+        Some(path) => {
+            // Stream a whole-campaign progress snapshot after every
+            // completed group stage; a fresh run can later inspect how far
+            // each group got (and which groups failed to even start).
+            let path = path.to_owned();
+            flow.run_campaign_observed(seed, &telemetry, &move |progress| {
+                match serde_json::to_string(progress) {
+                    Ok(json) => {
+                        if let Err(e) = std::fs::write(&path, json) {
+                            eprintln!("warning: could not write checkpoint {path}: {e}");
+                        }
+                    }
+                    Err(e) => eprintln!("warning: campaign checkpoint did not serialize: {e}"),
+                }
+            })?
+        }
+        None => flow.run_campaign_with(seed, &telemetry)?,
+    };
+    if let Some(base) = &metrics_out {
+        // One manifest per finished group (the campaign has no single
+        // session of its own), plus the shared trace.
+        for (i, state) in report.sessions.iter().enumerate() {
+            let Some(state) = state else { continue };
+            let manifest = RunManifest::from_state(state, &telemetry);
+            manifest
+                .validate()
+                .map_err(|e| format!("group {i} manifest failed validation: {e}"))?;
+            let mpath = format!("{base}.group{i}.manifest.json");
+            std::fs::write(&mpath, manifest.to_json()?)?;
+            eprintln!("wrote {mpath}");
+        }
+        let trace = telemetry.export_trace(&report.outcome.unit, seed);
+        let tpath = format!("{base}.trace.jsonl");
+        std::fs::write(&tpath, ascdg::telemetry::write_jsonl(&trace)?)?;
+        eprintln!("wrote {tpath}");
+    }
+    let outcome = report.outcome;
     print!("{}", outcome.summary());
     println!("harvested templates:");
     for (_, t) in outcome.harvested.iter() {

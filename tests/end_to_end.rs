@@ -26,6 +26,7 @@ fn test_config() -> FlowConfig {
         include_zero_weights: false,
         neighbor_decay: 0.5,
         threads: 2,
+        ..FlowConfig::quick()
     }
 }
 

@@ -23,6 +23,7 @@ fn config() -> FlowConfig {
         include_zero_weights: false,
         neighbor_decay: 0.5,
         threads: 2,
+        ..FlowConfig::quick()
     }
 }
 

@@ -38,6 +38,7 @@ fn config(threads: usize) -> FlowConfig {
         include_zero_weights: false,
         neighbor_decay: 0.5,
         threads,
+        ..FlowConfig::quick()
     }
 }
 
