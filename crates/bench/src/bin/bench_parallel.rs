@@ -80,6 +80,25 @@ fn main() {
             probe.coalesced_evals,
             probe.identical
         );
+        eprintln!(
+            "shared cache: {} in-group / {} cross-group hits, {} sims saved, identical: {}",
+            probe.in_group_hits,
+            probe.cross_group_hits,
+            probe.shared_sims_saved,
+            probe.shared_identical
+        );
+    }
+    for k in &report.kernels {
+        eprintln!(
+            "kernel {:>9}: {:>9.0} sims/s seq -> {:>9.0} sims/s batched ({:.2}x, {} sims, {:.4} allocs/sim, identical: {})",
+            k.unit,
+            k.sequential_sims_per_sec,
+            k.batched_sims_per_sec,
+            k.batch_speedup,
+            k.sims,
+            k.allocs_per_sim,
+            k.identical
+        );
     }
     assert!(
         report.phase_identical && report.repo_identical,
@@ -97,6 +116,17 @@ fn main() {
         report.coalesce.as_ref().is_none_or(|p| p.identical),
         "coalesced flow diverged from its point-seeded reference"
     );
+    assert!(
+        report.coalesce.as_ref().is_none_or(|p| p.shared_identical),
+        "cross-group cache-served run diverged from the computing run"
+    );
+    for k in &report.kernels {
+        assert!(
+            k.identical,
+            "{} simulate_batch diverged from the sequential simulate_seeded loop",
+            k.unit
+        );
+    }
     check_campaign_speedup(&report);
     check_baseline(&report);
     let json = serde_json::to_string_pretty(&report).expect("serialize");
@@ -141,8 +171,9 @@ fn check_baseline(report: &ascdg_bench::parallel::ParallelBenchReport) {
 }
 
 /// Hard-gates the campaign overlap win under `ASCDG_BENCH_STRICT=1`: at
-/// least 1.5x on a machine with 4+ hardware threads. Smaller machines
-/// cannot render the verdict, so they log the skip instead of failing.
+/// least 1.5x on a machine with 4+ hardware threads at a workload big
+/// enough to measure (scale >= 0.1). Smaller machines or scales cannot
+/// render the verdict, so they log the skip instead of failing.
 fn check_campaign_speedup(report: &ascdg_bench::parallel::ParallelBenchReport) {
     let strict = std::env::var("ASCDG_BENCH_STRICT").is_ok_and(|v| v == "1");
     let Some(probe) = &report.campaign else {
@@ -152,6 +183,13 @@ fn check_campaign_speedup(report: &ascdg_bench::parallel::ParallelBenchReport) {
         eprintln!(
             "campaign speedup gate: skipped ({} hardware thread(s), need 4+ for a meaningful verdict)",
             report.machine_threads
+        );
+        return;
+    }
+    if report.scale < 0.1 {
+        eprintln!(
+            "campaign speedup gate: skipped (scale {} too small for a wall-clock verdict)",
+            report.scale
         );
         return;
     }

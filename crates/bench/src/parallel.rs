@@ -14,11 +14,11 @@ use std::sync::Arc;
 
 use ascdg_core::{
     machine_threads, pool_scope_with, ApproxTarget, BatchRunner, BatchStats, CdgFlow, CdgObjective,
-    CounterSnapshot, EvalStrategy, FlowConfig, FlowEngine, FlowError, Skeletonizer, TargetSpec,
-    Telemetry,
+    CounterSnapshot, EvalStrategy, FlowConfig, FlowEngine, FlowError, ResolvedTemplate,
+    SharedEvalCache, Skeletonizer, TargetSpec, Telemetry,
 };
 use ascdg_coverage::EventFamily;
-use ascdg_duv::{io_unit::IoEnv, VerifEnv};
+use ascdg_duv::{ifu::IfuEnv, io_unit::IoEnv, l3cache::L3Env, SimScratch, VerifEnv};
 use ascdg_opt::{Bounds, IfOptions, ImplicitFiltering, Optimizer};
 use ascdg_stimgen::mix_seed;
 use ascdg_tac::TacQuery;
@@ -84,6 +84,41 @@ pub struct ParallelBenchReport {
     /// strategy with and without duplicate coalescing.
     #[serde(default)]
     pub coalesce: Option<CoalesceProbe>,
+    /// Per-DUV batch-kernel probes: `simulate_batch` throughput and
+    /// arena-reuse accounting against the sequential `simulate_seeded`
+    /// reference, per environment.
+    #[serde(default)]
+    pub kernels: Vec<KernelProbe>,
+}
+
+/// One environment's batch-kernel measurement: the same simulations run
+/// once through the sequential `simulate_seeded` loop and once through the
+/// arena-reusing `simulate_batch` kernel (in hot-path-sized chunks, with
+/// coverage vectors recycled between chunks like the runner does).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelProbe {
+    /// Unit name of the environment probed.
+    pub unit: String,
+    /// The stock template the probe simulated.
+    pub template: String,
+    /// Simulations per side.
+    pub sims: u64,
+    /// Sequential `simulate_seeded` throughput, sims per second.
+    pub sequential_sims_per_sec: f64,
+    /// Batched `simulate_batch` throughput, sims per second.
+    pub batched_sims_per_sec: f64,
+    /// `batched / sequential`.
+    pub batch_speedup: f64,
+    /// Coverage vectors the batched run allocated (the arena misses).
+    pub cov_allocated: u64,
+    /// Coverage vectors the batched run reused from the arena.
+    pub cov_reused: u64,
+    /// Heap coverage-vector allocations per simulation in the batched run
+    /// (approaches `block_size / sims` as the arena warms).
+    pub allocs_per_sim: f64,
+    /// Whether the batched coverage vectors were byte-identical to the
+    /// sequential ones, seed for seed. Must always be `true`.
+    pub identical: bool,
 }
 
 /// Measures what overlapping target-group flows on the shared pool buys —
@@ -123,6 +158,23 @@ pub struct CoalesceProbe {
     /// Whether the coalesced and uncoalesced flows produced identical
     /// outcomes (timings aside). Must always be `true`.
     pub identical: bool,
+    /// Campaign-shared cache: hits served back to the group that computed
+    /// the entry (revisited stencil centers within one phase).
+    #[serde(default)]
+    pub in_group_hits: u64,
+    /// Campaign-shared cache: hits served to a *different* group — here, a
+    /// second phase run with another origin retracing the first group's
+    /// trajectory entirely from cache.
+    #[serde(default)]
+    pub cross_group_hits: u64,
+    /// Simulations the shared cache saved across both groups.
+    #[serde(default)]
+    pub shared_sims_saved: u64,
+    /// Whether the cache-served second group reproduced the first group's
+    /// phase statistics and best settings byte for byte. Must always be
+    /// `true`.
+    #[serde(default)]
+    pub shared_identical: bool,
 }
 
 /// Measures what enabling telemetry costs (and proves it changes nothing).
@@ -298,6 +350,163 @@ impl PhaseHarness {
         telemetry.clear_stage();
         out
     }
+
+    /// Runs the implicit-filtering phase serially with a campaign-shared
+    /// eval cache attached under [`EvalStrategy::Coalesced`], as group
+    /// `origin`. Because the cache's seed roots every attached objective's
+    /// point-keyed derivation, re-running with a different `origin` on the
+    /// same cache retraces the identical trajectory entirely from cache —
+    /// the cross-group reuse the campaign scheduler gets for free.
+    #[must_use]
+    pub fn run_shared(
+        &self,
+        seed: u64,
+        cache: &Arc<SharedEvalCache>,
+        origin: u64,
+    ) -> (ThreadMeasurement, BatchStats, Vec<f64>) {
+        let cfg = &self.config;
+        pool_scope_with(1, &Telemetry::disabled(), |pool| {
+            let runner = BatchRunner::with_pool(pool);
+            let counters = Arc::clone(runner.counters());
+            let mut obj = CdgObjective::new(
+                &self.env,
+                &self.skeleton,
+                &self.approx,
+                cfg.opt_sims,
+                runner,
+                mix_seed(seed, 0x0b7),
+            )
+            .with_strategy(EvalStrategy::Coalesced)
+            .with_shared_cache(Arc::clone(cache), origin);
+            let optimizer = ImplicitFiltering::new(IfOptions {
+                n_directions: cfg.opt_directions,
+                initial_step: cfg.opt_initial_step,
+                min_step: 1e-4,
+                max_iters: cfg.opt_iterations,
+                resample_center: true,
+                ..IfOptions::default()
+            });
+            let clock = Instant::now();
+            let result = optimizer.maximize(
+                &mut obj,
+                &Bounds::unit(self.skeleton.num_slots()),
+                &self.start,
+                mix_seed(seed, 2),
+            );
+            let elapsed = clock.elapsed().as_secs_f64();
+            let stats = obj.phase_stats();
+            let m = ThreadMeasurement {
+                threads: 1,
+                wall_ms: elapsed * 1e3,
+                sims: stats.sims,
+                sims_per_sec: if elapsed > 0.0 {
+                    stats.sims as f64 / elapsed
+                } else {
+                    0.0
+                },
+                counters: counters.snapshot(),
+            };
+            (m, stats, result.best_x)
+        })
+    }
+}
+
+/// Hot-path chunk size the kernel probe batches in (mirrors the runner's
+/// `KERNEL_BLOCK`).
+const PROBE_BLOCK: usize = 64;
+
+/// Measures one environment's batch kernel against the sequential
+/// reference on its first stock template (see [`KernelProbe`]).
+///
+/// # Errors
+///
+/// Propagates template resolution and simulation failures.
+pub fn kernel_probe_for<E: VerifEnv>(
+    env: &E,
+    sims: u64,
+    seed: u64,
+) -> Result<KernelProbe, FlowError> {
+    let template = env
+        .stock_library()
+        .get(0)
+        .ok_or(FlowError::EmptyLibrary)?
+        .clone();
+    let resolved = ResolvedTemplate::resolve(env, &template)?;
+    let stream = resolved.seed_stream(seed);
+    let seeds: Vec<u64> = (0..sims).map(|i| stream.sampler_seed(i)).collect();
+
+    // Sequential reference, timed — one allocation per simulation.
+    let clock = Instant::now();
+    let mut reference = Vec::with_capacity(seeds.len());
+    for &s in &seeds {
+        reference.push(env.simulate_seeded(resolved.params(), s)?);
+    }
+    let seq_elapsed = clock.elapsed().as_secs_f64();
+
+    // Batched identity pass (untimed): every vector kept for comparison.
+    let mut scratch = SimScratch::new();
+    let mut batched = Vec::with_capacity(seeds.len());
+    for chunk in seeds.chunks(PROBE_BLOCK) {
+        batched.extend(env.simulate_batch(resolved.params(), chunk, &mut scratch)?);
+    }
+    let identical = batched == reference;
+
+    // Batched throughput pass, timed in the hot path's shape: vectors are
+    // recycled into the arena between chunks, so steady state allocates
+    // nothing.
+    let mut scratch = SimScratch::new();
+    let clock = Instant::now();
+    for chunk in seeds.chunks(PROBE_BLOCK) {
+        for cov in env.simulate_batch(resolved.params(), chunk, &mut scratch)? {
+            scratch.recycle(cov);
+        }
+    }
+    let bat_elapsed = clock.elapsed().as_secs_f64();
+
+    let sequential_sims_per_sec = if seq_elapsed > 0.0 {
+        sims as f64 / seq_elapsed
+    } else {
+        0.0
+    };
+    let batched_sims_per_sec = if bat_elapsed > 0.0 {
+        sims as f64 / bat_elapsed
+    } else {
+        0.0
+    };
+    Ok(KernelProbe {
+        unit: env.unit_name().to_owned(),
+        template: template.name().to_owned(),
+        sims,
+        sequential_sims_per_sec,
+        batched_sims_per_sec,
+        batch_speedup: if sequential_sims_per_sec > 0.0 {
+            batched_sims_per_sec / sequential_sims_per_sec
+        } else {
+            0.0
+        },
+        cov_allocated: scratch.cov_allocated(),
+        cov_reused: scratch.cov_reused(),
+        allocs_per_sim: if sims > 0 {
+            scratch.cov_allocated() as f64 / sims as f64
+        } else {
+            0.0
+        },
+        identical,
+    })
+}
+
+/// Runs [`kernel_probe_for`] over the three hand-written DUV models.
+///
+/// # Errors
+///
+/// Propagates any environment's probe failure.
+pub fn kernel_probes(scale: f64, seed: u64) -> Result<Vec<KernelProbe>, FlowError> {
+    let sims = ((12_000.0 * scale) as u64).max(256);
+    Ok(vec![
+        kernel_probe_for(&IfuEnv::new(), sims, mix_seed(seed, 0x1f0))?,
+        kernel_probe_for(&L3Env::new(), sims, mix_seed(seed, 0x13c))?,
+        kernel_probe_for(&IoEnv::new(), sims, mix_seed(seed, 0x10c))?,
+    ])
 }
 
 /// Times the whole paper_io campaign sequentially and with `jobs` group
@@ -378,6 +587,12 @@ pub fn coalesce_probe(scale: f64, seed: u64) -> Result<CoalesceProbe, FlowError>
         sims_executed,
         coalesced_evals,
         identical: reference_json == coalesced_json,
+        // The shared-cache fields are filled by `parallel_bench`, which
+        // owns the phase harness the cross-group measurement reuses.
+        in_group_hits: 0,
+        cross_group_hits: 0,
+        shared_sims_saved: 0,
+        shared_identical: false,
     })
 }
 
@@ -431,7 +646,19 @@ pub fn parallel_bench(
         parallel_threads,
         parallel_threads.max(2),
     )?);
-    let coalesce = Some(coalesce_probe(scale, seed)?);
+    let mut coalesce = coalesce_probe(scale, seed)?;
+    // Cross-group reuse: the same phase run twice as two different groups
+    // sharing one campaign-level cache. The second group's whole
+    // trajectory must come from the first group's entries, byte for byte.
+    let cache = Arc::new(SharedEvalCache::new(mix_seed(seed, 0xeca)));
+    let (_, first_stats, first_best) = harness.run_shared(seed, &cache, 1);
+    let (_, second_stats, second_best) = harness.run_shared(seed, &cache, 2);
+    coalesce.in_group_hits = cache.in_group_hits();
+    coalesce.cross_group_hits = cache.cross_group_hits();
+    coalesce.shared_sims_saved = cache.sims_saved();
+    coalesce.shared_identical = first_stats == second_stats && first_best == second_best;
+    let coalesce = Some(coalesce);
+    let kernels = kernel_probes(scale, seed)?;
     Ok(ParallelBenchReport {
         scale,
         seed,
@@ -446,6 +673,7 @@ pub fn parallel_bench(
         telemetry,
         campaign,
         coalesce,
+        kernels,
     })
 }
 
@@ -486,6 +714,62 @@ mod tests {
             coalesce.sims_executed < coalesce.sims_logical,
             "coalescing did not reduce executed simulations"
         );
+        // The shared cache must serve the second group's whole trajectory
+        // from the first group's entries, without changing a byte.
+        assert!(
+            coalesce.shared_identical,
+            "cache-served group diverged from the computing group"
+        );
+        assert!(coalesce.cross_group_hits > 0, "no cross-group reuse");
+        assert!(coalesce.in_group_hits > 0, "no in-group reuse");
+        assert!(coalesce.shared_sims_saved > 0);
+        // Every DUV's batch kernel must reproduce the sequential loop.
+        assert_eq!(report.kernels.len(), 3);
+        for k in &report.kernels {
+            assert!(k.identical, "{} batch kernel diverged", k.unit);
+            assert!(k.sims > 0 && k.sequential_sims_per_sec > 0.0);
+            assert!(k.batched_sims_per_sec > 0.0);
+            // The arena warms after the first block: far fewer coverage
+            // allocations than simulations.
+            assert!(
+                k.cov_allocated < k.sims / 2,
+                "{}: {} allocs for {} sims — arena not reusing",
+                k.unit,
+                k.cov_allocated,
+                k.sims
+            );
+            assert!(k.cov_reused > 0, "{}: arena never reused", k.unit);
+        }
+    }
+
+    #[test]
+    fn committed_baseline_report_still_deserializes() {
+        // The strict baseline gate silently skips when the committed
+        // report no longer parses — so schema evolution must stay
+        // backward-compatible, and this test fails loudly if it doesn't.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+        let Ok(old) = std::fs::read_to_string(path) else {
+            return;
+        };
+        let report: Result<ParallelBenchReport, _> = serde_json::from_str(&old);
+        assert!(
+            report.is_ok(),
+            "committed BENCH_parallel.json no longer deserializes: {:?}",
+            report.err()
+        );
+    }
+
+    #[test]
+    #[ignore = "manual timing probe"]
+    fn phase_timing_probe() {
+        let harness = PhaseHarness::new(0.3, 2021, 1).expect("harness builds");
+        for _ in 0..6 {
+            let (m, _, _) = harness.run(1, 2021);
+            eprintln!(
+                "serial phase: {:.1} ms, {:.0} sims/s",
+                m.wall_ms, m.sims_per_sec
+            );
+        }
     }
 
     #[test]

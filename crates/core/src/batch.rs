@@ -7,12 +7,13 @@
 //! are byte-identical at every thread count and do not depend on
 //! scheduling.
 
+use std::cell::RefCell;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ascdg_coverage::{CoverageRepository, CoverageVector, TemplateId};
-use ascdg_duv::VerifEnv;
+use ascdg_duv::{SimScratch, VerifEnv};
 use ascdg_stimgen::{name_hash, SeedStream};
 use ascdg_telemetry::Telemetry;
 use ascdg_template::{ResolvedParams, TestTemplate};
@@ -559,10 +560,27 @@ impl<'env> BatchRunner<'env> {
     }
 }
 
+/// Seed-block size handed to [`VerifEnv::simulate_batch`]: big enough that
+/// the batched kernels amortize their setup over a cache-resident pass,
+/// small enough that a block's programs and coverage vectors stay hot.
+const KERNEL_BLOCK: u64 = 64;
+
+thread_local! {
+    /// Per-worker scratch arena, reused across every chunk this thread
+    /// runs. Scratch never influences results (all buffers are cleared
+    /// before use), so sharing one arena per thread is invisible.
+    static SCRATCH: RefCell<SimScratch> = RefCell::new(SimScratch::new());
+}
+
 /// Serially simulates instances `range` of one resolved parameter set,
 /// instance `i` seeded with `stream.sampler_seed(i)` — the unit of work
 /// every dispatch path shares, so parallel and serial runs agree
 /// bit-for-bit.
+///
+/// Instances flow through [`VerifEnv::simulate_batch`] in [`KERNEL_BLOCK`]
+/// blocks with seeds assigned before dispatch, reusing the worker's
+/// thread-local [`SimScratch`] arena; each block's result is byte-identical
+/// to a `simulate_seeded` loop by the trait contract.
 ///
 /// Coverage accumulates into the chunk-local [`BatchStats`] shard; when
 /// recording, the shard merges into the repository **once** at the end of
@@ -586,12 +604,32 @@ fn simulate_range<E: VerifEnv>(
     // overhead probe asserts.
     let chunk_clock = telemetry.timed();
     let mut stats = BatchStats::empty(events);
-    for i in range {
-        let cov = env
-            .simulate_seeded(resolved, stream.sampler_seed(i))
-            .map_err(FlowError::Env)?;
-        stats.record(&cov);
-    }
+    SCRATCH.with(|cell| -> Result<(), FlowError> {
+        let scratch = &mut *cell.borrow_mut();
+        let (reused0, alloc0) = (scratch.cov_reused(), scratch.cov_allocated());
+        let mut seeds = Vec::with_capacity(KERNEL_BLOCK.min(range.end - range.start) as usize);
+        let mut lo = range.start;
+        while lo < range.end {
+            let hi = (lo + KERNEL_BLOCK).min(range.end);
+            seeds.clear();
+            seeds.extend((lo..hi).map(|i| stream.sampler_seed(i)));
+            let covs = env
+                .simulate_batch(resolved, &seeds, scratch)
+                .map_err(FlowError::Env)?;
+            for cov in covs {
+                stats.record(&cov);
+                scratch.recycle(cov);
+            }
+            lo = hi;
+        }
+        if let Some(m) = telemetry.metrics() {
+            m.counter("batch.scratch_reuse")
+                .add(scratch.cov_reused() - reused0);
+            m.counter("batch.scratch_alloc")
+                .add(scratch.cov_allocated() - alloc0);
+        }
+        Ok(())
+    })?;
     if let Some((repo, id)) = record {
         if stats.sims > 0 {
             let merge_clock = telemetry.timed();

@@ -8,7 +8,7 @@
 //! for uncovered events outside any family), and a unit-level summary of
 //! what closed, what resisted, and what it cost.
 
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use serde::{Deserialize, Serialize};
 
@@ -21,7 +21,10 @@ use ascdg_template::TemplateLibrary;
 use crate::pool::pool_scope_with;
 use crate::scheduler;
 use crate::session::{CampaignProgress, GroupProgress, SessionState};
-use crate::{ApproxTarget, CdgFlow, FlowEngine, FlowError, FlowOutcome, PHASE_BEFORE, PHASE_BEST};
+use crate::{
+    ApproxTarget, CdgFlow, FlowEngine, FlowError, FlowOutcome, SharedEvalCache, PHASE_BEFORE,
+    PHASE_BEST,
+};
 
 /// One target group's result within a campaign.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -255,11 +258,20 @@ impl<E: VerifEnv> CdgFlow<E> {
         let policy = StatusPolicy::default();
         let n = groups.len();
         let jobs = self.config().campaign_jobs;
+        // One completed-evaluation cache for the whole campaign: groups
+        // that visit the same point of the same skeleton (common when two
+        // families choose the same stock template) reuse each other's
+        // simulations instead of re-running them. Its seed roots every
+        // group's point-keyed evaluation seeds, which is what makes the
+        // reuse byte-exact — and the campaign outcome independent of the
+        // scheduler interleaving (a hit and a miss produce the same bytes).
+        let eval_cache = Arc::new(SharedEvalCache::new(mix_seed(seed, 0xeca)));
         // All groups share one persistent worker pool (and one engine)
         // instead of spinning a pool up per group.
         let (mut runs, prep_failures) = pool_scope_with(self.config().threads, telemetry, |pool| {
             let engine = FlowEngine::new(self.env(), self.config().clone(), pool)
-                .with_telemetry(telemetry.clone());
+                .with_telemetry(telemetry.clone())
+                .with_shared_eval_cache(Arc::clone(&eval_cache));
             let mut scheduled: Vec<(usize, SessionState)> = Vec::with_capacity(n);
             let mut prep_failures: Vec<Option<String>> = vec![None; n];
             for (i, (_, targets)) in groups.iter().enumerate() {
@@ -388,6 +400,10 @@ impl<E: VerifEnv> CdgFlow<E> {
         if let Some(m) = telemetry.metrics() {
             m.gauge("campaign.coalesced_evals")
                 .set(m.counter("objective.coalesced").value() as f64);
+            m.gauge("campaign.cross_group_hits")
+                .set(eval_cache.cross_group_hits() as f64);
+            m.gauge("campaign.shared_cache_sims_saved")
+                .set(eval_cache.sims_saved() as f64);
         }
 
         let after = policy.count(union_hits.iter().map(|&hits| ascdg_coverage::HitStats {
@@ -485,6 +501,25 @@ mod tests {
         let lib_len = flow.env().stock_library().len() as u64;
         let regression = lib_len * flow.config().regression_sims_per_template;
         assert_eq!(out.total_sims, regression + group_sims);
+    }
+
+    #[test]
+    fn shared_cache_keeps_campaign_identical_across_jobs() {
+        // Scheduler interleaving changes *when* the shared cache is
+        // populated, hence which lookups hit — but never the bytes:
+        // misses recompute the exact seed stream a hit would have
+        // returned. The whole campaign outcome must therefore be
+        // identical at any job count, coalesced strategy included.
+        let run = |jobs: usize| {
+            let mut cfg = FlowConfig::quick();
+            cfg.eval_strategy = crate::EvalStrategy::Coalesced;
+            cfg.campaign_jobs = jobs;
+            let out = CdgFlow::new(IoEnv::new(), cfg)
+                .run_campaign(9)
+                .expect("campaign runs");
+            serde_json::to_string(&out).unwrap()
+        };
+        assert_eq!(run(1), run(3));
     }
 
     #[test]

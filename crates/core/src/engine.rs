@@ -9,6 +9,8 @@
 //! a run resumed from any post-stage snapshot reproduces the identical
 //! outcome, because the skipped stages' products are already in the state.
 
+use std::sync::Arc;
+
 use ascdg_coverage::CoverageRepository;
 use ascdg_duv::VerifEnv;
 use ascdg_telemetry::Telemetry;
@@ -18,7 +20,8 @@ use crate::pool::SimPool;
 use crate::session::{SessionCx, SessionState, StageSims, TargetSpec};
 use crate::stages::{default_stages, Stage};
 use crate::{
-    ApproxTarget, BatchRunner, FlowConfig, FlowError, FlowOutcome, PhaseStats, PHASE_BEFORE,
+    ApproxTarget, BatchRunner, FlowConfig, FlowError, FlowOutcome, PhaseStats, SharedEvalCache,
+    PHASE_BEFORE,
 };
 
 /// Executes a stage list against flow sessions.
@@ -45,6 +48,7 @@ pub struct FlowEngine<'env, E: VerifEnv> {
     pool: SimPool<'env>,
     stages: Vec<Box<dyn Stage<E>>>,
     telemetry: Telemetry,
+    eval_cache: Option<Arc<SharedEvalCache>>,
 }
 
 impl<'env, E: VerifEnv> FlowEngine<'env, E> {
@@ -70,6 +74,7 @@ impl<'env, E: VerifEnv> FlowEngine<'env, E> {
             pool: pool.clone(),
             stages,
             telemetry: Telemetry::disabled(),
+            eval_cache: None,
         }
     }
 
@@ -90,6 +95,17 @@ impl<'env, E: VerifEnv> FlowEngine<'env, E> {
         &self.telemetry
     }
 
+    /// Attaches a campaign-shared completed-evaluation cache: sessions
+    /// created afterwards hand it to their objectives, which consult it
+    /// under [`EvalStrategy::Coalesced`](crate::EvalStrategy::Coalesced)
+    /// (and ignore it otherwise). See [`SharedEvalCache`] for why sharing
+    /// one cache across differently-seeded sessions is exact.
+    #[must_use]
+    pub fn with_shared_eval_cache(mut self, cache: Arc<SharedEvalCache>) -> Self {
+        self.eval_cache = Some(cache);
+        self
+    }
+
     /// The configuration in effect.
     #[must_use]
     pub fn config(&self) -> &FlowConfig {
@@ -106,7 +122,14 @@ impl<'env, E: VerifEnv> FlowEngine<'env, E> {
     #[must_use]
     pub fn session<'bus>(&self, spec: TargetSpec, seed: u64) -> SessionCx<'env, 'bus, E> {
         let state = SessionState::new(self.env.unit_name(), self.config.clone(), spec, seed);
-        SessionCx::from_parts(self.env, self.runner(), None, state, self.telemetry.clone())
+        SessionCx::from_parts(
+            self.env,
+            self.runner(),
+            None,
+            state,
+            self.telemetry.clone(),
+            self.eval_cache.clone(),
+        )
     }
 
     /// A batch runner on the engine's pool, sharing its telemetry handle.
@@ -151,6 +174,7 @@ impl<'env, E: VerifEnv> FlowEngine<'env, E> {
             Some(live),
             state,
             self.telemetry.clone(),
+            self.eval_cache.clone(),
         ))
     }
 
@@ -181,6 +205,7 @@ impl<'env, E: VerifEnv> FlowEngine<'env, E> {
             live,
             state,
             self.telemetry.clone(),
+            self.eval_cache.clone(),
         ))
     }
 

@@ -1,0 +1,247 @@
+//! A campaign-wide completed-evaluation cache, shared across scheduler
+//! groups.
+//!
+//! [`CdgObjective`](crate::CdgObjective) already memoizes completed
+//! evaluations per phase under
+//! [`EvalStrategy::Coalesced`](crate::EvalStrategy::Coalesced) — but each
+//! stage builds a fresh objective, and each campaign group a fresh stage,
+//! so two groups revisiting the same settings of the same skeleton
+//! re-simulate from scratch. A [`SharedEvalCache`] hoists the memo to the
+//! campaign: one `Arc`'d cache attached to the
+//! [`FlowEngine`](crate::FlowEngine) serves every group's objectives.
+//!
+//! # Why sharing is sound
+//!
+//! A cached entry is reused only when the *skeleton name*, the *settings
+//! bit pattern* and the *simulation count* all match. The remaining input
+//! — the evaluation seed — is made point-determined by construction: an
+//! objective with a shared cache attached derives its point-keyed seeds
+//! from `mix_seed(cache.seed(), fingerprint)` instead of its own base
+//! seed, so any two groups evaluating the same point replay byte-identical
+//! simulations whether the cache hits or misses. Eviction (or a different
+//! scheduler interleaving changing the hit pattern) therefore only costs a
+//! re-simulation; it can never change a value. Phase statistics are
+//! per-event hit counts over the whole coverage model — independent of any
+//! group's target — so fanning one result out to several groups is exact.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::BatchStats;
+
+/// Backstop bound on the shared cache. Campaign groups revisit a small set
+/// of stencil centers each, so the cache stays far below this in practice;
+/// at the bound one arbitrary entry is evicted (safe — a re-execution
+/// replays the identical seed stream, see the module docs).
+const SHARED_CACHE_CAP: usize = 1024;
+
+/// Cache key: skeleton name, settings bit pattern, simulations per
+/// evaluation. Everything else that shapes an evaluation's statistics is
+/// derived from these (the seed via the cache's own seed root).
+type EvalKey = (String, Vec<u64>, u64);
+
+struct Entry {
+    stats: Arc<BatchStats>,
+    /// Session seed of the group that computed the entry — classifies a
+    /// later hit as in-group or cross-group.
+    origin: u64,
+}
+
+/// The campaign-shared completed-evaluation cache (see the module docs).
+///
+/// Attach one to every group's engine via
+/// [`FlowEngine::with_shared_eval_cache`](crate::FlowEngine::with_shared_eval_cache);
+/// objectives consult it only under
+/// [`EvalStrategy::Coalesced`](crate::EvalStrategy::Coalesced), so with
+/// the default indexed strategy an attached cache is inert.
+pub struct SharedEvalCache {
+    seed: u64,
+    inner: Mutex<HashMap<EvalKey, Entry>>,
+    in_group_hits: AtomicU64,
+    cross_group_hits: AtomicU64,
+    misses: AtomicU64,
+    sims_saved: AtomicU64,
+}
+
+impl SharedEvalCache {
+    /// A fresh cache whose `seed` becomes the root of every attached
+    /// objective's point-keyed seed derivation.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SharedEvalCache {
+            seed,
+            inner: Mutex::new(HashMap::new()),
+            in_group_hits: AtomicU64::new(0),
+            cross_group_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            sims_saved: AtomicU64::new(0),
+        }
+    }
+
+    /// The seed root shared by every objective attached to this cache.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Looks up a completed evaluation. On a hit, returns the statistics
+    /// and whether the entry came from a *different* group (`origin`
+    /// mismatch — a cross-group hit).
+    #[must_use]
+    pub fn lookup(
+        &self,
+        skeleton: &str,
+        key: &[u64],
+        sims: u64,
+        origin: u64,
+    ) -> Option<(Arc<BatchStats>, bool)> {
+        let full_key = (skeleton.to_owned(), key.to_vec(), sims);
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        match inner.get(&full_key) {
+            Some(entry) => {
+                let cross = entry.origin != origin;
+                if cross {
+                    self.cross_group_hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.in_group_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                self.sims_saved
+                    .fetch_add(entry.stats.sims, Ordering::Relaxed);
+                Some((Arc::clone(&entry.stats), cross))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a completed evaluation, evicting one arbitrary entry at the
+    /// cap. An entry already present is left in place (first writer wins;
+    /// both writers computed identical bytes anyway).
+    pub fn store(
+        &self,
+        skeleton: &str,
+        key: &[u64],
+        sims: u64,
+        origin: u64,
+        stats: Arc<BatchStats>,
+    ) {
+        let full_key = (skeleton.to_owned(), key.to_vec(), sims);
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if inner.contains_key(&full_key) {
+            return;
+        }
+        if inner.len() >= SHARED_CACHE_CAP {
+            if let Some(victim) = inner.keys().next().cloned() {
+                inner.remove(&victim);
+            }
+        }
+        inner.insert(full_key, Entry { stats, origin });
+    }
+
+    /// Entries currently cached.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hits served to the group that originally computed the entry.
+    #[must_use]
+    pub fn in_group_hits(&self) -> u64 {
+        self.in_group_hits.load(Ordering::Relaxed)
+    }
+
+    /// Hits served to a *different* group than the one that computed the
+    /// entry — the campaign-level win this cache exists for.
+    #[must_use]
+    pub fn cross_group_hits(&self) -> u64 {
+        self.cross_group_hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Simulations the hits did not re-run.
+    #[must_use]
+    pub fn sims_saved(&self) -> u64 {
+        self.sims_saved.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for SharedEvalCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedEvalCache")
+            .field("len", &self.len())
+            .field("in_group_hits", &self.in_group_hits())
+            .field("cross_group_hits", &self.cross_group_hits())
+            .field("misses", &self.misses())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(sims: u64) -> Arc<BatchStats> {
+        let mut st = BatchStats::empty(2);
+        st.sims = sims;
+        Arc::new(st)
+    }
+
+    #[test]
+    fn hit_classification_follows_origin() {
+        let cache = SharedEvalCache::new(7);
+        assert!(cache.is_empty());
+        assert!(cache.lookup("sk", &[1, 2], 10, 100).is_none());
+        assert_eq!(cache.misses(), 1);
+        cache.store("sk", &[1, 2], 10, 100, stats(10));
+        let (st, cross) = cache.lookup("sk", &[1, 2], 10, 100).unwrap();
+        assert_eq!(st.sims, 10);
+        assert!(!cross, "same origin must be an in-group hit");
+        let (_, cross) = cache.lookup("sk", &[1, 2], 10, 200).unwrap();
+        assert!(cross, "different origin must be a cross-group hit");
+        assert_eq!(cache.in_group_hits(), 1);
+        assert_eq!(cache.cross_group_hits(), 1);
+        assert_eq!(cache.sims_saved(), 20);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn key_distinguishes_skeleton_point_and_sims() {
+        let cache = SharedEvalCache::new(0);
+        cache.store("a", &[1], 5, 0, stats(5));
+        assert!(cache.lookup("b", &[1], 5, 0).is_none());
+        assert!(cache.lookup("a", &[2], 5, 0).is_none());
+        assert!(cache.lookup("a", &[1], 6, 0).is_none());
+        assert!(cache.lookup("a", &[1], 5, 0).is_some());
+    }
+
+    #[test]
+    fn first_writer_wins_and_cap_evicts_one() {
+        let cache = SharedEvalCache::new(0);
+        cache.store("sk", &[1], 5, 1, stats(5));
+        cache.store("sk", &[1], 5, 2, stats(5));
+        // Still classified against the first writer's origin.
+        let (_, cross) = cache.lookup("sk", &[1], 5, 1).unwrap();
+        assert!(!cross);
+        for i in 0..SHARED_CACHE_CAP as u64 + 8 {
+            cache.store("sk", &[i + 10], 5, 0, stats(5));
+        }
+        assert!(cache.len() <= SHARED_CACHE_CAP);
+    }
+}

@@ -44,6 +44,7 @@ mod batch;
 mod campaign;
 mod engine;
 mod error;
+mod evalcache;
 mod events;
 mod flow;
 pub mod manifest;
@@ -63,6 +64,7 @@ pub use batch::{BatchCounters, BatchRunner, BatchStats, CounterSnapshot, Resolve
 pub use campaign::{CampaignGroup, CampaignOutcome, CampaignReport};
 pub use engine::FlowEngine;
 pub use error::FlowError;
+pub use evalcache::SharedEvalCache;
 pub use events::{EventBus, EventLog, FlowEvent, FlowSubscriber, ObserverBridge};
 pub use flow::{
     CdgFlow, FlowConfig, FlowObserver, FlowOutcome, NoopObserver, PhaseStats, PhaseTiming,

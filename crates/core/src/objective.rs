@@ -10,7 +10,7 @@ use ascdg_opt::Objective;
 use ascdg_stimgen::mix_seed;
 use ascdg_template::{ResolvedParams, Skeleton};
 
-use crate::{ApproxTarget, BatchRunner, BatchStats, ResolvedTemplate};
+use crate::{ApproxTarget, BatchRunner, BatchStats, ResolvedTemplate, SharedEvalCache};
 
 /// Backstop bound on the per-phase resolve and evaluation caches. Implicit
 /// filtering revisits only a handful of stencil centers, so the caches stay
@@ -99,6 +99,10 @@ pub struct CdgObjective<'a, 'env, E: VerifEnv> {
     runner: BatchRunner<'env>,
     base_seed: u64,
     strategy: EvalStrategy,
+    // Campaign-shared completed-evaluation cache and the session seed of
+    // the group this objective belongs to (classifies hits as in-group or
+    // cross-group). Consulted only under `EvalStrategy::Coalesced`.
+    shared: Option<(Arc<SharedEvalCache>, u64)>,
     // Mutex (not Cell/RefCell) so the objective stays Sync like the rest of
     // the flow machinery; contention is nil (one optimizer thread). Lock
     // poisoning is recoverable: the guarded state is a plain accumulator
@@ -179,6 +183,7 @@ impl<'a, 'env, E: VerifEnv> CdgObjective<'a, 'env, E> {
             runner,
             base_seed,
             strategy: EvalStrategy::Indexed,
+            shared: None,
             state: Mutex::new(EvalState {
                 evals: 0,
                 accum: BatchStats::empty(events),
@@ -197,6 +202,21 @@ impl<'a, 'env, E: VerifEnv> CdgObjective<'a, 'env, E> {
     #[must_use]
     pub fn with_strategy(mut self, strategy: EvalStrategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Attaches a campaign-shared completed-evaluation cache; `origin` is
+    /// the session seed of the group this objective evaluates for.
+    ///
+    /// With a cache attached, the point-keyed seed derivation roots at
+    /// [`SharedEvalCache::seed`] instead of this objective's base seed, so
+    /// every attached objective replays identical simulations at identical
+    /// points — the property that makes cross-group reuse exact (see the
+    /// [`SharedEvalCache`] docs). Lookups and stores still happen only
+    /// under [`EvalStrategy::Coalesced`].
+    #[must_use]
+    pub fn with_shared_cache(mut self, cache: Arc<SharedEvalCache>, origin: u64) -> Self {
+        self.shared = Some((cache, origin));
         self
     }
 
@@ -311,9 +331,17 @@ impl<'a, 'env, E: VerifEnv> CdgObjective<'a, 'env, E> {
             ),
             EvalStrategy::PointSeeded | EvalStrategy::Coalesced => {
                 let fp = point_fingerprint(key);
+                // With a shared cache attached the seed roots at the
+                // cache's seed, not this objective's: every group then
+                // derives the same seed for the same point, which is what
+                // makes a cross-group cache hit byte-identical to a miss.
+                let root = self
+                    .shared
+                    .as_ref()
+                    .map_or(self.base_seed, |(cache, _)| cache.seed());
                 (
                     format!("{}__x{fp:016x}", self.skeleton.name()),
-                    mix_seed(self.base_seed, fp),
+                    mix_seed(root, fp),
                 )
             }
         };
@@ -322,10 +350,31 @@ impl<'a, 'env, E: VerifEnv> CdgObjective<'a, 'env, E> {
 
     /// Looks up a completed evaluation of `key`, counting the coalesced
     /// evaluation when one is found. Always misses unless the strategy is
-    /// [`EvalStrategy::Coalesced`].
+    /// [`EvalStrategy::Coalesced`]. With a shared cache attached the
+    /// campaign-wide cache replaces the phase-local one, and a hit on
+    /// another group's entry additionally bumps the
+    /// `objective.cross_group_hits` metric.
     fn cached_eval(&self, key: &[u64]) -> Option<Arc<BatchStats>> {
         if self.strategy != EvalStrategy::Coalesced {
             return None;
+        }
+        if let Some((cache, origin)) = &self.shared {
+            let hit = cache.lookup(self.skeleton.name(), key, self.sims_per_point, *origin);
+            if let Some((stats, cross)) = &hit {
+                let mut s = self
+                    .state
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                s.coalesced_evals += 1;
+                s.sims_saved += stats.sims;
+                drop(s);
+                if *cross {
+                    if let Some(m) = self.runner.telemetry().metrics() {
+                        m.counter("objective.cross_group_hits").add(1);
+                    }
+                }
+            }
+            return hit.map(|(stats, _)| stats);
         }
         let mut s = self
             .state
@@ -339,8 +388,19 @@ impl<'a, 'env, E: VerifEnv> CdgObjective<'a, 'env, E> {
         hit
     }
 
-    /// Stores a completed evaluation for future coalescing.
+    /// Stores a completed evaluation for future coalescing (in the shared
+    /// cache when one is attached, the phase-local one otherwise).
     fn cache_eval(&self, key: &[u64], stats: &BatchStats) {
+        if let Some((cache, origin)) = &self.shared {
+            cache.store(
+                self.skeleton.name(),
+                key,
+                self.sims_per_point,
+                *origin,
+                Arc::new(stats.clone()),
+            );
+            return;
+        }
         let mut s = self
             .state
             .lock()
@@ -646,6 +706,56 @@ mod tests {
         let mut again = CdgObjective::new(&env, &sk, &target, 5, BatchRunner::new(1), 7);
         assert_eq!(again.eval(&x), a);
         assert_eq!(again.eval(&x), b);
+    }
+
+    #[test]
+    fn shared_cache_coalesces_across_objectives() {
+        let env = IoEnv::new();
+        let (sk, target) = fixture(&env);
+        let x = vec![0.4; sk.num_slots()];
+        let cache = Arc::new(SharedEvalCache::new(99));
+        // Two objectives with *different* base seeds and origins: the
+        // shared cache must make their evaluations at the same point
+        // identical, and classify the second as a cross-group hit.
+        let mut a = CdgObjective::new(&env, &sk, &target, 8, BatchRunner::new(1), 1)
+            .with_strategy(EvalStrategy::Coalesced)
+            .with_shared_cache(Arc::clone(&cache), 111);
+        let mut b = CdgObjective::new(&env, &sk, &target, 8, BatchRunner::new(1), 2)
+            .with_strategy(EvalStrategy::Coalesced)
+            .with_shared_cache(Arc::clone(&cache), 222);
+        let va = a.eval(&x);
+        let vb = b.eval(&x);
+        assert_eq!(va, vb);
+        assert_eq!(cache.cross_group_hits(), 1);
+        assert_eq!(cache.in_group_hits(), 0);
+        assert_eq!(b.coalesced_evals(), 1);
+        assert_eq!(b.sims_saved(), 8);
+        // A hit is byte-identical to a miss: a third objective on a
+        // *fresh* cache with the same cache seed recomputes the same
+        // value and the same phase statistics.
+        let fresh = Arc::new(SharedEvalCache::new(99));
+        let mut c = CdgObjective::new(&env, &sk, &target, 8, BatchRunner::new(1), 3)
+            .with_strategy(EvalStrategy::Coalesced)
+            .with_shared_cache(Arc::clone(&fresh), 333);
+        assert_eq!(c.eval(&x), va);
+        assert_eq!(c.phase_stats(), b.phase_stats());
+        assert_eq!(fresh.cross_group_hits(), 0);
+    }
+
+    #[test]
+    fn attached_cache_is_inert_under_indexed_strategy() {
+        let env = IoEnv::new();
+        let (sk, target) = fixture(&env);
+        let x = vec![0.3; sk.num_slots()];
+        let mut plain = CdgObjective::new(&env, &sk, &target, 6, BatchRunner::new(1), 17);
+        let expect = plain.eval(&x);
+        let cache = Arc::new(SharedEvalCache::new(4242));
+        let mut with_cache = CdgObjective::new(&env, &sk, &target, 6, BatchRunner::new(1), 17)
+            .with_shared_cache(Arc::clone(&cache), 5);
+        assert_eq!(with_cache.eval(&x), expect);
+        let _ = with_cache.eval(&x);
+        assert!(cache.is_empty(), "indexed strategy must never store");
+        assert_eq!(cache.misses(), 0, "indexed strategy must never look up");
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! the engine checkpoint/resume
 //! (see [`FlowEngine::resume`](crate::FlowEngine::resume)).
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use ascdg_coverage::{CoverageRepository, EventId, RepoSnapshot};
@@ -19,7 +21,9 @@ use ascdg_telemetry::Telemetry;
 use ascdg_template::{Skeleton, TestTemplate};
 
 use crate::events::{event_name, EventBus, FlowEvent, FlowSubscriber};
-use crate::{ApproxTarget, BatchRunner, FlowConfig, FlowError, PhaseStats, PhaseTiming};
+use crate::{
+    ApproxTarget, BatchRunner, FlowConfig, FlowError, PhaseStats, PhaseTiming, SharedEvalCache,
+};
 
 /// A streaming consumer of post-stage snapshots
 /// (see [`SessionCx::on_checkpoint`]).
@@ -215,6 +219,7 @@ pub struct SessionCx<'env, 'bus, E: VerifEnv> {
     state: SessionState,
     bus: EventBus<'bus>,
     telemetry: Telemetry,
+    eval_cache: Option<Arc<SharedEvalCache>>,
     checkpoints: Option<Vec<SessionState>>,
     checkpoint_sink: Option<CheckpointSink<'bus>>,
 }
@@ -226,6 +231,7 @@ impl<'env, 'bus, E: VerifEnv> SessionCx<'env, 'bus, E> {
         repo: Option<CoverageRepository>,
         state: SessionState,
         telemetry: Telemetry,
+        eval_cache: Option<Arc<SharedEvalCache>>,
     ) -> Self {
         SessionCx {
             env,
@@ -234,9 +240,20 @@ impl<'env, 'bus, E: VerifEnv> SessionCx<'env, 'bus, E> {
             state,
             bus: EventBus::new(),
             telemetry,
+            eval_cache,
             checkpoints: None,
             checkpoint_sink: None,
         }
+    }
+
+    /// The campaign-shared completed-evaluation cache attached to this
+    /// session's engine, if any, paired with the session seed (the
+    /// objective's `origin` for in-group vs cross-group hit attribution).
+    #[must_use]
+    pub fn shared_eval_cache(&self) -> Option<(Arc<SharedEvalCache>, u64)> {
+        self.eval_cache
+            .as_ref()
+            .map(|cache| (Arc::clone(cache), self.state.seed))
     }
 
     /// The session's telemetry handle (disabled unless the engine was

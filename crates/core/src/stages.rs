@@ -333,6 +333,9 @@ impl<E: VerifEnv> Stage<E> for RandomSample {
             cx.stage_seed(0x5a4c),
         )
         .with_strategy(cfg.eval_strategy);
+        if let Some((cache, origin)) = cx.shared_eval_cache() {
+            obj = obj.with_shared_cache(cache, origin);
+        }
         let counters_before = cx.counter_snapshot();
         let phase_clock = Instant::now();
         let sample = random_sample(&mut obj, cfg.sample_templates, cx.stage_seed(1));
@@ -391,6 +394,9 @@ impl<E: VerifEnv> Stage<E> for Optimize {
             cx.stage_seed(0x0b7),
         )
         .with_strategy(cfg.eval_strategy);
+        if let Some((cache, origin)) = cx.shared_eval_cache() {
+            obj = obj.with_shared_cache(cache, origin);
+        }
         let optimizer = ImplicitFiltering::new(IfOptions {
             n_directions: cfg.opt_directions,
             initial_step: cfg.opt_initial_step,
@@ -486,6 +492,9 @@ impl<E: VerifEnv> Stage<E> for Refine {
             cx.stage_seed(0x4ef1),
         )
         .with_strategy(cfg.eval_strategy);
+        if let Some((cache, origin)) = cx.shared_eval_cache() {
+            obj = obj.with_shared_cache(cache, origin);
+        }
         let counters_before = cx.counter_snapshot();
         let phase_clock = Instant::now();
         let refine_result = ImplicitFiltering::new(IfOptions {

@@ -139,6 +139,17 @@ impl CoverageVector {
         }
     }
 
+    /// Clears every hit bit in place, keeping the event count.
+    ///
+    /// This is the arena-reuse primitive of the batched simulation path: a
+    /// recycled vector is reset instead of reallocated, and afterwards is
+    /// indistinguishable from [`CoverageVector::empty`] of the same length.
+    pub fn reset(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
     /// Merges another vector into this one (bitwise or).
     ///
     /// # Panics
@@ -240,6 +251,19 @@ mod tests {
     fn out_of_range_panics() {
         let v = CoverageVector::empty(4);
         let _ = v.get(EventId(4));
+    }
+
+    #[test]
+    fn reset_equals_fresh_empty() {
+        let mut v = CoverageVector::empty(130);
+        for i in [0u32, 63, 64, 129] {
+            v.set(EventId(i));
+        }
+        v.reset();
+        assert_eq!(v, CoverageVector::empty(130));
+        assert_eq!(v.count_hits(), 0);
+        v.set(EventId(129));
+        assert!(v.get(EventId(129)));
     }
 
     #[test]

@@ -4,7 +4,7 @@ use ascdg_coverage::{CoverageModel, CoverageVector};
 use ascdg_stimgen::instance_seed;
 use ascdg_template::{ParamRegistry, ResolvedParams, TemplateLibrary, TestTemplate};
 
-use crate::EnvError;
+use crate::{EnvError, SimScratch};
 
 /// A black-box verification environment: a simulated unit plus everything
 /// the verification team built around it.
@@ -56,6 +56,35 @@ pub trait VerifEnv: Send + Sync {
         resolved: &ResolvedParams,
         sampler_seed: u64,
     ) -> Result<CoverageVector, EnvError>;
+
+    /// Simulates a whole chunk of instances of one resolved template, one
+    /// per entry of `seeds`, reusing the worker's `scratch` buffers.
+    ///
+    /// The result is **byte-identical** to calling
+    /// [`VerifEnv::simulate_seeded`] once per seed, in order — the batch
+    /// entry point exists purely for throughput: the built-in units
+    /// override it with cache-resident kernels that generate every stimulus
+    /// program into the scratch arena and run the cycle loops back to back
+    /// over hot model state. The default implementation is that sequential
+    /// loop (drawing coverage vectors from the scratch pool), so external
+    /// environments keep working unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Any [`VerifEnv::simulate_seeded`] error; partial results are
+    /// discarded.
+    fn simulate_batch(
+        &self,
+        resolved: &ResolvedParams,
+        seeds: &[u64],
+        scratch: &mut SimScratch,
+    ) -> Result<Vec<CoverageVector>, EnvError> {
+        let _ = scratch;
+        seeds
+            .iter()
+            .map(|&s| self.simulate_seeded(resolved, s))
+            .collect()
+    }
 
     /// Simulates one test-instance generated from pre-resolved parameters,
     /// deriving the generator seed from the template name.
@@ -118,6 +147,15 @@ impl<T: VerifEnv + ?Sized> VerifEnv for &T {
         (**self).simulate_seeded(resolved, sampler_seed)
     }
 
+    fn simulate_batch(
+        &self,
+        resolved: &ResolvedParams,
+        seeds: &[u64],
+        scratch: &mut SimScratch,
+    ) -> Result<Vec<CoverageVector>, EnvError> {
+        (**self).simulate_batch(resolved, seeds, scratch)
+    }
+
     fn simulate_resolved(
         &self,
         resolved: &ResolvedParams,
@@ -151,6 +189,15 @@ impl<T: VerifEnv + ?Sized> VerifEnv for std::sync::Arc<T> {
         sampler_seed: u64,
     ) -> Result<CoverageVector, EnvError> {
         (**self).simulate_seeded(resolved, sampler_seed)
+    }
+
+    fn simulate_batch(
+        &self,
+        resolved: &ResolvedParams,
+        seeds: &[u64],
+        scratch: &mut SimScratch,
+    ) -> Result<Vec<CoverageVector>, EnvError> {
+        (**self).simulate_batch(resolved, seeds, scratch)
     }
 
     fn simulate_resolved(

@@ -25,7 +25,7 @@ use ascdg_template::{
     ParamDef, ParamRegistry, ResolvedParams, TemplateLibrary, TestTemplate, Value,
 };
 
-use crate::{EnvError, VerifEnv};
+use crate::{EnvError, SimScratch, VerifEnv};
 
 /// Fetch buffer depth.
 pub const BUFFER_ENTRIES: usize = 8;
@@ -202,6 +202,18 @@ impl IfuEnv {
     }
 
     fn generate(&self, sampler: &mut ParamSampler<'_>) -> Result<FetchProgram, EnvError> {
+        let mut program = Vec::new();
+        self.generate_into(sampler, &mut program)?;
+        Ok(program)
+    }
+
+    /// Appends one instance's fetch program to `out` (the arena of the
+    /// batched kernel; single-instance callers pass a fresh `Vec`).
+    fn generate_into(
+        &self,
+        sampler: &mut ParamSampler<'_>,
+        out: &mut Vec<FetchOp>,
+    ) -> Result<(), EnvError> {
         let count = sampler.sample_int("FetchCount")? as usize;
         let branch_rate = sampler.rate("BranchPct")?;
         let jumpy = sampler.sample_choice("FetchAlign")? == "jump";
@@ -210,7 +222,7 @@ impl IfuEnv {
         for (i, p) in pc.iter_mut().enumerate() {
             *p = (sampler.uniform(0, 1 << 16) as u64) << 4 | ((i as u64) << 2);
         }
-        let mut program = Vec::with_capacity(count);
+        out.reserve(count);
         for _ in 0..count {
             let thread = (sampler.sample_int("ThreadMix")? & 3) as usize;
             let taken_branch = sampler.chance(branch_rate);
@@ -218,7 +230,7 @@ impl IfuEnv {
             // Stall percentage becomes a per-fetch stall of 0 or 1 cycles.
             let stall_cycles = u32::from(sampler.chance(stall as f64 / 100.0));
             let addr = pc[thread];
-            program.push(FetchOp {
+            out.push(FetchOp {
                 thread: thread as u8,
                 addr,
                 taken_branch,
@@ -232,13 +244,19 @@ impl IfuEnv {
                 pc[thread] = addr + 16;
             }
         }
-        Ok(program)
+        Ok(())
     }
 
     /// Runs the fetch-buffer model over a program, collecting coverage.
     #[must_use]
     pub fn run_program(&self, program: &FetchProgram) -> CoverageVector {
         let mut cov = CoverageVector::empty(self.model.len());
+        self.run_program_into(program, &mut cov);
+        cov
+    }
+
+    /// [`IfuEnv::run_program`] into a caller-provided (zeroed) vector.
+    fn run_program_into(&self, program: &[FetchOp], cov: &mut CoverageVector) {
         let cp = self
             .model
             .cross_product()
@@ -282,7 +300,6 @@ impl IfuEnv {
             ];
             cov.set(cp.event_id(&coords).expect("coords are in range"));
         }
-        cov
     }
 }
 
@@ -311,6 +328,34 @@ impl VerifEnv for IfuEnv {
         let mut sampler = ParamSampler::new(resolved, sampler_seed);
         let program = self.generate(&mut sampler)?;
         Ok(self.run_program(&program))
+    }
+
+    fn simulate_batch(
+        &self,
+        resolved: &ResolvedParams,
+        seeds: &[u64],
+        scratch: &mut SimScratch,
+    ) -> Result<Vec<CoverageVector>, EnvError> {
+        // Two-phase kernel: `run_program` draws nothing from the sampler, so
+        // the whole chunk's programs can be generated first (back to back in
+        // the scratch arena) and the cycle loops then run while the buffer
+        // model's working set stays cache-resident.
+        scratch.fetch_ops.clear();
+        scratch.fetch_bounds.clear();
+        scratch.fetch_bounds.push(0);
+        for &seed in seeds {
+            let mut sampler = ParamSampler::new(resolved, seed);
+            self.generate_into(&mut sampler, &mut scratch.fetch_ops)?;
+            scratch.fetch_bounds.push(scratch.fetch_ops.len());
+        }
+        let mut out = Vec::with_capacity(seeds.len());
+        for w in 0..seeds.len() {
+            let (lo, hi) = (scratch.fetch_bounds[w], scratch.fetch_bounds[w + 1]);
+            let mut cov = scratch.take_cov(self.model.len());
+            self.run_program_into(&scratch.fetch_ops[lo..hi], &mut cov);
+            out.push(cov);
+        }
+        Ok(out)
     }
 }
 

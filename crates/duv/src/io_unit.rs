@@ -36,7 +36,7 @@ use ascdg_template::{
     ParamDef, ParamRegistry, ResolvedParams, TemplateLibrary, TestTemplate, Value,
 };
 
-use crate::{EnvError, VerifEnv};
+use crate::{EnvError, SimScratch, VerifEnv};
 
 /// Maximum inter-command gap (cycles) across which a CRC span survives.
 pub const CHAIN_GAP: u32 = 1;
@@ -317,15 +317,20 @@ impl IoEnv {
         }
     }
 
-    /// Generates the stimulus program for one test-instance.
-    fn generate(&self, sampler: &mut ParamSampler<'_>) -> Result<IoProgram, EnvError> {
+    /// Generates the stimulus program for one test-instance into `out` (a
+    /// cleared scratch buffer on the batch path, a fresh `Vec` otherwise).
+    fn generate_into(
+        &self,
+        sampler: &mut ParamSampler<'_>,
+        out: &mut Vec<IoCommand>,
+    ) -> Result<(), EnvError> {
         let count = sampler.sample_int("PktCount")? as usize;
         let err_rate = sampler.rate("ErrPct")?;
         let intr_rate = sampler.rate("IntrPct")?;
         let read_rate = sampler.rate("ReadPct")?;
-        let mut program = Vec::with_capacity(count);
+        out.reserve(count);
         for _ in 0..count {
-            program.push(IoCommand {
+            out.push(IoCommand {
                 channel: sampler.sample_int("Channel")? as u8,
                 payload_beats: sampler.sample_int("PktLen")? as u32,
                 gap: sampler.sample_int("Gap")? as u32,
@@ -336,7 +341,7 @@ impl IoEnv {
                 raise_intr: sampler.chance(intr_rate),
             });
         }
-        Ok(program)
+        Ok(())
     }
 
     /// Runs the DMA/CRC model over a program, collecting coverage.
@@ -352,6 +357,30 @@ impl IoEnv {
         resp_queue_cap: usize,
     ) -> CoverageVector {
         let mut cov = CoverageVector::empty(self.model.len());
+        let mut responses = crate::kernel::DelayLine::new();
+        self.run_program_into(
+            program,
+            sampler,
+            unaligned,
+            resp_queue_cap,
+            &mut responses,
+            &mut cov,
+        );
+        cov
+    }
+
+    /// [`IoEnv::run_program`] over a caller-provided response queue and a
+    /// zeroed coverage vector — the batch kernel's entry point. `responses`
+    /// is cleared (never trusted) before use.
+    fn run_program_into(
+        &self,
+        program: &[IoCommand],
+        sampler: &mut ParamSampler<'_>,
+        unaligned: bool,
+        resp_queue_cap: usize,
+        responses: &mut crate::kernel::DelayLine<()>,
+        cov: &mut CoverageVector,
+    ) {
         let hit = |name: &str, cov: &mut CoverageVector| {
             cov.set(self.model.id(name).expect("known event"));
         };
@@ -364,21 +393,21 @@ impl IoEnv {
         // Response-queue model: every command holds a slot from issue
         // until its completion returns.
         let resp_queue_cap = resp_queue_cap.max(1);
-        let mut responses: crate::kernel::DelayLine<()> = crate::kernel::DelayLine::new();
+        responses.clear();
         let mut cycle: u64 = 0;
 
         if unaligned {
-            hit("unaligned_access", &mut cov);
+            hit("unaligned_access", cov);
         }
 
         for cmd in program {
             // Issue timing and response-queue occupancy.
-            let _ = responses.drain_ready(cycle);
+            responses.drain_ready_with(cycle, |()| {});
             if responses.len() == resp_queue_cap {
-                hit("resp_queue_full", &mut cov);
+                hit("resp_queue_full", cov);
                 let next = responses.next_ready().expect("slots are held");
                 cycle = cycle.max(next);
-                let _ = responses.drain_ready(cycle);
+                responses.drain_ready_with(cycle, |()| {});
             }
             responses.insert((), cycle + u64::from(cmd.resp_delay));
             let depth = responses.len().min(RESP_QUEUE_MAX);
@@ -389,22 +418,22 @@ impl IoEnv {
             channels_used[ch] = true;
             hit(
                 ["ch0_active", "ch1_active", "ch2_active", "ch3_active"][ch],
-                &mut cov,
+                cov,
             );
-            hit(if cmd.is_read { "rd_cmd" } else { "wr_cmd" }, &mut cov);
+            hit(if cmd.is_read { "rd_cmd" } else { "wr_cmd" }, cov);
             if cmd.gap == 0 {
-                hit("gap_zero_b2b", &mut cov);
+                hit("gap_zero_b2b", cov);
             }
             if cmd.gap >= 24 {
-                hit("long_gap", &mut cov);
+                hit("long_gap", cov);
             }
             if cmd.payload_beats >= 12 {
-                hit("max_beats_cmd", &mut cov);
+                hit("max_beats_cmd", cov);
             }
             if cmd.raise_intr {
-                hit("intr_raised", &mut cov);
+                hit("intr_raised", cov);
                 if prev_intr {
-                    hit("intr_burst2", &mut cov);
+                    hit("intr_burst2", cov);
                 }
             }
             prev_intr = cmd.raise_intr;
@@ -424,13 +453,13 @@ impl IoEnv {
             if cmd.crc_enable {
                 chain_pkts += 1;
                 if chain_pkts >= 2 {
-                    hit("chain2", &mut cov);
+                    hit("chain2", cov);
                 }
                 if chain_pkts >= 4 {
-                    hit("chain4", &mut cov);
+                    hit("chain4", cov);
                 }
                 if chain_pkts >= 8 {
-                    hit("chain8", &mut cov);
+                    hit("chain8", cov);
                 }
                 // Beats stream through the CRC engine one at a time; an
                 // injected error aborts mid-payload and background machine
@@ -449,18 +478,18 @@ impl IoEnv {
                     span += 1;
                     for &k in &CRC_THRESHOLDS {
                         if span == k {
-                            hit(&format!("crc_{k:03}"), &mut cov);
+                            hit(&format!("crc_{k:03}"), cov);
                         }
                     }
                     if span >= CRC_BUFFER_BEATS {
-                        hit("buffer_flush_full", &mut cov);
+                        hit("buffer_flush_full", cov);
                         flushed = true;
                         break;
                     }
                 }
                 if cmd.inject_error {
-                    hit("err_injected", &mut cov);
-                    hit("crc_err_abort", &mut cov);
+                    hit("err_injected", cov);
+                    hit("crc_err_abort", cov);
                     flushed = true;
                 }
                 if flushed {
@@ -468,17 +497,16 @@ impl IoEnv {
                     chain_pkts = 0;
                 }
             } else {
-                hit("crc_disabled_cmd", &mut cov);
+                hit("crc_disabled_cmd", cov);
                 if cmd.inject_error {
-                    hit("err_injected", &mut cov);
+                    hit("err_injected", cov);
                 }
             }
             prev = Some(*cmd);
         }
         if channels_used.iter().all(|&u| u) {
-            hit("all_channels_used", &mut cov);
+            hit("all_channels_used", cov);
         }
-        cov
     }
 }
 
@@ -507,8 +535,40 @@ impl VerifEnv for IoEnv {
         let mut sampler = ParamSampler::new(resolved, sampler_seed);
         let unaligned = sampler.sample_choice("AddrAlign")? == "unaligned";
         let resp_queue_cap = sampler.sample_int("CreditInit")? as usize;
-        let program = self.generate(&mut sampler)?;
+        let mut program = Vec::new();
+        self.generate_into(&mut sampler, &mut program)?;
         Ok(self.run_program(&program, &mut sampler, unaligned, resp_queue_cap))
+    }
+
+    fn simulate_batch(
+        &self,
+        resolved: &ResolvedParams,
+        seeds: &[u64],
+        scratch: &mut SimScratch,
+    ) -> Result<Vec<CoverageVector>, EnvError> {
+        // The sampler is consumed *during* the run phase (per-beat flush
+        // hazard), so sims interleave generate/run per seed — the win is
+        // reusing the command buffer and the response delay line across the
+        // whole chunk.
+        let mut out = Vec::with_capacity(seeds.len());
+        for &seed in seeds {
+            let mut sampler = ParamSampler::new(resolved, seed);
+            let unaligned = sampler.sample_choice("AddrAlign")? == "unaligned";
+            let resp_queue_cap = sampler.sample_int("CreditInit")? as usize;
+            scratch.io_cmds.clear();
+            self.generate_into(&mut sampler, &mut scratch.io_cmds)?;
+            let mut cov = scratch.take_cov(self.model.len());
+            self.run_program_into(
+                &scratch.io_cmds,
+                &mut sampler,
+                unaligned,
+                resp_queue_cap,
+                &mut scratch.io_responses,
+                &mut cov,
+            );
+            out.push(cov);
+        }
+        Ok(out)
     }
 }
 

@@ -139,15 +139,30 @@ impl<T> DelayLine<T> {
     /// Removes and returns every item whose ready cycle is `<= now`.
     pub fn drain_ready(&mut self, now: u64) -> Vec<T> {
         let mut ready = Vec::new();
+        self.drain_ready_with(now, |item| ready.push(item));
+        ready
+    }
+
+    /// Like [`DelayLine::drain_ready`], but handing each ready item to a
+    /// callback instead of allocating a `Vec` — the batched kernels' hot
+    /// path. The scan order (and therefore the order items reach `f`) is
+    /// exactly the `swap_remove` order of [`DelayLine::drain_ready`]; that
+    /// order is observable model behavior (it decides cache fill order), so
+    /// both entry points share this implementation.
+    pub fn drain_ready_with(&mut self, now: u64, mut f: impl FnMut(T)) {
         let mut i = 0;
         while i < self.pending.len() {
             if self.pending[i].0 <= now {
-                ready.push(self.pending.swap_remove(i).1);
+                f(self.pending.swap_remove(i).1);
             } else {
                 i += 1;
             }
         }
-        ready
+    }
+
+    /// Removes every in-flight item (arena reuse between simulations).
+    pub fn clear(&mut self) {
+        self.pending.clear();
     }
 
     /// The earliest ready cycle among in-flight items.
@@ -277,6 +292,26 @@ mod tests {
         assert_eq!(at5, vec!['a', 'c']);
         assert!(d.is_empty());
         assert_eq!(d.next_ready(), None);
+    }
+
+    #[test]
+    fn drain_ready_with_matches_drain_ready_order() {
+        // Interleave ready/unready entries so the swap_remove scan takes a
+        // non-trivial path; both drains must yield the same sequence.
+        let entries = [(3u64, 'a'), (9, 'b'), (1, 'c'), (9, 'd'), (2, 'e')];
+        let mut via_vec = DelayLine::new();
+        let mut via_cb = DelayLine::new();
+        for &(cycle, item) in &entries {
+            via_vec.insert(item, cycle);
+            via_cb.insert(item, cycle);
+        }
+        let drained = via_vec.drain_ready(5);
+        let mut seen = Vec::new();
+        via_cb.drain_ready_with(5, |item| seen.push(item));
+        assert_eq!(drained, seen);
+        assert_eq!(via_vec.len(), via_cb.len());
+        via_cb.clear();
+        assert!(via_cb.is_empty());
     }
 
     #[test]

@@ -31,7 +31,7 @@ use ascdg_template::{
 };
 
 use crate::kernel::DelayLine;
-use crate::{EnvError, VerifEnv};
+use crate::{EnvError, SimScratch, VerifEnv};
 
 /// Number of cache sets.
 pub const SETS: usize = 256;
@@ -262,17 +262,21 @@ impl L3Env {
         }
     }
 
-    fn generate(
+    /// Generates one instance's memory program into `out` (a cleared
+    /// scratch buffer on the batch path, a fresh `Vec` otherwise); returns
+    /// the `(base, working_set)` warm span.
+    fn generate_into(
         &self,
         sampler: &mut ParamSampler<'_>,
         stride_mode: bool,
-    ) -> Result<(MemProgram, u64, u64), EnvError> {
+        out: &mut Vec<MemRequest>,
+    ) -> Result<(u64, u64), EnvError> {
         let count = sampler.sample_int("ReqCount")? as usize;
         let working_set = sampler.sample_int("WorkingSet")? as u64;
         let stride = sampler.sample_int("StrideStep")? as u64;
         let base = sampler.uniform(0, 1 << 20) as u64;
         let mut walker = base;
-        let mut program = Vec::with_capacity(count);
+        out.reserve(count);
         for _ in 0..count {
             let line_addr = if stride_mode {
                 walker = base + (walker + stride - base) % working_set;
@@ -283,13 +287,13 @@ impl L3Env {
             let thread = sampler.sample_int("ThreadMix")? as u8;
             let gap = sampler.sample_int("GapL3")? as u32;
             match sampler.sample_choice("RwMix")?.as_str() {
-                "load" => program.push(MemRequest {
+                "load" => out.push(MemRequest {
                     line_addr,
                     op: MemOp::Load,
                     thread,
                     gap,
                 }),
-                "store" => program.push(MemRequest {
+                "store" => out.push(MemRequest {
                     line_addr,
                     op: MemOp::Store,
                     thread,
@@ -300,7 +304,7 @@ impl L3Env {
                     // lines, back to back (only the first carries the gap).
                     let depth = sampler.sample_int("PfDepth")? as u64;
                     for j in 0..depth {
-                        program.push(MemRequest {
+                        out.push(MemRequest {
                             line_addr: line_addr + j,
                             op: MemOp::Prefetch,
                             thread,
@@ -310,7 +314,7 @@ impl L3Env {
                 }
             }
         }
-        Ok((program, base, working_set))
+        Ok((base, working_set))
     }
 
     /// Marks the bypass-occupancy family event for the current depth.
@@ -337,15 +341,48 @@ impl L3Env {
         snoop_rate: f64,
     ) -> CoverageVector {
         let mut cov = CoverageVector::empty(self.model.len());
+        let mut sets = Vec::new();
+        let mut inflight = DelayLine::new();
+        self.run_program_into(
+            program,
+            sampler,
+            stride_mode,
+            warm,
+            snoop_rate,
+            &mut sets,
+            &mut inflight,
+            &mut cov,
+        );
+        cov
+    }
+
+    /// [`L3Env::run_program`] over caller-provided cache state and a zeroed
+    /// coverage vector — the batch kernel's entry point. `sets` and
+    /// `inflight` are cleared (never trusted) before use, so recycled
+    /// scratch state produces the same coverage as fresh state.
+    #[allow(clippy::too_many_arguments)]
+    fn run_program_into(
+        &self,
+        program: &[MemRequest],
+        sampler: &mut ParamSampler<'_>,
+        stride_mode: bool,
+        warm: (u64, u64),
+        snoop_rate: f64,
+        sets: &mut Vec<Vec<u64>>,
+        inflight: &mut DelayLine<u64>,
+        cov: &mut CoverageVector,
+    ) {
         let hit = |name: &str, cov: &mut CoverageVector| {
             cov.set(self.model.id(name).expect("known event"));
         };
 
         // Per-set LRU stacks, front = MRU. Warm-start with the test's
         // working set (bounded by capacity).
-        let mut sets: Vec<Vec<u64>> = std::iter::repeat_with(|| Vec::with_capacity(WAYS))
-            .take(SETS)
-            .collect();
+        sets.resize_with(SETS, Vec::new);
+        for ways in sets.iter_mut() {
+            ways.clear();
+        }
+        inflight.clear();
         let (warm_base, warm_lines) = warm;
         for line in warm_base..warm_base + warm_lines.min((SETS * WAYS) as u64) {
             let set = (line as usize) % SETS;
@@ -354,7 +391,6 @@ impl L3Env {
             }
         }
 
-        let mut inflight: DelayLine<u64> = DelayLine::new();
         let mut cycle: u64 = 0;
         let mut prev_line: Option<u64> = None;
         let mut threads_seen = [false; 4];
@@ -362,7 +398,7 @@ impl L3Env {
         let mut last_miss_set: Option<usize> = None;
 
         if stride_mode {
-            hit("stride_pattern_seen", &mut cov);
+            hit("stride_pattern_seen", cov);
         }
 
         let fill = |sets: &mut Vec<Vec<u64>>, line: u64, cov: &mut CoverageVector| {
@@ -380,9 +416,7 @@ impl L3Env {
 
         for req in program {
             cycle += u64::from(req.gap) + 1;
-            for line in inflight.drain_ready(cycle) {
-                fill(&mut sets, line, &mut cov);
-            }
+            inflight.drain_ready_with(cycle, |line| fill(&mut *sets, line, &mut *cov));
 
             // Background snoop traffic invalidates a random cached line.
             if sampler.chance(snoop_rate) {
@@ -391,7 +425,7 @@ impl L3Env {
                     // Coherence traffic targets hot shared lines: take the
                     // MRU way, which is the likeliest to be re-accessed.
                     sets[victim_set].remove(0);
-                    hit("snoop_invalidate", &mut cov);
+                    hit("snoop_invalidate", cov);
                 }
             }
 
@@ -404,16 +438,16 @@ impl L3Env {
                     "thread2_active",
                     "thread3_active",
                 ][th],
-                &mut cov,
+                cov,
             );
             if prev_line == Some(req.line_addr) {
-                hit("same_line_b2b", &mut cov);
+                hit("same_line_b2b", cov);
             }
             prev_line = Some(req.line_addr);
             if req.op == MemOp::Store {
                 store_streak += 1;
                 if store_streak >= 4 {
-                    hit("store_streak4", &mut cov);
+                    hit("store_streak4", cov);
                 }
             } else {
                 store_streak = 0;
@@ -431,63 +465,60 @@ impl L3Env {
                     let line = sets[set].remove(w);
                     sets[set].insert(0, line);
                     match op {
-                        MemOp::Load => hit("ld_hit", &mut cov),
-                        MemOp::Store => hit("st_hit", &mut cov),
-                        MemOp::Prefetch => hit("prefetch_issued", &mut cov),
+                        MemOp::Load => hit("ld_hit", cov),
+                        MemOp::Store => hit("st_hit", cov),
+                        MemOp::Prefetch => hit("prefetch_issued", cov),
                     }
                 }
                 (None, op) if merged => match op {
-                    MemOp::Load => hit("ld_miss", &mut cov),
-                    MemOp::Store => hit("st_miss", &mut cov),
-                    MemOp::Prefetch => hit("prefetch_issued", &mut cov),
+                    MemOp::Load => hit("ld_miss", cov),
+                    MemOp::Store => hit("st_miss", cov),
+                    MemOp::Prefetch => hit("prefetch_issued", cov),
                 },
                 (None, MemOp::Prefetch) => {
                     // Prefetch misses are dropped when no credit is free.
                     if inflight.len() < BYPASS_CREDITS {
-                        hit("prefetch_issued", &mut cov);
+                        hit("prefetch_issued", cov);
                         let (latency, spiked) = mem_latency(sampler);
                         if spiked {
-                            hit("mem_latency_spike", &mut cov);
+                            hit("mem_latency_spike", cov);
                         }
                         inflight.insert(req.line_addr, cycle + latency);
-                        self.bump_bypass(&inflight, &mut cov);
+                        self.bump_bypass(inflight, cov);
                     } else {
-                        hit("prefetch_dropped", &mut cov);
+                        hit("prefetch_dropped", cov);
                     }
                 }
                 (None, op) => {
                     match op {
-                        MemOp::Load => hit("ld_miss", &mut cov),
-                        MemOp::Store => hit("st_miss", &mut cov),
+                        MemOp::Load => hit("ld_miss", cov),
+                        MemOp::Store => hit("st_miss", cov),
                         MemOp::Prefetch => unreachable!("handled above"),
                     }
                     if last_miss_set == Some(set) {
-                        hit("set_conflict", &mut cov);
+                        hit("set_conflict", cov);
                     }
                     last_miss_set = Some(set);
                     if inflight.len() == BYPASS_CREDITS {
                         // All bypass slots held: the front end stalls until
                         // the earliest response returns.
-                        hit("front_end_stall", &mut cov);
+                        hit("front_end_stall", cov);
                         let next = inflight.next_ready().expect("slots are held");
                         cycle = cycle.max(next);
-                        for line in inflight.drain_ready(cycle) {
-                            fill(&mut sets, line, &mut cov);
-                        }
+                        inflight.drain_ready_with(cycle, |line| fill(&mut *sets, line, &mut *cov));
                     }
                     let (latency, spiked) = mem_latency(sampler);
                     if spiked {
-                        hit("mem_latency_spike", &mut cov);
+                        hit("mem_latency_spike", cov);
                     }
                     inflight.insert(req.line_addr, cycle + latency);
-                    self.bump_bypass(&inflight, &mut cov);
+                    self.bump_bypass(inflight, cov);
                 }
             }
         }
         if threads_seen.iter().all(|&t| t) {
-            hit("all_threads_seen", &mut cov);
+            hit("all_threads_seen", cov);
         }
-        cov
     }
 }
 
@@ -523,7 +554,8 @@ impl VerifEnv for L3Env {
         let mut sampler = ParamSampler::new(resolved, sampler_seed);
         let stride_mode = sampler.sample_choice("AddrPattern")? == "stride";
         let snoop_rate = BASE_SNOOP_RATE + sampler.rate("SnoopPct")? * 0.15;
-        let (program, base, working_set) = self.generate(&mut sampler, stride_mode)?;
+        let mut program = Vec::new();
+        let (base, working_set) = self.generate_into(&mut sampler, stride_mode, &mut program)?;
         Ok(self.run_program(
             &program,
             &mut sampler,
@@ -531,6 +563,40 @@ impl VerifEnv for L3Env {
             (base, working_set),
             snoop_rate,
         ))
+    }
+
+    fn simulate_batch(
+        &self,
+        resolved: &ResolvedParams,
+        seeds: &[u64],
+        scratch: &mut SimScratch,
+    ) -> Result<Vec<CoverageVector>, EnvError> {
+        // The sampler is consumed *during* the run phase (snoops, memory
+        // jitter), so sims interleave generate/run per seed — the win is
+        // reusing the program buffer, the per-set LRU stacks and the
+        // in-flight delay line across the whole chunk.
+        let mut out = Vec::with_capacity(seeds.len());
+        for &seed in seeds {
+            let mut sampler = ParamSampler::new(resolved, seed);
+            let stride_mode = sampler.sample_choice("AddrPattern")? == "stride";
+            let snoop_rate = BASE_SNOOP_RATE + sampler.rate("SnoopPct")? * 0.15;
+            scratch.mem_ops.clear();
+            let (base, working_set) =
+                self.generate_into(&mut sampler, stride_mode, &mut scratch.mem_ops)?;
+            let mut cov = scratch.take_cov(self.model.len());
+            self.run_program_into(
+                &scratch.mem_ops,
+                &mut sampler,
+                stride_mode,
+                (base, working_set),
+                snoop_rate,
+                &mut scratch.l3_sets,
+                &mut scratch.l3_inflight,
+                &mut cov,
+            );
+            out.push(cov);
+        }
+        Ok(out)
     }
 }
 

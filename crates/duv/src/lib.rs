@@ -36,6 +36,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::redundant_clone, clippy::large_enum_variant)]
 
 mod env;
 mod error;
@@ -43,7 +44,9 @@ pub mod ifu;
 pub mod io_unit;
 pub mod kernel;
 pub mod l3cache;
+mod scratch;
 pub mod synthetic;
 
 pub use env::VerifEnv;
 pub use error::EnvError;
+pub use scratch::SimScratch;

@@ -24,7 +24,7 @@ use ascdg_template::{
     ParamDef, ParamRegistry, ResolvedParams, TemplateLibrary, TestTemplate, Value,
 };
 
-use crate::{EnvError, VerifEnv};
+use crate::{EnvError, SimScratch, VerifEnv};
 
 /// Configuration of a [`SyntheticEnv`].
 ///
@@ -84,6 +84,14 @@ pub struct SyntheticEnv {
     library: TemplateLibrary,
     /// Hidden optimum, one coordinate per relevant knob.
     optimum: Vec<f64>,
+    /// `fam_NN` event ids indexed by depth-1 (hot-path cache).
+    fam_ids: Vec<ascdg_coverage::EventId>,
+    /// `bg_NN` event ids by index (hot-path cache).
+    bg_ids: Vec<ascdg_coverage::EventId>,
+    /// Pre-rendered knob parameter names (hot-path cache).
+    knob_names: Vec<String>,
+    /// Pre-rendered decoy parameter names (hot-path cache).
+    decoy_names: Vec<String>,
 }
 
 impl Default for SyntheticEnv {
@@ -187,12 +195,24 @@ impl SyntheticEnv {
                 .expect("unique");
         }
 
+        let fam_ids = (1..=config.family_depth)
+            .map(|k| model.id(&format!("fam_{k:02}")).expect("family event"))
+            .collect();
+        let bg_ids = (0..config.noise_events)
+            .map(|i| model.id(&format!("bg_{i:02}")).expect("bg event"))
+            .collect();
+        let knob_names = (0..config.relevant_params).map(knob_name).collect();
+        let decoy_names = (0..config.irrelevant_params).map(decoy_name).collect();
         SyntheticEnv {
             config,
             registry,
             model,
             library,
             optimum,
+            fam_ids,
+            bg_ids,
+            knob_names,
+            decoy_names,
         }
     }
 
@@ -235,6 +255,52 @@ impl SyntheticEnv {
             .fold(0.0, f64::max);
         1.0 - max_dist
     }
+
+    /// One simulation into a caller-provided knob buffer and zeroed
+    /// coverage vector (shared by the per-sim and batch entry points).
+    fn simulate_into(
+        &self,
+        resolved: &ResolvedParams,
+        sampler_seed: u64,
+        xs: &mut Vec<f64>,
+        cov: &mut CoverageVector,
+    ) -> Result<(), EnvError> {
+        let mut sampler = ParamSampler::new(resolved, sampler_seed);
+        // Draw the knob configuration of this instance.
+        xs.clear();
+        for name in &self.knob_names {
+            xs.push(sampler.sample_int(name)? as f64 / 100.0);
+        }
+        // Decoys are drawn (consuming entropy, like real generators) but
+        // do not influence the family.
+        let mut decoy_acc = 0i64;
+        for name in &self.decoy_names {
+            decoy_acc ^= sampler.sample_int(name)?;
+        }
+
+        let s = self.quality(xs);
+        for (k, &id) in self.fam_ids.iter().enumerate() {
+            let p = sigmoid(self.config.hardness * (s - self.threshold(k + 1)));
+            // Hardware events have a true cliff: far below the threshold
+            // the event is *impossible*, not merely unlikely. Clipping the
+            // sigmoid tail reproduces that (and keeps the deep family
+            // genuinely uncovered under default traffic).
+            let p = if p < PROBABILITY_FLOOR { 0.0 } else { p };
+            if sampler.chance(p) {
+                cov.set(id);
+            }
+        }
+        // Background events: fixed probabilities, lightly keyed off the
+        // decoys so decoy templates still move *something*.
+        for (i, &id) in self.bg_ids.iter().enumerate() {
+            let base = 0.6 / (i + 1) as f64;
+            let p = base + ((decoy_acc >> i) & 1) as f64 * 0.05;
+            if sampler.chance(p) {
+                cov.set(id);
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Hit probabilities below this floor are clipped to zero (the cliff).
@@ -266,42 +332,27 @@ impl VerifEnv for SyntheticEnv {
         resolved: &ResolvedParams,
         sampler_seed: u64,
     ) -> Result<CoverageVector, EnvError> {
-        let mut sampler = ParamSampler::new(resolved, sampler_seed);
-        // Draw the knob configuration of this instance.
         let mut xs = Vec::with_capacity(self.config.relevant_params);
-        for i in 0..self.config.relevant_params {
-            xs.push(sampler.sample_int(&knob_name(i))? as f64 / 100.0);
-        }
-        // Decoys are drawn (consuming entropy, like real generators) but
-        // do not influence the family.
-        let mut decoy_acc = 0i64;
-        for i in 0..self.config.irrelevant_params {
-            decoy_acc ^= sampler.sample_int(&decoy_name(i))?;
-        }
-
-        let s = self.quality(&xs);
         let mut cov = CoverageVector::empty(self.model.len());
-        for k in 1..=self.config.family_depth {
-            let p = sigmoid(self.config.hardness * (s - self.threshold(k)));
-            // Hardware events have a true cliff: far below the threshold
-            // the event is *impossible*, not merely unlikely. Clipping the
-            // sigmoid tail reproduces that (and keeps the deep family
-            // genuinely uncovered under default traffic).
-            let p = if p < PROBABILITY_FLOOR { 0.0 } else { p };
-            if sampler.chance(p) {
-                cov.set(self.model.id(&format!("fam_{k:02}")).expect("family event"));
-            }
-        }
-        // Background events: fixed probabilities, lightly keyed off the
-        // decoys so decoy templates still move *something*.
-        for i in 0..self.config.noise_events {
-            let base = 0.6 / (i + 1) as f64;
-            let p = base + ((decoy_acc >> i) & 1) as f64 * 0.05;
-            if sampler.chance(p) {
-                cov.set(self.model.id(&format!("bg_{i:02}")).expect("bg event"));
-            }
-        }
+        self.simulate_into(resolved, sampler_seed, &mut xs, &mut cov)?;
         Ok(cov)
+    }
+
+    fn simulate_batch(
+        &self,
+        resolved: &ResolvedParams,
+        seeds: &[u64],
+        scratch: &mut SimScratch,
+    ) -> Result<Vec<CoverageVector>, EnvError> {
+        // No stimulus program to stage — the batch win is reusing the knob
+        // buffer and the recycled coverage vectors.
+        let mut out = Vec::with_capacity(seeds.len());
+        for &seed in seeds {
+            let mut cov = scratch.take_cov(self.model.len());
+            self.simulate_into(resolved, seed, &mut scratch.knob_xs, &mut cov)?;
+            out.push(cov);
+        }
+        Ok(out)
     }
 }
 

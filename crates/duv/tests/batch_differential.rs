@@ -1,0 +1,182 @@
+//! Differential tests pinning [`VerifEnv::simulate_batch`] to the
+//! sequential [`VerifEnv::simulate_seeded`] loop, byte for byte.
+//!
+//! Every built-in unit overrides `simulate_batch` with a specialized
+//! kernel that generates stimulus into a reused scratch arena and runs the
+//! cycle loops back to back. These tests are the contract that the
+//! specialization is *purely* a throughput change: for every unit, every
+//! chunking (1, 2, 63, 64, 65, ragged tails) and every seed stream, the
+//! batched coverage vectors equal the one-at-a-time reference — including
+//! when the scratch arena is warm from unrelated prior chunks, and when
+//! several worker threads batch the same work concurrently
+//! (`ASCDG_TEST_THREADS` sizes the matrix).
+
+use ascdg_coverage::CoverageVector;
+use ascdg_duv::ifu::IfuEnv;
+use ascdg_duv::io_unit::IoEnv;
+use ascdg_duv::l3cache::L3Env;
+use ascdg_duv::synthetic::SyntheticEnv;
+use ascdg_duv::{SimScratch, VerifEnv};
+use proptest::prelude::*;
+
+/// Worker-thread matrix width (`ASCDG_TEST_THREADS`, default 4).
+fn test_threads() -> usize {
+    std::env::var("ASCDG_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(4)
+}
+
+/// Runs `f` against one of the four built-in environments.
+fn with_env<R>(which: usize, f: impl FnOnce(&dyn VerifEnv) -> R) -> R {
+    match which % 4 {
+        0 => f(&IfuEnv::new()),
+        1 => f(&L3Env::new()),
+        2 => f(&IoEnv::new()),
+        _ => f(&SyntheticEnv::default()),
+    }
+}
+
+/// SplitMix64-style per-instance seeds — same shape the batch runners
+/// derive from a [`ascdg_stimgen::SeedStream`], without depending on it.
+fn seed_vec(base: u64, n: usize) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| {
+            let mut z = base ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        })
+        .collect()
+}
+
+/// The sequential reference: one `simulate_seeded` per seed, in order.
+fn sequential(
+    env: &dyn VerifEnv,
+    resolved: &ascdg_template::ResolvedParams,
+    seeds: &[u64],
+) -> Vec<CoverageVector> {
+    seeds
+        .iter()
+        .map(|&s| env.simulate_seeded(resolved, s).expect("simulate_seeded"))
+        .collect()
+}
+
+/// The batched run: `simulate_batch` over `chunk`-sized slices, reusing
+/// one scratch arena across all chunks so later chunks hit warm buffers.
+fn batched(
+    env: &dyn VerifEnv,
+    resolved: &ascdg_template::ResolvedParams,
+    seeds: &[u64],
+    chunk: usize,
+) -> Vec<CoverageVector> {
+    let mut scratch = SimScratch::new();
+    let mut out = Vec::with_capacity(seeds.len());
+    for block in seeds.chunks(chunk.max(1)) {
+        out.extend(
+            env.simulate_batch(resolved, block, &mut scratch)
+                .expect("simulate_batch"),
+        );
+    }
+    out
+}
+
+/// One differential check: resolve a stock template, run both paths over
+/// the same seeds, demand equality — on this thread and on every thread of
+/// the `ASCDG_TEST_THREADS` matrix with its own scratch arena.
+fn check(which: usize, tmpl_idx: usize, base_seed: u64, sims: usize, chunk: usize) {
+    with_env(which, |env| {
+        let library = env.stock_library();
+        let template = library
+            .get(tmpl_idx % library.len())
+            .expect("stock template");
+        let resolved = env.registry().resolve(template).expect("resolve");
+        let seeds = seed_vec(base_seed, sims);
+        let reference = sequential(env, &resolved, &seeds);
+        assert_eq!(
+            batched(env, &resolved, &seeds, chunk),
+            reference,
+            "{} batch (chunk {chunk}) diverged from sequential",
+            env.unit_name()
+        );
+        std::thread::scope(|scope| {
+            for _ in 0..test_threads() {
+                scope.spawn(|| {
+                    assert_eq!(
+                        batched(env, &resolved, &seeds, chunk),
+                        reference,
+                        "{} concurrent batch (chunk {chunk}) diverged",
+                        env.unit_name()
+                    );
+                });
+            }
+        });
+    });
+}
+
+/// The chunkings the batch runner actually produces around its 64-wide
+/// kernel block: single, tiny, one-under, exact, one-over — each leaving
+/// a different ragged tail of 130 sims.
+#[test]
+fn kernel_block_edges_are_identical_for_every_unit() {
+    for which in 0..4 {
+        for chunk in [1usize, 2, 63, 64, 65] {
+            check(which, 0, 0xB47C_0000 + chunk as u64, 130, chunk);
+        }
+    }
+}
+
+/// A warm arena carried across *templates* must not leak state: interleave
+/// two templates through one scratch and compare each against its own
+/// fresh-scratch reference.
+#[test]
+fn warm_scratch_does_not_leak_across_templates() {
+    for which in 0..4 {
+        with_env(which, |env| {
+            let library = env.stock_library();
+            let a = library.get(0).expect("template 0");
+            let b = library.get(1 % library.len()).expect("template 1");
+            let ra = env.registry().resolve(a).expect("resolve a");
+            let rb = env.registry().resolve(b).expect("resolve b");
+            let seeds = seed_vec(0x5EED, 97);
+            let ref_a = sequential(env, &ra, &seeds);
+            let ref_b = sequential(env, &rb, &seeds);
+            let mut scratch = SimScratch::new();
+            for round in 0..2 {
+                for (resolved, reference) in [(&ra, &ref_a), (&rb, &ref_b)] {
+                    let mut out = Vec::new();
+                    for block in seeds.chunks(64) {
+                        out.extend(
+                            env.simulate_batch(resolved, block, &mut scratch)
+                                .expect("batch"),
+                        );
+                    }
+                    assert_eq!(
+                        &out,
+                        reference,
+                        "{} round {round}: warm-scratch batch diverged",
+                        env.unit_name()
+                    );
+                }
+            }
+        });
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary unit, template, seed stream, sim count and chunking:
+    /// batched simulation is byte-identical to the sequential loop.
+    #[test]
+    fn batch_matches_sequential(
+        which in 0usize..4,
+        tmpl_idx in 0usize..8,
+        base_seed in any::<u64>(),
+        sims in 1usize..140,
+        chunk in prop_oneof![Just(1usize), Just(2), Just(63), Just(64), Just(65), 1usize..130],
+    ) {
+        check(which, tmpl_idx, base_seed, sims, chunk);
+    }
+}

@@ -39,6 +39,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::redundant_clone, clippy::large_enum_variant)]
 
 mod error;
 mod sampler;

@@ -464,6 +464,23 @@ pub fn de_field<T: Deserialize>(content: &Content, name: &str) -> Result<T, DeEr
     }
 }
 
+/// Pulls a `#[serde(default)]` field out of a map [`Content`]: a present
+/// entry deserializes normally, an absent one yields `Default::default()`
+/// so old serialized reports keep parsing after the schema grows.
+///
+/// # Errors
+///
+/// Fails only when the entry is present but has the wrong shape.
+pub fn de_field_or_default<T: Deserialize + Default>(
+    content: &Content,
+    name: &str,
+) -> Result<T, DeError> {
+    match content.get(name) {
+        Some(v) => T::deserialize(v).map_err(|e| DeError(format!("field `{name}`: {e}"))),
+        None => Ok(T::default()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -505,5 +522,15 @@ mod tests {
         let got: Option<u64> = de_field(&c, "gone").unwrap();
         assert_eq!(got, None);
         assert!(de_field::<u64>(&c, "gone").is_err());
+    }
+
+    #[test]
+    fn defaulted_field_tolerates_absence_but_not_wrong_shape() {
+        let c = Content::Map(vec![("kept".into(), Content::U64(7))]);
+        assert_eq!(de_field_or_default::<u64>(&c, "kept"), Ok(7));
+        assert_eq!(de_field_or_default::<u64>(&c, "gone"), Ok(0));
+        assert_eq!(de_field_or_default::<bool>(&c, "gone"), Ok(false));
+        assert_eq!(de_field_or_default::<Vec<u64>>(&c, "gone"), Ok(vec![]));
+        assert!(de_field_or_default::<bool>(&c, "kept").is_err());
     }
 }

@@ -8,8 +8,10 @@
 //! Supported shapes — exactly the ones the workspace uses:
 //! named structs, tuple structs (newtypes serialize transparently), unit
 //! structs, and enums with unit / tuple / struct variants, plus the
-//! container attribute `#[serde(from = "T", into = "T")]`. Generic types
-//! are rejected with a compile error.
+//! container attribute `#[serde(from = "T", into = "T")]` and the field
+//! attribute `#[serde(default)]` (absent fields take `Default::default()`
+//! instead of failing, so reports stay readable across schema growth).
+//! Generic types are rejected with a compile error.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -52,9 +54,15 @@ fn error(msg: &str) -> TokenStream {
 // Input model
 // ---------------------------------------------------------------------------
 
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: deserialize a missing entry as `Default::default()`.
+    default: bool,
+}
+
 enum Fields {
     Unit,
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
 }
 
@@ -213,6 +221,18 @@ fn skip_attrs(tokens: &[TokenTree], mut pos: usize) -> usize {
     pos
 }
 
+/// Whether one attribute's bracketed tokens are exactly `serde(default)`.
+fn attr_marks_default(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            let args: Vec<TokenTree> = args.stream().into_iter().collect();
+            matches!(args.as_slice(), [TokenTree::Ident(arg)] if arg.to_string() == "default")
+        }
+        _ => false,
+    }
+}
+
 /// Advances past a field's type: everything up to the next top-level comma.
 /// Angle brackets are punctuation (not groups), so nesting is tracked by
 /// hand; `Vec<(A, B)>`-style commas sit inside a group or behind `<`.
@@ -232,12 +252,22 @@ fn skip_type(tokens: &[TokenTree], mut pos: usize) -> usize {
     pos
 }
 
-fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut fields = Vec::new();
     let mut pos = 0;
     while pos < tokens.len() {
-        pos = skip_attrs(&tokens, pos);
+        let mut default = false;
+        while let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+            if p.as_char() != '#' {
+                break;
+            }
+            let Some(TokenTree::Group(g)) = tokens.get(pos + 1) else {
+                break;
+            };
+            default |= attr_marks_default(g.stream());
+            pos += 2;
+        }
         if pos >= tokens.len() {
             break;
         }
@@ -263,7 +293,7 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
         pos = skip_type(&tokens, pos);
         // Skip the separating comma, if present.
         pos += 1;
-        fields.push(name);
+        fields.push(Field { name, default });
     }
     Ok(fields)
 }
@@ -377,7 +407,9 @@ fn gen_serialize(item: &Item) -> String {
                             };
                             (pattern, variant_map(vname, &inner))
                         }
-                        Fields::Named(fnames) => {
+                        Fields::Named(fields) => {
+                            let fnames: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
                             let pattern = format!("{name}::{vname} {{ {} }}", fnames.join(", "));
                             let entries: Vec<String> = fnames
                                 .iter()
@@ -418,11 +450,12 @@ fn ser_fields(fields: &Fields, name: &str, _variant: Option<&str>) -> String {
                 .collect();
             format!("::serde::Content::Seq(vec![{}])", items.join(", "))
         }
-        Fields::Named(fnames) => {
+        Fields::Named(fields) => {
             let _ = name;
-            let entries: Vec<String> = fnames
+            let entries: Vec<String> = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(::std::string::String::from({f:?}), \
                          ::serde::Serialize::serialize(&self.{f}))"
@@ -509,10 +542,20 @@ fn gen_deserialize(item: &Item) -> String {
     )
 }
 
-fn de_named_body(source: &str, ctor: &str, fnames: &[String]) -> String {
-    let inits: Vec<String> = fnames
+fn de_named_body(source: &str, ctor: &str, fields: &[Field]) -> String {
+    let inits: Vec<String> = fields
         .iter()
-        .map(|f| format!("{f}: ::serde::de_field({source}, {f:?})?"))
+        .map(|f| {
+            let (name, helper) = (
+                &f.name,
+                if f.default {
+                    "de_field_or_default"
+                } else {
+                    "de_field"
+                },
+            );
+            format!("{name}: ::serde::{helper}({source}, {name:?})?")
+        })
         .collect();
     format!(
         "match {source} {{\n\
