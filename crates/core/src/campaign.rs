@@ -12,14 +12,16 @@ use std::sync::{Arc, Mutex, PoisonError};
 
 use serde::{Deserialize, Serialize};
 
-use ascdg_coverage::{EventFamily, EventId, StatusCounts, StatusPolicy};
+use ascdg_coverage::{
+    CoverageModel, CoverageRepository, EventFamily, EventId, StatusCounts, StatusPolicy,
+};
 use ascdg_duv::VerifEnv;
 use ascdg_stimgen::mix_seed;
 use ascdg_telemetry::Telemetry;
 use ascdg_template::TemplateLibrary;
 
 use crate::pool::pool_scope_with;
-use crate::scheduler;
+use crate::scheduler::{self, GroupRun};
 use crate::session::{CampaignProgress, GroupProgress, SessionState};
 use crate::{
     ApproxTarget, CdgFlow, FlowEngine, FlowError, FlowOutcome, SharedEvalCache, PHASE_BEFORE,
@@ -175,66 +177,82 @@ impl<E: VerifEnv> CdgFlow<E> {
         self.run_campaign_inner(seed, telemetry, Some(on_progress))
     }
 
+    /// Resumes a campaign from a streamed [`CampaignProgress`] checkpoint:
+    /// the shared regression is restored from the embedded snapshot
+    /// instead of re-run, groups that already checkpointed resume from
+    /// their session state (fully finished groups replay for free — the
+    /// engine skips all their stages), and groups that never reached a
+    /// checkpoint are rebuilt from their recorded targets with the same
+    /// salted seeds. The result is byte-identical to the uninterrupted
+    /// campaign at any `campaign_jobs`/thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::SnapshotMismatch`] when the checkpoint belongs to a
+    /// different unit; [`FlowError::Checkpoint`] when it predates
+    /// self-contained checkpoints (no regression snapshot).
+    pub fn resume_campaign(
+        &self,
+        progress: &CampaignProgress,
+        telemetry: &Telemetry,
+        on_progress: Option<&(dyn Fn(&CampaignProgress) + Sync)>,
+    ) -> Result<CampaignReport, FlowError> {
+        if progress.unit != self.env().unit_name() {
+            return Err(FlowError::SnapshotMismatch(format!(
+                "campaign checkpoint is for unit `{}`, flow runs `{}`",
+                progress.unit,
+                self.env().unit_name()
+            )));
+        }
+        let snap = progress.repo.as_ref().ok_or_else(|| {
+            FlowError::Checkpoint(
+                "campaign checkpoint has no regression snapshot; \
+                 it predates resumable checkpoints and cannot be resumed"
+                    .to_owned(),
+            )
+        })?;
+        let repo = CoverageRepository::from_snapshot(self.env().coverage_model().clone(), snap)?;
+        let before = repo.status_counts(StatusPolicy::default());
+        let groups = progress
+            .groups
+            .iter()
+            .map(|g| (g.name.clone(), g.targets.clone()))
+            .collect();
+        self.run_campaign_groups(
+            repo,
+            before,
+            groups,
+            Some(&progress.groups),
+            progress.seed,
+            telemetry,
+            on_progress,
+        )
+    }
+
     fn run_campaign_inner(
         &self,
         seed: u64,
         telemetry: &Telemetry,
         on_progress: Option<&(dyn Fn(&CampaignProgress) + Sync)>,
     ) -> Result<CampaignReport, FlowError> {
-        let model = self.env().coverage_model();
         let policy = StatusPolicy::default();
         let repo = self.run_regression(mix_seed(seed, 0xca3))?;
         let before = repo.status_counts(policy);
-
-        // Group the uncovered events: cross-product models form one group
-        // (their structure, not name suffixes, defines neighborship);
-        // otherwise one group per name family plus a leftover group.
-        let uncovered = repo.uncovered_events();
-        if model.cross_product().is_some() {
-            if uncovered.is_empty() {
-                return Ok(CampaignReport {
-                    outcome: CampaignOutcome {
-                        unit: self.env().unit_name().to_owned(),
-                        before,
-                        after: before,
-                        groups: Vec::new(),
-                        total_sims: repo.total_simulations(),
-                        harvested: TemplateLibrary::new(),
-                    },
-                    sessions: Vec::new(),
-                });
-            }
-            return self.run_campaign_groups(
-                repo,
-                before,
-                vec![("(cross-product)".to_owned(), uncovered)],
-                seed,
-                telemetry,
-                on_progress,
-            );
+        let groups = group_uncovered(self.env().coverage_model(), &repo);
+        if groups.is_empty() {
+            return Ok(CampaignReport {
+                outcome: CampaignOutcome {
+                    unit: self.env().unit_name().to_owned(),
+                    before,
+                    after: before,
+                    groups: Vec::new(),
+                    total_sims: repo.total_simulations(),
+                    harvested: TemplateLibrary::new(),
+                },
+                sessions: Vec::new(),
+            });
         }
-        let mut groups: Vec<(String, Vec<EventId>)> = Vec::new();
-        let mut grouped: Vec<EventId> = Vec::new();
-        for family in EventFamily::discover(model) {
-            let targets: Vec<EventId> = family
-                .events()
-                .into_iter()
-                .filter(|e| uncovered.contains(e))
-                .collect();
-            if !targets.is_empty() {
-                grouped.extend(&targets);
-                groups.push((family.stem().to_owned(), targets));
-            }
-        }
-        let leftovers: Vec<EventId> = uncovered
-            .iter()
-            .copied()
-            .filter(|e| !grouped.contains(e))
-            .collect();
-        if !leftovers.is_empty() {
-            groups.push(("(ungrouped)".to_owned(), leftovers));
-        }
-        self.run_campaign_groups(repo, before, groups, seed, telemetry, on_progress)
+        self.run_campaign_groups(repo, before, groups, None, seed, telemetry, on_progress)
     }
 
     /// Shared campaign tail: schedules the flow per pre-built group.
@@ -246,16 +264,17 @@ impl<E: VerifEnv> CdgFlow<E> {
     /// the whole identity argument: nothing about the result depends on
     /// which worker stepped which group when, so any `campaign_jobs`
     /// value produces the same bytes.
+    #[allow(clippy::too_many_arguments)]
     fn run_campaign_groups(
         &self,
-        repo: ascdg_coverage::CoverageRepository,
+        repo: CoverageRepository,
         before: StatusCounts,
         groups: Vec<(String, Vec<EventId>)>,
+        initial: Option<&[GroupProgress]>,
         seed: u64,
         telemetry: &Telemetry,
         on_progress: Option<&(dyn Fn(&CampaignProgress) + Sync)>,
     ) -> Result<CampaignReport, FlowError> {
-        let policy = StatusPolicy::default();
         let n = groups.len();
         let jobs = self.config().campaign_jobs;
         // One completed-evaluation cache for the whole campaign: groups
@@ -268,13 +287,24 @@ impl<E: VerifEnv> CdgFlow<E> {
         let eval_cache = Arc::new(SharedEvalCache::new(mix_seed(seed, 0xeca)));
         // All groups share one persistent worker pool (and one engine)
         // instead of spinning a pool up per group.
-        let (mut runs, prep_failures) = pool_scope_with(self.config().threads, telemetry, |pool| {
+        let (runs, prep_failures) = pool_scope_with(self.config().threads, telemetry, |pool| {
             let engine = FlowEngine::new(self.env(), self.config().clone(), pool)
                 .with_telemetry(telemetry.clone())
                 .with_shared_eval_cache(Arc::clone(&eval_cache));
             let mut scheduled: Vec<(usize, SessionState)> = Vec::with_capacity(n);
             let mut prep_failures: Vec<Option<String>> = vec![None; n];
             for (i, (_, targets)) in groups.iter().enumerate() {
+                // A resumed group continues from its checkpointed state;
+                // groups that never checkpointed are rebuilt with the
+                // same salted seed, so the outcome cannot tell the
+                // difference.
+                if let Some(state) = initial
+                    .and_then(|gs| gs.get(i))
+                    .and_then(|g| g.session.clone())
+                {
+                    scheduled.push((i, state));
+                    continue;
+                }
                 let prep = ApproxTarget::auto(
                     self.env().coverage_model(),
                     targets,
@@ -289,17 +319,24 @@ impl<E: VerifEnv> CdgFlow<E> {
                 }
             }
             // Adapt the scheduler's per-group snapshots into
-            // whole-campaign progress checkpoints.
+            // whole-campaign progress checkpoints. The checkpoint is
+            // self-contained (config + regression snapshot + per-group
+            // targets), so `resume_campaign` needs nothing else.
             let tracker = on_progress.map(|sink| {
                 let init = CampaignProgress {
                     unit: self.env().unit_name().to_owned(),
                     seed,
+                    config: Some(self.config().clone()),
+                    repo: Some(repo.snapshot()),
                     groups: groups
                         .iter()
                         .enumerate()
-                        .map(|(i, (name, _))| GroupProgress {
+                        .map(|(i, (name, targets))| GroupProgress {
                             name: name.clone(),
-                            session: None,
+                            targets: targets.clone(),
+                            session: initial
+                                .and_then(|gs| gs.get(i))
+                                .and_then(|g| g.session.clone()),
                             failure: prep_failures[i].clone(),
                         })
                         .collect(),
@@ -317,86 +354,6 @@ impl<E: VerifEnv> CdgFlow<E> {
             (runs, prep_failures)
         });
 
-        // Fold the finished runs in group order (the harvested-name
-        // collision suffix and the summary are order-sensitive; the hit
-        // union is commutative anyway).
-        let mut out_groups = Vec::with_capacity(n);
-        let mut sessions: Vec<Option<SessionState>> = vec![None; n];
-        let mut harvested = TemplateLibrary::new();
-        let mut union_hits: Vec<u64> = repo.all_global_stats().iter().map(|s| s.hits).collect();
-        let union_sims_base = repo.total_simulations();
-        let mut extra_sims: u64 = 0;
-        let mut union_extra_sims: u64 = 0;
-        for (i, (name, targets)) in groups.into_iter().enumerate() {
-            let (outcome, state) = match runs[i].take() {
-                Some(Ok(run)) => run,
-                Some(Err(e)) => {
-                    fail_group(&mut out_groups, name, targets, e.to_string());
-                    continue;
-                }
-                None => {
-                    let why = prep_failures[i]
-                        .clone()
-                        .unwrap_or_else(|| "group was never scheduled".to_owned());
-                    fail_group(&mut out_groups, name, targets, why);
-                    continue;
-                }
-            };
-            let Some(best) = outcome.phase(PHASE_BEST).cloned() else {
-                fail_group(
-                    &mut out_groups,
-                    name,
-                    targets,
-                    "flow produced no best-test phase".to_owned(),
-                );
-                continue;
-            };
-            let group_sims = non_regression_sims(&outcome);
-            extra_sims += group_sims;
-            let newly = targets
-                .iter()
-                .filter(|&&e| best.hits[e.index()] > 0)
-                .count();
-            // Fold the best-test evidence into the unit-level "after"
-            // picture.
-            for (acc, &h) in union_hits.iter_mut().zip(&best.hits) {
-                *acc += h;
-            }
-            union_extra_sims += best.sims;
-            // Two groups can choose the same stock template, so qualify
-            // the harvested name by the group (and, should two groups
-            // still collide, by the group index).
-            let clean: String = name
-                .chars()
-                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-                .collect();
-            let mut template_name = format!("{}__{clean}", outcome.best_template.name());
-            if harvested.by_name(&template_name).is_some() {
-                template_name = format!("{template_name}_{i}");
-            }
-            match harvested.push(outcome.best_template.renamed(&template_name)) {
-                Ok(_) => {
-                    sessions[i] = Some(state);
-                    out_groups.push(CampaignGroup {
-                        name,
-                        targets,
-                        newly_covered: newly,
-                        sims: group_sims,
-                        harvested_template: Some(template_name),
-                        failure: None,
-                    });
-                }
-                Err(e) => {
-                    fail_group(
-                        &mut out_groups,
-                        name,
-                        targets,
-                        FlowError::from(e).to_string(),
-                    );
-                }
-            }
-        }
-
         if let Some(m) = telemetry.metrics() {
             m.gauge("campaign.coalesced_evals")
                 .set(m.counter("objective.coalesced").value() as f64);
@@ -406,22 +363,167 @@ impl<E: VerifEnv> CdgFlow<E> {
                 .set(eval_cache.sims_saved() as f64);
         }
 
-        let after = policy.count(union_hits.iter().map(|&hits| ascdg_coverage::HitStats {
-            hits,
-            sims: union_sims_base + union_extra_sims,
-        }));
+        Ok(fold_campaign(
+            self.env().unit_name(),
+            &repo,
+            before,
+            groups,
+            runs,
+            &prep_failures,
+        ))
+    }
+}
 
-        Ok(CampaignReport {
-            outcome: CampaignOutcome {
-                unit: self.env().unit_name().to_owned(),
-                before,
-                after,
-                groups: out_groups,
-                total_sims: union_sims_base + extra_sims,
-                harvested,
-            },
-            sessions,
-        })
+/// Groups a unit's uncovered events the way the paper deploys the flow:
+/// cross-product models form one group (their structure, not name
+/// suffixes, defines neighborship); otherwise one group per name family
+/// plus a leftover group for uncovered events outside any family.
+pub fn group_uncovered(
+    model: &CoverageModel,
+    repo: &CoverageRepository,
+) -> Vec<(String, Vec<EventId>)> {
+    let uncovered = repo.uncovered_events();
+    if model.cross_product().is_some() {
+        if uncovered.is_empty() {
+            return Vec::new();
+        }
+        return vec![("(cross-product)".to_owned(), uncovered)];
+    }
+    let mut groups: Vec<(String, Vec<EventId>)> = Vec::new();
+    let mut grouped: Vec<EventId> = Vec::new();
+    for family in EventFamily::discover(model) {
+        let targets: Vec<EventId> = family
+            .events()
+            .into_iter()
+            .filter(|e| uncovered.contains(e))
+            .collect();
+        if !targets.is_empty() {
+            grouped.extend(&targets);
+            groups.push((family.stem().to_owned(), targets));
+        }
+    }
+    let leftovers: Vec<EventId> = uncovered
+        .iter()
+        .copied()
+        .filter(|e| !grouped.contains(e))
+        .collect();
+    if !leftovers.is_empty() {
+        groups.push(("(ungrouped)".to_owned(), leftovers));
+    }
+    groups
+}
+
+/// Folds finished group runs into a [`CampaignReport`], walking the runs
+/// in group order (the harvested-name collision suffix and the summary
+/// are order-sensitive; the hit union is commutative anyway). This fold
+/// is the whole campaign-identity argument: nothing about it depends on
+/// which worker stepped which group when, so any scheduler — the batch
+/// campaign crew or the serve daemon's admission queue — produces the
+/// same bytes from the same runs.
+pub fn fold_campaign(
+    unit: &str,
+    repo: &CoverageRepository,
+    before: StatusCounts,
+    groups: Vec<(String, Vec<EventId>)>,
+    mut runs: Vec<Option<GroupRun>>,
+    prep_failures: &[Option<String>],
+) -> CampaignReport {
+    let policy = StatusPolicy::default();
+    let n = groups.len();
+    let mut out_groups = Vec::with_capacity(n);
+    let mut sessions: Vec<Option<SessionState>> = vec![None; n];
+    let mut harvested = TemplateLibrary::new();
+    let mut union_hits: Vec<u64> = repo.all_global_stats().iter().map(|s| s.hits).collect();
+    let union_sims_base = repo.total_simulations();
+    let mut extra_sims: u64 = 0;
+    let mut union_extra_sims: u64 = 0;
+    for (i, (name, targets)) in groups.into_iter().enumerate() {
+        let (outcome, state) = match runs[i].take() {
+            Some(Ok(run)) => run,
+            Some(Err(e)) => {
+                fail_group(&mut out_groups, name, targets, e.to_string());
+                continue;
+            }
+            None => {
+                let why = prep_failures
+                    .get(i)
+                    .cloned()
+                    .flatten()
+                    .unwrap_or_else(|| "group was never scheduled".to_owned());
+                fail_group(&mut out_groups, name, targets, why);
+                continue;
+            }
+        };
+        let Some(best) = outcome.phase(PHASE_BEST).cloned() else {
+            fail_group(
+                &mut out_groups,
+                name,
+                targets,
+                "flow produced no best-test phase".to_owned(),
+            );
+            continue;
+        };
+        let group_sims = non_regression_sims(&outcome);
+        extra_sims += group_sims;
+        let newly = targets
+            .iter()
+            .filter(|&&e| best.hits[e.index()] > 0)
+            .count();
+        // Fold the best-test evidence into the unit-level "after"
+        // picture.
+        for (acc, &h) in union_hits.iter_mut().zip(&best.hits) {
+            *acc += h;
+        }
+        union_extra_sims += best.sims;
+        // Two groups can choose the same stock template, so qualify
+        // the harvested name by the group (and, should two groups
+        // still collide, by the group index).
+        let clean: String = name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        let mut template_name = format!("{}__{clean}", outcome.best_template.name());
+        if harvested.by_name(&template_name).is_some() {
+            template_name = format!("{template_name}_{i}");
+        }
+        match harvested.push(outcome.best_template.renamed(&template_name)) {
+            Ok(_) => {
+                sessions[i] = Some(state);
+                out_groups.push(CampaignGroup {
+                    name,
+                    targets,
+                    newly_covered: newly,
+                    sims: group_sims,
+                    harvested_template: Some(template_name),
+                    failure: None,
+                });
+            }
+            Err(e) => {
+                fail_group(
+                    &mut out_groups,
+                    name,
+                    targets,
+                    FlowError::from(e).to_string(),
+                );
+            }
+        }
+    }
+
+    let after = policy.count(union_hits.iter().map(|&hits| ascdg_coverage::HitStats {
+        hits,
+        sims: union_sims_base + union_extra_sims,
+    }));
+
+    CampaignReport {
+        outcome: CampaignOutcome {
+            unit: unit.to_owned(),
+            before,
+            after,
+            groups: out_groups,
+            total_sims: union_sims_base + extra_sims,
+            harvested,
+        },
+        sessions,
     }
 }
 

@@ -1,0 +1,199 @@
+//! Durable checkpoint persistence with typed failures.
+//!
+//! The engine and campaign scheduler stream post-stage snapshots
+//! ([`SessionState`] / [`CampaignProgress`]) to whatever sink the caller
+//! installs. For a one-shot CLI a lost checkpoint is a warning; for the
+//! serve daemon it is lost durability — a crashed request could no longer
+//! be recovered. [`CheckpointWriter`] therefore surfaces every
+//! persistence failure as a typed [`FlowError::Checkpoint`] *and* counts
+//! it on the `checkpoint.write_failures` counter, so a daemon can alert
+//! while a CLI keeps the old warn-and-continue behavior.
+//!
+//! Writes are atomic (write to `<path>.tmp`, then rename): a reader — in
+//! particular the daemon's restart-recovery scan — never observes a
+//! half-written checkpoint.
+
+use std::path::{Path, PathBuf};
+
+use ascdg_telemetry::Telemetry;
+
+use crate::session::{CampaignProgress, SessionState};
+use crate::FlowError;
+
+/// Writes checkpoints to one path, atomically, with typed failures.
+#[derive(Debug, Clone)]
+pub struct CheckpointWriter {
+    path: PathBuf,
+    telemetry: Telemetry,
+}
+
+impl CheckpointWriter {
+    /// A writer targeting `path`. Failures are counted on the given
+    /// telemetry's `checkpoint.write_failures` counter (when enabled).
+    pub fn new(path: impl Into<PathBuf>, telemetry: Telemetry) -> Self {
+        CheckpointWriter {
+            path: path.into(),
+            telemetry,
+        }
+    }
+
+    /// The destination path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Persists a single-session checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Checkpoint`] on serialization or I/O failure (also
+    /// counted on `checkpoint.write_failures`).
+    pub fn write_session(&self, state: &SessionState) -> Result<(), FlowError> {
+        let json = serde_json::to_string(state)
+            .map_err(|e| self.failure(format!("checkpoint did not serialize: {e}")))?;
+        self.write_atomic(&json)
+    }
+
+    /// Persists a whole-campaign checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Checkpoint`] on serialization or I/O failure (also
+    /// counted on `checkpoint.write_failures`).
+    pub fn write_campaign(&self, progress: &CampaignProgress) -> Result<(), FlowError> {
+        let json = serde_json::to_string(progress)
+            .map_err(|e| self.failure(format!("checkpoint did not serialize: {e}")))?;
+        self.write_atomic(&json)
+    }
+
+    /// Write-to-temp-then-rename, so readers never see partial bytes.
+    fn write_atomic(&self, json: &str) -> Result<(), FlowError> {
+        let mut tmp = self.path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        std::fs::write(&tmp, json)
+            .map_err(|e| self.failure(format!("could not write {}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, &self.path).map_err(|e| {
+            self.failure(format!(
+                "could not move {} into place at {}: {e}",
+                tmp.display(),
+                self.path.display()
+            ))
+        })
+    }
+
+    /// Counts and wraps one persistence failure.
+    fn failure(&self, detail: String) -> FlowError {
+        if let Some(m) = self.telemetry.metrics() {
+            m.counter("checkpoint.write_failures").add(1);
+        }
+        FlowError::Checkpoint(detail)
+    }
+}
+
+/// Reads a single-session checkpoint back.
+///
+/// # Errors
+///
+/// [`FlowError::Checkpoint`] when the file is unreadable or not a valid
+/// session snapshot.
+pub fn read_session_checkpoint(path: impl AsRef<Path>) -> Result<SessionState, FlowError> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| FlowError::Checkpoint(format!("could not read {}: {e}", path.display())))?;
+    serde_json::from_str(&text).map_err(|e| {
+        FlowError::Checkpoint(format!(
+            "{} is not a session checkpoint: {e}",
+            path.display()
+        ))
+    })
+}
+
+/// Reads a whole-campaign checkpoint back (the `campaign --resume` and
+/// daemon-recovery entry point).
+///
+/// # Errors
+///
+/// [`FlowError::Checkpoint`] when the file is unreadable or not a valid
+/// campaign checkpoint.
+pub fn read_campaign_checkpoint(path: impl AsRef<Path>) -> Result<CampaignProgress, FlowError> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| FlowError::Checkpoint(format!("could not read {}: {e}", path.display())))?;
+    serde_json::from_str(&text).map_err(|e| {
+        FlowError::Checkpoint(format!(
+            "{} is not a campaign checkpoint: {e}",
+            path.display()
+        ))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::TargetSpec;
+    use crate::FlowConfig;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ascdg-ckpt-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn session_checkpoints_round_trip_atomically() {
+        let dir = tmp_dir("session");
+        let path = dir.join("run.checkpoint.json");
+        let state = SessionState::new(
+            "io_unit",
+            FlowConfig::quick(),
+            TargetSpec::Family("crc_".to_owned()),
+            9,
+        );
+        let writer = CheckpointWriter::new(&path, Telemetry::disabled());
+        writer.write_session(&state).expect("checkpoint writes");
+        // The temp file never survives a successful write.
+        assert!(!dir.join("run.checkpoint.json.tmp").exists());
+        let back = read_session_checkpoint(&path).expect("checkpoint reads");
+        assert_eq!(back, state);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_failures_are_typed_and_counted() {
+        let telemetry = Telemetry::enabled();
+        let missing = std::env::temp_dir()
+            .join("ascdg-no-such-dir")
+            .join("deep")
+            .join("ckpt.json");
+        let writer = CheckpointWriter::new(&missing, telemetry.clone());
+        let state = SessionState::new("io_unit", FlowConfig::quick(), TargetSpec::Uncovered, 1);
+        let err = writer.write_session(&state).unwrap_err();
+        assert!(matches!(err, FlowError::Checkpoint(_)), "{err}");
+        let progress = CampaignProgress {
+            unit: "io_unit".to_owned(),
+            seed: 1,
+            config: None,
+            repo: None,
+            groups: Vec::new(),
+        };
+        assert!(writer.write_campaign(&progress).is_err());
+        let m = telemetry.metrics().unwrap();
+        assert_eq!(m.counter("checkpoint.write_failures").value(), 2);
+    }
+
+    #[test]
+    fn unreadable_checkpoints_read_as_typed_errors() {
+        let err = read_campaign_checkpoint("/definitely/not/here.json").unwrap_err();
+        assert!(matches!(err, FlowError::Checkpoint(_)));
+        let dir = tmp_dir("garbage");
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(matches!(
+            read_session_checkpoint(&path),
+            Err(FlowError::Checkpoint(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

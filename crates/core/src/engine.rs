@@ -262,6 +262,12 @@ impl<'env, E: VerifEnv> FlowEngine<'env, E> {
         else {
             return Ok(None);
         };
+        // Cooperative cancellation: a completed session still finishes
+        // (the check sits after the no-stage-left return), but no new
+        // stage starts once the session's token has flipped.
+        if cx.cancel_requested() {
+            return Err(FlowError::Cancelled);
+        }
         let name = stage.name();
         cx.emit(FlowEvent::StageStarted {
             stage: name.to_owned(),

@@ -47,6 +47,13 @@ pub enum FlowError {
     /// A session snapshot cannot be resumed by this engine (e.g. it was
     /// taken against a different unit).
     SnapshotMismatch(String),
+    /// The session was cooperatively cancelled (client disconnect, an
+    /// explicit `cancel` request, or daemon shutdown) and retired at a
+    /// stage boundary.
+    Cancelled,
+    /// A checkpoint could not be persisted or read back (serialization or
+    /// I/O failure, carried as text because `io::Error` is not `Clone`).
+    Checkpoint(String),
 }
 
 impl fmt::Display for FlowError {
@@ -82,6 +89,12 @@ impl fmt::Display for FlowError {
             ),
             FlowError::SnapshotMismatch(why) => {
                 write!(f, "session snapshot cannot be resumed: {why}")
+            }
+            FlowError::Cancelled => {
+                f.write_str("session was cancelled and retired at a stage boundary")
+            }
+            FlowError::Checkpoint(why) => {
+                write!(f, "checkpoint persistence failed: {why}")
             }
         }
     }
@@ -143,5 +156,8 @@ mod tests {
         assert!(e.to_string().contains('9'));
         let e = FlowError::SnapshotMismatch("wrong unit".to_owned());
         assert!(e.to_string().contains("wrong unit"));
+        assert!(FlowError::Cancelled.to_string().contains("cancelled"));
+        let e = FlowError::Checkpoint("disk full".to_owned());
+        assert!(e.to_string().contains("disk full"));
     }
 }

@@ -42,6 +42,7 @@
 
 mod batch;
 mod campaign;
+mod checkpoint;
 mod engine;
 mod error;
 mod evalcache;
@@ -54,14 +55,17 @@ mod objective;
 pub mod pool;
 mod report;
 pub mod sampling;
-mod scheduler;
+pub mod scheduler;
 mod session;
 mod skeletonizer;
 mod stages;
 
 pub use ascdg_telemetry::Telemetry;
 pub use batch::{BatchCounters, BatchRunner, BatchStats, CounterSnapshot, ResolvedTemplate};
-pub use campaign::{CampaignGroup, CampaignOutcome, CampaignReport};
+pub use campaign::{
+    fold_campaign, group_uncovered, CampaignGroup, CampaignOutcome, CampaignReport,
+};
+pub use checkpoint::{read_campaign_checkpoint, read_session_checkpoint, CheckpointWriter};
 pub use engine::FlowEngine;
 pub use error::FlowError;
 pub use evalcache::SharedEvalCache;
@@ -79,8 +83,9 @@ pub use report::{
     family_table_csv, render_cross_breakdown, render_family_table, render_status_chart,
     render_timings, render_trace_chart, trace_csv,
 };
+pub use scheduler::{AdmissionQueue, AdmitSpec, GroupRun, JobStatus, SessionLifecycle};
 pub use session::{
-    CampaignProgress, GroupProgress, SessionCx, SessionState, StageSims, TargetSpec,
+    CampaignProgress, CancelToken, GroupProgress, SessionCx, SessionState, StageSims, TargetSpec,
 };
 pub use skeletonizer::{Skeletonizer, SubrangeSpan};
 pub use stages::{

@@ -1,39 +1,180 @@
 //! Stage-granular scheduling of several flow sessions over one engine.
 //!
-//! The campaign scheduler turns each target group's session into a
-//! schedulable job whose unit of work is **one pipeline stage**
-//! ([`FlowEngine::step`]). A small worker crew pulls jobs off a shared
-//! ready queue, steps them once on the engine's persistent
-//! [`SimPool`](crate::SimPool), and requeues them at the back — so while
-//! one group sits in a cheap analysis stage (coarse search, skeletonize),
-//! another group's simulation batches keep the pool saturated.
+//! The [`AdmissionQueue`] turns each session into a schedulable job whose
+//! unit of work is **one pipeline stage** ([`FlowEngine::step`]). A small
+//! worker crew pulls jobs off a shared ready queue, steps them once on the
+//! engine's persistent [`SimPool`](crate::SimPool), and requeues them — so
+//! while one session sits in a cheap analysis stage (coarse search,
+//! skeletonize), another session's simulation batches keep the pool
+//! saturated.
+//!
+//! Admission is *weighted*: each job carries a deficit-round-robin weight
+//! (its priority/budget class), and a job popped with an empty deficit is
+//! granted `weight` consecutive stage quanta before rotating to the back
+//! of the queue. Equal weights degenerate to the exact round-robin
+//! rotation the campaign scheduler always had (pinned by test), and no
+//! weight can starve another job: every ready job is dispatched at least
+//! once per `sum(weights)` quanta.
 //!
 //! Determinism: the job passed between workers is the serializable
 //! [`SessionState`] (the live [`SessionCx`](crate::SessionCx) holds
 //! non-`Send` machinery and is rebuilt per step via
 //! [`FlowEngine::resume`]). Every session's seeds are salted *before*
-//! scheduling begins and sessions share no mutable state, so each group's
+//! scheduling begins and sessions share no mutable state, so each job's
 //! [`FlowOutcome`] — and any order-independent fold over them — is
-//! byte-identical at any `jobs` count. Only wall-clock attribution
-//! (timings, telemetry) varies.
+//! byte-identical at any worker count or weight assignment. Only
+//! wall-clock attribution (timings, telemetry) varies.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 use ascdg_duv::VerifEnv;
-use ascdg_telemetry::Gauge;
+use ascdg_telemetry::Telemetry;
+use serde::{Deserialize, Serialize};
 
 use crate::engine::FlowEngine;
-use crate::session::SessionState;
-use crate::{FlowError, FlowOutcome};
+use crate::session::{CancelToken, SessionState};
+use crate::{FlowError, FlowOutcome, SharedEvalCache};
 
 /// One scheduled session's result: the assembled outcome plus its final
 /// state (kept for manifests and per-group progress reporting).
-pub(crate) type GroupRun = Result<(FlowOutcome, SessionState), FlowError>;
+pub type GroupRun = Result<(FlowOutcome, SessionState), FlowError>;
 
 /// Streaming consumer of per-group post-stage snapshots: called with the
 /// group's slot index and its latest state after every completed stage.
 pub(crate) type StepSink<'a> = &'a (dyn Fn(usize, &SessionState) + Sync);
+
+/// A job's per-stage progress callback (invoked outside the queue lock,
+/// from whichever worker stepped the job).
+type StepFn<'cb> = Box<dyn Fn(u64, &SessionState) + Send + Sync + 'cb>;
+
+/// Where a job is in its life on the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SessionLifecycle {
+    /// Admitted and waiting on the ready queue.
+    Queued,
+    /// A worker is currently stepping one of its stages.
+    Running,
+    /// Cancellation was requested while the job was queued or running; it
+    /// retires at its next dispatch.
+    Draining,
+    /// All stages ran and the outcome was assembled.
+    Complete,
+    /// A stage (or resume) failed; the job retired with its error.
+    Failed,
+    /// The job retired through cancellation.
+    Cancelled,
+}
+
+impl SessionLifecycle {
+    /// Whether the job has retired (no further dispatches).
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            SessionLifecycle::Complete | SessionLifecycle::Failed | SessionLifecycle::Cancelled
+        )
+    }
+}
+
+impl std::fmt::Display for SessionLifecycle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SessionLifecycle::Queued => "queued",
+            SessionLifecycle::Running => "running",
+            SessionLifecycle::Draining => "draining",
+            SessionLifecycle::Complete => "complete",
+            SessionLifecycle::Failed => "failed",
+            SessionLifecycle::Cancelled => "cancelled",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Everything one admission needs: the session plus its scheduling
+/// parameters and per-job hooks.
+pub struct AdmitSpec<'cb> {
+    /// The session to run (stages already completed are skipped, so a
+    /// checkpointed state resumes where it left off).
+    pub state: SessionState,
+    /// Deficit-round-robin weight: consecutive stage quanta granted per
+    /// rotation. Clamped to at least 1; all-equal weights reproduce the
+    /// exact unweighted round-robin order.
+    pub weight: u32,
+    /// Priority-class label, used for per-class queue-depth gauges and
+    /// per-tenant sim accounting (`serve.*` metrics).
+    pub class: String,
+    /// Cooperative-cancellation token shared with whoever may cancel.
+    pub cancel: CancelToken,
+    /// A request-scoped completed-evaluation cache, attached to the
+    /// session at every resume (the shared engine's own cache, if any, is
+    /// replaced for this job).
+    pub eval_cache: Option<Arc<SharedEvalCache>>,
+    /// Called with the job id and latest state after every completed
+    /// stage — checkpoint/streaming hook; runs outside the queue lock.
+    pub on_step: Option<StepFn<'cb>>,
+}
+
+impl AdmitSpec<'_> {
+    /// A weight-1 `"default"`-class admission with a fresh cancel token.
+    #[must_use]
+    pub fn new(state: SessionState) -> Self {
+        AdmitSpec {
+            state,
+            weight: 1,
+            class: "default".to_owned(),
+            cancel: CancelToken::new(),
+            eval_cache: None,
+            on_step: None,
+        }
+    }
+}
+
+/// A point-in-time view of one admitted job (for `ascdg status`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobStatus {
+    /// The id `admit` returned.
+    pub id: u64,
+    /// The job's priority-class label.
+    pub class: String,
+    /// The job's dispatch weight.
+    pub weight: u32,
+    /// Where the job is in its life.
+    pub lifecycle: SessionLifecycle,
+    /// Pipeline stages completed so far.
+    pub completed_stages: usize,
+    /// Simulations attributed to the job so far.
+    pub sims: u64,
+}
+
+struct Job<'cb> {
+    class: String,
+    weight: u32,
+    /// Remaining consecutive quanta in the job's current DRR grant.
+    deficit: u32,
+    lifecycle: SessionLifecycle,
+    completed_stages: usize,
+    sims: u64,
+    cancel: CancelToken,
+    eval_cache: Option<Arc<SharedEvalCache>>,
+    on_step: Option<StepFn<'cb>>,
+    result: Option<Box<GroupRun>>,
+}
+
+struct QueueInner<'cb> {
+    jobs: Vec<Job<'cb>>,
+    /// `(job, state)` ready to be stepped, drained deficit-round-robin.
+    ready: VecDeque<(u64, SessionState)>,
+    /// Jobs currently being stepped by a worker.
+    in_flight: usize,
+    /// Admitted and not yet terminal (spans queued + running).
+    active: usize,
+    /// No further admissions; workers exit once the queue drains.
+    sealed: bool,
+    /// Hard stop: workers exit after their current quantum, pending jobs
+    /// stay unfinished (their checkpoints are the recovery path).
+    closed: bool,
+}
 
 /// What one scheduling quantum produced. Both payloads are boxed: each
 /// crosses the scheduler lock once per multi-second stage step, so the
@@ -45,24 +186,339 @@ enum Stepped {
     Finished(Box<GroupRun>),
 }
 
-struct Sched {
-    /// `(slot, state)` jobs ready to be stepped, drained round-robin.
-    ready: VecDeque<(usize, SessionState)>,
-    /// Finished runs by slot (`None` while a slot is still in progress —
-    /// or was never scheduled at all).
-    done: Vec<Option<GroupRun>>,
-    /// Jobs currently being stepped by a worker.
-    in_flight: usize,
+/// An admission-controlled, weight-aware scheduler for flow sessions.
+///
+/// Unlike the historical batch scheduler (all sessions known up front),
+/// jobs can be [admitted](AdmissionQueue::admit) while workers are already
+/// running — the daemon's serve loop admits each request's group sessions
+/// as they arrive. Workers are driven by [`AdmissionQueue::run_worker`];
+/// the queue itself owns no threads, so it composes with scoped pools.
+pub struct AdmissionQueue<'cb> {
+    inner: Mutex<QueueInner<'cb>>,
+    /// Signals workers: new ready work, or seal/close.
+    work_ready: Condvar,
+    /// Signals waiters: a job retired, or the queue closed.
+    job_done: Condvar,
+    telemetry: Telemetry,
 }
 
-fn lock<'a>(sched: &'a Mutex<Sched>) -> MutexGuard<'a, Sched> {
-    sched.lock().unwrap_or_else(PoisonError::into_inner)
+fn lock<'q, 'cb>(inner: &'q Mutex<QueueInner<'cb>>) -> MutexGuard<'q, QueueInner<'cb>> {
+    inner.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// Pre-resolved `campaign.*` gauges (present only with enabled telemetry).
-struct CampaignGauges {
-    in_flight_groups: Gauge,
-    pool_occupancy: Gauge,
+impl<'cb> AdmissionQueue<'cb> {
+    /// An empty, open queue. Telemetry is observational only — gauges
+    /// (`campaign.ready_queue_depth`, `serve.queue_depth.<class>`,
+    /// `campaign.in_flight_groups`) and per-class sim counters.
+    #[must_use]
+    pub fn new(telemetry: Telemetry) -> Self {
+        AdmissionQueue {
+            inner: Mutex::new(QueueInner {
+                jobs: Vec::new(),
+                ready: VecDeque::new(),
+                in_flight: 0,
+                active: 0,
+                sealed: false,
+                closed: false,
+            }),
+            work_ready: Condvar::new(),
+            job_done: Condvar::new(),
+            telemetry,
+        }
+    }
+
+    /// Admits a session; returns its job id, or `None` when the queue no
+    /// longer accepts work (sealed or closed).
+    pub fn admit(&self, spec: AdmitSpec<'cb>) -> Option<u64> {
+        let mut inner = lock(&self.inner);
+        if inner.sealed || inner.closed {
+            return None;
+        }
+        let id = inner.jobs.len() as u64;
+        inner.jobs.push(Job {
+            class: spec.class,
+            weight: spec.weight.max(1),
+            deficit: 0,
+            lifecycle: SessionLifecycle::Queued,
+            completed_stages: spec.state.completed.len(),
+            sims: spec.state.stage_sims.iter().map(|s| s.sims).sum(),
+            cancel: spec.cancel,
+            eval_cache: spec.eval_cache,
+            on_step: spec.on_step,
+            result: None,
+        });
+        inner.ready.push_back((id, spec.state));
+        inner.active += 1;
+        self.update_depth_gauges(&inner);
+        drop(inner);
+        self.work_ready.notify_all();
+        Some(id)
+    }
+
+    /// Requests cancellation of a job. The job retires with
+    /// [`FlowError::Cancelled`] at its next dispatch (or, mid-stage, at
+    /// the stage boundary). Returns `false` for unknown or already
+    /// retired jobs.
+    pub fn cancel(&self, id: u64) -> bool {
+        let mut inner = lock(&self.inner);
+        let Some(job) = inner.jobs.get_mut(id as usize) else {
+            return false;
+        };
+        if job.lifecycle.is_terminal() {
+            return false;
+        }
+        job.cancel.cancel();
+        job.lifecycle = SessionLifecycle::Draining;
+        drop(inner);
+        self.work_ready.notify_all();
+        true
+    }
+
+    /// Stops admissions; workers exit once every admitted job retires.
+    /// This is the batch mode ([`run_interleaved`] seals after admitting
+    /// its whole set).
+    pub fn seal(&self) {
+        let mut inner = lock(&self.inner);
+        inner.sealed = true;
+        drop(inner);
+        self.work_ready.notify_all();
+        self.job_done.notify_all();
+    }
+
+    /// Hard stop: workers exit after the quantum they are in; queued jobs
+    /// stay unfinished and their waiters return `None`. The jobs' on-disk
+    /// checkpoints are the recovery path.
+    pub fn close(&self) {
+        let mut inner = lock(&self.inner);
+        inner.closed = true;
+        inner.sealed = true;
+        drop(inner);
+        self.work_ready.notify_all();
+        self.job_done.notify_all();
+    }
+
+    /// Blocks until the job retires and takes its result. Returns `None`
+    /// for unknown ids, if the queue closed before the job finished, or
+    /// if the result was already taken.
+    pub fn wait(&self, id: u64) -> Option<GroupRun> {
+        let mut inner = lock(&self.inner);
+        loop {
+            let job = inner.jobs.get_mut(id as usize)?;
+            if job.result.is_some() {
+                return job.result.take().map(|b| *b);
+            }
+            if job.lifecycle.is_terminal() || inner.closed {
+                return None;
+            }
+            inner = self
+                .job_done
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Point-in-time view of every admitted job, in admission order.
+    #[must_use]
+    pub fn statuses(&self) -> Vec<JobStatus> {
+        let inner = lock(&self.inner);
+        inner
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(id, job)| JobStatus {
+                id: id as u64,
+                class: job.class.clone(),
+                weight: job.weight,
+                lifecycle: job.lifecycle,
+                completed_stages: job.completed_stages,
+                sims: job.sims,
+            })
+            .collect()
+    }
+
+    /// Jobs admitted and not yet retired (the `serve.active_sessions`
+    /// gauge source).
+    #[must_use]
+    pub fn active_jobs(&self) -> usize {
+        lock(&self.inner).active
+    }
+
+    /// Re-emits the ready-queue depth gauges: the total
+    /// `campaign.ready_queue_depth` plus one
+    /// `campaign.ready_queue_depth.<class>` per priority class present.
+    fn update_depth_gauges(&self, inner: &QueueInner<'_>) {
+        let Some(m) = self.telemetry.metrics() else {
+            return;
+        };
+        m.gauge("campaign.ready_queue_depth")
+            .set(inner.ready.len() as f64);
+        // Few classes in practice; recount rather than carry state.
+        let mut seen: Vec<(&str, usize)> = Vec::new();
+        for (id, _) in &inner.ready {
+            let class = inner.jobs[*id as usize].class.as_str();
+            match seen.iter_mut().find(|(c, _)| *c == class) {
+                Some((_, n)) => *n += 1,
+                None => seen.push((class, 1)),
+            }
+        }
+        for job in &inner.jobs {
+            if !seen.iter().any(|(c, _)| *c == job.class) {
+                seen.push((job.class.as_str(), 0));
+            }
+        }
+        for (class, depth) in seen {
+            m.gauge(&format!("campaign.ready_queue_depth.{class}"))
+                .set(depth as f64);
+        }
+    }
+
+    /// One scheduler worker: pop a ready job (deficit round-robin), step
+    /// it one stage on `engine`, requeue or retire it. Returns when the
+    /// queue is sealed and drained, or closed. Any number of workers may
+    /// run concurrently, on any thread that can borrow the engine.
+    pub fn run_worker<E: VerifEnv>(&self, engine: &FlowEngine<'_, E>) {
+        loop {
+            let (id, state, cancel, eval_cache, on_step) = {
+                let mut inner = lock(&self.inner);
+                loop {
+                    if inner.closed {
+                        return;
+                    }
+                    if let Some((id, state)) = inner.ready.pop_front() {
+                        let job = &mut inner.jobs[id as usize];
+                        if job.cancel.is_cancelled() {
+                            Self::retire(
+                                &mut inner,
+                                id,
+                                Box::new(Err(FlowError::Cancelled)),
+                                SessionLifecycle::Cancelled,
+                            );
+                            self.update_depth_gauges(&inner);
+                            drop(inner);
+                            self.job_done.notify_all();
+                            inner = lock(&self.inner);
+                            continue;
+                        }
+                        // Deficit round-robin: an empty deficit refills to
+                        // the job's weight; the grant drains one quantum
+                        // per dispatch. Weight 1 refills and drains in the
+                        // same rotation — the exact historical
+                        // round-robin.
+                        if job.deficit == 0 {
+                            job.deficit = job.weight;
+                        }
+                        job.lifecycle = SessionLifecycle::Running;
+                        let cancel = job.cancel.clone();
+                        let eval_cache = job.eval_cache.clone();
+                        let on_step = job.on_step.take();
+                        inner.in_flight += 1;
+                        if let Some(m) = self.telemetry.metrics() {
+                            m.gauge("campaign.in_flight_groups")
+                                .set(inner.in_flight as f64);
+                        }
+                        self.update_depth_gauges(&inner);
+                        break (id, state, cancel, eval_cache, on_step);
+                    }
+                    if inner.sealed && inner.in_flight == 0 {
+                        // Sealed, drained, and nobody can produce more
+                        // work: the crew is done.
+                        return;
+                    }
+                    inner = self
+                        .work_ready
+                        .wait(inner)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            let stepped = step_once(engine, state, &cancel, eval_cache);
+            if let Some(m) = self.telemetry.metrics() {
+                m.gauge("campaign.pool_occupancy")
+                    .set(engine.pool().busy_workers() as f64);
+            }
+            // Report progress outside the queue lock: sinks may do I/O.
+            if let Some(sink) = &on_step {
+                match &stepped {
+                    Stepped::Pending(state) => sink(id, state),
+                    Stepped::Finished(run) => {
+                        if let Ok((_, state)) = run.as_ref() {
+                            sink(id, state);
+                        }
+                    }
+                }
+            }
+            let mut inner = lock(&self.inner);
+            inner.in_flight -= 1;
+            let in_flight = inner.in_flight;
+            let job = &mut inner.jobs[id as usize];
+            job.on_step = on_step;
+            if let Some(m) = self.telemetry.metrics() {
+                // Attribute the quantum's simulations to the job's class
+                // (the per-tenant consumption counter).
+                let after = match &stepped {
+                    Stepped::Pending(state) => state.stage_sims.iter().map(|s| s.sims).sum(),
+                    Stepped::Finished(run) => run
+                        .as_ref()
+                        .as_ref()
+                        .map(|(_, state)| state.stage_sims.iter().map(|s| s.sims).sum())
+                        .unwrap_or(job.sims),
+                };
+                m.counter(&format!("serve.tenant_sims.{}", job.class))
+                    .add(after.saturating_sub(job.sims));
+                job.sims = after;
+                m.gauge("campaign.in_flight_groups").set(in_flight as f64);
+            }
+            match stepped {
+                Stepped::Pending(state) => {
+                    let job = &mut inner.jobs[id as usize];
+                    job.completed_stages = state.completed.len();
+                    job.deficit -= 1;
+                    job.lifecycle = if job.cancel.is_cancelled() {
+                        SessionLifecycle::Draining
+                    } else {
+                        SessionLifecycle::Queued
+                    };
+                    if job.deficit > 0 {
+                        // Still inside its weighted grant: stay at the
+                        // front for the next consecutive quantum.
+                        inner.ready.push_front((id, *state));
+                    } else {
+                        // Grant exhausted: rotate to the back, so no job
+                        // starves — every ready job runs at least once
+                        // per sum-of-weights quanta.
+                        inner.ready.push_back((id, *state));
+                    }
+                }
+                Stepped::Finished(run) => {
+                    let lifecycle = match run.as_ref() {
+                        Ok(_) => SessionLifecycle::Complete,
+                        Err(FlowError::Cancelled) => SessionLifecycle::Cancelled,
+                        Err(_) => SessionLifecycle::Failed,
+                    };
+                    Self::retire(&mut inner, id, run, lifecycle);
+                }
+            }
+            self.update_depth_gauges(&inner);
+            drop(inner);
+            self.work_ready.notify_all();
+            self.job_done.notify_all();
+        }
+    }
+
+    /// Marks a job terminal and stores its result (queue lock held).
+    fn retire(
+        inner: &mut QueueInner<'_>,
+        id: u64,
+        run: Box<GroupRun>,
+        lifecycle: SessionLifecycle,
+    ) {
+        let job = &mut inner.jobs[id as usize];
+        if let Ok((_, state)) = run.as_ref() {
+            job.completed_stages = state.completed.len();
+        }
+        job.lifecycle = lifecycle;
+        job.result = Some(run);
+        inner.active -= 1;
+    }
 }
 
 /// Runs the given sessions to completion over the engine, keeping up to
@@ -72,7 +528,9 @@ struct CampaignGauges {
 ///
 /// `jobs <= 1` degenerates to a sequential sweep in slot order — the exact
 /// historical campaign behavior — while still stepping stage by stage so
-/// `on_step` fires identically.
+/// `on_step` fires identically. `jobs > 1` runs an equal-weight
+/// [`AdmissionQueue`] crew, which dispatches in the same round-robin
+/// rotation the pre-admission scheduler used.
 pub(crate) fn run_interleaved<'env, E: VerifEnv>(
     engine: &FlowEngine<'env, E>,
     jobs: usize,
@@ -89,28 +547,32 @@ pub(crate) fn run_interleaved<'env, E: VerifEnv>(
         }
         return done;
     }
-    let sched = Mutex::new(Sched {
-        ready: sessions.into_iter().collect(),
-        done: std::iter::repeat_with(|| None).take(n_slots).collect(),
-        in_flight: 0,
-    });
-    let work_ready = Condvar::new();
-    let gauges = engine.telemetry().metrics().map(|m| CampaignGauges {
-        in_flight_groups: m.gauge("campaign.in_flight_groups"),
-        pool_occupancy: m.gauge("campaign.pool_occupancy"),
-    });
+    let queue = AdmissionQueue::new(engine.telemetry().clone());
+    let ids: Vec<(usize, u64)> = sessions
+        .into_iter()
+        .map(|(slot, state)| {
+            let mut spec = AdmitSpec::new(state);
+            if let Some(sink) = on_step {
+                spec.on_step = Some(Box::new(move |_, state: &SessionState| sink(slot, state)));
+            }
+            let id = queue.admit(spec).expect("queue is open during admission");
+            (slot, id)
+        })
+        .collect();
+    queue.seal();
     // The workers only coordinate; the simulations inside each step still
     // fan out over the engine's SimPool. The caller is worker zero.
     std::thread::scope(|scope| {
         for _ in 1..jobs {
-            scope.spawn(|| worker(engine, &sched, &work_ready, on_step, gauges.as_ref()));
+            scope.spawn(|| queue.run_worker(engine));
         }
-        worker(engine, &sched, &work_ready, on_step, gauges.as_ref());
+        queue.run_worker(engine);
     });
-    sched
-        .into_inner()
-        .unwrap_or_else(PoisonError::into_inner)
-        .done
+    let mut done: Vec<Option<GroupRun>> = std::iter::repeat_with(|| None).take(n_slots).collect();
+    for (slot, id) in ids {
+        done[slot] = queue.wait(id);
+    }
+    done
 }
 
 /// The sequential (`jobs = 1`) path: steps one session to exhaustion.
@@ -130,72 +592,23 @@ fn run_to_completion<E: VerifEnv>(
     Ok((outcome, cx.into_state()))
 }
 
-/// One scheduler worker: pop a ready session, step it one stage, requeue
-/// or retire it; exit when the queue is empty and nothing is in flight.
-fn worker<E: VerifEnv>(
-    engine: &FlowEngine<'_, E>,
-    sched: &Mutex<Sched>,
-    work_ready: &Condvar,
-    on_step: Option<StepSink<'_>>,
-    gauges: Option<&CampaignGauges>,
-) {
-    loop {
-        let (slot, state) = {
-            let mut s = lock(sched);
-            loop {
-                if let Some(job) = s.ready.pop_front() {
-                    s.in_flight += 1;
-                    if let Some(g) = gauges {
-                        g.in_flight_groups.set(s.in_flight as f64);
-                    }
-                    break job;
-                }
-                if s.in_flight == 0 {
-                    // No work left and nobody can produce more: all done.
-                    return;
-                }
-                s = work_ready.wait(s).unwrap_or_else(PoisonError::into_inner);
-            }
-        };
-        let stepped = step_once(engine, state);
-        if let Some(g) = gauges {
-            g.pool_occupancy.set(engine.pool().busy_workers() as f64);
-        }
-        // Report progress outside the scheduler lock: sinks may do I/O.
-        if let Some(sink) = on_step {
-            match &stepped {
-                Stepped::Pending(state) => sink(slot, state),
-                Stepped::Finished(run) => {
-                    if let Ok((_, state)) = run.as_ref() {
-                        sink(slot, state);
-                    }
-                }
-            }
-        }
-        let mut s = lock(sched);
-        s.in_flight -= 1;
-        if let Some(g) = gauges {
-            g.in_flight_groups.set(s.in_flight as f64);
-        }
-        match stepped {
-            // Back of the queue: round-robin across groups, so no group's
-            // cheap stages starve another group's simulation batches.
-            Stepped::Pending(state) => s.ready.push_back((slot, *state)),
-            Stepped::Finished(run) => s.done[slot] = Some(*run),
-        }
-        drop(s);
-        work_ready.notify_all();
-    }
-}
-
 /// Resumes a session from its state, runs exactly one stage, and reports
-/// whether it still has work. A group's failure retires the group, never
-/// the scheduler.
-fn step_once<E: VerifEnv>(engine: &FlowEngine<'_, E>, state: SessionState) -> Stepped {
+/// whether it still has work. A job's failure retires the job, never the
+/// scheduler.
+fn step_once<E: VerifEnv>(
+    engine: &FlowEngine<'_, E>,
+    state: SessionState,
+    cancel: &CancelToken,
+    eval_cache: Option<Arc<SharedEvalCache>>,
+) -> Stepped {
     let mut cx = match engine.resume(state) {
         Ok(cx) => cx,
         Err(e) => return Stepped::Finished(Box::new(Err(e))),
     };
+    if let Some(cache) = eval_cache {
+        cx.set_shared_eval_cache(cache);
+    }
+    cx.set_cancel_token(cancel.clone());
     match engine.step(&mut cx) {
         Err(e) => Stepped::Finished(Box::new(Err(e))),
         Ok(_) if engine.next_stage(cx.state()).is_none() => {
@@ -284,6 +697,186 @@ mod tests {
             );
             assert!(runs[0].as_ref().unwrap().is_err());
             assert!(runs[1].as_ref().unwrap().is_ok());
+        });
+    }
+
+    /// Records the dispatch order of a single-worker crew: the sequence
+    /// of job ids in the order their quanta ran.
+    fn dispatch_order(weights: &[u32]) -> (Vec<u64>, Vec<JobStatus>) {
+        let env = IoEnv::new();
+        let cfg = FlowConfig::quick();
+        let families = ["crc_", "qdepth_"];
+        pool_scope(2, |pool| {
+            let engine = FlowEngine::new(&env, cfg.clone(), pool);
+            let order = Mutex::new(Vec::new());
+            let queue = AdmissionQueue::new(Telemetry::disabled());
+            let ids: Vec<u64> = weights
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| {
+                    let cx = engine.session(
+                        TargetSpec::Family(families[i % families.len()].to_owned()),
+                        mix_seed(23, i as u64),
+                    );
+                    let mut spec = AdmitSpec::new(cx.into_state());
+                    spec.weight = w;
+                    spec.class = format!("w{w}");
+                    spec.on_step = Some(Box::new(|id, _| {
+                        order.lock().unwrap().push(id);
+                    }));
+                    queue.admit(spec).expect("open queue")
+                })
+                .collect();
+            queue.seal();
+            // One worker: the dispatch order is fully deterministic.
+            queue.run_worker(&engine);
+            for id in ids {
+                queue.wait(id).expect("job scheduled").expect("flow runs");
+            }
+            let statuses = queue.statuses();
+            drop(queue);
+            (order.into_inner().unwrap(), statuses)
+        })
+    }
+
+    /// Equal weights must reproduce the historical strict round-robin
+    /// rotation exactly: 0, 1, 2, 0, 1, 2, ... until jobs finish.
+    #[test]
+    fn equal_weights_dispatch_in_round_robin_order() {
+        let (order, statuses) = dispatch_order(&[1, 1, 1]);
+        // Simulate the reference rotation with the observed per-job
+        // quantum counts.
+        let quanta: Vec<usize> = statuses.iter().map(|s| s.completed_stages).collect();
+        let mut expected = Vec::new();
+        let mut left = quanta.clone();
+        while left.iter().any(|&n| n > 0) {
+            for (id, n) in left.iter_mut().enumerate() {
+                if *n > 0 {
+                    *n -= 1;
+                    expected.push(id as u64);
+                }
+            }
+        }
+        assert_eq!(order, expected, "equal weights must be exact round-robin");
+        for s in &statuses {
+            assert_eq!(s.lifecycle, SessionLifecycle::Complete);
+        }
+    }
+
+    /// A weighted job gets consecutive quanta, but can never starve the
+    /// others: every ready job is dispatched at least once per
+    /// sum-of-weights quanta, so the small jobs complete within a bounded
+    /// window even while a heavyweight tenant holds most of the budget.
+    #[test]
+    fn heavy_weight_cannot_starve_small_jobs() {
+        let heavy = 5u32;
+        let weights = [heavy, 1, 1, 1];
+        let (order, statuses) = dispatch_order(&weights);
+        for s in &statuses {
+            assert_eq!(s.lifecycle, SessionLifecycle::Complete);
+        }
+        // The heavy job's grant is honored: its first `heavy` quanta run
+        // consecutively.
+        assert!(
+            order[..heavy as usize].iter().all(|&id| id == 0),
+            "weighted job should run its full grant first: {order:?}"
+        );
+        // Bounded wait: while a small job is unfinished it is dispatched
+        // at least once per sum-of-weights quanta — the heavy tenant's
+        // budget cannot push it out of the rotation.
+        let rotation = weights.iter().sum::<u32>() as usize;
+        for id in 1..weights.len() as u64 {
+            let hits: Vec<usize> = order
+                .iter()
+                .enumerate()
+                .filter(|&(_, &j)| j == id)
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(hits.len(), statuses[id as usize].completed_stages);
+            assert!(
+                hits[0] < rotation,
+                "job {id} first dispatched at {} — outside the first rotation",
+                hits[0]
+            );
+            for w in hits.windows(2) {
+                assert!(
+                    w[1] - w[0] <= rotation,
+                    "job {id} starved between dispatches {} and {}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    /// Cancelling one mid-run job retires only that job; the other
+    /// session completes normally, and lifecycles land where they should.
+    #[test]
+    fn cancelled_session_retires_only_its_own_slot() {
+        let env = IoEnv::new();
+        let cfg = FlowConfig::quick();
+        pool_scope(2, |pool| {
+            let engine = FlowEngine::new(&env, cfg.clone(), pool);
+            let queue = AdmissionQueue::new(Telemetry::disabled());
+            let victim_token = CancelToken::new();
+            let victim = {
+                let cx = engine.session(TargetSpec::Family("crc_".to_owned()), 7);
+                let mut spec = AdmitSpec::new(cx.into_state());
+                spec.cancel = victim_token.clone();
+                let token = victim_token.clone();
+                // Cancel after the victim's second completed stage.
+                spec.on_step = Some(Box::new(move |_, state: &SessionState| {
+                    if state.completed.len() >= 2 {
+                        token.cancel();
+                    }
+                }));
+                queue.admit(spec).expect("open queue")
+            };
+            let healthy = {
+                let cx = engine.session(TargetSpec::Family("qdepth_".to_owned()), 7);
+                queue.admit(AdmitSpec::new(cx.into_state())).expect("open")
+            };
+            queue.seal();
+            queue.run_worker(&engine);
+            assert!(matches!(
+                queue.wait(victim),
+                Some(Err(FlowError::Cancelled))
+            ));
+            let healthy_run = queue.wait(healthy).expect("scheduled");
+            assert!(healthy_run.is_ok(), "healthy session must complete");
+            let statuses = queue.statuses();
+            assert_eq!(statuses[0].lifecycle, SessionLifecycle::Cancelled);
+            assert_eq!(statuses[1].lifecycle, SessionLifecycle::Complete);
+            // The victim really stopped at a stage boundary shortly after
+            // the cancel, far from a full run.
+            assert!(statuses[0].completed_stages < statuses[1].completed_stages);
+        });
+    }
+
+    /// `close()` stops the crew without draining: pending jobs stay
+    /// unfinished and their waiters observe `None` (the checkpoint files
+    /// are the recovery path).
+    #[test]
+    fn close_leaves_pending_jobs_recoverable() {
+        let env = IoEnv::new();
+        let cfg = FlowConfig::quick();
+        pool_scope(2, |pool| {
+            let engine = FlowEngine::new(&env, cfg.clone(), pool);
+            let queue = AdmissionQueue::new(Telemetry::disabled());
+            let cx = engine.session(TargetSpec::Family("crc_".to_owned()), 3);
+            let id = queue.admit(AdmitSpec::new(cx.into_state())).expect("open");
+            queue.close();
+            // Workers started after (or during) close exit promptly.
+            queue.run_worker(&engine);
+            assert!(queue.wait(id).is_none());
+            assert!(queue
+                .admit(AdmitSpec::new(SessionState::new(
+                    "io_unit",
+                    cfg.clone(),
+                    TargetSpec::Uncovered,
+                    1
+                )))
+                .is_none());
         });
     }
 }

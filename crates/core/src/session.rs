@@ -9,6 +9,7 @@
 //! the engine checkpoint/resume
 //! (see [`FlowEngine::resume`](crate::FlowEngine::resume)).
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
@@ -28,6 +29,36 @@ use crate::{
 /// A streaming consumer of post-stage snapshots
 /// (see [`SessionCx::on_checkpoint`]).
 type CheckpointSink<'bus> = Box<dyn FnMut(&SessionState) + 'bus>;
+
+/// A shared cooperative-cancellation flag for one session.
+///
+/// Cancellation is *cooperative*: flipping the token never interrupts a
+/// running stage. The engine checks it before starting each stage
+/// ([`FlowEngine::step`](crate::FlowEngine::step)) and the admission
+/// scheduler checks it before each dispatch, so a cancelled session
+/// retires — with [`FlowError::Cancelled`] — at the next stage boundary,
+/// leaving its last checkpoint consistent.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; all clones observe it.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
 
 /// How a session chooses its target events once the regression repository
 /// exists.
@@ -165,6 +196,10 @@ impl SessionState {
 pub struct GroupProgress {
     /// Group name: the family stem, or `"(ungrouped)"` / `"(cross-product)"`.
     pub name: String,
+    /// The group's target events, recorded so a resumed campaign can
+    /// rebuild groups that had not reached their first checkpoint yet.
+    #[serde(default)]
+    pub targets: Vec<EventId>,
     /// The latest post-stage session snapshot (the same [`SessionState`]
     /// format single-flow checkpoints use); `None` until the group's first
     /// stage completes, or when the group failed before scheduling.
@@ -189,6 +224,15 @@ pub struct CampaignProgress {
     pub unit: String,
     /// The campaign's base seed (group seeds are salted from it).
     pub seed: u64,
+    /// The configuration the campaign ran with, so a resume does not
+    /// depend on the caller repeating the same flags.
+    #[serde(default)]
+    pub config: Option<FlowConfig>,
+    /// The shared regression repository snapshot. Makes the checkpoint
+    /// self-contained: a resume rebuilds unstarted groups (and the
+    /// unit-level before/after fold) without re-running the regression.
+    #[serde(default)]
+    pub repo: Option<RepoSnapshot>,
     /// Per-group progress, in group order.
     pub groups: Vec<GroupProgress>,
 }
@@ -220,6 +264,7 @@ pub struct SessionCx<'env, 'bus, E: VerifEnv> {
     bus: EventBus<'bus>,
     telemetry: Telemetry,
     eval_cache: Option<Arc<SharedEvalCache>>,
+    cancel: Option<CancelToken>,
     checkpoints: Option<Vec<SessionState>>,
     checkpoint_sink: Option<CheckpointSink<'bus>>,
 }
@@ -241,9 +286,30 @@ impl<'env, 'bus, E: VerifEnv> SessionCx<'env, 'bus, E> {
             bus: EventBus::new(),
             telemetry,
             eval_cache,
+            cancel: None,
             checkpoints: None,
             checkpoint_sink: None,
         }
+    }
+
+    /// Attaches a cooperative-cancellation token: the engine checks it
+    /// before each stage and retires the session with
+    /// [`FlowError::Cancelled`] once it flips.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Whether cancellation has been requested for this session.
+    #[must_use]
+    pub fn cancel_requested(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+    }
+
+    /// Attaches (or replaces) the campaign-shared completed-evaluation
+    /// cache for this session only — how the admission scheduler gives
+    /// each daemon request its own cache on one shared engine.
+    pub fn set_shared_eval_cache(&mut self, cache: Arc<SharedEvalCache>) {
+        self.eval_cache = Some(cache);
     }
 
     /// The campaign-shared completed-evaluation cache attached to this

@@ -1,0 +1,164 @@
+//! A small blocking client for the serve protocol (the `ascdg submit`
+//! and `ascdg status` commands are thin wrappers over it).
+
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use crate::protocol::{read_line, write_line, Request, RequestStatus, Response, SubmitSpec};
+
+/// One connection to a serve daemon.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a daemon at `addr` (`host:port`).
+    ///
+    /// # Errors
+    ///
+    /// Connection failure.
+    pub fn connect(addr: &str) -> std::io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { writer, reader })
+    }
+
+    /// Sends one request line.
+    ///
+    /// # Errors
+    ///
+    /// Stream write failure.
+    pub fn send(&mut self, req: &Request) -> std::io::Result<()> {
+        write_line(&mut self.writer, req)
+    }
+
+    /// Reads the next response line (`None` on a clean close).
+    ///
+    /// # Errors
+    ///
+    /// Stream read failure or a malformed line.
+    pub fn recv(&mut self) -> std::io::Result<Option<Response>> {
+        read_line(&mut self.reader)
+    }
+
+    /// Submits a closure request and blocks until its terminal response,
+    /// feeding every streamed line to `on_event`. Returns the request id
+    /// and the outcome JSON on success.
+    ///
+    /// # Errors
+    ///
+    /// Stream failure, a daemon `Error`/`Failed` line, or a stream that
+    /// closed before the terminal response.
+    pub fn submit(
+        &mut self,
+        spec: SubmitSpec,
+        mut on_event: impl FnMut(&Response),
+    ) -> std::io::Result<(u64, String)> {
+        self.send(&Request::Submit(spec))?;
+        loop {
+            let resp = self
+                .recv()?
+                .ok_or_else(|| err("daemon closed the stream before the outcome"))?;
+            on_event(&resp);
+            match resp {
+                Response::Done {
+                    request,
+                    outcome_json,
+                } => return Ok((request, outcome_json)),
+                Response::Failed { request, error } => {
+                    return Err(err(&format!("request {request} failed: {error}")))
+                }
+                Response::Error { error } => return Err(err(&error)),
+                _ => {}
+            }
+        }
+    }
+
+    /// One status snapshot of every request the daemon tracks.
+    ///
+    /// # Errors
+    ///
+    /// Stream failure or an unexpected response.
+    pub fn status(&mut self) -> std::io::Result<Vec<RequestStatus>> {
+        self.send(&Request::Status)?;
+        match self.recv()? {
+            Some(Response::Status { requests }) => Ok(requests),
+            Some(Response::Error { error }) => Err(err(&error)),
+            other => Err(err(&format!("unexpected status answer: {other:?}"))),
+        }
+    }
+
+    /// Cancels a request; `Ok(true)` when any of its sessions was still
+    /// cancellable.
+    ///
+    /// # Errors
+    ///
+    /// Stream failure or an unexpected response.
+    pub fn cancel(&mut self, request: u64) -> std::io::Result<bool> {
+        self.send(&Request::Cancel { request })?;
+        match self.recv()? {
+            Some(Response::Cancelled { ok, .. }) => Ok(ok),
+            Some(Response::Error { error }) => Err(err(&error)),
+            other => Err(err(&format!("unexpected cancel answer: {other:?}"))),
+        }
+    }
+
+    /// Asks the daemon to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// Stream failure or an unexpected response.
+    pub fn shutdown(&mut self) -> std::io::Result<()> {
+        self.send(&Request::Shutdown)?;
+        match self.recv()? {
+            Some(Response::ShuttingDown) | None => Ok(()),
+            Some(Response::Error { error }) => Err(err(&error)),
+            other => Err(err(&format!("unexpected shutdown answer: {other:?}"))),
+        }
+    }
+}
+
+fn err(msg: &str) -> std::io::Error {
+    std::io::Error::other(msg.to_owned())
+}
+
+/// Polls a daemon's `serve.addr` handshake file until it appears (or the
+/// deadline passes) and returns the bound address. The way scripts and
+/// tests find a daemon started with port `0`.
+///
+/// # Errors
+///
+/// Timeout waiting for the daemon to bind.
+pub fn wait_for_addr(state_dir: &Path, timeout: Duration) -> std::io::Result<String> {
+    let deadline = Instant::now() + timeout;
+    let path = state_dir.join("serve.addr");
+    loop {
+        if let Ok(addr) = std::fs::read_to_string(&path) {
+            let addr = addr.trim().to_owned();
+            if !addr.is_empty() {
+                return Ok(addr);
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(err(&format!(
+                "daemon never wrote {} within {timeout:?}",
+                path.display()
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Convenience: writes `msg` then a newline to any writer (used by the
+/// CLI's JSON output paths).
+///
+/// # Errors
+///
+/// Write failure.
+pub fn writeln_raw(w: &mut impl Write, msg: &str) -> std::io::Result<()> {
+    w.write_all(msg.as_bytes())?;
+    w.write_all(b"\n")
+}

@@ -1,0 +1,863 @@
+//! The `ascdg serve` daemon: a long-lived, multi-tenant closure service.
+//!
+//! One daemon owns one [`SimPool`](ascdg_core::SimPool) and one
+//! [`AdmissionQueue`] per built-in unit. Each incoming closure request is
+//! planned exactly like a one-shot `ascdg campaign` — shared regression,
+//! family grouping, per-group sessions with index-salted seeds, one
+//! request-scoped evaluation cache — and its group sessions are admitted
+//! to the unit's queue with the request's weight and priority class.
+//! Sessions from different tenants interleave stage by stage under
+//! deficit round-robin, all funneling their simulation batches into the
+//! shared pool.
+//!
+//! Determinism carries over unchanged: every seed is salted before
+//! admission and the fold is [`fold_campaign`], so a request's outcome is
+//! byte-identical to the equivalent one-shot campaign — no matter what
+//! else the daemon is running, and no matter how often it was restarted
+//! mid-request. Durability comes from the same checkpoint stream the CLI
+//! uses: after every completed group stage the request's self-contained
+//! [`CampaignProgress`] is rewritten atomically under the daemon's state
+//! directory; on startup, any progress file without a matching outcome
+//! file is re-admitted and runs to the same final outcome.
+
+use std::collections::BTreeMap;
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+use ascdg_core::{
+    fold_campaign, group_uncovered, pool_scope_with, AdmissionQueue, AdmitSpec, ApproxTarget,
+    CampaignOutcome, CampaignProgress, CampaignReport, CancelToken, CdgFlow, CheckpointWriter,
+    FlowConfig, FlowEngine, FlowError, GroupProgress, GroupRun, RunManifest, SessionState,
+    SharedEvalCache, SimPool, Telemetry,
+};
+use ascdg_coverage::{CoverageRepository, EventId, StatusCounts, StatusPolicy};
+use ascdg_duv::ifu::IfuEnv;
+use ascdg_duv::io_unit::IoEnv;
+use ascdg_duv::l3cache::L3Env;
+use ascdg_duv::synthetic::{SyntheticConfig, SyntheticEnv};
+use ascdg_duv::VerifEnv;
+use ascdg_stimgen::mix_seed;
+use ascdg_template::TemplateLibrary;
+
+use crate::protocol::{write_line, Request, RequestStatus, Response, SubmitSpec};
+
+/// How many scheduler workers each unit's queue gets. Workers only
+/// coordinate (the simulations inside each stage fan out over the shared
+/// pool), so a small crew per unit is enough to overlap one tenant's
+/// analysis stages with another tenant's simulation batches.
+const WORKERS_PER_UNIT: usize = 2;
+
+/// How the daemon is launched.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Listen address, e.g. `127.0.0.1:7777` (port `0` picks a free one;
+    /// the bound address is written to `<state_dir>/serve.addr`).
+    pub addr: String,
+    /// Where request, progress and outcome files live. Created if absent.
+    pub state_dir: PathBuf,
+    /// Worker-pool size (`0` means one per machine thread).
+    pub threads: usize,
+    /// Telemetry sink shared by every request.
+    pub telemetry: Telemetry,
+}
+
+/// Resolves a request's unit name to a fresh environment. Accepts the
+/// CLI aliases and the canonical `unit_name()`s.
+#[must_use]
+pub fn resolve_unit(name: &str) -> Option<Arc<dyn VerifEnv>> {
+    match name {
+        "io" | "io_unit" => Some(Arc::new(IoEnv::new())),
+        "l3" | "l3cache" => Some(Arc::new(L3Env::new())),
+        "ifu" => Some(Arc::new(IfuEnv::new())),
+        // Same hard synthetic configuration the CLI uses: paper-scale
+        // budgets would fully cover the library-default model.
+        "synthetic" | "syn" | "synthetic_unit" => {
+            Some(Arc::new(SyntheticEnv::new(SyntheticConfig {
+                hardness: 60.0,
+                top_threshold: 0.99,
+                ..SyntheticConfig::default()
+            })))
+        }
+        _ => None,
+    }
+}
+
+/// The profile-and-scale config a request asks for — shared by the
+/// daemon and the one-shot CLI so both produce the same bytes.
+#[must_use]
+pub fn request_config(unit: &dyn VerifEnv, profile: &str, scale: f64) -> Option<FlowConfig> {
+    let base = match profile {
+        "quick" => FlowConfig::quick(),
+        "" | "paper" => match unit.unit_name() {
+            "io_unit" => FlowConfig::paper_io(),
+            "l3cache" => FlowConfig::paper_l3(),
+            "ifu" => FlowConfig::paper_ifu(),
+            _ => FlowConfig::paper_l3(),
+        },
+        _ => return None,
+    };
+    let scale = if scale > 0.0 { scale } else { 1.0 };
+    Some(base.scaled(scale))
+}
+
+/// One unit's scheduling shard: its environment and admission queue.
+struct Shard<'outer> {
+    env: &'outer Arc<dyn VerifEnv>,
+    queue: AdmissionQueue<'static>,
+}
+
+impl Shard<'_> {
+    fn unit_name(&self) -> &str {
+        self.env.unit_name()
+    }
+}
+
+/// One tracked request (admission order) for `Status` answers.
+struct RequestEntry {
+    id: u64,
+    unit: String,
+    class: String,
+    weight: u32,
+    shard: usize,
+    /// `(slot, job id)` per admitted group session.
+    jobs: Vec<(usize, u64)>,
+    /// Total groups (admitted + prep-failed).
+    groups: usize,
+    done: bool,
+}
+
+/// Daemon-wide shared state (no borrows into the pool scope).
+struct Daemon {
+    telemetry: Telemetry,
+    state_dir: PathBuf,
+    threads: usize,
+    next_id: AtomicU64,
+    shutdown: AtomicBool,
+    registry: Mutex<Vec<RequestEntry>>,
+}
+
+impl Daemon {
+    fn alloc_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::SeqCst)
+    }
+
+    fn request_path(&self, id: u64) -> PathBuf {
+        self.state_dir.join(format!("req{id}.request.json"))
+    }
+
+    fn progress_path(&self, id: u64) -> PathBuf {
+        self.state_dir.join(format!("req{id}.progress.json"))
+    }
+
+    fn outcome_path(&self, id: u64) -> PathBuf {
+        self.state_dir.join(format!("req{id}.outcome.json"))
+    }
+
+    fn manifest_path(&self, id: u64, slot: usize) -> PathBuf {
+        self.state_dir
+            .join(format!("req{id}.group{slot}.manifest.json"))
+    }
+}
+
+/// A shared, best-effort response stream: progress callbacks fire from
+/// scheduler workers, so the write half is behind a mutex. A broken pipe
+/// (client went away) silently stops the streaming — the request itself
+/// keeps running and its outcome still lands on disk.
+type Outbox = Arc<Mutex<Option<TcpStream>>>;
+
+fn send(out: &Outbox, resp: &Response) {
+    let mut guard = out.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(stream) = guard.as_mut() {
+        if write_line(stream, resp).is_err() {
+            *guard = None;
+        }
+    }
+}
+
+/// Runs the daemon until a `Shutdown` request arrives. Blocks the
+/// calling thread for the daemon's whole life.
+///
+/// # Errors
+///
+/// Socket binding and state-directory creation failures.
+pub fn serve(opts: &ServeOptions) -> std::io::Result<()> {
+    std::fs::create_dir_all(&opts.state_dir)?;
+    let listener = TcpListener::bind(&opts.addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    // The bound address is the daemon's handshake file: `port 0` callers
+    // (tests, scripts) poll it to find the actual port.
+    std::fs::write(opts.state_dir.join("serve.addr"), local.to_string())?;
+
+    let units: Vec<Arc<dyn VerifEnv>> = ["io", "l3", "ifu", "synthetic"]
+        .iter()
+        .filter_map(|name| resolve_unit(name))
+        .collect();
+    let daemon = Daemon {
+        telemetry: opts.telemetry.clone(),
+        state_dir: opts.state_dir.clone(),
+        threads: opts.threads,
+        next_id: AtomicU64::new(next_request_id(&opts.state_dir)),
+        shutdown: AtomicBool::new(false),
+        registry: Mutex::new(Vec::new()),
+    };
+    let orphans = scan_orphans(&opts.state_dir);
+
+    pool_scope_with(opts.threads, &opts.telemetry, |pool| {
+        let shards: Vec<Shard<'_>> = units
+            .iter()
+            .map(|env| Shard {
+                env,
+                queue: AdmissionQueue::new(opts.telemetry.clone()),
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for shard in &shards {
+                for _ in 0..WORKERS_PER_UNIT {
+                    let daemon = &daemon;
+                    scope.spawn(move || {
+                        let engine = FlowEngine::new(shard.env, FlowConfig::quick(), pool)
+                            .with_telemetry(daemon.telemetry.clone());
+                        shard.queue.run_worker(&engine);
+                    });
+                }
+            }
+            // Restart recovery: re-admit every checkpointed request that
+            // never wrote its outcome. Each runs detached (no client);
+            // its outcome file is the deliverable.
+            for id in orphans {
+                let daemon = &daemon;
+                let shards = &shards;
+                scope.spawn(move || {
+                    let out: Outbox = Arc::new(Mutex::new(None));
+                    recover_request(daemon, shards, pool, id, &out);
+                });
+            }
+            loop {
+                if daemon.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let daemon = &daemon;
+                        let shards = &shards;
+                        scope.spawn(move || handle_conn(daemon, shards, pool, stream));
+                    }
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        if let Some(m) = daemon.telemetry.metrics() {
+                            let active: usize = shards.iter().map(|s| s.queue.active_jobs()).sum();
+                            m.gauge("serve.active_sessions").set(active as f64);
+                        }
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
+                    Err(e) => {
+                        eprintln!("serve: accept failed: {e}");
+                        std::thread::sleep(Duration::from_millis(100));
+                    }
+                }
+            }
+            // Hard stop: pending sessions stay checkpointed; their
+            // waiters observe `None` and answer `Failed` with the
+            // recovery hint.
+            for shard in &shards {
+                shard.queue.close();
+            }
+        });
+    });
+    Ok(())
+}
+
+/// One request id past everything the state directory has seen, so
+/// restarted daemons never reuse an id.
+fn next_request_id(state_dir: &Path) -> u64 {
+    scan_ids(state_dir)
+        .into_iter()
+        .max()
+        .map_or(0, |max| max + 1)
+}
+
+/// Every request id with any file in the state directory.
+fn scan_ids(state_dir: &Path) -> Vec<u64> {
+    let Ok(entries) = std::fs::read_dir(state_dir) else {
+        return Vec::new();
+    };
+    let mut ids = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(rest) = name.strip_prefix("req") else {
+            continue;
+        };
+        let Some(end) = rest.find('.') else { continue };
+        if let Ok(id) = rest[..end].parse::<u64>() {
+            if !ids.contains(&id) {
+                ids.push(id);
+            }
+        }
+    }
+    ids
+}
+
+/// Requests that checkpointed progress but never wrote an outcome — the
+/// restart-recovery set.
+fn scan_orphans(state_dir: &Path) -> Vec<u64> {
+    let mut ids: Vec<u64> = scan_ids(state_dir)
+        .into_iter()
+        .filter(|&id| {
+            state_dir.join(format!("req{id}.progress.json")).exists()
+                && !state_dir.join(format!("req{id}.outcome.json")).exists()
+        })
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+/// Serves one client connection: a request loop until the peer leaves,
+/// shutdown begins, or the stream breaks.
+fn handle_conn<'env>(
+    daemon: &Daemon,
+    shards: &[Shard<'env>],
+    pool: &SimPool<'env>,
+    stream: TcpStream,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let out: Outbox = Arc::new(Mutex::new(Some(stream)));
+    loop {
+        if daemon.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let req: Request = match crate::protocol::read_line(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => return,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                send(
+                    &out,
+                    &Response::Error {
+                        error: e.to_string(),
+                    },
+                );
+                continue;
+            }
+            Err(_) => return,
+        };
+        match req {
+            Request::Submit(spec) => submit_request(daemon, shards, pool, spec, &out),
+            Request::Status => send(
+                &out,
+                &Response::Status {
+                    requests: status_snapshot(daemon, shards),
+                },
+            ),
+            Request::Cancel { request } => {
+                let ok = cancel_request(daemon, shards, request);
+                send(&out, &Response::Cancelled { request, ok });
+            }
+            Request::Shutdown => {
+                send(&out, &Response::ShuttingDown);
+                daemon.shutdown.store(true, Ordering::SeqCst);
+                for shard in shards {
+                    shard.queue.close();
+                }
+                return;
+            }
+        }
+    }
+}
+
+fn status_snapshot(daemon: &Daemon, shards: &[Shard<'_>]) -> Vec<RequestStatus> {
+    let registry = daemon
+        .registry
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    registry
+        .iter()
+        .map(|entry| {
+            let statuses = shards[entry.shard].queue.statuses();
+            let jobs: BTreeMap<usize, u64> = entry.jobs.iter().copied().collect();
+            let groups = (0..entry.groups)
+                .map(|slot| match jobs.get(&slot) {
+                    Some(&job) => statuses[job as usize].lifecycle,
+                    None => ascdg_core::SessionLifecycle::Failed,
+                })
+                .collect();
+            let (stages, sims) = entry
+                .jobs
+                .iter()
+                .map(|&(_, job)| {
+                    let s = &statuses[job as usize];
+                    (s.completed_stages, s.sims)
+                })
+                .fold((0, 0), |(a, b), (c, d)| (a + c, b + d));
+            RequestStatus {
+                request: entry.id,
+                unit: entry.unit.clone(),
+                class: entry.class.clone(),
+                weight: entry.weight,
+                groups,
+                completed_stages: stages,
+                sims,
+                done: entry.done,
+            }
+        })
+        .collect()
+}
+
+fn cancel_request(daemon: &Daemon, shards: &[Shard<'_>], id: u64) -> bool {
+    let registry = daemon
+        .registry
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    let Some(entry) = registry.iter().find(|e| e.id == id) else {
+        return false;
+    };
+    let mut any = false;
+    for &(_, job) in &entry.jobs {
+        any |= shards[entry.shard].queue.cancel(job);
+    }
+    any
+}
+
+/// A planned request: everything between "regression done" and
+/// "sessions admitted", shared by the fresh and the recovery path.
+struct Plan {
+    config: FlowConfig,
+    seed: u64,
+    repo: CoverageRepository,
+    before: StatusCounts,
+    groups: Vec<(String, Vec<EventId>)>,
+    /// One session per group ready to admit; `None` where prep failed.
+    sessions: Vec<Option<SessionState>>,
+    prep_failures: Vec<Option<String>>,
+}
+
+/// Plans a fresh request exactly like `run_campaign_inner`: regression,
+/// grouping, per-group sessions with index-salted seeds.
+fn plan_fresh<'env>(
+    shard: &Shard<'env>,
+    pool: &SimPool<'env>,
+    config: &FlowConfig,
+    seed: u64,
+) -> Result<Plan, FlowError> {
+    let flow = CdgFlow::new(shard.env, config.clone());
+    let repo = flow.run_regression(mix_seed(seed, 0xca3))?;
+    let before = repo.status_counts(StatusPolicy::default());
+    let groups = group_uncovered(shard.env.coverage_model(), &repo);
+    let mut plan = Plan {
+        config: config.clone(),
+        seed,
+        repo,
+        before,
+        sessions: vec![None; groups.len()],
+        prep_failures: vec![None; groups.len()],
+        groups,
+    };
+    build_missing_sessions(shard, pool, &mut plan);
+    Ok(plan)
+}
+
+/// Plans a recovered request from its self-contained checkpoint: the
+/// regression is restored, checkpointed groups resume their state, and
+/// groups that never checkpointed rebuild with the same salted seeds.
+fn plan_resume<'env>(
+    shard: &Shard<'env>,
+    pool: &SimPool<'env>,
+    progress: &CampaignProgress,
+) -> Result<Plan, FlowError> {
+    let config = progress.config.clone().ok_or_else(|| {
+        FlowError::Checkpoint(
+            "campaign checkpoint has no config; it predates resumable checkpoints".to_owned(),
+        )
+    })?;
+    let snap = progress.repo.as_ref().ok_or_else(|| {
+        FlowError::Checkpoint(
+            "campaign checkpoint has no regression snapshot; it cannot be resumed".to_owned(),
+        )
+    })?;
+    let repo = CoverageRepository::from_snapshot(shard.env.coverage_model().clone(), snap)?;
+    let before = repo.status_counts(StatusPolicy::default());
+    let mut plan = Plan {
+        config,
+        seed: progress.seed,
+        before,
+        repo,
+        groups: progress
+            .groups
+            .iter()
+            .map(|g| (g.name.clone(), g.targets.clone()))
+            .collect(),
+        sessions: progress.groups.iter().map(|g| g.session.clone()).collect(),
+        prep_failures: progress.groups.iter().map(|g| g.failure.clone()).collect(),
+    };
+    build_missing_sessions(shard, pool, &mut plan);
+    Ok(plan)
+}
+
+/// Builds sessions for every group that has neither a checkpointed state
+/// nor a recorded prep failure, with the campaign's index-salted seeds.
+fn build_missing_sessions<'env>(shard: &Shard<'env>, pool: &SimPool<'env>, plan: &mut Plan) {
+    let engine = FlowEngine::new(shard.env, plan.config.clone(), pool);
+    for (i, (_, targets)) in plan.groups.iter().enumerate() {
+        if plan.sessions[i].is_some() || plan.prep_failures[i].is_some() {
+            continue;
+        }
+        let prep = ApproxTarget::auto(
+            shard.env.coverage_model(),
+            targets,
+            plan.config.neighbor_decay,
+        )
+        .and_then(|approx| {
+            engine.session_with_repo(&plan.repo, approx, mix_seed(plan.seed, 0xc0 + i as u64))
+        });
+        match prep {
+            Ok(cx) => plan.sessions[i] = Some(cx.into_state()),
+            Err(e) => plan.prep_failures[i] = Some(e.to_string()),
+        }
+    }
+}
+
+fn submit_request<'env>(
+    daemon: &Daemon,
+    shards: &[Shard<'env>],
+    pool: &SimPool<'env>,
+    spec: SubmitSpec,
+    out: &Outbox,
+) {
+    let Some(shard_idx) = resolve_unit(&spec.unit)
+        .and_then(|env| shards.iter().position(|s| s.unit_name() == env.unit_name()))
+    else {
+        send(
+            out,
+            &Response::Error {
+                error: format!("unknown unit `{}`", spec.unit),
+            },
+        );
+        return;
+    };
+    let shard = &shards[shard_idx];
+    let Some(mut config) = request_config(&**shard.env, &spec.profile, spec.scale) else {
+        send(
+            out,
+            &Response::Error {
+                error: format!(
+                    "unknown profile `{}` (expected paper or quick)",
+                    spec.profile
+                ),
+            },
+        );
+        return;
+    };
+    config.threads = daemon.threads;
+    let id = daemon.alloc_id();
+    if let Some(m) = daemon.telemetry.metrics() {
+        m.counter("serve.requests_total").add(1);
+    }
+    // The request file makes weight/class survive a restart.
+    if let Ok(json) = serde_json::to_string(&spec) {
+        let _ = std::fs::write(daemon.request_path(id), json);
+    }
+    match plan_fresh(shard, pool, &config, spec.seed) {
+        Ok(plan) => run_plan(daemon, shards, shard_idx, id, &spec, plan, out),
+        Err(e) => send(
+            out,
+            &Response::Failed {
+                request: id,
+                error: e.to_string(),
+            },
+        ),
+    }
+}
+
+fn recover_request<'env>(
+    daemon: &Daemon,
+    shards: &[Shard<'env>],
+    pool: &SimPool<'env>,
+    id: u64,
+    out: &Outbox,
+) {
+    let progress = match ascdg_core::read_campaign_checkpoint(daemon.progress_path(id)) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("serve: req{id}: recovery failed: {e}");
+            return;
+        }
+    };
+    let Some(shard_idx) = shards.iter().position(|s| s.unit_name() == progress.unit) else {
+        eprintln!(
+            "serve: req{id}: recovery failed: unknown unit `{}`",
+            progress.unit
+        );
+        return;
+    };
+    // Weight and class ride in the request file; a missing one falls
+    // back to the defaults (the outcome does not depend on them).
+    let spec: SubmitSpec = std::fs::read_to_string(daemon.request_path(id))
+        .ok()
+        .and_then(|json| serde_json::from_str(&json).ok())
+        .unwrap_or(SubmitSpec {
+            unit: progress.unit.clone(),
+            scale: 1.0,
+            seed: progress.seed,
+            profile: String::new(),
+            weight: 1,
+            class: String::new(),
+        });
+    eprintln!(
+        "serve: req{id}: recovering {} from checkpoint",
+        progress.unit
+    );
+    match plan_resume(&shards[shard_idx], pool, &progress) {
+        Ok(plan) => run_plan(daemon, shards, shard_idx, id, &spec, plan, out),
+        Err(e) => eprintln!("serve: req{id}: recovery failed: {e}"),
+    }
+}
+
+/// Admits a planned request's sessions, waits for them, folds and
+/// persists the outcome. The deterministic core of serve mode.
+fn run_plan(
+    daemon: &Daemon,
+    shards: &[Shard<'_>],
+    shard_idx: usize,
+    id: u64,
+    spec: &SubmitSpec,
+    plan: Plan,
+    out: &Outbox,
+) {
+    let shard = &shards[shard_idx];
+    let unit = shard.unit_name().to_owned();
+    let class = if spec.class.is_empty() {
+        "default".to_owned()
+    } else {
+        spec.class.clone()
+    };
+    let n = plan.groups.len();
+    if n == 0 {
+        // Nothing uncovered: the campaign's empty outcome, no scheduling.
+        let report = CampaignReport {
+            outcome: CampaignOutcome {
+                unit,
+                before: plan.before,
+                after: plan.before,
+                groups: Vec::new(),
+                total_sims: plan.repo.total_simulations(),
+                harvested: TemplateLibrary::new(),
+            },
+            sessions: Vec::new(),
+        };
+        finish_request(daemon, id, &report, out);
+        return;
+    }
+
+    // One evaluation cache per request, shared by its groups — the same
+    // cross-group reuse (and the same bytes) as the one-shot campaign.
+    let eval_cache = Arc::new(SharedEvalCache::new(mix_seed(plan.seed, 0xeca)));
+    let progress = Arc::new(Mutex::new(CampaignProgress {
+        unit: unit.clone(),
+        seed: plan.seed,
+        config: Some(plan.config.clone()),
+        repo: Some(plan.repo.snapshot()),
+        groups: plan
+            .groups
+            .iter()
+            .enumerate()
+            .map(|(i, (name, targets))| GroupProgress {
+                name: name.clone(),
+                targets: targets.clone(),
+                session: plan.sessions[i].clone(),
+                failure: plan.prep_failures[i].clone(),
+            })
+            .collect(),
+    }));
+    let ckpt = Arc::new(CheckpointWriter::new(
+        daemon.progress_path(id),
+        daemon.telemetry.clone(),
+    ));
+    // Checkpoint before the first stage so even an immediate crash
+    // leaves a recoverable request behind.
+    if let Err(e) = ckpt.write_campaign(&progress.lock().unwrap_or_else(PoisonError::into_inner)) {
+        eprintln!("serve: req{id}: {e}");
+    }
+
+    let mut sessions = plan.sessions;
+    let mut jobs: Vec<(usize, u64)> = Vec::new();
+    for (slot, (name, _)) in plan.groups.iter().enumerate() {
+        let Some(state) = sessions[slot].take() else {
+            continue;
+        };
+        let group_name = name.clone();
+        let progress = Arc::clone(&progress);
+        let ckpt = Arc::clone(&ckpt);
+        let stream = Arc::clone(out);
+        let admitted = shard.queue.admit(AdmitSpec {
+            state,
+            weight: spec.weight,
+            class: class.clone(),
+            cancel: CancelToken::new(),
+            eval_cache: Some(Arc::clone(&eval_cache)),
+            on_step: Some(Box::new(move |_, state: &SessionState| {
+                let mut p = progress.lock().unwrap_or_else(PoisonError::into_inner);
+                p.groups[slot].session = Some(state.clone());
+                let written = ckpt.write_campaign(&p);
+                drop(p);
+                if let Err(e) = written {
+                    eprintln!("serve: req{id}: {e}");
+                }
+                send(
+                    &stream,
+                    &Response::Progress {
+                        request: id,
+                        group: group_name.clone(),
+                        completed_stages: state.completed.len(),
+                        sims: state.stage_sims.iter().map(|s| s.sims).sum(),
+                    },
+                );
+            })),
+        });
+        match admitted {
+            Some(job) => jobs.push((slot, job)),
+            None => {
+                send(
+                    out,
+                    &Response::Failed {
+                        request: id,
+                        error: "daemon is shutting down; request checkpointed for recovery"
+                            .to_owned(),
+                    },
+                );
+                return;
+            }
+        }
+    }
+    {
+        let mut registry = daemon
+            .registry
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        registry.push(RequestEntry {
+            id,
+            unit: unit.clone(),
+            class,
+            weight: spec.weight.max(1),
+            shard: shard_idx,
+            jobs: jobs.clone(),
+            groups: n,
+            done: false,
+        });
+    }
+    send(
+        out,
+        &Response::Admitted {
+            request: id,
+            groups: jobs.len(),
+        },
+    );
+
+    let mut runs: Vec<Option<GroupRun>> = std::iter::repeat_with(|| None).take(n).collect();
+    let mut interrupted = false;
+    for (slot, job) in jobs {
+        match shard.queue.wait(job) {
+            Some(run) => runs[slot] = Some(run),
+            None => interrupted = true,
+        }
+    }
+    if interrupted {
+        send(
+            out,
+            &Response::Failed {
+                request: id,
+                error: "daemon is shutting down; request checkpointed for recovery".to_owned(),
+            },
+        );
+        return;
+    }
+    let report = fold_campaign(
+        &unit,
+        &plan.repo,
+        plan.before,
+        plan.groups,
+        runs,
+        &plan.prep_failures,
+    );
+    finish_request(daemon, id, &report, out);
+}
+
+/// Persists a retired request: validated per-group run manifests, the
+/// outcome file (which marks the request non-recoverable), and the
+/// terminal `Done` line.
+fn finish_request(daemon: &Daemon, id: u64, report: &CampaignReport, out: &Outbox) {
+    for (slot, state) in report.sessions.iter().enumerate() {
+        let Some(state) = state else { continue };
+        let manifest = RunManifest::from_state(state, &daemon.telemetry);
+        if let Err(e) = manifest.validate() {
+            send(
+                out,
+                &Response::Failed {
+                    request: id,
+                    error: format!("group {slot} manifest failed validation: {e}"),
+                },
+            );
+            return;
+        }
+        match manifest.to_json() {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(daemon.manifest_path(id, slot), json) {
+                    eprintln!("serve: req{id}: could not write group {slot} manifest: {e}");
+                }
+            }
+            Err(e) => eprintln!("serve: req{id}: group {slot} manifest: {e}"),
+        }
+    }
+    let outcome_json = match serde_json::to_string(&report.outcome) {
+        Ok(json) => json,
+        Err(e) => {
+            send(
+                out,
+                &Response::Failed {
+                    request: id,
+                    error: format!("outcome did not serialize: {e}"),
+                },
+            );
+            return;
+        }
+    };
+    // Atomic like the checkpoints: recovery must never see half an
+    // outcome file and skip a request that was not actually done.
+    let path = daemon.outcome_path(id);
+    let tmp = daemon.state_dir.join(format!("req{id}.outcome.json.tmp"));
+    let written = std::fs::write(&tmp, &outcome_json).and_then(|()| std::fs::rename(&tmp, &path));
+    if let Err(e) = written {
+        eprintln!("serve: req{id}: could not write outcome: {e}");
+    }
+    {
+        let mut registry = daemon
+            .registry
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(entry) = registry.iter_mut().find(|e| e.id == id) {
+            entry.done = true;
+        }
+    }
+    send(
+        out,
+        &Response::Done {
+            request: id,
+            outcome_json,
+        },
+    );
+}

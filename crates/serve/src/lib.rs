@@ -1,0 +1,30 @@
+//! Serve mode: the long-lived, multi-tenant AS-CDG closure daemon.
+//!
+//! The paper's system is deployed as a service on the verification
+//! team's batch farm: closure requests arrive continuously, with
+//! different budgets and priorities, and share one pool of simulation
+//! capacity. This crate reproduces that operational layer on top of the
+//! flow engine:
+//!
+//! * [`protocol`] — the line-delimited JSON wire protocol (std-only TCP);
+//! * [`daemon`] — the daemon itself: admission onto per-unit
+//!   [`AdmissionQueue`](ascdg_core::AdmissionQueue)s over one shared
+//!   `SimPool`, streamed progress, atomic checkpoints and
+//!   restart recovery;
+//! * [`client`] — a small blocking client the CLI wraps.
+//!
+//! Determinism is inherited, not re-proven: requests are planned exactly
+//! like one-shot campaigns and folded with the same order-sensitive fold,
+//! so a daemon outcome is byte-identical to `ascdg campaign` at any
+//! tenant mix, worker count, or number of mid-run restarts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod daemon;
+pub mod protocol;
+
+pub use client::{wait_for_addr, Client};
+pub use daemon::{request_config, resolve_unit, serve, ServeOptions};
+pub use protocol::{Request, RequestStatus, Response, SubmitSpec};

@@ -1,0 +1,247 @@
+//! The serve-mode wire protocol: line-delimited JSON over TCP.
+//!
+//! Every message is one externally-tagged JSON object on one line
+//! (`{"Submit": {...}}\n`). A client sends [`Request`] lines; the daemon
+//! answers with [`Response`] lines. A `Submit` keeps its connection open
+//! and streams `Progress` lines until the terminal `Done`/`Failed`; the
+//! other requests are single-exchange.
+
+use std::io::{BufRead, Write};
+
+use serde::{Deserialize, Serialize};
+
+use ascdg_core::SessionLifecycle;
+
+/// One closure request: which unit to close, at what budget, and how its
+/// scheduling should be weighted against the daemon's other tenants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubmitSpec {
+    /// Unit name (`io`, `l3`, `ifu`, `synthetic`, or a canonical
+    /// `unit_name()` like `io_unit`).
+    pub unit: String,
+    /// Simulation-budget multiplier over the profile's stage budgets
+    /// (the `--scale` of the one-shot CLI). Values `<= 0` mean 1.0.
+    pub scale: f64,
+    /// Root seed; everything the request simulates derives from it.
+    pub seed: u64,
+    /// Budget profile the scale multiplies: `"paper"` (default) or
+    /// `"quick"`.
+    #[serde(default)]
+    pub profile: String,
+    /// Deficit-round-robin weight against other admitted sessions
+    /// (`0` is treated as `1`).
+    #[serde(default)]
+    pub weight: u32,
+    /// Priority-class label for queue-depth gauges and per-tenant sim
+    /// accounting (empty means `"default"`).
+    #[serde(default)]
+    pub class: String,
+}
+
+/// What a client can ask the daemon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Admit a closure request; the connection then streams progress.
+    Submit(SubmitSpec),
+    /// One status snapshot of every request the daemon knows.
+    Status,
+    /// Cancel an admitted request by id.
+    Cancel {
+        /// The id `Admitted` reported.
+        request: u64,
+    },
+    /// Graceful stop: close admission, checkpoint in-flight sessions and
+    /// exit (a restart recovers them).
+    Shutdown,
+}
+
+/// One request's place in the daemon, as reported by `Status`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestStatus {
+    /// The request id.
+    pub request: u64,
+    /// Canonical unit name.
+    pub unit: String,
+    /// Priority-class label.
+    pub class: String,
+    /// Dispatch weight.
+    pub weight: u32,
+    /// Per-group scheduler lifecycles, in group order.
+    pub groups: Vec<SessionLifecycle>,
+    /// Pipeline stages completed across the request's groups.
+    pub completed_stages: usize,
+    /// Simulations attributed to the request so far.
+    pub sims: u64,
+    /// Whether the request has retired (outcome written).
+    pub done: bool,
+}
+
+/// What the daemon sends back.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// A `Submit` was admitted under this id with this many group
+    /// sessions.
+    Admitted {
+        /// Daemon-wide request id (also the checkpoint-file prefix).
+        request: u64,
+        /// Number of group sessions admitted to the scheduler.
+        groups: usize,
+    },
+    /// One group finished one pipeline stage.
+    Progress {
+        /// The request this progress belongs to.
+        request: u64,
+        /// The group's name (family stem or `"(ungrouped)"` /
+        /// `"(cross-product)"`).
+        group: String,
+        /// Stages the group has completed so far.
+        completed_stages: usize,
+        /// Simulations the group has consumed so far.
+        sims: u64,
+    },
+    /// The request retired with an outcome. `outcome_json` is the
+    /// serialized `CampaignOutcome`, byte-identical to the equivalent
+    /// one-shot `ascdg campaign` run.
+    Done {
+        /// The request that retired.
+        request: u64,
+        /// Serialized [`ascdg_core::CampaignOutcome`].
+        outcome_json: String,
+    },
+    /// The request could not produce an outcome (admission failure, or
+    /// the daemon is shutting down and the request was checkpointed for
+    /// recovery).
+    Failed {
+        /// The request that failed.
+        request: u64,
+        /// Human-readable failure.
+        error: String,
+    },
+    /// Answer to `Status`.
+    Status {
+        /// Every request the daemon currently tracks, admission order.
+        requests: Vec<RequestStatus>,
+    },
+    /// Answer to `Cancel`: whether any session was actually cancelled.
+    Cancelled {
+        /// The request the cancel addressed.
+        request: u64,
+        /// `false` when the request was unknown or already retired.
+        ok: bool,
+    },
+    /// Answer to `Shutdown`: the daemon is draining and will exit.
+    ShuttingDown,
+    /// A malformed or unserviceable request line.
+    Error {
+        /// What was wrong with it.
+        error: String,
+    },
+}
+
+/// Writes one message as one JSON line and flushes it.
+///
+/// # Errors
+///
+/// Serialization or I/O failure, as `io::Error`.
+pub fn write_line<T: Serialize>(w: &mut impl Write, msg: &T) -> std::io::Result<()> {
+    let json = serde_json::to_string(msg)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    w.write_all(json.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// Reads the next non-empty line and decodes it. Returns `Ok(None)` on a
+/// clean end of stream.
+///
+/// # Errors
+///
+/// I/O failure as `Err(io::Error)`; a line that is not valid `T` is
+/// reported as `InvalidData`.
+pub fn read_line<T: Deserialize>(r: &mut impl BufRead) -> std::io::Result<Option<T>> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        return serde_json::from_str(trimmed)
+            .map(Some)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_as_single_lines() {
+        let reqs = vec![
+            Request::Submit(SubmitSpec {
+                unit: "io".to_owned(),
+                scale: 0.05,
+                seed: 2021,
+                profile: "quick".to_owned(),
+                weight: 3,
+                class: "gold".to_owned(),
+            }),
+            Request::Status,
+            Request::Cancel { request: 7 },
+            Request::Shutdown,
+        ];
+        let mut buf = Vec::new();
+        for r in &reqs {
+            write_line(&mut buf, r).unwrap();
+        }
+        assert_eq!(buf.iter().filter(|&&b| b == b'\n').count(), reqs.len());
+        let mut r = std::io::BufReader::new(&buf[..]);
+        for want in &reqs {
+            let got: Request = read_line(&mut r).unwrap().expect("line present");
+            assert_eq!(&got, want);
+        }
+        assert!(read_line::<Request>(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn submit_defaults_fill_in() {
+        let json = r#"{"Submit": {"unit": "io", "scale": 0.1, "seed": 1}}"#;
+        let req: Request = serde_json::from_str(json).unwrap();
+        let Request::Submit(spec) = req else {
+            panic!("not a submit")
+        };
+        assert_eq!(spec.weight, 0);
+        assert!(spec.class.is_empty());
+        assert!(spec.profile.is_empty());
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resp = Response::Status {
+            requests: vec![RequestStatus {
+                request: 3,
+                unit: "io_unit".to_owned(),
+                class: "default".to_owned(),
+                weight: 1,
+                groups: vec![SessionLifecycle::Running, SessionLifecycle::Complete],
+                completed_stages: 9,
+                sims: 1234,
+                done: false,
+            }],
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn garbage_lines_decode_as_invalid_data() {
+        let mut r = std::io::BufReader::new(&b"{nope\n"[..]);
+        let err = read_line::<Request>(&mut r).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+}

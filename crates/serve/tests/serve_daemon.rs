@@ -1,0 +1,259 @@
+//! End-to-end serve-mode tests: daemon outcomes must be byte-identical
+//! to one-shot campaigns, including after restart recovery, and the
+//! protocol's status/cancel paths must behave.
+
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::time::Duration;
+
+use ascdg_core::{CampaignProgress, CdgFlow, FlowConfig, Telemetry};
+use ascdg_duv::io_unit::IoEnv;
+use ascdg_serve::{serve, wait_for_addr, Client, Response, ServeOptions, SubmitSpec};
+
+fn test_threads() -> usize {
+    std::env::var("ASCDG_TEST_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4)
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ascdg-serve-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Starts a daemon on a free port in a background thread; returns its
+/// address and a handle that joins on drop.
+fn start_daemon(state_dir: &std::path::Path) -> (String, std::thread::JoinHandle<()>) {
+    let opts = ServeOptions {
+        addr: "127.0.0.1:0".to_owned(),
+        state_dir: state_dir.to_path_buf(),
+        threads: test_threads(),
+        telemetry: Telemetry::enabled(),
+    };
+    let handle = std::thread::spawn(move || serve(&opts).expect("daemon runs"));
+    let addr = wait_for_addr(state_dir, Duration::from_secs(10)).expect("daemon binds");
+    (addr, handle)
+}
+
+/// The reference: what the in-process one-shot campaign produces for the
+/// daemon's quick profile at this scale and seed.
+fn one_shot_outcome_json(scale: f64, seed: u64) -> String {
+    let mut config = FlowConfig::quick().scaled(scale);
+    config.threads = test_threads();
+    let outcome = CdgFlow::new(IoEnv::new(), config)
+        .run_campaign(seed)
+        .expect("one-shot campaign runs");
+    serde_json::to_string(&outcome).unwrap()
+}
+
+#[test]
+fn daemon_outcome_is_byte_identical_to_one_shot_campaign() {
+    let dir = tmp_dir("identity");
+    let (addr, handle) = start_daemon(&dir);
+    let spec = SubmitSpec {
+        unit: "io".to_owned(),
+        scale: 1.0,
+        seed: 2021,
+        profile: "quick".to_owned(),
+        weight: 2,
+        class: "gold".to_owned(),
+    };
+    let mut client = Client::connect(&addr).expect("connects");
+    let mut progress_lines = 0u32;
+    let (request, outcome_json) = client
+        .submit(spec, |resp| {
+            if matches!(resp, Response::Progress { .. }) {
+                progress_lines += 1;
+            }
+        })
+        .expect("request completes");
+    assert!(
+        progress_lines > 0,
+        "submit must stream at least one progress line"
+    );
+    assert_eq!(outcome_json, one_shot_outcome_json(1.0, 2021));
+    // The outcome also landed on disk, byte-identically.
+    let on_disk = std::fs::read_to_string(dir.join(format!("req{request}.outcome.json"))).unwrap();
+    assert_eq!(on_disk, outcome_json);
+    // Per-group manifests were written for the request.
+    let manifests = std::fs::read_dir(&dir)
+        .unwrap()
+        .flatten()
+        .filter(|e| {
+            let name = e.file_name();
+            let name = name.to_string_lossy().into_owned();
+            name.starts_with(&format!("req{request}.group")) && name.ends_with(".manifest.json")
+        })
+        .count();
+    assert!(manifests > 0, "request must leave validated manifests");
+    client.shutdown().expect("daemon drains");
+    handle.join().expect("daemon exits");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn two_tenants_with_different_weights_both_match_their_one_shots() {
+    let dir = tmp_dir("tenants");
+    let (addr, handle) = start_daemon(&dir);
+    // Two concurrent tenants on different connections, different budgets
+    // and priorities, same shared pool.
+    let submit = |weight: u32, class: &str, seed: u64| {
+        let addr = addr.clone();
+        let class = class.to_owned();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).expect("connects");
+            client
+                .submit(
+                    SubmitSpec {
+                        unit: "io".to_owned(),
+                        scale: 1.0,
+                        seed,
+                        profile: "quick".to_owned(),
+                        weight,
+                        class,
+                    },
+                    |_| {},
+                )
+                .expect("request completes")
+                .1
+        })
+    };
+    let heavy = submit(5, "batch", 2021);
+    let light = submit(1, "interactive", 7);
+    assert_eq!(heavy.join().unwrap(), one_shot_outcome_json(1.0, 2021));
+    assert_eq!(light.join().unwrap(), one_shot_outcome_json(1.0, 7));
+    let mut client = Client::connect(&addr).expect("connects");
+    let statuses = client.status().expect("status answers");
+    assert_eq!(statuses.len(), 2);
+    assert!(statuses.iter().all(|s| s.done));
+    client.shutdown().expect("daemon drains");
+    handle.join().expect("daemon exits");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Restart recovery: a request whose daemon died mid-run (here: a
+/// checkpoint snapshotted mid-campaign, planted as an orphan) is
+/// re-admitted on startup and finishes with the same bytes the
+/// uninterrupted run produces.
+#[test]
+fn restarted_daemon_recovers_orphans_to_the_identical_outcome() {
+    let dir = tmp_dir("recovery");
+    let scale = 1.0;
+    let seed = 2021;
+    let mut config = FlowConfig::quick().scaled(scale);
+    config.threads = test_threads();
+
+    // Capture a genuinely mid-flight campaign checkpoint: the snapshot
+    // streamed after roughly half the group stages.
+    let (tx, rx) = mpsc::channel::<CampaignProgress>();
+    let flow = CdgFlow::new(IoEnv::new(), config);
+    let report = flow
+        .run_campaign_observed(seed, &Telemetry::disabled(), &move |progress| {
+            let _ = tx.send(progress.clone());
+        })
+        .expect("campaign runs");
+    let reference = serde_json::to_string(&report.outcome).unwrap();
+    let snapshots: Vec<CampaignProgress> = rx.try_iter().collect();
+    assert!(snapshots.len() > 2, "campaign must checkpoint repeatedly");
+    let midway = &snapshots[snapshots.len() / 2];
+    assert!(
+        midway
+            .groups
+            .iter()
+            .any(|g| g.session.as_ref().is_some_and(|s| !s.completed.is_empty())),
+        "midway checkpoint should have partial group progress"
+    );
+
+    // Plant it as an interrupted request, with its request file, the way
+    // a SIGTERM'd daemon leaves them behind.
+    std::fs::write(
+        dir.join("req3.progress.json"),
+        serde_json::to_string(midway).unwrap(),
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("req3.request.json"),
+        serde_json::to_string(&SubmitSpec {
+            unit: "io".to_owned(),
+            scale,
+            seed,
+            profile: "quick".to_owned(),
+            weight: 3,
+            class: "recovered".to_owned(),
+        })
+        .unwrap(),
+    )
+    .unwrap();
+
+    let (addr, handle) = start_daemon(&dir);
+    // The daemon recovers the orphan in the background; wait for its
+    // outcome file.
+    let outcome_path = dir.join("req3.outcome.json");
+    let deadline = std::time::Instant::now() + Duration::from_secs(120);
+    while !outcome_path.exists() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "recovery never finished"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let recovered = std::fs::read_to_string(&outcome_path).unwrap();
+    assert_eq!(
+        recovered, reference,
+        "recovered outcome must be byte-identical to the uninterrupted run"
+    );
+    // New ids allocated after restart never collide with recovered ones.
+    let mut client = Client::connect(&addr).expect("connects");
+    let (request, _) = client
+        .submit(
+            SubmitSpec {
+                unit: "io".to_owned(),
+                scale,
+                seed: 5,
+                profile: "quick".to_owned(),
+                weight: 1,
+                class: String::new(),
+            },
+            |_| {},
+        )
+        .expect("fresh request completes");
+    assert!(request > 3, "restart must not reuse recovered ids");
+    client.shutdown().expect("daemon drains");
+    handle.join().expect("daemon exits");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn protocol_errors_and_cancel_of_unknown_requests_answer_cleanly() {
+    let dir = tmp_dir("protocol");
+    let (addr, handle) = start_daemon(&dir);
+    let mut client = Client::connect(&addr).expect("connects");
+    // Unknown request id: clean `ok: false`, not an error.
+    assert!(!client.cancel(999).expect("cancel answers"));
+    // Unknown unit: an Error response, connection stays usable.
+    client
+        .send(&ascdg_serve::Request::Submit(SubmitSpec {
+            unit: "no_such_unit".to_owned(),
+            scale: 1.0,
+            seed: 1,
+            profile: "quick".to_owned(),
+            weight: 1,
+            class: String::new(),
+        }))
+        .unwrap();
+    match client.recv().expect("answer").expect("line") {
+        Response::Error { error } => assert!(error.contains("no_such_unit"), "{error}"),
+        other => panic!("expected Error, got {other:?}"),
+    }
+    assert!(client.status().expect("status still works").is_empty());
+    client.shutdown().expect("daemon drains");
+    handle.join().expect("daemon exits");
+    let _ = std::fs::remove_dir_all(&dir);
+}

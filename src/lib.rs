@@ -36,6 +36,7 @@ pub use ascdg_core as core;
 pub use ascdg_coverage as coverage;
 pub use ascdg_duv as duv;
 pub use ascdg_opt as opt;
+pub use ascdg_serve as serve;
 pub use ascdg_stimgen as stimgen;
 pub use ascdg_tac as tac;
 pub use ascdg_telemetry as telemetry;

@@ -10,12 +10,14 @@
 use std::process::ExitCode;
 
 use ascdg::core::{
-    pool_scope_with, ApproxTarget, CdgFlow, EvalStrategy, FlowConfig, FlowEngine, FlowEvent,
-    RunManifest, SessionState, TargetSpec, Telemetry,
+    pool_scope_with, read_campaign_checkpoint, ApproxTarget, CampaignOutcome, CampaignProgress,
+    CdgFlow, CheckpointWriter, EvalStrategy, FlowConfig, FlowEngine, FlowEvent, RunManifest,
+    SessionState, TargetSpec, Telemetry,
 };
 use ascdg::coverage::{CoverageRepository, EventFamily, RepoSnapshot, StatusPolicy};
 use ascdg::duv::synthetic::{SyntheticConfig, SyntheticEnv};
 use ascdg::duv::{ifu::IfuEnv, io_unit::IoEnv, l3cache::L3Env, VerifEnv};
+use ascdg::serve::{Client, Response, ServeOptions, SubmitSpec};
 use ascdg::template::TestTemplate;
 
 fn main() -> ExitCode {
@@ -27,6 +29,9 @@ fn main() -> ExitCode {
         Some("regress") => cmd_regress(&args[1..]),
         Some("campaign") => cmd_campaign(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
+        Some("status") => cmd_status(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             Ok(())
@@ -71,7 +76,7 @@ USAGE:
       --save writes the repository snapshot for later `run --snapshot`.
   ascdg campaign --unit <io|l3|ifu|synthetic> [--scale <f>] [--seed <n>] [--json <path>]
             [--campaign-jobs <n>] [--threads <n>] [--coalesce]
-            [--metrics-out <base>] [--checkpoint <path>]
+            [--metrics-out <base>] [--checkpoint <path>] [--resume <path>]
       Sweep every uncovered family of the unit with one flow run each
       (the paper's per-unit deployment) and print the closure summary.
       --campaign-jobs keeps up to <n> group flows in flight at once over
@@ -79,6 +84,31 @@ USAGE:
       --metrics-out writes one <base>.group<i>.manifest.json per finished
       group plus the shared <base>.trace.jsonl; --checkpoint streams a
       whole-campaign progress snapshot to <path> after every group stage.
+      --resume restarts from such a snapshot: the regression is restored,
+      checkpointed groups continue mid-flight, completed groups replay
+      for free, and the outcome is byte-identical to the uninterrupted
+      campaign.
+  ascdg serve [--addr <host:port>] [--state-dir <dir>] [--threads <n>]
+      Run the long-lived closure daemon: accepts Submit/Status/Cancel/
+      Shutdown lines (JSON, one per line) over TCP, interleaves every
+      admitted request's group sessions over one shared worker pool with
+      weighted fair scheduling, streams progress back, and checkpoints
+      each request under --state-dir. On restart, requests that never
+      produced an outcome are re-admitted from their checkpoints and
+      finish with the identical bytes. Port 0 picks a free port; the
+      bound address lands in <state-dir>/serve.addr.
+  ascdg submit --unit <name> [--addr <host:port> | --state-dir <dir>]
+            [--scale <f>] [--seed <n>] [--profile <paper|quick>]
+            [--weight <n>] [--class <label>] [--json <path>]
+      Submit one closure request to a running daemon, stream its progress
+      to stderr and print the campaign summary when it retires. --weight
+      grants the request that many consecutive stage quanta per scheduler
+      rotation (it can never starve other tenants); --json writes the
+      outcome exactly as the daemon serialized it.
+  ascdg status [--addr <host:port> | --state-dir <dir>] [--cancel <id>]
+            [--shutdown]
+      Show every request a daemon tracks (or cancel one / stop the
+      daemon). Cancelled sessions retire at their next stage boundary.
   ascdg trace <file.trace.jsonl>
       Render a `--metrics-out` trace: span tree with wall-clock and
       simulation attribution, event counts and the metric table.
@@ -280,17 +310,14 @@ fn cmd_run(args: &[String]) -> CliResult {
         cx.subscribe_fn(progress_events());
         if let Some(path) = checkpoint_path.clone() {
             let checkpoint_telemetry = telemetry.clone();
+            let writer = CheckpointWriter::new(&path, telemetry.clone());
             cx.on_checkpoint(move |snap| {
-                let json = match serde_json::to_string(snap) {
-                    Ok(json) => json,
-                    Err(e) => {
-                        eprintln!("warning: checkpoint did not serialize: {e}");
-                        return;
-                    }
-                };
-                match std::fs::write(&path, json) {
+                // The CLI keeps warn-and-continue semantics; the typed
+                // error still bumps `checkpoint.write_failures` so a
+                // silent checkpoint loss shows in the metrics.
+                match writer.write_session(snap) {
                     Ok(()) => eprintln!("checkpoint -> {path}"),
-                    Err(e) => eprintln!("warning: could not write checkpoint {path}: {e}"),
+                    Err(e) => eprintln!("warning: {e}"),
                 }
                 // With telemetry on, each checkpoint also gets a manifest
                 // so interrupted runs leave a comparable artifact behind.
@@ -439,10 +466,31 @@ fn cmd_regress(args: &[String]) -> CliResult {
 }
 
 fn cmd_campaign(args: &[String]) -> CliResult {
-    let unit = Unit::from_name(flag_value(args, "--unit").ok_or("missing --unit")?)?;
-    let scale: f64 = flag_value(args, "--scale").map_or(Ok(0.1), str::parse)?;
-    let seed: u64 = flag_value(args, "--seed").map_or(Ok(2021), str::parse)?;
-    let mut config = unit.paper_config().scaled(scale);
+    // `--resume` restores unit, config and seed from the self-contained
+    // checkpoint; a fresh run derives them from the flags.
+    let resumed: Option<CampaignProgress> = match flag_value(args, "--resume") {
+        Some(path) => Some(read_campaign_checkpoint(path)?),
+        None => None,
+    };
+    let unit = match (&resumed, flag_value(args, "--unit")) {
+        (_, Some(name)) => Unit::from_name(name)?,
+        (Some(progress), None) => Unit::from_name(&progress.unit)?,
+        (None, None) => return Err("missing --unit".into()),
+    };
+    let seed: u64 = match &resumed {
+        Some(progress) => progress.seed,
+        None => flag_value(args, "--seed").map_or(Ok(2021), str::parse)?,
+    };
+    let mut config = match &resumed {
+        Some(progress) => progress
+            .config
+            .clone()
+            .ok_or("campaign checkpoint predates resumable checkpoints (no embedded config)")?,
+        None => {
+            let scale: f64 = flag_value(args, "--scale").map_or(Ok(0.1), str::parse)?;
+            unit.paper_config().scaled(scale)
+        }
+    };
     if let Some(n) = flag_value(args, "--threads") {
         config.threads = n.parse()?;
     }
@@ -460,27 +508,36 @@ fn cmd_campaign(args: &[String]) -> CliResult {
     };
     let jobs = config.campaign_jobs;
     let flow = CdgFlow::new(unit.env(), config);
-    eprintln!(
-        "running campaign (regression + one flow per uncovered family, {jobs} group(s) in flight) ..."
-    );
-    let report = match flag_value(args, "--checkpoint") {
-        Some(path) => {
-            // Stream a whole-campaign progress snapshot after every
-            // completed group stage; a fresh run can later inspect how far
-            // each group got (and which groups failed to even start).
-            let path = path.to_owned();
-            flow.run_campaign_observed(seed, &telemetry, &move |progress| {
-                match serde_json::to_string(progress) {
-                    Ok(json) => {
-                        if let Err(e) = std::fs::write(&path, json) {
-                            eprintln!("warning: could not write checkpoint {path}: {e}");
-                        }
-                    }
-                    Err(e) => eprintln!("warning: campaign checkpoint did not serialize: {e}"),
-                }
-            })?
+    match &resumed {
+        Some(progress) => eprintln!(
+            "resuming campaign on `{}` (seed {}, {} group(s), {jobs} in flight) ...",
+            progress.unit,
+            progress.seed,
+            progress.groups.len()
+        ),
+        None => eprintln!(
+            "running campaign (regression + one flow per uncovered family, {jobs} group(s) in flight) ..."
+        ),
+    }
+    // Stream a whole-campaign progress snapshot after every completed
+    // group stage. A resumed run keeps checkpointing to its own file
+    // unless `--checkpoint` redirects it; failures are typed and counted
+    // (`checkpoint.write_failures`) but keep warn-and-continue semantics.
+    let checkpoint_path = flag_value(args, "--checkpoint").or_else(|| flag_value(args, "--resume"));
+    let writer = checkpoint_path.map(|path| CheckpointWriter::new(path, telemetry.clone()));
+    let sink = writer.map(|writer| {
+        move |progress: &CampaignProgress| {
+            if let Err(e) = writer.write_campaign(progress) {
+                eprintln!("warning: {e}");
+            }
         }
-        None => flow.run_campaign_with(seed, &telemetry)?,
+    });
+    let report = match (&resumed, &sink) {
+        (Some(progress), sink) => {
+            flow.resume_campaign(progress, &telemetry, sink.as_ref().map(|s| s as _))?
+        }
+        (None, Some(sink)) => flow.run_campaign_observed(seed, &telemetry, sink)?,
+        (None, None) => flow.run_campaign_with(seed, &telemetry)?,
     };
     if let Some(base) = &metrics_out {
         // One manifest per finished group (the campaign has no single
@@ -509,6 +566,122 @@ fn cmd_campaign(args: &[String]) -> CliResult {
     if let Some(path) = flag_value(args, "--json") {
         std::fs::write(path, serde_json::to_string_pretty(&outcome)?)?;
         eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> CliResult {
+    let opts = ServeOptions {
+        addr: flag_value(args, "--addr")
+            .unwrap_or("127.0.0.1:0")
+            .to_owned(),
+        state_dir: flag_value(args, "--state-dir")
+            .unwrap_or("ascdg-serve-state")
+            .into(),
+        threads: flag_value(args, "--threads").map_or(Ok(0), str::parse)?,
+        telemetry: Telemetry::enabled(),
+    };
+    eprintln!(
+        "ascdg serve: state dir {}, checkpointing every request after every group stage",
+        opts.state_dir.display()
+    );
+    ascdg::serve::serve(&opts)?;
+    eprintln!("ascdg serve: drained and stopped");
+    Ok(())
+}
+
+/// Finds a daemon: `--addr` wins, else `--state-dir`'s handshake file.
+fn daemon_addr(args: &[String]) -> Result<String, Box<dyn std::error::Error>> {
+    if let Some(addr) = flag_value(args, "--addr") {
+        return Ok(addr.to_owned());
+    }
+    let dir = flag_value(args, "--state-dir").unwrap_or("ascdg-serve-state");
+    Ok(ascdg::serve::wait_for_addr(
+        std::path::Path::new(dir),
+        std::time::Duration::from_secs(5),
+    )?)
+}
+
+fn cmd_submit(args: &[String]) -> CliResult {
+    let spec = SubmitSpec {
+        unit: flag_value(args, "--unit")
+            .ok_or("missing --unit")?
+            .to_owned(),
+        scale: flag_value(args, "--scale").map_or(Ok(0.1), str::parse)?,
+        seed: flag_value(args, "--seed").map_or(Ok(2021), str::parse)?,
+        profile: flag_value(args, "--profile").unwrap_or("paper").to_owned(),
+        weight: flag_value(args, "--weight").map_or(Ok(1), str::parse)?,
+        class: flag_value(args, "--class").unwrap_or("").to_owned(),
+    };
+    let addr = daemon_addr(args)?;
+    let mut client = Client::connect(&addr)?;
+    let (request, outcome_json) = client.submit(spec, |resp| match resp {
+        Response::Admitted { request, groups } => {
+            eprintln!("request {request}: {groups} group session(s) admitted");
+        }
+        Response::Progress {
+            group,
+            completed_stages,
+            sims,
+            ..
+        } => eprintln!("  {group}: {completed_stages} stage(s) done, {sims} sims"),
+        _ => {}
+    })?;
+    let outcome: CampaignOutcome = serde_json::from_str(&outcome_json)?;
+    print!("{}", outcome.summary());
+    if let Some(path) = flag_value(args, "--json") {
+        // The daemon's bytes, verbatim: what the identity guarantee is
+        // stated over.
+        std::fs::write(path, &outcome_json)?;
+        eprintln!("wrote {path}");
+    }
+    eprintln!("request {request} retired");
+    Ok(())
+}
+
+fn cmd_status(args: &[String]) -> CliResult {
+    let addr = daemon_addr(args)?;
+    let mut client = Client::connect(&addr)?;
+    if has_flag(args, "--shutdown") {
+        client.shutdown()?;
+        eprintln!("daemon at {addr} is shutting down");
+        return Ok(());
+    }
+    if let Some(id) = flag_value(args, "--cancel") {
+        let id: u64 = id.parse()?;
+        let ok = client.cancel(id)?;
+        println!(
+            "request {id}: {}",
+            if ok {
+                "cancellation requested (sessions retire at their next stage boundary)"
+            } else {
+                "nothing to cancel (unknown or already retired)"
+            }
+        );
+        return Ok(());
+    }
+    let requests = client.status()?;
+    if requests.is_empty() {
+        println!("no requests");
+        return Ok(());
+    }
+    println!(
+        "{:>4}  {:<10} {:<12} {:>6}  {:>6}  {:>10}  groups",
+        "id", "unit", "class", "weight", "stages", "sims"
+    );
+    for r in requests {
+        let groups: Vec<String> = r.groups.iter().map(ToString::to_string).collect();
+        println!(
+            "{:>4}  {:<10} {:<12} {:>6}  {:>6}  {:>10}  [{}]{}",
+            r.request,
+            r.unit,
+            r.class,
+            r.weight,
+            r.completed_stages,
+            r.sims,
+            groups.join(", "),
+            if r.done { "  done" } else { "" }
+        );
     }
     Ok(())
 }

@@ -1,0 +1,96 @@
+//! Campaign resume identity: restarting a campaign from any streamed
+//! checkpoint must reproduce the uninterrupted outcome byte-for-byte,
+//! regardless of the worker or job counts used on either side of the
+//! interruption.
+
+use std::sync::mpsc;
+
+use ascdg::core::{CampaignProgress, CdgFlow, FlowConfig, Telemetry};
+use ascdg::duv::io_unit::IoEnv;
+
+fn test_threads() -> usize {
+    std::env::var("ASCDG_TEST_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4)
+}
+
+fn quick_config() -> FlowConfig {
+    let mut config = FlowConfig::quick();
+    config.threads = test_threads();
+    config
+}
+
+/// Runs the reference campaign once, streaming every checkpoint.
+fn reference_with_snapshots(seed: u64) -> (String, Vec<CampaignProgress>) {
+    let (tx, rx) = mpsc::channel::<CampaignProgress>();
+    let flow = CdgFlow::new(IoEnv::new(), quick_config());
+    let report = flow
+        .run_campaign_observed(seed, &Telemetry::disabled(), &move |progress| {
+            let _ = tx.send(progress.clone());
+        })
+        .expect("reference campaign runs");
+    let reference = serde_json::to_string(&report.outcome).unwrap();
+    (reference, rx.try_iter().collect())
+}
+
+#[test]
+fn resume_from_any_checkpoint_reproduces_the_uninterrupted_outcome() {
+    let (reference, snapshots) = reference_with_snapshots(2021);
+    assert!(
+        snapshots.len() > 2,
+        "campaign must checkpoint after every group stage"
+    );
+    // First (nothing done yet), midway (partial groups), and last
+    // (everything done) interruption points.
+    let picks = [0, snapshots.len() / 2, snapshots.len() - 1];
+    for &at in &picks {
+        let flow = CdgFlow::new(IoEnv::new(), quick_config());
+        let report = flow
+            .resume_campaign(&snapshots[at], &Telemetry::disabled(), None)
+            .expect("resume runs");
+        assert_eq!(
+            serde_json::to_string(&report.outcome).unwrap(),
+            reference,
+            "resume from checkpoint {at}/{} must match the uninterrupted run",
+            snapshots.len()
+        );
+    }
+}
+
+#[test]
+fn resume_is_identical_across_job_and_thread_counts() {
+    let (reference, snapshots) = reference_with_snapshots(7);
+    let midway = &snapshots[snapshots.len() / 2];
+    for jobs in [1, 3] {
+        // The checkpoint is self-contained: the resuming flow's own
+        // config is what runs, so override its parallelism freely.
+        let mut config = midway.config.clone().expect("checkpoint embeds config");
+        config.campaign_jobs = jobs;
+        config.threads = jobs.max(2);
+        let flow = CdgFlow::new(IoEnv::new(), config);
+        let report = flow
+            .resume_campaign(midway, &Telemetry::disabled(), None)
+            .expect("resume runs");
+        assert_eq!(
+            serde_json::to_string(&report.outcome).unwrap(),
+            reference,
+            "resume with campaign_jobs={jobs} must match the uninterrupted run"
+        );
+    }
+}
+
+#[test]
+fn resume_rejects_checkpoints_from_other_units() {
+    let (_, snapshots) = reference_with_snapshots(3);
+    let mut progress = snapshots[snapshots.len() / 2].clone();
+    progress.unit = "l3cache".to_owned();
+    let flow = CdgFlow::new(IoEnv::new(), quick_config());
+    let err = flow
+        .resume_campaign(&progress, &Telemetry::disabled(), None)
+        .expect_err("unit mismatch must be rejected");
+    assert!(
+        err.to_string().contains("l3cache"),
+        "error should name the mismatched unit: {err}"
+    );
+}
