@@ -1,10 +1,15 @@
 //! Emits `BENCH_parallel.json`: wall-clock and throughput of the paper_io
 //! implicit-filtering phase at 1 worker thread vs a parallel pool, plus
 //! the byte-identity verdicts (phase statistics, best settings, regression
-//! repository) between the two runs.
+//! repository) between the two runs. Every run also appends one line to
+//! `BENCH_trajectory.jsonl`, the machine-readable history of headline
+//! numbers and verdicts across commits.
 //!
 //! Usage: `bench_parallel [--scale <f>] [--seed <n>] [--threads <n>]` —
 //! `--threads 0` (the default) sizes the pool to the machine.
+
+use std::io::Write;
+use std::time::{SystemTime, UNIX_EPOCH};
 
 fn main() {
     let (scale, seed) = ascdg_bench::parse_cli(0.3, 2021);
@@ -29,8 +34,13 @@ fn main() {
             speedup, report.phase_identical, report.repo_identical
         ),
         None => eprintln!(
-            "speedup: skipped ({} hardware thread) | phase identical: {} | repo identical: {}",
-            report.machine_threads, report.phase_identical, report.repo_identical
+            "speedup: skipped — {} | phase identical: {} | repo identical: {}",
+            report
+                .skipped_reason
+                .as_deref()
+                .unwrap_or("no reason recorded"),
+            report.phase_identical,
+            report.repo_identical
         ),
     }
     eprintln!(
@@ -127,11 +137,136 @@ fn main() {
             k.unit
         );
     }
+    for p in &report.planes {
+        eprintln!(
+            "plane  {:>9}: {:>9.0} sims/s per-sim -> {:>9.0} sims/s plane ({:.2}x, {} sims, {:.4} -> {:.4} allocs/sim, identical: {})",
+            p.unit,
+            p.per_sim_sims_per_sec,
+            p.plane_sims_per_sec,
+            p.plane_speedup,
+            p.sims,
+            p.per_sim_allocs_per_sim,
+            p.plane_allocs_per_sim,
+            p.identical
+        );
+        assert!(
+            p.identical,
+            "{} simulate_batch_plane diverged from the per-sim batch path",
+            p.unit
+        );
+    }
+    check_plane_speedup(&report);
     check_campaign_speedup(&report);
     check_baseline(&report);
     let json = serde_json::to_string_pretty(&report).expect("serialize");
     std::fs::write("BENCH_parallel.json", json).expect("write BENCH_parallel.json");
     eprintln!("wrote BENCH_parallel.json");
+    append_trajectory(&report);
+}
+
+/// One line of `BENCH_trajectory.jsonl`: this run's headline numbers and
+/// verdicts, timestamped.
+#[derive(serde::Serialize)]
+struct TrajectoryEntry {
+    timestamp_unix: u64,
+    scale: f64,
+    seed: u64,
+    machine_threads: usize,
+    serial_sims_per_sec: f64,
+    parallel_sims_per_sec: f64,
+    speedup: Option<f64>,
+    skipped_reason: Option<String>,
+    phase_identical: bool,
+    repo_identical: bool,
+    telemetry_identical: Option<bool>,
+    campaign_identical: Option<bool>,
+    coalesce_identical: Option<bool>,
+    kernels_identical: bool,
+    planes_identical: bool,
+    best_plane_speedup: f64,
+}
+
+/// Appends this run's headline numbers and verdicts as one JSON line to
+/// `BENCH_trajectory.jsonl` — the cross-commit history the repo keeps next
+/// to the full `BENCH_parallel.json` snapshot.
+fn append_trajectory(report: &ascdg_bench::parallel::ParallelBenchReport) {
+    let timestamp_unix = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let entry = TrajectoryEntry {
+        timestamp_unix,
+        scale: report.scale,
+        seed: report.seed,
+        machine_threads: report.machine_threads,
+        serial_sims_per_sec: report.serial.sims_per_sec,
+        parallel_sims_per_sec: report.parallel.sims_per_sec,
+        speedup: report.speedup,
+        skipped_reason: report.skipped_reason.clone(),
+        phase_identical: report.phase_identical,
+        repo_identical: report.repo_identical,
+        telemetry_identical: report.telemetry.as_ref().map(|p| p.identical),
+        campaign_identical: report.campaign.as_ref().map(|p| p.identical),
+        coalesce_identical: report.coalesce.as_ref().map(|p| p.identical),
+        kernels_identical: report.kernels.iter().all(|k| k.identical),
+        planes_identical: report.planes.iter().all(|p| p.identical),
+        best_plane_speedup: report
+            .planes
+            .iter()
+            .map(|p| p.plane_speedup)
+            .fold(0.0f64, f64::max),
+    };
+    let line = serde_json::to_string(&entry).expect("trajectory entry serializes");
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open("BENCH_trajectory.jsonl")
+    {
+        Ok(mut f) => match writeln!(f, "{line}") {
+            Ok(()) => eprintln!("appended BENCH_trajectory.jsonl"),
+            Err(e) => eprintln!("warning: could not append BENCH_trajectory.jsonl: {e}"),
+        },
+        Err(e) => eprintln!("warning: could not open BENCH_trajectory.jsonl: {e}"),
+    }
+}
+
+/// Hard-gates the bit-plane win under `ASCDG_BENCH_STRICT=1`: at least
+/// 1.2x serial sims/s over the per-sim path on at least one built-in unit
+/// at a workload big enough to measure (scale >= 0.1). Identity is always
+/// hard-asserted in `main`; this gate covers only the throughput claim.
+fn check_plane_speedup(report: &ascdg_bench::parallel::ParallelBenchReport) {
+    let strict = std::env::var("ASCDG_BENCH_STRICT").is_ok_and(|v| v == "1");
+    if report.planes.is_empty() {
+        return;
+    }
+    if report.scale < 0.1 {
+        eprintln!(
+            "plane speedup gate: skipped (scale {} too small for a wall-clock verdict)",
+            report.scale
+        );
+        return;
+    }
+    let best = report
+        .planes
+        .iter()
+        .max_by(|a, b| a.plane_speedup.total_cmp(&b.plane_speedup))
+        .expect("planes not empty");
+    if best.plane_speedup >= 1.2 {
+        eprintln!(
+            "plane speedup gate: ok ({} at {:.2}x)",
+            best.unit, best.plane_speedup
+        );
+    } else if strict {
+        panic!(
+            "bit-plane path won only {:.2}x on its best unit ({}) — need 1.2x on at least one",
+            best.plane_speedup, best.unit
+        );
+    } else {
+        eprintln!(
+            "warning: bit-plane path won only {:.2}x on its best unit ({}) (set ASCDG_BENCH_STRICT=1 to fail)",
+            best.plane_speedup, best.unit
+        );
+    }
 }
 
 /// Guards against a throughput regression of the *disabled-telemetry*

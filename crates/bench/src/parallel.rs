@@ -17,8 +17,10 @@ use ascdg_core::{
     CounterSnapshot, EvalStrategy, FlowConfig, FlowEngine, FlowError, ResolvedTemplate,
     SharedEvalCache, Skeletonizer, TargetSpec, Telemetry,
 };
-use ascdg_coverage::EventFamily;
-use ascdg_duv::{ifu::IfuEnv, io_unit::IoEnv, l3cache::L3Env, SimScratch, VerifEnv};
+use ascdg_coverage::{CoverageVector, EventFamily};
+use ascdg_duv::{
+    ifu::IfuEnv, io_unit::IoEnv, l3cache::L3Env, synthetic::SyntheticEnv, SimScratch, VerifEnv,
+};
 use ascdg_opt::{Bounds, IfOptions, ImplicitFiltering, Optimizer};
 use ascdg_stimgen::mix_seed;
 use ascdg_tac::TacQuery;
@@ -58,6 +60,10 @@ pub struct ParallelBenchReport {
     /// a single hardware thread — a "pool" of N workers on one core only
     /// measures oversubscription, so no speedup verdict is rendered.
     pub speedup: Option<f64>,
+    /// Why `speedup` is `None`, spelled out for report readers (and for
+    /// the strict gate's skip message); `None` when a verdict exists.
+    #[serde(default)]
+    pub skipped_reason: Option<String>,
     /// Whether the serial and parallel phase results (per-event hit
     /// counts, best value, best settings) were byte-identical.
     pub phase_identical: bool,
@@ -89,6 +95,11 @@ pub struct ParallelBenchReport {
     /// reference, per environment.
     #[serde(default)]
     pub kernels: Vec<KernelProbe>,
+    /// Per-DUV bit-plane probes: `simulate_batch_plane` fold throughput
+    /// and allocation accounting against the per-sim vector path, per
+    /// environment (all four built-in units).
+    #[serde(default)]
+    pub planes: Vec<PlaneProbe>,
 }
 
 /// One environment's batch-kernel measurement: the same simulations run
@@ -118,6 +129,38 @@ pub struct KernelProbe {
     pub allocs_per_sim: f64,
     /// Whether the batched coverage vectors were byte-identical to the
     /// sequential ones, seed for seed. Must always be `true`.
+    pub identical: bool,
+}
+
+/// One environment's bit-plane measurement: the same block-dispatched
+/// simulations accumulated once through the per-sim vector path
+/// (`simulate_batch` + recycle + per-vector accumulate — the pre-plane hot
+/// path) and once through the transposed bit-plane
+/// (`simulate_batch_plane` + one popcount fold per block — the current hot
+/// path), with byte-identity checked on both the folded counts and every
+/// extracted lane.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlaneProbe {
+    /// Unit name of the environment probed.
+    pub unit: String,
+    /// The stock template the probe simulated.
+    pub template: String,
+    /// Simulations per side.
+    pub sims: u64,
+    /// Per-sim vector path throughput, sims per second.
+    pub per_sim_sims_per_sec: f64,
+    /// Bit-plane path throughput, sims per second.
+    pub plane_sims_per_sec: f64,
+    /// `plane / per_sim`.
+    pub plane_speedup: f64,
+    /// Heap coverage-vector allocations per simulation on the per-sim path.
+    pub per_sim_allocs_per_sim: f64,
+    /// Heap coverage-vector allocations per simulation on the plane path
+    /// (exactly 0 for the built-in kernels, which record straight into
+    /// the plane).
+    pub plane_allocs_per_sim: f64,
+    /// Whether the plane's folded counts and every extracted lane were
+    /// byte-identical to the per-sim path. Must always be `true`.
     pub identical: bool,
 }
 
@@ -509,6 +552,130 @@ pub fn kernel_probes(scale: f64, seed: u64) -> Result<Vec<KernelProbe>, FlowErro
     ])
 }
 
+/// Measures one environment's bit-plane kernel against the per-sim batch
+/// path on its first stock template (see [`PlaneProbe`]).
+///
+/// # Errors
+///
+/// Propagates template resolution and simulation failures.
+pub fn plane_probe_for<E: VerifEnv>(
+    env: &E,
+    sims: u64,
+    seed: u64,
+) -> Result<PlaneProbe, FlowError> {
+    let events = env.coverage_model().len();
+    let template = env
+        .stock_library()
+        .get(0)
+        .ok_or(FlowError::EmptyLibrary)?
+        .clone();
+    let resolved = ResolvedTemplate::resolve(env, &template)?;
+    let stream = resolved.seed_stream(seed);
+    let seeds: Vec<u64> = (0..sims).map(|i| stream.sampler_seed(i)).collect();
+
+    // Identity pass (untimed; also warms both arenas): fold both paths
+    // and compare the accumulated counts plus every extracted plane lane
+    // against its per-sim vector.
+    let mut vec_scratch = SimScratch::new();
+    let mut plane_scratch = SimScratch::new();
+    let mut vec_counts = vec![0u64; events];
+    let mut plane_counts = vec![0u64; events];
+    let mut identical = true;
+    for chunk in seeds.chunks(PROBE_BLOCK) {
+        let covs = env.simulate_batch(resolved.params(), chunk, &mut vec_scratch)?;
+        env.simulate_batch_plane(resolved.params(), chunk, &mut plane_scratch)?;
+        let plane = plane_scratch.plane();
+        plane.fold_into(&mut plane_counts);
+        let mut extracted = CoverageVector::empty(events);
+        for (lane, cov) in covs.iter().enumerate() {
+            extracted.reset();
+            plane.extract_into(lane, &mut extracted);
+            identical &= extracted == *cov;
+            cov.accumulate_into(&mut vec_counts);
+        }
+        for cov in covs {
+            vec_scratch.recycle(cov);
+        }
+    }
+    identical &= vec_counts == plane_counts;
+
+    // Per-sim throughput pass, timed: the pre-plane hot path — one pooled
+    // vector per simulation, recycled per block, accumulated bit by bit.
+    let mut scratch = SimScratch::new();
+    let mut counts = vec![0u64; events];
+    let clock = Instant::now();
+    for chunk in seeds.chunks(PROBE_BLOCK) {
+        for cov in env.simulate_batch(resolved.params(), chunk, &mut scratch)? {
+            cov.accumulate_into(&mut counts);
+            scratch.recycle(cov);
+        }
+    }
+    let vec_elapsed = clock.elapsed().as_secs_f64();
+    let per_sim_allocs = scratch.cov_allocated();
+
+    // Plane throughput pass, timed: record into the recycled plane, one
+    // popcount sweep per block, zero per-sim allocation.
+    let mut scratch = SimScratch::new();
+    let mut folded = vec![0u64; events];
+    let clock = Instant::now();
+    for chunk in seeds.chunks(PROBE_BLOCK) {
+        env.simulate_batch_plane(resolved.params(), chunk, &mut scratch)?;
+        scratch.plane().fold_into(&mut folded);
+    }
+    let plane_elapsed = clock.elapsed().as_secs_f64();
+    let plane_allocs = scratch.cov_allocated();
+    identical &= counts == folded;
+
+    let per_sim_sims_per_sec = if vec_elapsed > 0.0 {
+        sims as f64 / vec_elapsed
+    } else {
+        0.0
+    };
+    let plane_sims_per_sec = if plane_elapsed > 0.0 {
+        sims as f64 / plane_elapsed
+    } else {
+        0.0
+    };
+    Ok(PlaneProbe {
+        unit: env.unit_name().to_owned(),
+        template: template.name().to_owned(),
+        sims,
+        per_sim_sims_per_sec,
+        plane_sims_per_sec,
+        plane_speedup: if per_sim_sims_per_sec > 0.0 {
+            plane_sims_per_sec / per_sim_sims_per_sec
+        } else {
+            0.0
+        },
+        per_sim_allocs_per_sim: if sims > 0 {
+            per_sim_allocs as f64 / sims as f64
+        } else {
+            0.0
+        },
+        plane_allocs_per_sim: if sims > 0 {
+            plane_allocs as f64 / sims as f64
+        } else {
+            0.0
+        },
+        identical,
+    })
+}
+
+/// Runs [`plane_probe_for`] over all four built-in units.
+///
+/// # Errors
+///
+/// Propagates any environment's probe failure.
+pub fn plane_probes(scale: f64, seed: u64) -> Result<Vec<PlaneProbe>, FlowError> {
+    let sims = ((12_000.0 * scale) as u64).max(256);
+    Ok(vec![
+        plane_probe_for(&IfuEnv::new(), sims, mix_seed(seed, 0x91a))?,
+        plane_probe_for(&L3Env::new(), sims, mix_seed(seed, 0x913))?,
+        plane_probe_for(&IoEnv::new(), sims, mix_seed(seed, 0x910))?,
+        plane_probe_for(&SyntheticEnv::default(), sims, mix_seed(seed, 0x915))?,
+    ])
+}
+
 /// Times the whole paper_io campaign sequentially and with `jobs` group
 /// flows overlapped on a pool of `threads` workers, checking that the
 /// outcome stays byte-identical.
@@ -624,6 +791,17 @@ pub fn parallel_bench(
     } else {
         None
     };
+    let skipped_reason = if speedup.is_some() {
+        None
+    } else if machine_threads() <= 1 {
+        Some(format!(
+            "machine has {} hardware thread(s): a worker pool on one core \
+             only measures oversubscription, so no speedup verdict is rendered",
+            machine_threads()
+        ))
+    } else {
+        Some("parallel wall clock measured as zero".to_owned())
+    };
     let (regression_serial, regression_parallel) = harness.regression_counters();
     // Telemetry overhead probe: a fresh serial pair so both sides pay the
     // same cache-warming costs, one with a recording handle.
@@ -659,6 +837,7 @@ pub fn parallel_bench(
     coalesce.shared_identical = first_stats == second_stats && first_best == second_best;
     let coalesce = Some(coalesce);
     let kernels = kernel_probes(scale, seed)?;
+    let planes = plane_probes(scale, seed)?;
     Ok(ParallelBenchReport {
         scale,
         seed,
@@ -666,6 +845,7 @@ pub fn parallel_bench(
         serial,
         parallel,
         speedup,
+        skipped_reason,
         phase_identical,
         repo_identical: harness.repo_identical(),
         regression_serial,
@@ -674,6 +854,7 @@ pub fn parallel_bench(
         campaign,
         coalesce,
         kernels,
+        planes,
     })
 }
 
@@ -690,8 +871,10 @@ mod tests {
         assert_eq!(report.serial.sims, report.parallel.sims);
         assert!(report.serial.sims > 0);
         assert!(report.serial.sims_per_sec > 0.0);
-        // The speedup verdict exists exactly when the machine can render one.
+        // The speedup verdict exists exactly when the machine can render
+        // one, and a skipped verdict always says why.
         assert_eq!(report.speedup.is_some(), report.machine_threads > 1);
+        assert_eq!(report.speedup.is_none(), report.skipped_reason.is_some());
         if let Some(speedup) = report.speedup {
             assert!(speedup > 0.0);
         }
@@ -739,6 +922,24 @@ mod tests {
                 k.sims
             );
             assert!(k.cov_reused > 0, "{}: arena never reused", k.unit);
+        }
+        // Every built-in unit's bit-plane fold must reproduce the per-sim
+        // accumulation exactly, without allocating per-sim vectors.
+        assert_eq!(report.planes.len(), 4);
+        for p in &report.planes {
+            assert!(p.identical, "{} plane fold diverged", p.unit);
+            assert!(p.sims > 0 && p.per_sim_sims_per_sec > 0.0);
+            assert!(p.plane_sims_per_sec > 0.0);
+            assert_eq!(
+                p.plane_allocs_per_sim, 0.0,
+                "{}: plane path allocated coverage vectors",
+                p.unit
+            );
+            assert!(
+                p.per_sim_allocs_per_sim > 0.0,
+                "{}: per-sim path should allocate its first block",
+                p.unit
+            );
         }
     }
 

@@ -275,7 +275,7 @@ impl<'cb> AdmissionQueue<'cb> {
     }
 
     /// Stops admissions; workers exit once every admitted job retires.
-    /// This is the batch mode ([`run_interleaved`] seals after admitting
+    /// This is the batch mode (`run_interleaved` seals after admitting
     /// its whole set).
     pub fn seal(&self) {
         let mut inner = lock(&self.inner);

@@ -33,12 +33,14 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::perf)]
 
 mod cross;
 mod error;
 mod event;
 mod family;
 mod model;
+mod plane;
 mod repo;
 mod status;
 mod vector;
@@ -48,6 +50,7 @@ pub use error::CoverageError;
 pub use event::{EventId, TemplateId};
 pub use family::{family_index, family_of, EventFamily};
 pub use model::CoverageModel;
-pub use repo::{CoverageRepository, HitStats, RepoSnapshot};
+pub use plane::{CoveragePlane, CoverageSink, PlaneLane, PLANE_LANES};
+pub use repo::{CoverageRepository, HitStats, RepoSnapshot, STRIPE_COUNT};
 pub use status::{EventStatus, StatusCounts, StatusPolicy};
 pub use vector::{CoverageVector, HitIter};

@@ -1,9 +1,10 @@
 //! The coverage repository: accumulated hit statistics, globally and per
 //! test-template.
 
-use parking_lot::RwLock;
+use parking_lot::{RwLock, RwLockReadGuard};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::{
     CoverageError, CoverageModel, CoverageVector, EventId, StatusCounts, StatusPolicy, TemplateId,
@@ -112,6 +113,14 @@ impl Row {
     }
 }
 
+/// Number of independent lock stripes in a [`CoverageRepository`].
+///
+/// Templates are assigned to stripes by `template.0 % STRIPE_COUNT`
+/// (see [`CoverageRepository::stripe_of`]); each stripe guards its own
+/// per-template rows *and* its own partial global row, so concurrent
+/// chunk merges for templates on different stripes never contend.
+pub const STRIPE_COUNT: usize = 8;
+
 /// The coverage database maintained during a verification project.
 ///
 /// Stores, for every test-template and every event, how many simulations ran
@@ -119,6 +128,14 @@ impl Row {
 /// that both the TAC tool and the AS-CDG objective estimates consume. The
 /// repository is thread-safe: the batch simulation environment records
 /// results from many worker threads.
+///
+/// Internally the store is striped ([`STRIPE_COUNT`] ways, keyed by
+/// template id): a write touches exactly one stripe's lock, and the
+/// global view is the sum of the stripes' partial global rows, read
+/// under all stripe read-guards acquired in fixed order. Because
+/// per-event counting is commutative, the striped layout is
+/// byte-identical (snapshots included) to the historical single-lock
+/// repository for any interleaving of writers.
 ///
 /// # Examples
 ///
@@ -136,13 +153,35 @@ impl Row {
 #[derive(Debug)]
 pub struct CoverageRepository {
     model: CoverageModel,
-    inner: RwLock<Inner>,
+    stripes: [Stripe; STRIPE_COUNT],
 }
 
 #[derive(Debug)]
-struct Inner {
+struct Stripe {
+    inner: RwLock<StripeInner>,
+    /// Number of write-side operations (records + non-empty merges)
+    /// absorbed by this stripe, for contention observability.
+    merges: AtomicU64,
+}
+
+#[derive(Debug)]
+struct StripeInner {
+    /// This stripe's share of the global row; the true global row is the
+    /// sum over all stripes.
     global: Row,
     per_template: HashMap<TemplateId, Row>,
+}
+
+impl Stripe {
+    fn new(len: usize) -> Self {
+        Stripe {
+            inner: RwLock::new(StripeInner {
+                global: Row::new(len),
+                per_template: HashMap::new(),
+            }),
+            merges: AtomicU64::new(0),
+        }
+    }
 }
 
 impl CoverageRepository {
@@ -152,10 +191,7 @@ impl CoverageRepository {
         let len = model.len();
         CoverageRepository {
             model,
-            inner: RwLock::new(Inner {
-                global: Row::new(len),
-                per_template: HashMap::new(),
-            }),
+            stripes: std::array::from_fn(|_| Stripe::new(len)),
         }
     }
 
@@ -163,6 +199,26 @@ impl CoverageRepository {
     #[must_use]
     pub fn model(&self) -> &CoverageModel {
         &self.model
+    }
+
+    /// The stripe index `template`'s rows live on.
+    #[must_use]
+    pub fn stripe_of(template: TemplateId) -> usize {
+        template.0 as usize % STRIPE_COUNT
+    }
+
+    /// Write-side operations absorbed per stripe since construction
+    /// (reset does not clear them) — the observability counter behind
+    /// the striped-merge layout.
+    #[must_use]
+    pub fn stripe_merges(&self) -> [u64; STRIPE_COUNT] {
+        std::array::from_fn(|i| self.stripes[i].merges.load(Ordering::Relaxed))
+    }
+
+    /// Read-guards for every stripe, acquired in fixed (index) order so
+    /// aggregate reads see a consistent ordering discipline.
+    fn read_all(&self) -> Vec<RwLockReadGuard<'_, StripeInner>> {
+        self.stripes.iter().map(|s| s.inner.read()).collect()
     }
 
     /// Records the coverage vector of one simulation of a test-instance
@@ -194,7 +250,8 @@ impl CoverageRepository {
                 actual: vector.len(),
             });
         }
-        let mut inner = self.inner.write();
+        let stripe = &self.stripes[Self::stripe_of(template)];
+        let mut inner = stripe.inner.write();
         inner.global.record(vector);
         let len = self.model.len();
         inner
@@ -202,6 +259,8 @@ impl CoverageRepository {
             .entry(template)
             .or_insert_with(|| Row::new(len))
             .record(vector);
+        drop(inner);
+        stripe.merges.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -212,7 +271,9 @@ impl CoverageRepository {
     /// worker-local accumulators produces byte-identical repository state to
     /// calling [`CoverageRepository::try_record`] once per simulation — while
     /// taking the write lock O(batches) instead of O(simulations). This is
-    /// the batch runner's hot-path recording API.
+    /// the batch runner's hot-path recording API. The merge locks only
+    /// `template`'s stripe, so chunk merges for templates on different
+    /// stripes proceed in parallel.
     ///
     /// # Errors
     ///
@@ -233,7 +294,8 @@ impl CoverageRepository {
         if sims == 0 && hits.iter().all(|&h| h == 0) {
             return Ok(());
         }
-        let mut inner = self.inner.write();
+        let stripe = &self.stripes[Self::stripe_of(template)];
+        let mut inner = stripe.inner.write();
         inner.global.merge_counts(sims, hits);
         let len = self.model.len();
         inner
@@ -241,13 +303,15 @@ impl CoverageRepository {
             .entry(template)
             .or_insert_with(|| Row::new(len))
             .merge_counts(sims, hits);
+        drop(inner);
+        stripe.merges.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
     /// Total number of simulations recorded across all templates.
     #[must_use]
     pub fn total_simulations(&self) -> u64 {
-        self.inner.read().global.sims
+        self.read_all().iter().map(|s| s.global.sims).sum()
     }
 
     /// Global statistics for one event.
@@ -257,11 +321,15 @@ impl CoverageRepository {
     /// Panics if `event` is out of range for the model.
     #[must_use]
     pub fn global_stats(&self, event: EventId) -> HitStats {
-        let inner = self.inner.read();
-        HitStats {
-            hits: inner.global.hits[event.index()],
-            sims: inner.global.sims,
+        let guards = self.read_all();
+        let mut stats = HitStats::default();
+        for s in &guards {
+            stats.merge(HitStats {
+                hits: s.global.hits[event.index()],
+                sims: s.global.sims,
+            });
         }
+        stats
     }
 
     /// Per-template statistics for one event. Templates never recorded
@@ -272,7 +340,7 @@ impl CoverageRepository {
     /// Panics if `event` is out of range for the model.
     #[must_use]
     pub fn template_stats(&self, template: TemplateId, event: EventId) -> HitStats {
-        let inner = self.inner.read();
+        let inner = self.stripes[Self::stripe_of(template)].inner.read();
         match inner.per_template.get(&template) {
             Some(row) => HitStats {
                 hits: row.hits[event.index()],
@@ -285,7 +353,8 @@ impl CoverageRepository {
     /// Number of simulations recorded for one template.
     #[must_use]
     pub fn template_simulations(&self, template: TemplateId) -> u64 {
-        self.inner
+        self.stripes[Self::stripe_of(template)]
+            .inner
             .read()
             .per_template
             .get(&template)
@@ -295,7 +364,11 @@ impl CoverageRepository {
     /// Ids of all templates with at least one recorded simulation.
     #[must_use]
     pub fn templates(&self) -> Vec<TemplateId> {
-        let mut t: Vec<_> = self.inner.read().per_template.keys().copied().collect();
+        let guards = self.read_all();
+        let mut t: Vec<_> = guards
+            .iter()
+            .flat_map(|s| s.per_template.keys().copied())
+            .collect();
         t.sort();
         t
     }
@@ -303,15 +376,16 @@ impl CoverageRepository {
     /// Global stats for every event, in id order.
     #[must_use]
     pub fn all_global_stats(&self) -> Vec<HitStats> {
-        let inner = self.inner.read();
-        inner
-            .global
-            .hits
-            .iter()
-            .map(|&hits| HitStats {
-                hits,
-                sims: inner.global.sims,
-            })
+        let guards = self.read_all();
+        let sims: u64 = guards.iter().map(|s| s.global.sims).sum();
+        let mut hits = vec![0u64; self.model.len()];
+        for s in &guards {
+            for (dst, &src) in hits.iter_mut().zip(&s.global.hits) {
+                *dst += src;
+            }
+        }
+        hits.into_iter()
+            .map(|hits| HitStats { hits, sims })
             .collect()
     }
 
@@ -325,41 +399,52 @@ impl CoverageRepository {
     /// Events with zero global hits, in id order.
     #[must_use]
     pub fn uncovered_events(&self) -> Vec<EventId> {
-        let inner = self.inner.read();
-        inner
-            .global
-            .hits
-            .iter()
-            .enumerate()
-            .filter(|&(_, &h)| h == 0)
-            .map(|(i, _)| EventId(i as u32))
+        let guards = self.read_all();
+        (0..self.model.len())
+            .filter(|&i| guards.iter().all(|s| s.global.hits[i] == 0))
+            .map(|i| EventId(i as u32))
             .collect()
     }
 
     /// Takes an immutable snapshot for reporting or serialization.
+    ///
+    /// The snapshot format is stripe-agnostic (summed global row,
+    /// template rows sorted by id), byte-identical to the historical
+    /// single-lock repository's output.
     #[must_use]
     pub fn snapshot(&self) -> RepoSnapshot {
-        let inner = self.inner.read();
-        let mut per_template: Vec<(TemplateId, u64, Vec<u64>)> = inner
-            .per_template
+        let guards = self.read_all();
+        let mut global = Row::new(self.model.len());
+        for s in &guards {
+            global.merge_counts(s.global.sims, &s.global.hits);
+        }
+        let mut per_template: Vec<(TemplateId, u64, Vec<u64>)> = guards
             .iter()
-            .map(|(&t, row)| (t, row.sims, row.hits.clone()))
+            .flat_map(|s| {
+                s.per_template
+                    .iter()
+                    .map(|(&t, row)| (t, row.sims, row.hits.clone()))
+            })
             .collect();
         per_template.sort_by_key(|&(t, _, _)| t);
         RepoSnapshot {
             unit: self.model.unit().to_owned(),
             events: self.model.iter().map(|(_, n)| n.to_owned()).collect(),
-            global_sims: inner.global.sims,
-            global_hits: inner.global.hits.clone(),
+            global_sims: global.sims,
+            global_hits: global.hits,
             per_template,
         }
     }
 
     /// Clears all accumulated statistics (model is kept).
     pub fn reset(&self) {
-        let mut inner = self.inner.write();
-        inner.global = Row::new(self.model.len());
-        inner.per_template.clear();
+        // Write-guards for every stripe held simultaneously (fixed
+        // order), so no concurrent writer sees a half-reset repository.
+        let mut guards: Vec<_> = self.stripes.iter().map(|s| s.inner.write()).collect();
+        for inner in &mut guards {
+            inner.global = Row::new(self.model.len());
+            inner.per_template.clear();
+        }
     }
 
     /// Rebuilds a repository from a snapshot (e.g. a regression run
@@ -391,21 +476,26 @@ impl CoverageRepository {
             }
         }
         let repo = CoverageRepository::new(model);
-        {
-            let mut inner = repo.inner.write();
-            inner.global = Row {
-                sims: snapshot.global_sims,
-                hits: snapshot.global_hits.clone(),
-            };
-            for (t, sims, hits) in &snapshot.per_template {
-                inner.per_template.insert(
+        // The restored global row lands wholly on stripe 0's partial row
+        // (aggregate reads sum the stripes, so placement is invisible);
+        // template rows go to their owning stripes so point lookups find
+        // them.
+        repo.stripes[0].inner.write().global = Row {
+            sims: snapshot.global_sims,
+            hits: snapshot.global_hits.clone(),
+        };
+        for (t, sims, hits) in &snapshot.per_template {
+            repo.stripes[Self::stripe_of(*t)]
+                .inner
+                .write()
+                .per_template
+                .insert(
                     *t,
                     Row {
                         sims: *sims,
                         hits: hits.clone(),
                     },
                 );
-            }
         }
         Ok(repo)
     }
@@ -645,6 +735,59 @@ mod tests {
         assert_eq!(HitStats::default().wilson_interval(1.96), (0.0, 1.0));
         let all = HitStats { hits: 10, sims: 10 }.wilson_interval(1.96);
         assert!(all.1 <= 1.0 && all.0 < 1.0);
+    }
+
+    #[test]
+    fn striped_merge_counts_equals_monolithic_reference() {
+        // Drive merges across templates landing on every stripe (and two
+        // templates colliding on one stripe) and check the striped
+        // repository against a monolithic single-map reference.
+        let m = model();
+        let repo = CoverageRepository::new(m.clone());
+        let mut ref_global = Row::new(m.len());
+        let mut ref_rows: HashMap<TemplateId, Row> = HashMap::new();
+        let templates: Vec<TemplateId> = (0..STRIPE_COUNT as u32 + 2).map(TemplateId).collect();
+        for (i, &t) in templates.iter().enumerate() {
+            let mut counts = vec![0u64; m.len()];
+            counts[i % m.len()] = (i as u64 + 1) * 3;
+            counts[(i + 1) % m.len()] = 1;
+            let sims = (i as u64 + 1) * 5;
+            repo.merge_counts(t, sims, &counts).unwrap();
+            ref_global.merge_counts(sims, &counts);
+            ref_rows
+                .entry(t)
+                .or_insert_with(|| Row::new(m.len()))
+                .merge_counts(sims, &counts);
+        }
+        assert_eq!(repo.total_simulations(), ref_global.sims);
+        let snap = repo.snapshot();
+        assert_eq!(snap.global_hits, ref_global.hits);
+        assert_eq!(snap.per_template.len(), templates.len());
+        for (t, sims, hits) in &snap.per_template {
+            let reference = &ref_rows[t];
+            assert_eq!(
+                (*sims, hits.as_slice()),
+                (reference.sims, &reference.hits[..])
+            );
+        }
+        // Templates 0..9 cover stripes 0..7 plus two collisions on 0/1.
+        let merges = repo.stripe_merges();
+        assert_eq!(merges.iter().sum::<u64>(), templates.len() as u64);
+        assert_eq!(merges[0], 2);
+        assert_eq!(merges[1], 2);
+        assert!(merges[2..].iter().all(|&c| c == 1));
+        // And the striped snapshot round-trips through restore.
+        let restored = CoverageRepository::from_snapshot(m, &snap).unwrap();
+        assert_eq!(restored.snapshot(), snap);
+    }
+
+    #[test]
+    fn stripe_of_partitions_all_templates() {
+        for t in 0..64u32 {
+            let s = CoverageRepository::stripe_of(TemplateId(t));
+            assert_eq!(s, t as usize % STRIPE_COUNT);
+            assert!(s < STRIPE_COUNT);
+        }
     }
 
     #[test]

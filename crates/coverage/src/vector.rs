@@ -139,6 +139,17 @@ impl CoverageVector {
         }
     }
 
+    /// The raw 64-bit backing words, least-significant bit = lowest event
+    /// id. `set`/`clear` guarantee no bit beyond [`CoverageVector::len`]
+    /// is ever set, so callers may popcount or scatter whole words
+    /// without masking the final partial word. This is the word-wise
+    /// primitive behind [`CoverageVector::union_with`] and the bit-plane
+    /// bridge (`CoveragePlane::record_vector`).
+    #[must_use]
+    pub fn fold_words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Clears every hit bit in place, keeping the event count.
     ///
     /// This is the arena-reuse primitive of the batched simulation path: a

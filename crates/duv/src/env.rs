@@ -86,6 +86,47 @@ pub trait VerifEnv: Send + Sync {
             .collect()
     }
 
+    /// Simulates a kernel block of up to
+    /// [`PLANE_LANES`](ascdg_coverage::PLANE_LANES) instances directly
+    /// into the scratch's transposed coverage bit-plane (seed `i` owns
+    /// lane `i`), leaving the block in `scratch.plane()` — zero per-sim
+    /// coverage allocation on the hot path.
+    ///
+    /// The recorded plane is **byte-identical** to scattering each
+    /// [`VerifEnv::simulate_batch`] vector into its lane; the built-in
+    /// units override this with kernels whose cycle models record
+    /// straight into the lane (`word(event) |= 1 << lane`), and the
+    /// default implementation is exactly that scatter bridge, so
+    /// external environments keep working unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Any [`VerifEnv::simulate_batch`] error; the plane contents are
+    /// unspecified after an error.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `seeds` exceeds one plane block
+    /// ([`PLANE_LANES`](ascdg_coverage::PLANE_LANES) = 64 seeds).
+    fn simulate_batch_plane(
+        &self,
+        resolved: &ResolvedParams,
+        seeds: &[u64],
+        scratch: &mut SimScratch,
+    ) -> Result<(), EnvError> {
+        let events = self.coverage_model().len();
+        let covs = self.simulate_batch(resolved, seeds, scratch)?;
+        let plane = scratch.plane_mut();
+        plane.begin(events, covs.len());
+        for (lane, cov) in covs.iter().enumerate() {
+            plane.record_vector(lane, cov);
+        }
+        for cov in covs {
+            scratch.recycle(cov);
+        }
+        Ok(())
+    }
+
     /// Simulates one test-instance generated from pre-resolved parameters,
     /// deriving the generator seed from the template name.
     ///
@@ -156,6 +197,15 @@ impl<T: VerifEnv + ?Sized> VerifEnv for &T {
         (**self).simulate_batch(resolved, seeds, scratch)
     }
 
+    fn simulate_batch_plane(
+        &self,
+        resolved: &ResolvedParams,
+        seeds: &[u64],
+        scratch: &mut SimScratch,
+    ) -> Result<(), EnvError> {
+        (**self).simulate_batch_plane(resolved, seeds, scratch)
+    }
+
     fn simulate_resolved(
         &self,
         resolved: &ResolvedParams,
@@ -198,6 +248,15 @@ impl<T: VerifEnv + ?Sized> VerifEnv for std::sync::Arc<T> {
         scratch: &mut SimScratch,
     ) -> Result<Vec<CoverageVector>, EnvError> {
         (**self).simulate_batch(resolved, seeds, scratch)
+    }
+
+    fn simulate_batch_plane(
+        &self,
+        resolved: &ResolvedParams,
+        seeds: &[u64],
+        scratch: &mut SimScratch,
+    ) -> Result<(), EnvError> {
+        (**self).simulate_batch_plane(resolved, seeds, scratch)
     }
 
     fn simulate_resolved(

@@ -19,7 +19,7 @@
 //! defaults never produce, and `branch=1` needs branch density — the
 //! parameters the coarse-grained search must discover.
 
-use ascdg_coverage::{CoverageModel, CoverageVector, CrossProduct, Feature};
+use ascdg_coverage::{CoverageModel, CoverageSink, CoverageVector, CrossProduct, Feature};
 use ascdg_stimgen::{FetchOp, FetchProgram, ParamSampler};
 use ascdg_template::{
     ParamDef, ParamRegistry, ResolvedParams, TemplateLibrary, TestTemplate, Value,
@@ -255,8 +255,9 @@ impl IfuEnv {
         cov
     }
 
-    /// [`IfuEnv::run_program`] into a caller-provided (zeroed) vector.
-    fn run_program_into(&self, program: &[FetchOp], cov: &mut CoverageVector) {
+    /// [`IfuEnv::run_program`] into a caller-provided (zeroed) coverage
+    /// sink — a `CoverageVector` or a bit-plane lane.
+    fn run_program_into<S: CoverageSink>(&self, program: &[FetchOp], cov: &mut S) {
         let cp = self
             .model
             .cross_product()
@@ -298,7 +299,7 @@ impl IfuEnv {
                 op.sector() as usize,
                 usize::from(op.taken_branch),
             ];
-            cov.set(cp.event_id(&coords).expect("coords are in range"));
+            cov.hit(cp.event_id(&coords).expect("coords are in range"));
         }
     }
 }
@@ -356,6 +357,36 @@ impl VerifEnv for IfuEnv {
             out.push(cov);
         }
         Ok(out)
+    }
+
+    fn simulate_batch_plane(
+        &self,
+        resolved: &ResolvedParams,
+        seeds: &[u64],
+        scratch: &mut SimScratch,
+    ) -> Result<(), EnvError> {
+        // Same two-phase kernel as `simulate_batch`, but the cycle loops
+        // record straight into plane lanes — no per-sim vectors at all.
+        scratch.fetch_ops.clear();
+        scratch.fetch_bounds.clear();
+        scratch.fetch_bounds.push(0);
+        for &seed in seeds {
+            let mut sampler = ParamSampler::new(resolved, seed);
+            self.generate_into(&mut sampler, &mut scratch.fetch_ops)?;
+            scratch.fetch_bounds.push(scratch.fetch_ops.len());
+        }
+        let SimScratch {
+            fetch_ops,
+            fetch_bounds,
+            plane,
+            ..
+        } = scratch;
+        plane.begin(self.model.len(), seeds.len());
+        for lane in 0..seeds.len() {
+            let (lo, hi) = (fetch_bounds[lane], fetch_bounds[lane + 1]);
+            self.run_program_into(&fetch_ops[lo..hi], &mut plane.lane(lane));
+        }
+        Ok(())
     }
 }
 

@@ -30,7 +30,7 @@
 //! (packet-length weights, gap range, channel focus, CRC enable, error
 //! rate) are the ones the coarse-grained search should discover.
 
-use ascdg_coverage::{CoverageModel, CoverageVector};
+use ascdg_coverage::{CoverageModel, CoverageSink, CoverageVector};
 use ascdg_stimgen::{IoCommand, IoProgram, ParamSampler};
 use ascdg_template::{
     ParamDef, ParamRegistry, ResolvedParams, TemplateLibrary, TestTemplate, Value,
@@ -370,19 +370,20 @@ impl IoEnv {
     }
 
     /// [`IoEnv::run_program`] over a caller-provided response queue and a
-    /// zeroed coverage vector — the batch kernel's entry point. `responses`
-    /// is cleared (never trusted) before use.
-    fn run_program_into(
+    /// zeroed coverage sink (a `CoverageVector` or a bit-plane lane) — the
+    /// batch kernels' entry point. `responses` is cleared (never trusted)
+    /// before use.
+    fn run_program_into<S: CoverageSink>(
         &self,
         program: &[IoCommand],
         sampler: &mut ParamSampler<'_>,
         unaligned: bool,
         resp_queue_cap: usize,
         responses: &mut crate::kernel::DelayLine<()>,
-        cov: &mut CoverageVector,
+        cov: &mut S,
     ) {
-        let hit = |name: &str, cov: &mut CoverageVector| {
-            cov.set(self.model.id(name).expect("known event"));
+        let hit = |name: &str, cov: &mut S| {
+            cov.hit(self.model.id(name).expect("known event"));
         };
 
         let mut span: u32 = 0;
@@ -411,7 +412,7 @@ impl IoEnv {
             }
             responses.insert((), cycle + u64::from(cmd.resp_delay));
             let depth = responses.len().min(RESP_QUEUE_MAX);
-            cov.set(self.qdepth_ids[depth - 1]);
+            cov.hit(self.qdepth_ids[depth - 1]);
             cycle += 1 + u64::from(cmd.payload_beats) + u64::from(cmd.gap);
 
             let ch = (cmd.channel & 3) as usize;
@@ -569,6 +570,39 @@ impl VerifEnv for IoEnv {
             out.push(cov);
         }
         Ok(out)
+    }
+
+    fn simulate_batch_plane(
+        &self,
+        resolved: &ResolvedParams,
+        seeds: &[u64],
+        scratch: &mut SimScratch,
+    ) -> Result<(), EnvError> {
+        // Same interleaved kernel as `simulate_batch`, but each sim's
+        // cycle model records straight into its plane lane.
+        let SimScratch {
+            io_cmds,
+            io_responses,
+            plane,
+            ..
+        } = scratch;
+        plane.begin(self.model.len(), seeds.len());
+        for (lane, &seed) in seeds.iter().enumerate() {
+            let mut sampler = ParamSampler::new(resolved, seed);
+            let unaligned = sampler.sample_choice("AddrAlign")? == "unaligned";
+            let resp_queue_cap = sampler.sample_int("CreditInit")? as usize;
+            io_cmds.clear();
+            self.generate_into(&mut sampler, io_cmds)?;
+            self.run_program_into(
+                io_cmds,
+                &mut sampler,
+                unaligned,
+                resp_queue_cap,
+                io_responses,
+                &mut plane.lane(lane),
+            );
+        }
+        Ok(())
     }
 }
 

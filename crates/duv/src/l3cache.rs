@@ -24,7 +24,7 @@
 //!
 //! [`PfDepth`]: struct.L3Env.html#method.registry
 
-use ascdg_coverage::{CoverageModel, CoverageVector};
+use ascdg_coverage::{CoverageModel, CoverageSink, CoverageVector};
 use ascdg_stimgen::{MemOp, MemProgram, MemRequest, ParamSampler};
 use ascdg_template::{
     ParamDef, ParamRegistry, ResolvedParams, TemplateLibrary, TestTemplate, Value,
@@ -318,10 +318,10 @@ impl L3Env {
     }
 
     /// Marks the bypass-occupancy family event for the current depth.
-    fn bump_bypass(&self, inflight: &DelayLine<u64>, cov: &mut CoverageVector) {
+    fn bump_bypass<S: CoverageSink>(&self, inflight: &DelayLine<u64>, cov: &mut S) {
         let depth = inflight.len().min(BYPASS_CREDITS);
         if depth >= 1 {
-            cov.set(self.bypass_ids[depth - 1]);
+            cov.hit(self.bypass_ids[depth - 1]);
         }
     }
 
@@ -357,11 +357,12 @@ impl L3Env {
     }
 
     /// [`L3Env::run_program`] over caller-provided cache state and a zeroed
-    /// coverage vector — the batch kernel's entry point. `sets` and
-    /// `inflight` are cleared (never trusted) before use, so recycled
-    /// scratch state produces the same coverage as fresh state.
+    /// coverage sink (a `CoverageVector` or a bit-plane lane) — the batch
+    /// kernels' entry point. `sets` and `inflight` are cleared (never
+    /// trusted) before use, so recycled scratch state produces the same
+    /// coverage as fresh state.
     #[allow(clippy::too_many_arguments)]
-    fn run_program_into(
+    fn run_program_into<S: CoverageSink>(
         &self,
         program: &[MemRequest],
         sampler: &mut ParamSampler<'_>,
@@ -370,10 +371,10 @@ impl L3Env {
         snoop_rate: f64,
         sets: &mut Vec<Vec<u64>>,
         inflight: &mut DelayLine<u64>,
-        cov: &mut CoverageVector,
+        cov: &mut S,
     ) {
-        let hit = |name: &str, cov: &mut CoverageVector| {
-            cov.set(self.model.id(name).expect("known event"));
+        let hit = |name: &str, cov: &mut S| {
+            cov.hit(self.model.id(name).expect("known event"));
         };
 
         // Per-set LRU stacks, front = MRU. Warm-start with the test's
@@ -401,7 +402,7 @@ impl L3Env {
             hit("stride_pattern_seen", cov);
         }
 
-        let fill = |sets: &mut Vec<Vec<u64>>, line: u64, cov: &mut CoverageVector| {
+        let fill = |sets: &mut Vec<Vec<u64>>, line: u64, cov: &mut S| {
             let set = (line as usize) % SETS;
             let ways = &mut sets[set];
             if !ways.contains(&line) {
@@ -597,6 +598,42 @@ impl VerifEnv for L3Env {
             out.push(cov);
         }
         Ok(out)
+    }
+
+    fn simulate_batch_plane(
+        &self,
+        resolved: &ResolvedParams,
+        seeds: &[u64],
+        scratch: &mut SimScratch,
+    ) -> Result<(), EnvError> {
+        // Same interleaved kernel as `simulate_batch`, but each sim's
+        // cycle model records straight into its plane lane.
+        let SimScratch {
+            mem_ops,
+            l3_sets,
+            l3_inflight,
+            plane,
+            ..
+        } = scratch;
+        plane.begin(self.model.len(), seeds.len());
+        for (lane, &seed) in seeds.iter().enumerate() {
+            let mut sampler = ParamSampler::new(resolved, seed);
+            let stride_mode = sampler.sample_choice("AddrPattern")? == "stride";
+            let snoop_rate = BASE_SNOOP_RATE + sampler.rate("SnoopPct")? * 0.15;
+            mem_ops.clear();
+            let (base, working_set) = self.generate_into(&mut sampler, stride_mode, mem_ops)?;
+            self.run_program_into(
+                mem_ops,
+                &mut sampler,
+                stride_mode,
+                (base, working_set),
+                snoop_rate,
+                l3_sets,
+                l3_inflight,
+                &mut plane.lane(lane),
+            );
+        }
+        Ok(())
     }
 }
 

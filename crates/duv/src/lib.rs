@@ -36,7 +36,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
-#![deny(clippy::redundant_clone, clippy::large_enum_variant)]
+#![deny(clippy::redundant_clone, clippy::large_enum_variant, clippy::perf)]
 
 mod env;
 mod error;

@@ -1,6 +1,6 @@
 //! Per-worker scratch state for batched simulation.
 
-use ascdg_coverage::CoverageVector;
+use ascdg_coverage::{CoveragePlane, CoverageVector};
 use ascdg_stimgen::{FetchOp, IoCommand, MemRequest};
 
 use crate::kernel::DelayLine;
@@ -46,6 +46,10 @@ pub struct SimScratch {
     pub(crate) io_responses: DelayLine<()>,
     /// Synthetic-unit knob coordinates.
     pub(crate) knob_xs: Vec<f64>,
+    /// The recycled coverage bit-plane
+    /// [`VerifEnv::simulate_batch_plane`](crate::VerifEnv::simulate_batch_plane)
+    /// records the current block into.
+    pub(crate) plane: CoveragePlane,
     /// Recycled coverage vectors, ready for [`SimScratch::take_cov`].
     free: Vec<CoverageVector>,
     reused: u64,
@@ -90,6 +94,21 @@ impl SimScratch {
     #[must_use]
     pub fn cov_allocated(&self) -> u64 {
         self.allocated
+    }
+
+    /// The bit-plane the last
+    /// [`VerifEnv::simulate_batch_plane`](crate::VerifEnv::simulate_batch_plane)
+    /// call recorded into — callers fold or extract lanes from it.
+    #[must_use]
+    pub fn plane(&self) -> &CoveragePlane {
+        &self.plane
+    }
+
+    /// Mutable access to the recycled bit-plane (kernels `begin` a block
+    /// on it before recording).
+    #[must_use]
+    pub fn plane_mut(&mut self) -> &mut CoveragePlane {
+        &mut self.plane
     }
 }
 

@@ -18,7 +18,7 @@
 //! close to the hidden optimum in *every* relevant knob — the cliff-shaped
 //! difficulty that makes real coverage closure hard.
 
-use ascdg_coverage::{CoverageModel, CoverageVector};
+use ascdg_coverage::{CoverageModel, CoverageSink, CoverageVector};
 use ascdg_stimgen::{mix_seed, ParamSampler};
 use ascdg_template::{
     ParamDef, ParamRegistry, ResolvedParams, TemplateLibrary, TestTemplate, Value,
@@ -257,13 +257,14 @@ impl SyntheticEnv {
     }
 
     /// One simulation into a caller-provided knob buffer and zeroed
-    /// coverage vector (shared by the per-sim and batch entry points).
-    fn simulate_into(
+    /// coverage sink (shared by the per-sim, batch, and bit-plane entry
+    /// points — the sink is a `CoverageVector` or a plane lane).
+    fn simulate_into<S: CoverageSink>(
         &self,
         resolved: &ResolvedParams,
         sampler_seed: u64,
         xs: &mut Vec<f64>,
-        cov: &mut CoverageVector,
+        cov: &mut S,
     ) -> Result<(), EnvError> {
         let mut sampler = ParamSampler::new(resolved, sampler_seed);
         // Draw the knob configuration of this instance.
@@ -287,7 +288,7 @@ impl SyntheticEnv {
             // genuinely uncovered under default traffic).
             let p = if p < PROBABILITY_FLOOR { 0.0 } else { p };
             if sampler.chance(p) {
-                cov.set(id);
+                cov.hit(id);
             }
         }
         // Background events: fixed probabilities, lightly keyed off the
@@ -296,7 +297,7 @@ impl SyntheticEnv {
             let base = 0.6 / (i + 1) as f64;
             let p = base + ((decoy_acc >> i) & 1) as f64 * 0.05;
             if sampler.chance(p) {
-                cov.set(id);
+                cov.hit(id);
             }
         }
         Ok(())
@@ -353,6 +354,20 @@ impl VerifEnv for SyntheticEnv {
             out.push(cov);
         }
         Ok(out)
+    }
+
+    fn simulate_batch_plane(
+        &self,
+        resolved: &ResolvedParams,
+        seeds: &[u64],
+        scratch: &mut SimScratch,
+    ) -> Result<(), EnvError> {
+        let SimScratch { knob_xs, plane, .. } = scratch;
+        plane.begin(self.model.len(), seeds.len());
+        for (lane, &seed) in seeds.iter().enumerate() {
+            self.simulate_into(resolved, seed, knob_xs, &mut plane.lane(lane))?;
+        }
+        Ok(())
     }
 }
 

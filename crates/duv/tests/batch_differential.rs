@@ -1,17 +1,21 @@
-//! Differential tests pinning [`VerifEnv::simulate_batch`] to the
-//! sequential [`VerifEnv::simulate_seeded`] loop, byte for byte.
+//! Differential tests pinning [`VerifEnv::simulate_batch`] and the
+//! bit-plane entry [`VerifEnv::simulate_batch_plane`] to the sequential
+//! [`VerifEnv::simulate_seeded`] loop, byte for byte.
 //!
 //! Every built-in unit overrides `simulate_batch` with a specialized
 //! kernel that generates stimulus into a reused scratch arena and runs the
-//! cycle loops back to back. These tests are the contract that the
-//! specialization is *purely* a throughput change: for every unit, every
-//! chunking (1, 2, 63, 64, 65, ragged tails) and every seed stream, the
-//! batched coverage vectors equal the one-at-a-time reference — including
-//! when the scratch arena is warm from unrelated prior chunks, and when
-//! several worker threads batch the same work concurrently
-//! (`ASCDG_TEST_THREADS` sizes the matrix).
+//! cycle loops back to back, and `simulate_batch_plane` with the same
+//! kernel recording into a transposed coverage bit-plane. These tests are
+//! the contract that both specializations are *purely* throughput changes:
+//! for every unit, every chunking (1, 2, 63, 64, 65, 127, ragged tails)
+//! and every seed stream, the batched coverage — per-sim vectors and
+//! extracted plane lanes alike — equals the one-at-a-time reference,
+//! including when the scratch arena is warm from unrelated prior chunks
+//! (or from the *other* batch entry point), and when several worker
+//! threads batch the same work concurrently (`ASCDG_TEST_THREADS` sizes
+//! the matrix).
 
-use ascdg_coverage::CoverageVector;
+use ascdg_coverage::{CoverageVector, PLANE_LANES};
 use ascdg_duv::ifu::IfuEnv;
 use ascdg_duv::io_unit::IoEnv;
 use ascdg_duv::l3cache::L3Env;
@@ -82,9 +86,36 @@ fn batched(
     out
 }
 
-/// One differential check: resolve a stock template, run both paths over
-/// the same seeds, demand equality — on this thread and on every thread of
-/// the `ASCDG_TEST_THREADS` matrix with its own scratch arena.
+/// The bit-plane run: `simulate_batch_plane` over `chunk`-sized slices
+/// split into kernel rounds of at most [`PLANE_LANES`] seeds — exactly
+/// the shape the batch runner dispatches — reusing one scratch arena,
+/// then extracting every lane back to row-major form for comparison.
+fn planed(
+    env: &dyn VerifEnv,
+    resolved: &ascdg_template::ResolvedParams,
+    seeds: &[u64],
+    chunk: usize,
+) -> Vec<CoverageVector> {
+    let events = env.coverage_model().len();
+    let mut scratch = SimScratch::new();
+    let mut out = Vec::with_capacity(seeds.len());
+    for block in seeds.chunks(chunk.max(1)) {
+        for round in block.chunks(PLANE_LANES) {
+            env.simulate_batch_plane(resolved, round, &mut scratch)
+                .expect("simulate_batch_plane");
+            for lane in 0..round.len() {
+                let mut v = CoverageVector::empty(events);
+                scratch.plane().extract_into(lane, &mut v);
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+/// One differential check: resolve a stock template, run all three paths
+/// over the same seeds, demand equality — on this thread and on every
+/// thread of the `ASCDG_TEST_THREADS` matrix with its own scratch arena.
 fn check(which: usize, tmpl_idx: usize, base_seed: u64, sims: usize, chunk: usize) {
     with_env(which, |env| {
         let library = env.stock_library();
@@ -100,6 +131,12 @@ fn check(which: usize, tmpl_idx: usize, base_seed: u64, sims: usize, chunk: usiz
             "{} batch (chunk {chunk}) diverged from sequential",
             env.unit_name()
         );
+        assert_eq!(
+            planed(env, &resolved, &seeds, chunk),
+            reference,
+            "{} plane (chunk {chunk}) diverged from sequential",
+            env.unit_name()
+        );
         std::thread::scope(|scope| {
             for _ in 0..test_threads() {
                 scope.spawn(|| {
@@ -109,6 +146,12 @@ fn check(which: usize, tmpl_idx: usize, base_seed: u64, sims: usize, chunk: usiz
                         "{} concurrent batch (chunk {chunk}) diverged",
                         env.unit_name()
                     );
+                    assert_eq!(
+                        planed(env, &resolved, &seeds, chunk),
+                        reference,
+                        "{} concurrent plane (chunk {chunk}) diverged",
+                        env.unit_name()
+                    );
                 });
             }
         });
@@ -116,12 +159,12 @@ fn check(which: usize, tmpl_idx: usize, base_seed: u64, sims: usize, chunk: usiz
 }
 
 /// The chunkings the batch runner actually produces around its 64-wide
-/// kernel block: single, tiny, one-under, exact, one-over — each leaving
-/// a different ragged tail of 130 sims.
+/// kernel block: single, tiny, one-under, exact, one-over, two-minus-one
+/// — each leaving a different ragged tail of 130 sims.
 #[test]
 fn kernel_block_edges_are_identical_for_every_unit() {
     for which in 0..4 {
-        for chunk in [1usize, 2, 63, 64, 65] {
+        for chunk in [1usize, 2, 63, 64, 65, 127] {
             check(which, 0, 0xB47C_0000 + chunk as u64, 130, chunk);
         }
     }
@@ -142,6 +185,7 @@ fn warm_scratch_does_not_leak_across_templates() {
             let seeds = seed_vec(0x5EED, 97);
             let ref_a = sequential(env, &ra, &seeds);
             let ref_b = sequential(env, &rb, &seeds);
+            let events = env.coverage_model().len();
             let mut scratch = SimScratch::new();
             for round in 0..2 {
                 for (resolved, reference) in [(&ra, &ref_a), (&rb, &ref_b)] {
@@ -156,6 +200,25 @@ fn warm_scratch_does_not_leak_across_templates() {
                         &out,
                         reference,
                         "{} round {round}: warm-scratch batch diverged",
+                        env.unit_name()
+                    );
+                    // Same arena, other entry point: the plane kernel must
+                    // be unaffected by the per-sim batch that just warmed
+                    // the buffers (and vice versa on the next iteration).
+                    let mut lanes = Vec::new();
+                    for block in seeds.chunks(PLANE_LANES) {
+                        env.simulate_batch_plane(resolved, block, &mut scratch)
+                            .expect("plane");
+                        for lane in 0..block.len() {
+                            let mut v = CoverageVector::empty(events);
+                            scratch.plane().extract_into(lane, &mut v);
+                            lanes.push(v);
+                        }
+                    }
+                    assert_eq!(
+                        &lanes,
+                        reference,
+                        "{} round {round}: warm-scratch plane diverged",
                         env.unit_name()
                     );
                 }

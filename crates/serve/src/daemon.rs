@@ -1,6 +1,6 @@
 //! The `ascdg serve` daemon: a long-lived, multi-tenant closure service.
 //!
-//! One daemon owns one [`SimPool`](ascdg_core::SimPool) and one
+//! One daemon owns one [`SimPool`] and one
 //! [`AdmissionQueue`] per built-in unit. Each incoming closure request is
 //! planned exactly like a one-shot `ascdg campaign` — shared regression,
 //! family grouping, per-group sessions with index-salted seeds, one

@@ -49,6 +49,10 @@ use parking_lot::Mutex;
 /// latency, ns).
 #[derive(Clone, Debug)]
 pub struct StageMetrics {
+    /// The stage these handles were resolved for — lets consumers key
+    /// derived state (e.g. the batch chunk autotuner's per-(unit, stage)
+    /// latency estimates) without a separate side channel.
+    pub stage: String,
     /// Per-simulation latency within a chunk, in nanoseconds.
     pub sim_latency_ns: Histogram,
     /// Simulations per executed chunk.
@@ -180,6 +184,7 @@ impl Telemetry {
             return;
         };
         let handles = StageMetrics {
+            stage: stage.to_owned(),
             sim_latency_ns: inner
                 .metrics
                 .histogram(&format!("stage.{stage}.sim_latency_ns")),
@@ -394,6 +399,7 @@ mod tests {
         let t = Telemetry::enabled();
         t.set_stage("regression");
         let sm = t.stage_metrics().unwrap();
+        assert_eq!(sm.stage, "regression");
         sm.chunk_sims.record(100);
         // Re-installing the same stage resolves the same histograms.
         t.set_stage("regression");
