@@ -59,6 +59,12 @@ fn main() {
             probe.disabled_wall_ms, probe.enabled_wall_ms, probe.overhead_pct, probe.identical
         );
     }
+    if let Some(probe) = &report.exposition {
+        eprintln!(
+            "exposition probe: {} families -> {} bytes, {:.1} us per /metrics render",
+            probe.families, probe.bytes, probe.render_us
+        );
+    }
     if let Some(probe) = &report.campaign {
         match probe.speedup {
             Some(speedup) => eprintln!(
@@ -179,6 +185,8 @@ struct TrajectoryEntry {
     phase_identical: bool,
     repo_identical: bool,
     telemetry_identical: Option<bool>,
+    exposition_render_us: Option<f64>,
+    exposition_bytes: Option<usize>,
     campaign_identical: Option<bool>,
     coalesce_identical: Option<bool>,
     kernels_identical: bool,
@@ -206,6 +214,8 @@ fn append_trajectory(report: &ascdg_bench::parallel::ParallelBenchReport) {
         phase_identical: report.phase_identical,
         repo_identical: report.repo_identical,
         telemetry_identical: report.telemetry.as_ref().map(|p| p.identical),
+        exposition_render_us: report.exposition.as_ref().map(|p| p.render_us),
+        exposition_bytes: report.exposition.as_ref().map(|p| p.bytes),
         campaign_identical: report.campaign.as_ref().map(|p| p.identical),
         coalesce_identical: report.coalesce.as_ref().map(|p| p.identical),
         kernels_identical: report.kernels.iter().all(|k| k.identical),

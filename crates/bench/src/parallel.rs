@@ -82,6 +82,10 @@ pub struct ParallelBenchReport {
     /// telemetry handle, against a fresh disabled-handle baseline.
     #[serde(default)]
     pub telemetry: Option<TelemetryProbe>,
+    /// Exposition-render probe: what one `GET /metrics` scrape costs over
+    /// the registry the recording run just filled.
+    #[serde(default)]
+    pub exposition: Option<ExpositionProbe>,
     /// Campaign-throughput probe: the whole-unit paper_io campaign at
     /// `campaign_jobs = 1` vs a concurrent jobs count.
     #[serde(default)]
@@ -233,6 +237,22 @@ pub struct TelemetryProbe {
     /// Whether the two runs produced byte-identical phase statistics and
     /// best settings. Must always be `true`.
     pub identical: bool,
+}
+
+/// Prices the HTTP plane's `/metrics` endpoint: snapshotting every
+/// metric family of a phase-run-sized registry and rendering the
+/// Prometheus text exposition. The render is read-only, so only cost is
+/// probed, not identity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExpositionProbe {
+    /// Metric families in the probed registry.
+    pub families: usize,
+    /// Bytes of exposition text one render produces.
+    pub bytes: usize,
+    /// Renders timed for the mean.
+    pub iterations: u32,
+    /// Mean wall-clock per snapshot-and-render, microseconds.
+    pub render_us: f64,
 }
 
 /// The paper_io setup the measurements share: everything up to (but not
@@ -818,6 +838,25 @@ pub fn parallel_bench(
         },
         identical: off_stats == on_stats && off_best == on_best,
     });
+    // Exposition-render probe over the registry the recording run just
+    // filled: the realistic cost of one `GET /metrics` scrape against a
+    // live daemon (snapshot every family, render the text format).
+    let exposition = recording.metrics().map(|m| {
+        let families = m.families();
+        let bytes = ascdg_telemetry::render_exposition(&families).len();
+        let iterations = 100u32;
+        let start = Instant::now();
+        for _ in 0..iterations {
+            std::hint::black_box(ascdg_telemetry::render_exposition(&m.families()));
+        }
+        let render_us = start.elapsed().as_secs_f64() * 1e6 / f64::from(iterations);
+        ExpositionProbe {
+            families: families.len(),
+            bytes,
+            iterations,
+            render_us,
+        }
+    });
     let campaign = Some(campaign_probe(
         scale,
         seed,
@@ -851,6 +890,7 @@ pub fn parallel_bench(
         regression_serial,
         regression_parallel,
         telemetry,
+        exposition,
         campaign,
         coalesce,
         kernels,
@@ -884,6 +924,12 @@ mod tests {
         assert!(probe.identical, "telemetry changed the phase outcome");
         assert!(probe.disabled_wall_ms > 0.0);
         assert!(probe.enabled_wall_ms > 0.0);
+        // The exposition probe rides on the recording run's registry: it
+        // must have found real families and produced real text.
+        let exposition = report.exposition.expect("probe always runs");
+        assert!(exposition.families > 0, "recording registry was empty");
+        assert!(exposition.bytes > 0);
+        assert!(exposition.render_us >= 0.0);
         // Overlapping group flows must never change the campaign outcome.
         let campaign = report.campaign.expect("probe always runs");
         assert!(campaign.identical, "concurrent campaign diverged");

@@ -241,6 +241,38 @@ mod tests {
     }
 
     #[test]
+    fn validate_rejects_timing_whose_stage_entry_is_missing() {
+        // A phase timing whose stage row was dropped from the ledger:
+        // the timing is orphaned, not silently unaccounted.
+        let state = sample_state();
+        let mut manifest = RunManifest::from_state(&state, &Telemetry::disabled());
+        manifest.stage_sims.retain(|s| s.stage != STAGE_SAMPLE);
+        let err = manifest.validate().unwrap_err();
+        assert!(err.contains("no stage_sims entry"), "{err}");
+        assert!(err.contains(STAGE_SAMPLE), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_tampered_stage_sims_ledger() {
+        // With a coverage summary that agrees, the manifest validates;
+        // tampering the regression row afterwards must be caught even
+        // through a JSON round trip (the artifact is what gets checked).
+        let state = sample_state();
+        let mut manifest = RunManifest::from_state(&state, &Telemetry::disabled());
+        manifest.coverage = Some(CoverageSummary {
+            total_sims: 960,
+            events: 8,
+            covered: 5,
+        });
+        manifest.validate().expect("consistent before tampering");
+        manifest.stage_sims[0].sims = 959;
+        let tampered = RunManifest::from_json(&manifest.to_json().unwrap()).unwrap();
+        let err = tampered.validate().unwrap_err();
+        assert!(err.contains("recorded 960"), "{err}");
+        assert!(err.contains("ran 959"), "{err}");
+    }
+
+    #[test]
     fn validate_checks_coverage_against_regression() {
         use ascdg_duv::VerifEnv;
         let mut state = sample_state();

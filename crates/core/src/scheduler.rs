@@ -343,6 +343,44 @@ impl<'cb> AdmissionQueue<'cb> {
         lock(&self.inner).active
     }
 
+    /// Jobs waiting on the ready queue right now (not counting the ones
+    /// a worker is stepping). Read-only: same number the
+    /// `campaign.ready_queue_depth` gauge reports, exposed for pull-style
+    /// introspection (the daemon's `/status` endpoint).
+    #[must_use]
+    pub fn ready_depth(&self) -> usize {
+        lock(&self.inner).ready.len()
+    }
+
+    /// The ready-queue depth split per priority class, sorted by class
+    /// name. Every class that ever admitted a job is present — a drained
+    /// class reports 0, mirroring the per-class depth gauges.
+    #[must_use]
+    pub fn ready_depths_by_class(&self) -> Vec<(String, usize)> {
+        let inner = lock(&self.inner);
+        let mut seen: Vec<(String, usize)> = Vec::new();
+        for (id, _) in &inner.ready {
+            let class = inner.jobs[*id as usize].class.as_str();
+            match seen.iter_mut().find(|(c, _)| c == class) {
+                Some((_, n)) => *n += 1,
+                None => seen.push((class.to_owned(), 1)),
+            }
+        }
+        for job in &inner.jobs {
+            if !seen.iter().any(|(c, _)| c == &job.class) {
+                seen.push((job.class.clone(), 0));
+            }
+        }
+        seen.sort();
+        seen
+    }
+
+    /// Jobs a worker is stepping at this instant.
+    #[must_use]
+    pub fn in_flight_jobs(&self) -> usize {
+        lock(&self.inner).in_flight
+    }
+
     /// Re-emits the ready-queue depth gauges: the total
     /// `campaign.ready_queue_depth` plus one
     /// `campaign.ready_queue_depth.<class>` per priority class present.
@@ -850,6 +888,49 @@ mod tests {
             // The victim really stopped at a stage boundary shortly after
             // the cancel, far from a full run.
             assert!(statuses[0].completed_stages < statuses[1].completed_stages);
+        });
+    }
+
+    /// The read-only introspection accessors report the same picture the
+    /// depth gauges paint: per-class ready depths while jobs queue, all
+    /// zero (with classes retained) after the crew drains.
+    #[test]
+    fn introspection_accessors_track_queue_shape() {
+        let env = IoEnv::new();
+        let cfg = FlowConfig::quick();
+        pool_scope(2, |pool| {
+            let engine = FlowEngine::new(&env, cfg.clone(), pool);
+            let queue = AdmissionQueue::new(Telemetry::disabled());
+            assert_eq!(queue.ready_depth(), 0);
+            assert!(queue.ready_depths_by_class().is_empty());
+            let mut ids = Vec::new();
+            for (i, class) in ["batch", "interactive", "batch"].iter().enumerate() {
+                let cx = engine.session(
+                    TargetSpec::Family(["crc_", "qdepth_"][i % 2].to_owned()),
+                    mix_seed(31, i as u64),
+                );
+                let mut spec = AdmitSpec::new(cx.into_state());
+                spec.class = (*class).to_owned();
+                ids.push(queue.admit(spec).expect("open queue"));
+            }
+            assert_eq!(queue.ready_depth(), 3);
+            assert_eq!(
+                queue.ready_depths_by_class(),
+                vec![("batch".to_owned(), 2), ("interactive".to_owned(), 1)]
+            );
+            assert_eq!(queue.in_flight_jobs(), 0);
+            queue.seal();
+            queue.run_worker(&engine);
+            for id in ids {
+                queue.wait(id).expect("scheduled").expect("flow runs");
+            }
+            assert_eq!(queue.ready_depth(), 0);
+            assert_eq!(queue.in_flight_jobs(), 0);
+            // Drained classes stay visible at depth 0, like the gauges.
+            assert_eq!(
+                queue.ready_depths_by_class(),
+                vec![("batch".to_owned(), 0), ("interactive".to_owned(), 0)]
+            );
         });
     }
 

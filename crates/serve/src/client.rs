@@ -71,7 +71,11 @@ impl Client {
                 Response::Failed { request, error } => {
                     return Err(err(&format!("request {request} failed: {error}")))
                 }
-                Response::Error { error } => return Err(err(&error)),
+                Response::Error { code, error } => {
+                    return Err(err(&format!(
+                        "daemon rejected the request ({code}): {error}"
+                    )))
+                }
                 _ => {}
             }
         }
@@ -86,7 +90,7 @@ impl Client {
         self.send(&Request::Status)?;
         match self.recv()? {
             Some(Response::Status { requests }) => Ok(requests),
-            Some(Response::Error { error }) => Err(err(&error)),
+            Some(Response::Error { code, error }) => Err(err(&format!("{code}: {error}"))),
             other => Err(err(&format!("unexpected status answer: {other:?}"))),
         }
     }
@@ -101,7 +105,7 @@ impl Client {
         self.send(&Request::Cancel { request })?;
         match self.recv()? {
             Some(Response::Cancelled { ok, .. }) => Ok(ok),
-            Some(Response::Error { error }) => Err(err(&error)),
+            Some(Response::Error { code, error }) => Err(err(&format!("{code}: {error}"))),
             other => Err(err(&format!("unexpected cancel answer: {other:?}"))),
         }
     }
@@ -115,7 +119,7 @@ impl Client {
         self.send(&Request::Shutdown)?;
         match self.recv()? {
             Some(Response::ShuttingDown) | None => Ok(()),
-            Some(Response::Error { error }) => Err(err(&error)),
+            Some(Response::Error { code, error }) => Err(err(&format!("{code}: {error}"))),
             other => Err(err(&format!("unexpected shutdown answer: {other:?}"))),
         }
     }
@@ -133,8 +137,22 @@ fn err(msg: &str) -> std::io::Error {
 ///
 /// Timeout waiting for the daemon to bind.
 pub fn wait_for_addr(state_dir: &Path, timeout: Duration) -> std::io::Result<String> {
+    wait_for_addr_file(state_dir, "serve.addr", timeout)
+}
+
+/// Like [`wait_for_addr`], but for the HTTP introspection plane's
+/// `serve.http.addr` handshake (only written when the plane is enabled).
+///
+/// # Errors
+///
+/// Timeout waiting for the daemon to bind its HTTP listener.
+pub fn wait_for_http_addr(state_dir: &Path, timeout: Duration) -> std::io::Result<String> {
+    wait_for_addr_file(state_dir, "serve.http.addr", timeout)
+}
+
+fn wait_for_addr_file(state_dir: &Path, file: &str, timeout: Duration) -> std::io::Result<String> {
     let deadline = Instant::now() + timeout;
-    let path = state_dir.join("serve.addr");
+    let path = state_dir.join(file);
     loop {
         if let Ok(addr) = std::fs::read_to_string(&path) {
             let addr = addr.trim().to_owned();

@@ -43,7 +43,12 @@ use ascdg_duv::VerifEnv;
 use ascdg_stimgen::mix_seed;
 use ascdg_template::TemplateLibrary;
 
-use crate::protocol::{write_line, Request, RequestStatus, Response, SubmitSpec};
+use ascdg_telemetry::{MetricKind, SnapshotRing};
+
+use crate::http::{ClassDepth, DaemonStatus, GaugeReading, HttpPlane, RatesReport, UnitStatus};
+use crate::protocol::{
+    violation_code, write_line, ErrorCode, Request, RequestStatus, Response, SubmitSpec,
+};
 
 /// How many scheduler workers each unit's queue gets. Workers only
 /// coordinate (the simulations inside each stage fan out over the shared
@@ -63,7 +68,23 @@ pub struct ServeOptions {
     pub threads: usize,
     /// Telemetry sink shared by every request.
     pub telemetry: Telemetry,
+    /// HTTP introspection listener address (`None` disables the plane).
+    /// Port `0` picks a free one; the bound address is written to
+    /// `<state_dir>/serve.http.addr`. The plane is read-only: request
+    /// outcomes are byte-identical with or without it.
+    pub http_addr: Option<String>,
+    /// Snapshot-sampler tick in milliseconds (`0` means the 500 ms
+    /// default). Each tick pushes one registry snapshot into the ring
+    /// and refreshes the `/rates` diff.
+    pub sample_interval_ms: u64,
 }
+
+/// Snapshots the ring retains — 240 ticks, two minutes of history at the
+/// default 500 ms interval.
+const RING_CAPACITY: usize = 240;
+
+/// The default sampler tick.
+const DEFAULT_SAMPLE_INTERVAL_MS: u64 = 500;
 
 /// Resolves a request's unit name to a fresh environment. Accepts the
 /// CLI aliases and the canonical `unit_name()`s.
@@ -192,6 +213,29 @@ pub fn serve(opts: &ServeOptions) -> std::io::Result<()> {
     // The bound address is the daemon's handshake file: `port 0` callers
     // (tests, scripts) poll it to find the actual port.
     std::fs::write(opts.state_dir.join("serve.addr"), local.to_string())?;
+    let http_listener = match &opts.http_addr {
+        Some(addr) => {
+            let http = TcpListener::bind(addr)?;
+            http.set_nonblocking(true)?;
+            // Same handshake pattern as the line protocol, second file.
+            std::fs::write(
+                opts.state_dir.join("serve.http.addr"),
+                http.local_addr()?.to_string(),
+            )?;
+            Some(http)
+        }
+        None => None,
+    };
+    let sample_interval = Duration::from_millis(if opts.sample_interval_ms == 0 {
+        DEFAULT_SAMPLE_INTERVAL_MS
+    } else {
+        opts.sample_interval_ms
+    });
+    let ring = SnapshotRing::new(RING_CAPACITY);
+    let rates = Mutex::new(RatesReport::empty(
+        sample_interval.as_millis() as u64,
+        RING_CAPACITY,
+    ));
 
     let units: Vec<Arc<dyn VerifEnv>> = ["io", "l3", "ifu", "synthetic"]
         .iter()
@@ -225,6 +269,35 @@ pub fn serve(opts: &ServeOptions) -> std::io::Result<()> {
                         shard.queue.run_worker(&engine);
                     });
                 }
+            }
+            // The introspection plane: one accept loop for the HTTP
+            // endpoints, one background sampler filling the ring and the
+            // rates diff. Both are read-only and exit on shutdown.
+            if let Some(http) = &http_listener {
+                let daemon = &daemon;
+                let shards = &shards;
+                let ring = &ring;
+                let rates = &rates;
+                scope.spawn(move || {
+                    let status = || daemon_status(daemon, shards);
+                    let plane = HttpPlane {
+                        telemetry: &daemon.telemetry,
+                        ring,
+                        rates,
+                        status: &status,
+                        shutdown: &daemon.shutdown,
+                    };
+                    crate::http::run_http(http, &plane);
+                });
+                scope.spawn(move || {
+                    crate::http::run_sampler(
+                        &daemon.telemetry,
+                        ring,
+                        rates,
+                        sample_interval,
+                        &daemon.shutdown,
+                    );
+                });
             }
             // Restart recovery: re-admit every checkpointed request that
             // never wrote its outcome. Each runs detached (no client);
@@ -347,9 +420,13 @@ fn handle_conn<'env>(
                 continue;
             }
             Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                // A bad line gets a typed rejection, not a hangup: the
+                // reader already resynchronized at the next newline, so
+                // the peer's following lines still get served.
                 send(
                     &out,
                     &Response::Error {
+                        code: violation_code(&e),
                         error: e.to_string(),
                     },
                 );
@@ -417,6 +494,50 @@ fn status_snapshot(daemon: &Daemon, shards: &[Shard<'_>]) -> Vec<RequestStatus> 
             }
         })
         .collect()
+}
+
+/// Builds the `GET /status` answer: the line protocol's request view
+/// plus per-unit shard/queue state and the serve- and campaign-scoped
+/// scalar readings (among them the shared-cache hit counters).
+fn daemon_status(daemon: &Daemon, shards: &[Shard<'_>]) -> DaemonStatus {
+    let units = shards
+        .iter()
+        .map(|shard| UnitStatus {
+            unit: shard.unit_name().to_owned(),
+            active_jobs: shard.queue.active_jobs(),
+            in_flight: shard.queue.in_flight_jobs(),
+            ready_depth: shard.queue.ready_depth(),
+            ready_by_class: shard
+                .queue
+                .ready_depths_by_class()
+                .into_iter()
+                .map(|(class, depth)| ClassDepth { class, depth })
+                .collect(),
+            jobs: shard.queue.statuses(),
+        })
+        .collect();
+    let gauges = daemon
+        .telemetry
+        .metrics()
+        .map(ascdg_telemetry::MetricsRegistry::snapshot)
+        .unwrap_or_default()
+        .into_iter()
+        .filter(|m| matches!(m.kind, MetricKind::Gauge | MetricKind::Counter))
+        .filter(|m| {
+            m.name.starts_with("serve.")
+                || m.name.starts_with("campaign.")
+                || m.name.starts_with("objective.cross_group")
+        })
+        .map(|m| GaugeReading {
+            name: m.name,
+            value: m.value,
+        })
+        .collect();
+    DaemonStatus {
+        requests: status_snapshot(daemon, shards),
+        units,
+        gauges,
+    }
 }
 
 fn cancel_request(daemon: &Daemon, shards: &[Shard<'_>], id: u64) -> bool {
@@ -545,6 +666,7 @@ fn submit_request<'env>(
         send(
             out,
             &Response::Error {
+                code: ErrorCode::UnknownUnit,
                 error: format!("unknown unit `{}`", spec.unit),
             },
         );
@@ -555,6 +677,7 @@ fn submit_request<'env>(
         send(
             out,
             &Response::Error {
+                code: ErrorCode::UnknownProfile,
                 error: format!(
                     "unknown profile `{}` (expected paper or quick)",
                     spec.profile

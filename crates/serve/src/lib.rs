@@ -11,6 +11,9 @@
 //!   [`AdmissionQueue`](ascdg_core::AdmissionQueue)s over one shared
 //!   `SimPool`, streamed progress, atomic checkpoints and
 //!   restart recovery;
+//! * [`http`] — the read-only HTTP/1.0 introspection plane
+//!   (`/metrics`, `/status`, `/rates`, `/healthz`, `/ring`) plus the
+//!   background snapshot sampler behind it;
 //! * [`client`] — a small blocking client the CLI wraps.
 //!
 //! Determinism is inherited, not re-proven: requests are planned exactly
@@ -23,8 +26,12 @@
 
 pub mod client;
 pub mod daemon;
+pub mod http;
 pub mod protocol;
 
-pub use client::{wait_for_addr, Client};
+pub use client::{wait_for_addr, wait_for_http_addr, Client};
 pub use daemon::{request_config, resolve_unit, serve, ServeOptions};
-pub use protocol::{Request, RequestStatus, Response, SubmitSpec};
+pub use http::{http_get, ClassDepth, DaemonStatus, GaugeReading, RatesReport, UnitStatus};
+pub use protocol::{
+    violation_code, ErrorCode, Request, RequestStatus, Response, SubmitSpec, MAX_LINE_BYTES,
+};

@@ -6,7 +6,7 @@
 //! and streams `Progress` lines until the terminal `Done`/`Failed`; the
 //! other requests are single-exchange.
 
-use std::io::{BufRead, Write};
+use std::io::{BufRead, Read, Write};
 
 use serde::{Deserialize, Serialize};
 
@@ -131,11 +131,83 @@ pub enum Response {
     },
     /// Answer to `Shutdown`: the daemon is draining and will exit.
     ShuttingDown,
-    /// A malformed or unserviceable request line.
+    /// A malformed or unserviceable request line. The connection stays
+    /// open — the daemon resynchronizes at the next newline, so a client
+    /// can recover from its own bad line without reconnecting.
     Error {
+        /// Machine-readable classification of the rejection.
+        #[serde(default)]
+        code: ErrorCode,
         /// What was wrong with it.
         error: String,
     },
+}
+
+/// Why the daemon rejected a request line.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// The line was not a valid `Request` JSON object.
+    Malformed,
+    /// The line exceeded [`MAX_LINE_BYTES`]; the daemon discarded it
+    /// through the next newline.
+    Oversized,
+    /// The line was not valid UTF-8.
+    InvalidUtf8,
+    /// A `Submit` named a unit the daemon does not host.
+    UnknownUnit,
+    /// A `Submit` named a budget profile that does not exist.
+    UnknownProfile,
+    /// Any other daemon-side failure to classify the line.
+    #[default]
+    Internal,
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ErrorCode::Malformed => "malformed",
+            ErrorCode::Oversized => "oversized",
+            ErrorCode::InvalidUtf8 => "invalid-utf8",
+            ErrorCode::UnknownUnit => "unknown-unit",
+            ErrorCode::UnknownProfile => "unknown-profile",
+            ErrorCode::Internal => "internal",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A protocol-violation payload carried inside the `InvalidData`
+/// `io::Error`s that [`read_line`] returns, so servers can answer with
+/// the matching typed [`ErrorCode`] instead of guessing from prose.
+#[derive(Debug)]
+pub struct ProtocolViolation {
+    /// The classification a responder should echo.
+    pub code: ErrorCode,
+    message: String,
+}
+
+impl std::fmt::Display for ProtocolViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ProtocolViolation {}
+
+fn violation(code: ErrorCode, message: String) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        ProtocolViolation { code, message },
+    )
+}
+
+/// The [`ErrorCode`] buried in a [`read_line`] error
+/// ([`ErrorCode::Internal`] for I/O errors that carry no violation).
+#[must_use]
+pub fn violation_code(e: &std::io::Error) -> ErrorCode {
+    e.get_ref()
+        .and_then(|inner| inner.downcast_ref::<ProtocolViolation>())
+        .map_or(ErrorCode::Internal, |v| v.code)
 }
 
 /// Writes one message as one JSON line and flushes it.
@@ -151,27 +223,71 @@ pub fn write_line<T: Serialize>(w: &mut impl Write, msg: &T) -> std::io::Result<
     w.flush()
 }
 
+/// Longest accepted protocol line, in bytes (1 MiB). A `Submit` line is
+/// a few hundred bytes; the cap exists so one hostile or broken peer
+/// cannot grow an unbounded buffer on the daemon.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
 /// Reads the next non-empty line and decodes it. Returns `Ok(None)` on a
 /// clean end of stream.
 ///
 /// # Errors
 ///
-/// I/O failure as `Err(io::Error)`; a line that is not valid `T` is
-/// reported as `InvalidData`.
+/// I/O failure as `Err(io::Error)`. A line that violates the protocol is
+/// `InvalidData` wrapping a [`ProtocolViolation`] (extract the code with
+/// [`violation_code`]): not valid `T` ([`ErrorCode::Malformed`]), longer
+/// than [`MAX_LINE_BYTES`] ([`ErrorCode::Oversized`] — the rest of the
+/// line is drained so the stream resynchronizes at the next newline), or
+/// not UTF-8 ([`ErrorCode::InvalidUtf8`]).
 pub fn read_line<T: Deserialize>(r: &mut impl BufRead) -> std::io::Result<Option<T>> {
-    let mut line = String::new();
+    let mut buf = Vec::new();
     loop {
-        line.clear();
-        if r.read_line(&mut line)? == 0 {
+        buf.clear();
+        let n = Read::take(&mut *r, MAX_LINE_BYTES as u64 + 1).read_until(b'\n', &mut buf)?;
+        if n == 0 {
             return Ok(None);
         }
-        let trimmed = line.trim();
+        if buf.len() > MAX_LINE_BYTES && buf.last() != Some(&b'\n') {
+            drain_to_newline(r)?;
+            return Err(violation(
+                ErrorCode::Oversized,
+                format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+            ));
+        }
+        let Ok(text) = std::str::from_utf8(&buf) else {
+            return Err(violation(
+                ErrorCode::InvalidUtf8,
+                "request line is not valid UTF-8".to_owned(),
+            ));
+        };
+        let trimmed = text.trim();
         if trimmed.is_empty() {
             continue;
         }
         return serde_json::from_str(trimmed)
             .map(Some)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()));
+            .map_err(|e| violation(ErrorCode::Malformed, e.to_string()));
+    }
+}
+
+/// Discards stream bytes through the next newline (or end of stream) —
+/// the resynchronization step after an oversized line.
+fn drain_to_newline(r: &mut impl BufRead) -> std::io::Result<()> {
+    loop {
+        let available = r.fill_buf()?;
+        if available.is_empty() {
+            return Ok(());
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                r.consume(i + 1);
+                return Ok(());
+            }
+            None => {
+                let n = available.len();
+                r.consume(n);
+            }
+        }
     }
 }
 
@@ -243,5 +359,80 @@ mod tests {
         let mut r = std::io::BufReader::new(&b"{nope\n"[..]);
         let err = read_line::<Request>(&mut r).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert_eq!(violation_code(&err), ErrorCode::Malformed);
+    }
+
+    #[test]
+    fn truncated_line_is_malformed_then_clean_eof() {
+        // A partial JSON object with no trailing newline: the stream
+        // ended mid-line. The fragment decodes as Malformed; the next
+        // read observes the clean end of stream.
+        let mut r = std::io::BufReader::new(&br#"{"Submit": {"unit": "io""#[..]);
+        let err = read_line::<Request>(&mut r).unwrap_err();
+        assert_eq!(violation_code(&err), ErrorCode::Malformed);
+        assert!(read_line::<Request>(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_line_is_rejected_and_stream_resyncs() {
+        let mut bytes = vec![b'x'; MAX_LINE_BYTES + 100];
+        bytes.push(b'\n');
+        write_line(&mut bytes, &Request::Status).unwrap();
+        let mut r = std::io::BufReader::new(&bytes[..]);
+        let err = read_line::<Request>(&mut r).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert_eq!(violation_code(&err), ErrorCode::Oversized);
+        // The oversized line was drained through its newline: the valid
+        // request behind it parses on the same reader.
+        let next: Request = read_line(&mut r).unwrap().expect("line after resync");
+        assert_eq!(next, Request::Status);
+        assert!(read_line::<Request>(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn max_sized_line_still_parses() {
+        // Exactly MAX_LINE_BYTES of content (newline excluded) is legal:
+        // pad a valid request with trailing spaces, which trim away.
+        let mut line = serde_json::to_string(&Request::Status)
+            .unwrap()
+            .into_bytes();
+        line.resize(MAX_LINE_BYTES, b' ');
+        line.push(b'\n');
+        let mut r = std::io::BufReader::new(&line[..]);
+        let got: Request = read_line(&mut r).unwrap().expect("line present");
+        assert_eq!(got, Request::Status);
+    }
+
+    #[test]
+    fn invalid_utf8_line_is_typed_and_stream_resyncs() {
+        let mut bytes = vec![0xff, 0xfe, 0x80, b'\n'];
+        write_line(&mut bytes, &Request::Shutdown).unwrap();
+        let mut r = std::io::BufReader::new(&bytes[..]);
+        let err = read_line::<Request>(&mut r).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert_eq!(violation_code(&err), ErrorCode::InvalidUtf8);
+        let next: Request = read_line(&mut r).unwrap().expect("line after bad bytes");
+        assert_eq!(next, Request::Shutdown);
+    }
+
+    #[test]
+    fn error_code_defaults_for_pre_code_peers() {
+        // A daemon or client from before typed errors sends no `code`;
+        // the field defaults instead of failing the whole line.
+        let legacy = r#"{"Error": {"error": "nope"}}"#;
+        let resp: Response = serde_json::from_str(legacy).unwrap();
+        assert_eq!(
+            resp,
+            Response::Error {
+                code: ErrorCode::Internal,
+                error: "nope".to_owned(),
+            }
+        );
+        let typed = serde_json::to_string(&Response::Error {
+            code: ErrorCode::Oversized,
+            error: "too long".to_owned(),
+        })
+        .unwrap();
+        assert!(typed.contains("Oversized"), "typed code on the wire");
     }
 }

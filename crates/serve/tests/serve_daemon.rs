@@ -36,6 +36,8 @@ fn start_daemon(state_dir: &std::path::Path) -> (String, std::thread::JoinHandle
         state_dir: state_dir.to_path_buf(),
         threads: test_threads(),
         telemetry: Telemetry::enabled(),
+        http_addr: None,
+        sample_interval_ms: 0,
     };
     let handle = std::thread::spawn(move || serve(&opts).expect("daemon runs"));
     let addr = wait_for_addr(state_dir, Duration::from_secs(10)).expect("daemon binds");
@@ -249,7 +251,7 @@ fn protocol_errors_and_cancel_of_unknown_requests_answer_cleanly() {
         }))
         .unwrap();
     match client.recv().expect("answer").expect("line") {
-        Response::Error { error } => assert!(error.contains("no_such_unit"), "{error}"),
+        Response::Error { error, .. } => assert!(error.contains("no_such_unit"), "{error}"),
         other => panic!("expected Error, got {other:?}"),
     }
     assert!(client.status().expect("status still works").is_empty());

@@ -9,7 +9,11 @@
 //! - a **metrics registry**: named [`Counter`]s, [`Gauge`]s and
 //!   log-bucketed [`Histogram`]s ([`MetricsRegistry`]);
 //! - **exporters**: a JSONL trace ([`write_jsonl`], [`render_trace`]) and
-//!   run-manifest provenance ([`Provenance`]).
+//!   run-manifest provenance ([`Provenance`]);
+//! - **live introspection**: Prometheus text exposition
+//!   ([`render_exposition`]), snapshot-rate diffing ([`DeltaTracker`])
+//!   and a bounded periodic-snapshot ring ([`SnapshotRing`]) — the
+//!   read-only plane the serve daemon's HTTP endpoints are built on.
 //!
 //! The handle is a cheap `Arc` clone and thread-safe. A *disabled* handle
 //! (the default) is a `None` — every instrumentation call short-circuits
@@ -21,12 +25,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod introspect;
 mod metrics;
 mod provenance;
 mod trace;
 
+pub use introspect::{
+    exposition_name, render_exposition, DeltaTracker, RateSample, RingSample, SnapshotRing,
+};
 pub use metrics::{
-    Counter, Gauge, Histogram, HistogramSnapshot, MetricKind, MetricSnapshot, MetricsRegistry,
+    quantile_from_buckets, BucketCount, Counter, Gauge, Histogram, HistogramSnapshot, MetricFamily,
+    MetricKind, MetricSnapshot, MetricsRegistry,
 };
 pub use provenance::{detect_git_commit, Provenance};
 pub use trace::{

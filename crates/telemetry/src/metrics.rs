@@ -169,22 +169,36 @@ impl Histogram {
     }
 
     /// The floor of the bucket holding the `q`-quantile sample (0 when
-    /// the histogram is empty).
+    /// the histogram is empty). Computed from the log-bucket snapshot,
+    /// so the answer is within 25% below the true sample.
     #[must_use]
     pub fn quantile(&self, q: f64) -> u64 {
-        let count = self.core.count.load(Ordering::Relaxed);
-        if count == 0 {
-            return 0;
-        }
-        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
-        let mut seen = 0u64;
-        for (i, bucket) in self.core.buckets.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
-            if seen >= target {
-                return bucket_floor(i);
-            }
-        }
-        self.core.max.load(Ordering::Relaxed)
+        quantile_from_buckets(&self.bucket_counts(), q)
+    }
+
+    /// The occupied log buckets, in ascending value order. Each entry
+    /// covers the half-open sample range `[floor, upper)`; empty buckets
+    /// are omitted (cumulative consumers — quantiles, Prometheus
+    /// exposition — lose nothing by skipping them).
+    #[must_use]
+    pub fn bucket_counts(&self) -> Vec<BucketCount> {
+        self.core
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, bucket)| {
+                let count = bucket.load(Ordering::Relaxed);
+                (count > 0).then(|| BucketCount {
+                    floor: bucket_floor(i),
+                    upper: if i + 1 < BUCKETS {
+                        bucket_floor(i + 1)
+                    } else {
+                        u64::MAX
+                    },
+                    count,
+                })
+            })
+            .collect()
     }
 
     /// Mean of the recorded samples (0.0 when empty).
@@ -197,6 +211,40 @@ impl Histogram {
             self.core.sum.load(Ordering::Relaxed) as f64 / count as f64
         }
     }
+}
+
+/// One occupied log bucket of a [`Histogram`]: `count` samples fell in
+/// the half-open value range `[floor, upper)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketCount {
+    /// Smallest value the bucket can hold.
+    pub floor: u64,
+    /// Exclusive upper bound (`u64::MAX` for the last bucket).
+    pub upper: u64,
+    /// Samples recorded into the bucket.
+    pub count: u64,
+}
+
+/// The `q`-quantile over an ascending bucket snapshot (the floor of the
+/// bucket the quantile sample fell in; 0 when the snapshot is empty).
+/// This is the same arithmetic [`Histogram::quantile`] runs, exposed so
+/// exported bucket data — exposition scrapes, ring samples — can answer
+/// quantile queries offline.
+#[must_use]
+pub fn quantile_from_buckets(buckets: &[BucketCount], q: f64) -> u64 {
+    let total: u64 = buckets.iter().map(|b| b.count).sum();
+    if total == 0 {
+        return 0;
+    }
+    let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for b in buckets {
+        seen += b.count;
+        if seen >= target {
+            return b.floor;
+        }
+    }
+    buckets.last().map_or(0, |b| b.floor)
 }
 
 /// Serializable summary of a [`Histogram`].
@@ -337,6 +385,61 @@ impl MetricsRegistry {
             })
             .collect()
     }
+
+    /// Like [`MetricsRegistry::snapshot`], but histograms additionally
+    /// carry their occupied log buckets — the input the Prometheus
+    /// exposition renderer needs for `_bucket` lines. The summary-only
+    /// [`MetricSnapshot`] stays untouched because it is part of the
+    /// golden-pinned trace schema.
+    #[must_use]
+    pub fn families(&self) -> Vec<MetricFamily> {
+        let metrics = self.metrics.lock();
+        metrics
+            .iter()
+            .map(|(name, metric)| {
+                let (snapshot, buckets) = match metric {
+                    Metric::Counter(c) => (
+                        MetricSnapshot {
+                            name: name.clone(),
+                            kind: MetricKind::Counter,
+                            value: c.value() as f64,
+                            histogram: None,
+                        },
+                        Vec::new(),
+                    ),
+                    Metric::Gauge(g) => (
+                        MetricSnapshot {
+                            name: name.clone(),
+                            kind: MetricKind::Gauge,
+                            value: g.value(),
+                            histogram: None,
+                        },
+                        Vec::new(),
+                    ),
+                    Metric::Histogram(h) => (
+                        MetricSnapshot {
+                            name: name.clone(),
+                            kind: MetricKind::Histogram,
+                            value: h.mean(),
+                            histogram: Some(h.snapshot()),
+                        },
+                        h.bucket_counts(),
+                    ),
+                };
+                MetricFamily { snapshot, buckets }
+            })
+            .collect()
+    }
+}
+
+/// One metric with everything the registry knows about it: the summary
+/// [`MetricSnapshot`] plus — for histograms — the occupied log buckets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricFamily {
+    /// The summary snapshot (same shape the trace exports).
+    pub snapshot: MetricSnapshot,
+    /// Occupied log buckets, ascending; empty for counters and gauges.
+    pub buckets: Vec<BucketCount>,
 }
 
 #[cfg(test)]
@@ -419,6 +522,46 @@ mod tests {
         assert_eq!(snap.len(), 1);
         assert_eq!(snap[0].kind, MetricKind::Counter);
         assert_eq!(snap[0].value, 1.0);
+    }
+
+    #[test]
+    fn bucket_counts_cover_every_sample_and_invert_quantiles() {
+        let h = Histogram::new();
+        for v in [0u64, 3, 10, 20, 30, 40, 1000, 1000] {
+            h.record(v);
+        }
+        let buckets = h.bucket_counts();
+        assert_eq!(buckets.iter().map(|b| b.count).sum::<u64>(), 8);
+        for w in buckets.windows(2) {
+            assert!(w[0].upper <= w[1].floor, "buckets out of order: {w:?}");
+        }
+        for b in &buckets {
+            assert!(b.floor < b.upper);
+        }
+        // The offline quantile over exported buckets equals the live one.
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(quantile_from_buckets(&buckets, q), h.quantile(q));
+        }
+        assert_eq!(quantile_from_buckets(&[], 0.5), 0);
+        // A value-0 sample lands in a floor-0 bucket and stays there.
+        assert_eq!(buckets[0].floor, 0);
+        assert_eq!(quantile_from_buckets(&buckets, 0.01), 0);
+    }
+
+    #[test]
+    fn families_carry_buckets_only_for_histograms() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a.count").add(4);
+        reg.gauge("b.gauge").set(2.0);
+        reg.histogram("c.hist").record(100);
+        let families = reg.families();
+        assert_eq!(families.len(), 3);
+        assert!(families[0].buckets.is_empty());
+        assert!(families[1].buckets.is_empty());
+        assert_eq!(families[2].buckets.iter().map(|b| b.count).sum::<u64>(), 1);
+        // families' snapshots agree with the plain snapshot path.
+        let snaps: Vec<MetricSnapshot> = families.into_iter().map(|f| f.snapshot).collect();
+        assert_eq!(snaps, reg.snapshot());
     }
 
     #[test]

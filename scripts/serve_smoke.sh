@@ -5,6 +5,11 @@
 # byte-identical outcome a fresh daemon produces. Also exercises the CLI
 # campaign --checkpoint/--resume identity.
 #
+# Also probes the daemon's HTTP introspection plane: /healthz and
+# /metrics must answer on the live daemon, the exposition must carry the
+# stable ascdg_* counter names, and `ascdg top --once` must render a
+# frame from /status + /rates.
+#
 # Usage: scripts/serve_smoke.sh [path-to-ascdg-binary]
 set -euo pipefail
 
@@ -48,6 +53,33 @@ ls "$WORK"/stateA/req*.group*.manifest.json
 for m in "$WORK"/stateA/req*.group*.manifest.json; do
   "$ASCDG" trace --manifest "$m" >/dev/null
 done
+
+echo "== http introspection plane answers on the live daemon =="
+wait_for_file "$WORK/stateA/serve.http.addr" 30
+HTTP_ADDR=$(cat "$WORK/stateA/serve.http.addr")
+
+# curl when available, bash /dev/tcp otherwise (prints the body only).
+http_get() {
+  if command -v curl >/dev/null 2>&1; then
+    curl -sf "http://$HTTP_ADDR$1"
+  else
+    exec 3<>"/dev/tcp/${HTTP_ADDR%:*}/${HTTP_ADDR##*:}"
+    printf 'GET %s HTTP/1.0\r\nConnection: close\r\n\r\n' "$1" >&3
+    sed '1,/^\r\{0,1\}$/d' <&3
+    exec 3<&- 3>&-
+  fi
+}
+
+http_get /healthz | grep -q '^ok' || { echo "/healthz did not answer ok"; exit 1; }
+http_get /metrics >"$WORK/metrics.txt"
+grep -q '^ascdg_serve_requests_total 2$' "$WORK/metrics.txt" \
+  || { echo "/metrics missing the request counter"; cat "$WORK/metrics.txt"; exit 1; }
+grep -q '^# TYPE ascdg_up gauge$' "$WORK/metrics.txt" \
+  || { echo "/metrics is not Prometheus text exposition"; exit 1; }
+"$ASCDG" top --state-dir "$WORK/stateA" --once >"$WORK/top.txt"
+grep -q '^units:' "$WORK/top.txt" && grep -q 'io_unit' "$WORK/top.txt" \
+  || { echo "ascdg top rendered no unit table"; cat "$WORK/top.txt"; exit 1; }
+echo "/healthz, /metrics and ascdg top OK"
 
 echo "== SIGTERM mid-run, restart recovers to identical bytes =="
 "$ASCDG" submit --unit io --profile quick --scale 4.0 --seed 99 \

@@ -12,12 +12,14 @@ use std::process::ExitCode;
 use ascdg::core::{
     pool_scope_with, read_campaign_checkpoint, ApproxTarget, CampaignOutcome, CampaignProgress,
     CdgFlow, CheckpointWriter, EvalStrategy, FlowConfig, FlowEngine, FlowEvent, RunManifest,
-    SessionState, TargetSpec, Telemetry,
+    SessionLifecycle, SessionState, TargetSpec, Telemetry,
 };
 use ascdg::coverage::{CoverageRepository, EventFamily, RepoSnapshot, StatusPolicy};
 use ascdg::duv::synthetic::{SyntheticConfig, SyntheticEnv};
 use ascdg::duv::{ifu::IfuEnv, io_unit::IoEnv, l3cache::L3Env, VerifEnv};
-use ascdg::serve::{Client, Response, ServeOptions, SubmitSpec};
+use ascdg::serve::{
+    http_get, Client, DaemonStatus, RatesReport, Response, ServeOptions, SubmitSpec,
+};
 use ascdg::template::TestTemplate;
 
 fn main() -> ExitCode {
@@ -40,6 +42,7 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
         Some("status") => cmd_status(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             Ok(())
@@ -101,6 +104,7 @@ USAGE:
       for free, and the outcome is byte-identical to the uninterrupted
       campaign.
   ascdg serve [--addr <host:port>] [--state-dir <dir>] [--threads <n>]
+            [--http <host:port|off>] [--sample-ms <n>]
       Run the long-lived closure daemon: accepts Submit/Status/Cancel/
       Shutdown lines (JSON, one per line) over TCP, interleaves every
       admitted request's group sessions over one shared worker pool with
@@ -108,7 +112,11 @@ USAGE:
       each request under --state-dir. On restart, requests that never
       produced an outcome are re-admitted from their checkpoints and
       finish with the identical bytes. Port 0 picks a free port; the
-      bound address lands in <state-dir>/serve.addr.
+      bound address lands in <state-dir>/serve.addr. --http binds the
+      read-only introspection plane (GET /metrics, /status, /rates,
+      /healthz, /ring; default 127.0.0.1:0, address in
+      <state-dir>/serve.http.addr; `off` disables it); --sample-ms sets
+      the background snapshot sampler's tick (default 500).
   ascdg submit --unit <name> [--addr <host:port> | --state-dir <dir>]
             [--scale <f>] [--seed <n>] [--profile <paper|quick>]
             [--weight <n>] [--class <label>] [--json <path>]
@@ -121,6 +129,15 @@ USAGE:
             [--shutdown]
       Show every request a daemon tracks (or cancel one / stop the
       daemon). Cancelled sessions retire at their next stage boundary.
+  ascdg top [--addr <host:port> | --state-dir <dir>] [--interval-ms <n>]
+            [--iterations <n>] [--once]
+      Live view of a daemon's introspection plane: polls GET /status and
+      GET /rates and redraws a terminal table of per-series rates
+      (sims/s, merges/s per stripe, coalesced/s), per-unit queue depths
+      by priority class, and every tracked request. --addr is the HTTP
+      address (serve.http.addr, not serve.addr); --once prints a single
+      frame without clearing the screen (what scripts and CI use);
+      --iterations stops after <n> frames.
   ascdg trace <file.trace.jsonl>
       Render a `--metrics-out` trace: span tree with wall-clock and
       simulation attribution, event counts and the metric table.
@@ -391,7 +408,21 @@ fn cmd_trace(args: &[String]) -> CliResult {
             commit
         );
         for entry in &manifest.stage_sims {
-            println!("  {:<16} {:>10} sims", entry.stage, entry.sims);
+            // Pair each ledger row with its stage's sim-latency histogram
+            // (recorded under `stage.<stage>.sim_latency_ns`) when the
+            // manifest carries one.
+            let latency = manifest
+                .metrics
+                .iter()
+                .find(|m| m.name == format!("stage.{}.sim_latency_ns", entry.stage))
+                .and_then(|m| m.histogram);
+            match latency {
+                Some(h) => println!(
+                    "  {:<16} {:>10} sims   p50 {} ns  p99 {} ns",
+                    entry.stage, entry.sims, h.p50, h.p99
+                ),
+                None => println!("  {:<16} {:>10} sims", entry.stage, entry.sims),
+            }
         }
         if let Some(cov) = &manifest.coverage {
             println!(
@@ -592,11 +623,19 @@ fn cmd_serve(args: &[String]) -> CliResult {
             .into(),
         threads: flag_value(args, "--threads").map_or(Ok(0), str::parse)?,
         telemetry: Telemetry::enabled(),
+        http_addr: match flag_value(args, "--http").unwrap_or("127.0.0.1:0") {
+            "off" => None,
+            addr => Some(addr.to_owned()),
+        },
+        sample_interval_ms: flag_value(args, "--sample-ms").map_or(Ok(0), str::parse)?,
     };
     eprintln!(
         "ascdg serve: state dir {}, checkpointing every request after every group stage",
         opts.state_dir.display()
     );
+    if opts.http_addr.is_none() {
+        eprintln!("ascdg serve: http introspection plane disabled (--http off)");
+    }
     ascdg::serve::serve(&opts)?;
     eprintln!("ascdg serve: drained and stopped");
     Ok(())
@@ -696,4 +735,147 @@ fn cmd_status(args: &[String]) -> CliResult {
         );
     }
     Ok(())
+}
+
+/// Finds a daemon's HTTP introspection plane: `--addr` wins (it names the
+/// HTTP listener, not the line-protocol one), else `--state-dir`'s
+/// `serve.http.addr` handshake file.
+fn daemon_http_addr(args: &[String]) -> Result<String, Box<dyn std::error::Error>> {
+    if let Some(addr) = flag_value(args, "--addr") {
+        return Ok(addr.to_owned());
+    }
+    let dir = flag_value(args, "--state-dir").unwrap_or("ascdg-serve-state");
+    Ok(ascdg::serve::wait_for_http_addr(
+        std::path::Path::new(dir),
+        std::time::Duration::from_secs(5),
+    )?)
+}
+
+fn cmd_top(args: &[String]) -> CliResult {
+    let addr = daemon_http_addr(args)?;
+    let interval_ms: u64 = flag_value(args, "--interval-ms").map_or(Ok(1000), str::parse)?;
+    let iterations: u64 = if has_flag(args, "--once") {
+        1
+    } else {
+        flag_value(args, "--iterations").map_or(Ok(0), str::parse)?
+    };
+    let mut tick: u64 = 0;
+    loop {
+        let (status_code, status_body) = http_get(&addr, "/status")?;
+        let (rates_code, rates_body) = http_get(&addr, "/rates")?;
+        if status_code != 200 || rates_code != 200 {
+            return Err(
+                format!("daemon answered /status {status_code}, /rates {rates_code}").into(),
+            );
+        }
+        let status: DaemonStatus = serde_json::from_str(&status_body)?;
+        let rates: RatesReport = serde_json::from_str(&rates_body)?;
+        tick += 1;
+        if iterations != 1 {
+            // Full-screen redraw between polls; --once appends plainly so
+            // scripts can grep the frame.
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{}", render_top(&addr, tick, &status, &rates));
+        if iterations > 0 && tick >= iterations {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
+/// One `ascdg top` frame over the daemon's `/status` and `/rates`
+/// answers.
+fn render_top(addr: &str, tick: u64, status: &DaemonStatus, rates: &RatesReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "ascdg top — {addr} — frame {tick} — sampler {:.1}s up, {} sample(s), ring {}/{}",
+        rates.at_ms as f64 / 1000.0,
+        rates.samples,
+        rates.ring_len,
+        rates.ring_capacity,
+    );
+    if rates.rates.is_empty() {
+        out.push_str("rates: (waiting for the sampler's second tick)\n");
+    } else {
+        let _ = writeln!(out, "rates (over the last {} ms tick):", rates.interval_ms);
+        let name_w = rates.rates.iter().map(|r| r.name.len()).max().unwrap_or(0);
+        for r in &rates.rates {
+            let _ = writeln!(
+                out,
+                "  {:name_w$}  {:>12.1}/s  (+{})",
+                r.name, r.per_sec, r.delta
+            );
+        }
+    }
+    out.push_str("units:\n");
+    for unit in &status.units {
+        let classes: Vec<String> = unit
+            .ready_by_class
+            .iter()
+            .map(|c| format!("{}={}", c.class, c.depth))
+            .collect();
+        let _ = writeln!(
+            out,
+            "  {:<12} active {:>3}  in-flight {:>3}  ready {:>3}  [{}]",
+            unit.unit,
+            unit.active_jobs,
+            unit.in_flight,
+            unit.ready_depth,
+            classes.join(" ")
+        );
+    }
+    if status.requests.is_empty() {
+        out.push_str("requests: (none)\n");
+    } else {
+        out.push_str("requests:\n");
+        for req in &status.requests {
+            let running = req
+                .groups
+                .iter()
+                .filter(|g| matches!(g, SessionLifecycle::Running))
+                .count();
+            let complete = req
+                .groups
+                .iter()
+                .filter(|g| matches!(g, SessionLifecycle::Complete))
+                .count();
+            let state = if req.done {
+                "done"
+            } else if running > 0 {
+                "running"
+            } else {
+                "queued"
+            };
+            let _ = writeln!(
+                out,
+                "  #{:<4} {:<10} {:<8} class {:<10} weight {:>2}  groups {}/{} ({} running)  stages {:>3}  sims {:>9}",
+                req.request,
+                req.unit,
+                state,
+                req.class,
+                req.weight,
+                complete,
+                req.groups.len(),
+                running,
+                req.completed_stages,
+                req.sims
+            );
+        }
+    }
+    if !status.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        let name_w = status
+            .gauges
+            .iter()
+            .map(|g| g.name.len())
+            .max()
+            .unwrap_or(0);
+        for g in &status.gauges {
+            let _ = writeln!(out, "  {:name_w$}  {}", g.name, g.value);
+        }
+    }
+    out
 }
