@@ -116,9 +116,48 @@ fn main() {
             k.identical
         );
     }
+    if let Some(probe) = &report.dispatch {
+        eprintln!(
+            "dispatch: {:.0} ns/chunk ({} batches x {} chunks, {} threads, {} jobs injected)",
+            probe.dispatch_ns_per_chunk,
+            probe.batches,
+            probe.chunks_per_batch,
+            probe.threads,
+            probe.jobs_dispatched
+        );
+    }
+    if let Some(probe) = &report.fusion {
+        eprintln!(
+            "fusion: {} tails -> {} invocations ({} lanes, {:.0}% occupancy), identical: {}",
+            probe.fused_chunks,
+            probe.invocations,
+            probe.fused_lanes,
+            probe.occupancy_pct,
+            probe.identical
+        );
+    }
+    if let Some(probe) = &report.serve {
+        eprintln!(
+            "serve: {} tenants in {:.1} ms ({:.0} sims/s, {} fused tails at {:.0}% occupancy), identical: {}",
+            probe.tenants,
+            probe.wall_ms,
+            probe.sims_per_sec,
+            probe.fused_chunks,
+            probe.fusion_occupancy_pct,
+            probe.identical
+        );
+    }
     assert!(
         report.phase_identical && report.repo_identical,
         "parallel run diverged from serial — determinism bug"
+    );
+    assert!(
+        report.fusion.as_ref().is_none_or(|p| p.identical),
+        "fused runner diverged from the unfused reference — determinism bug"
+    );
+    assert!(
+        report.serve.as_ref().is_none_or(|p| p.identical),
+        "a multi-tenant drain outcome diverged from its one-shot equivalent"
     );
     assert!(
         report.telemetry.as_ref().is_none_or(|p| p.identical),
@@ -163,6 +202,7 @@ fn main() {
     }
     check_plane_speedup(&report);
     check_campaign_speedup(&report);
+    check_dispatch(&report);
     check_baseline(&report);
     let json = serde_json::to_string_pretty(&report).expect("serialize");
     std::fs::write("BENCH_parallel.json", json).expect("write BENCH_parallel.json");
@@ -192,6 +232,11 @@ struct TrajectoryEntry {
     kernels_identical: bool,
     planes_identical: bool,
     best_plane_speedup: f64,
+    dispatch_ns_per_chunk: Option<f64>,
+    fusion_occupancy_pct: Option<f64>,
+    fusion_identical: Option<bool>,
+    serve_sims_per_sec: Option<f64>,
+    serve_identical: Option<bool>,
 }
 
 /// Appends this run's headline numbers and verdicts as one JSON line to
@@ -225,6 +270,11 @@ fn append_trajectory(report: &ascdg_bench::parallel::ParallelBenchReport) {
             .iter()
             .map(|p| p.plane_speedup)
             .fold(0.0f64, f64::max),
+        dispatch_ns_per_chunk: report.dispatch.as_ref().map(|p| p.dispatch_ns_per_chunk),
+        fusion_occupancy_pct: report.fusion.as_ref().map(|p| p.occupancy_pct),
+        fusion_identical: report.fusion.as_ref().map(|p| p.identical),
+        serve_sims_per_sec: report.serve.as_ref().map(|p| p.sims_per_sec),
+        serve_identical: report.serve.as_ref().map(|p| p.identical),
     };
     let line = serde_json::to_string(&entry).expect("trajectory entry serializes");
     match std::fs::OpenOptions::new()
@@ -275,6 +325,51 @@ fn check_plane_speedup(report: &ascdg_bench::parallel::ParallelBenchReport) {
         eprintln!(
             "warning: bit-plane path won only {:.2}x on its best unit ({}) (set ASCDG_BENCH_STRICT=1 to fail)",
             best.plane_speedup, best.unit
+        );
+    }
+}
+
+/// Guards the pool's dispatch overhead against the committed baseline:
+/// `dispatch_ns_per_chunk` must not regress more than 25% vs the value in
+/// `BENCH_parallel.json`. Unlike the speedup gates this verdict exists on
+/// any core count, but single-digit-core boxes time it too noisily to
+/// hard-fail on, so the assert additionally needs 4+ hardware threads and
+/// `ASCDG_BENCH_STRICT=1`; everywhere else the verdict is only logged.
+/// Baselines that predate the probe (field absent) skip silently.
+fn check_dispatch(report: &ascdg_bench::parallel::ParallelBenchReport) {
+    let Some(probe) = &report.dispatch else {
+        return;
+    };
+    let Ok(old) = std::fs::read_to_string("BENCH_parallel.json") else {
+        return;
+    };
+    let Ok(baseline) = serde_json::from_str::<ascdg_bench::parallel::ParallelBenchReport>(&old)
+    else {
+        return;
+    };
+    let Some(base) = &baseline.dispatch else {
+        return;
+    };
+    if base.dispatch_ns_per_chunk <= 0.0 {
+        return;
+    }
+    let delta_pct = (probe.dispatch_ns_per_chunk - base.dispatch_ns_per_chunk)
+        / base.dispatch_ns_per_chunk
+        * 100.0;
+    eprintln!(
+        "dispatch gate: {:.0} ns/chunk baseline -> {:.0} ns/chunk ({:+.1}%)",
+        base.dispatch_ns_per_chunk, probe.dispatch_ns_per_chunk, delta_pct
+    );
+    let strict = std::env::var("ASCDG_BENCH_STRICT").is_ok_and(|v| v == "1");
+    if delta_pct > 25.0 {
+        if strict && report.machine_threads >= 4 {
+            panic!(
+                "dispatch overhead regressed {delta_pct:.1}% vs committed baseline (>25% budget)"
+            );
+        }
+        eprintln!(
+            "warning: dispatch overhead regressed {delta_pct:.1}% vs baseline \
+             (hard-fails with ASCDG_BENCH_STRICT=1 on 4+ hardware threads)"
         );
     }
 }

@@ -13,9 +13,9 @@ use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 use ascdg_core::{
-    machine_threads, pool_scope_with, ApproxTarget, BatchRunner, BatchStats, CdgFlow, CdgObjective,
-    CounterSnapshot, EvalStrategy, FlowConfig, FlowEngine, FlowError, ResolvedTemplate,
-    SharedEvalCache, Skeletonizer, TargetSpec, Telemetry,
+    machine_threads, pool_scope_with, AdmissionQueue, AdmitSpec, ApproxTarget, BatchRunner,
+    BatchStats, CdgFlow, CdgObjective, CounterSnapshot, EvalStrategy, FlowConfig, FlowEngine,
+    FlowError, FusionHub, ResolvedTemplate, SharedEvalCache, Skeletonizer, TargetSpec, Telemetry,
 };
 use ascdg_coverage::{CoverageVector, EventFamily};
 use ascdg_duv::{
@@ -104,6 +104,87 @@ pub struct ParallelBenchReport {
     /// environment (all four built-in units).
     #[serde(default)]
     pub planes: Vec<PlaneProbe>,
+    /// Pure dispatch-overhead probe: ns per chunk through the pool's
+    /// lock-free injector with trivial task bodies. Valid on any core
+    /// count — this is the verdict that survives `speedup: null`.
+    #[serde(default)]
+    pub dispatch: Option<DispatchProbe>,
+    /// Cross-group chunk-fusion probe: sub-block chunk tails packed into
+    /// shared plane invocations, with byte-identity against the unfused
+    /// runner.
+    #[serde(default)]
+    pub fusion: Option<FusionProbe>,
+    /// Multi-tenant serve probe: quick-profile tenants drained through one
+    /// admission queue over a shared fusion hub, each checked against its
+    /// one-shot equivalent.
+    #[serde(default)]
+    pub serve: Option<ServeProbe>,
+}
+
+/// Prices the pool's dispatch machinery alone: batches of trivial tasks
+/// through `run_ordered` on a 2-worker pool, so injector publish, slot
+/// claims, stealing and parking are all exercised while the task bodies
+/// cost nothing. Unlike the phase speedup, this number is meaningful on a
+/// single-hardware-thread machine — lower is better at any core count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DispatchProbe {
+    /// Worker threads of the probed pool.
+    pub threads: usize,
+    /// Timed `run_ordered` batches.
+    pub batches: u32,
+    /// Trivial tasks (chunks) per batch.
+    pub chunks_per_batch: usize,
+    /// Jobs the timed batches published to the injector.
+    pub jobs_dispatched: u64,
+    /// Mean wall-clock per dispatched chunk, nanoseconds.
+    pub dispatch_ns_per_chunk: f64,
+}
+
+/// Measures what fusing sub-block chunk tails into shared plane
+/// invocations does — and proves the fused runner is byte-identical to
+/// the unfused one on the same workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FusionProbe {
+    /// Simulations per side.
+    pub sims: u64,
+    /// Forced chunk size (deliberately unaligned so every chunk parks a
+    /// sub-block tail on the hub).
+    pub chunk: u64,
+    /// Tail segments the hub fused (0 when `ASCDG_FUSE_CHUNKS=0`).
+    pub fused_chunks: u64,
+    /// Simulation lanes those segments occupied.
+    pub fused_lanes: u64,
+    /// Fused plane invocations executed.
+    pub invocations: u64,
+    /// Mean lane occupancy of a fused invocation, percent of the 64-lane
+    /// plane width.
+    pub occupancy_pct: f64,
+    /// Whether the fused run's statistics were byte-identical to the
+    /// unfused runner's. Must always be `true`.
+    pub identical: bool,
+}
+
+/// Measures the daemon's shard shape under load: N quick-profile tenants
+/// on one unit, admitted onto one weighted queue and drained by a worker
+/// crew whose engine shares a fusion hub — with every tenant's outcome
+/// checked byte-for-byte against a one-shot run of the same request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeProbe {
+    /// Tenants admitted.
+    pub tenants: usize,
+    /// Wall-clock of the multi-tenant drain, ms.
+    pub wall_ms: f64,
+    /// Simulations the drain executed across all tenants.
+    pub sims: u64,
+    /// Aggregate simulation throughput of the drain.
+    pub sims_per_sec: f64,
+    /// Tail segments the shared hub fused during the drain.
+    pub fused_chunks: u64,
+    /// Mean lane occupancy of the drain's fused invocations, percent.
+    pub fusion_occupancy_pct: f64,
+    /// Whether every tenant's outcome matched its one-shot equivalent.
+    /// Must always be `true`.
+    pub identical: bool,
 }
 
 /// One environment's batch-kernel measurement: the same simulations run
@@ -783,6 +864,150 @@ pub fn coalesce_probe(scale: f64, seed: u64) -> Result<CoalesceProbe, FlowError>
     })
 }
 
+/// Measures pure pool-dispatch overhead (see [`DispatchProbe`]): trivial
+/// task bodies, so the wall clock is injector publish + slot claim +
+/// wakeup, not work.
+#[must_use]
+pub fn dispatch_probe() -> DispatchProbe {
+    // Two workers force the real dispatch path: `run_ordered` degenerates
+    // to an inline loop on a 1-worker pool, which would measure nothing.
+    let threads = 2;
+    let chunks_per_batch: usize = 64;
+    let batches: u32 = 400;
+    pool_scope_with(threads, &Telemetry::disabled(), |pool| {
+        // Warm the workers out of their initial park before timing.
+        for _ in 0..8 {
+            std::hint::black_box(pool.run_ordered((0..chunks_per_batch).collect(), |i, v| i + v));
+        }
+        let before = pool.jobs_dispatched();
+        let clock = Instant::now();
+        for _ in 0..batches {
+            std::hint::black_box(pool.run_ordered((0..chunks_per_batch).collect(), |i, v| i + v));
+        }
+        let elapsed_ns = clock.elapsed().as_nanos() as f64;
+        let jobs_dispatched = pool.jobs_dispatched() - before;
+        DispatchProbe {
+            threads,
+            batches,
+            chunks_per_batch,
+            jobs_dispatched,
+            dispatch_ns_per_chunk: elapsed_ns / f64::from(batches) / chunks_per_batch as f64,
+        }
+    })
+}
+
+/// Runs the same workload through an unfused and a hub-attached runner at
+/// a deliberately unaligned chunk size, comparing statistics byte for
+/// byte and reporting the hub's packing numbers (see [`FusionProbe`]).
+///
+/// # Errors
+///
+/// Propagates template validation and simulation failures.
+pub fn fusion_probe(seed: u64) -> Result<FusionProbe, FlowError> {
+    let env = IoEnv::new();
+    let template = env
+        .stock_library()
+        .get(0)
+        .ok_or(FlowError::EmptyLibrary)?
+        .clone();
+    // Chunk 70 = one full 64-lane block plus a 6-lane tail per chunk:
+    // every chunk offers a segment, so packing is actually exercised.
+    let sims: u64 = 560;
+    let chunk: u64 = 70;
+    pool_scope_with(2, &Telemetry::disabled(), |pool| {
+        let reference = BatchRunner::with_pool(pool)
+            .with_chunk_fusion(Some(false))
+            .with_chunk_size(chunk)
+            .run(&env, &template, sims, mix_seed(seed, 0xf5e))?;
+        let hub = Arc::new(FusionHub::new());
+        let fused = BatchRunner::with_pool(pool)
+            .with_fusion_hub(Arc::clone(&hub))
+            .with_chunk_size(chunk)
+            .run(&env, &template, sims, mix_seed(seed, 0xf5e))?;
+        Ok(FusionProbe {
+            sims,
+            chunk,
+            fused_chunks: hub.fused_segments(),
+            fused_lanes: hub.fused_lanes(),
+            invocations: hub.invocations(),
+            occupancy_pct: hub.occupancy_pct(),
+            identical: fused == reference,
+        })
+    })
+}
+
+/// Drains `tenants` quick-profile crc_ requests through one admission
+/// queue over a fusion-hub-sharing engine — the daemon's shard shape —
+/// and checks every tenant against its one-shot run (see [`ServeProbe`]).
+///
+/// # Errors
+///
+/// Propagates flow failures from either side.
+pub fn serve_probe(seed: u64, tenants: usize) -> Result<ServeProbe, FlowError> {
+    let env = IoEnv::new();
+    let mut cfg = FlowConfig::quick();
+    cfg.threads = 2;
+    let strip = |mut outcome: ascdg_core::FlowOutcome| {
+        outcome.timings.clear();
+        serde_json::to_string(&outcome).expect("flow outcome serializes")
+    };
+    // One-shot references: each request run alone, daemon-free.
+    let mut references = Vec::with_capacity(tenants);
+    for i in 0..tenants {
+        let outcome = pool_scope_with(cfg.threads, &Telemetry::disabled(), |pool| {
+            let engine = FlowEngine::new(&env, cfg.clone(), pool);
+            let mut cx = engine.session(
+                TargetSpec::Family("crc_".to_owned()),
+                mix_seed(seed, 0x5e0 + i as u64),
+            );
+            engine.run(&mut cx)
+        })?;
+        references.push(strip(outcome));
+    }
+    // The multi-tenant drain: one sealed queue, one worker crew, one
+    // shared hub fusing chunk tails across tenants.
+    pool_scope_with(cfg.threads, &Telemetry::disabled(), |pool| {
+        let hub = Arc::new(FusionHub::new());
+        let engine = FlowEngine::new(&env, cfg.clone(), pool).with_fusion_hub(Arc::clone(&hub));
+        let queue = AdmissionQueue::new(Telemetry::disabled());
+        let ids: Vec<u64> = (0..tenants)
+            .map(|i| {
+                let cx = engine.session(
+                    TargetSpec::Family("crc_".to_owned()),
+                    mix_seed(seed, 0x5e0 + i as u64),
+                );
+                queue
+                    .admit(AdmitSpec::new(cx.into_state()))
+                    .expect("queue open")
+            })
+            .collect();
+        queue.seal();
+        let clock = Instant::now();
+        queue.run_worker(&engine);
+        let wall_ms = clock.elapsed().as_secs_f64() * 1e3;
+        let mut sims = 0u64;
+        let mut identical = true;
+        for (i, id) in ids.iter().enumerate() {
+            let (outcome, state) = queue.wait(*id).expect("job admitted")?;
+            sims += state.stage_sims.iter().map(|s| s.sims).sum::<u64>();
+            identical &= strip(outcome) == references[i];
+        }
+        Ok(ServeProbe {
+            tenants,
+            wall_ms,
+            sims,
+            sims_per_sec: if wall_ms > 0.0 {
+                sims as f64 / (wall_ms / 1e3)
+            } else {
+                0.0
+            },
+            fused_chunks: hub.fused_segments(),
+            fusion_occupancy_pct: hub.occupancy_pct(),
+            identical,
+        })
+    })
+}
+
 /// Runs the whole benchmark: regression identity, then the paper_io
 /// implicit-filtering phase at 1 thread and at `threads` (0 = machine
 /// size), with a byte-identity check between the two runs.
@@ -877,6 +1102,9 @@ pub fn parallel_bench(
     let coalesce = Some(coalesce);
     let kernels = kernel_probes(scale, seed)?;
     let planes = plane_probes(scale, seed)?;
+    let dispatch = Some(dispatch_probe());
+    let fusion = Some(fusion_probe(seed)?);
+    let serve = Some(serve_probe(seed, 8)?);
     Ok(ParallelBenchReport {
         scale,
         seed,
@@ -895,6 +1123,9 @@ pub fn parallel_bench(
         coalesce,
         kernels,
         planes,
+        dispatch,
+        fusion,
+        serve,
     })
 }
 
@@ -969,6 +1200,32 @@ mod tests {
             );
             assert!(k.cov_reused > 0, "{}: arena never reused", k.unit);
         }
+        // The dispatch probe must render a verdict on any machine — it is
+        // the number that survives `speedup: null`.
+        let dispatch = report.dispatch.as_ref().expect("probe always runs");
+        assert_eq!(dispatch.threads, 2);
+        assert!(dispatch.dispatch_ns_per_chunk > 0.0);
+        assert_eq!(
+            dispatch.jobs_dispatched,
+            u64::from(dispatch.batches) * dispatch.chunks_per_batch as u64,
+            "every timed chunk should go through the injector"
+        );
+        // Fusing chunk tails must never change a byte; packing numbers are
+        // only asserted when the env override hasn't forced fusion off.
+        let fusion = report.fusion.as_ref().expect("probe always runs");
+        assert!(fusion.identical, "fused runner diverged from unfused");
+        if !std::env::var("ASCDG_FUSE_CHUNKS").is_ok_and(|v| v == "0") {
+            assert!(fusion.fused_chunks > 0, "no tails were fused");
+            assert!(fusion.fused_lanes >= fusion.fused_chunks);
+            assert!(fusion.invocations > 0);
+            assert!(fusion.occupancy_pct > 0.0 && fusion.occupancy_pct <= 100.0);
+        }
+        // Every tenant of the multi-tenant drain must match its one-shot
+        // equivalent byte for byte.
+        let serve = report.serve.as_ref().expect("probe always runs");
+        assert!(serve.identical, "a queued tenant diverged from one-shot");
+        assert_eq!(serve.tenants, 8);
+        assert!(serve.sims > 0 && serve.sims_per_sec > 0.0);
         // Every built-in unit's bit-plane fold must reproduce the per-sim
         // accumulation exactly, without allocating per-sim vectors.
         assert_eq!(report.planes.len(), 4);

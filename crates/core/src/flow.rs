@@ -736,7 +736,7 @@ mod tests {
         let out = flow
             .run_phases_observed(&repo, approx, 2, &mut rec)
             .unwrap();
-        assert_eq!(rec.choices, vec![out.chosen_template.clone()]);
+        assert_eq!(rec.choices, vec![out.chosen_template]);
         assert_eq!(
             rec.started,
             vec![PHASE_SAMPLING, PHASE_OPTIMIZATION, PHASE_BEST]

@@ -39,6 +39,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::redundant_clone, clippy::large_enum_variant, clippy::perf)]
 
 mod batch;
 mod campaign;
@@ -62,7 +63,8 @@ mod stages;
 
 pub use ascdg_telemetry::Telemetry;
 pub use batch::{
-    BatchCounters, BatchRunner, BatchStats, ChunkAutotuner, CounterSnapshot, ResolvedTemplate,
+    BatchCounters, BatchRunner, BatchStats, ChunkAutotuner, CounterSnapshot, FusionHub,
+    ResolvedTemplate,
 };
 pub use campaign::{
     fold_campaign, group_uncovered, CampaignGroup, CampaignOutcome, CampaignReport,

@@ -7,37 +7,64 @@
 //! point-batches onto the same workers through [`SimPool::run_ordered`],
 //! and the workers are joined when the scope ends.
 //!
+//! # Lock-free dispatch
+//!
+//! A batch is published as one reference-counted block: the tasks, a
+//! result slot per task, and an atomic claim cursor. Workers (and the
+//! waiting caller) claim jobs with a single `fetch_add` on the cursor —
+//! threads never contend on a shared queue lock per job. Each claimed
+//! index hands its owner exclusive access to one task slot and one
+//! result slot (the slot mutexes are uncontended by construction; they
+//! exist to move the values without `unsafe`). The only shared lock in
+//! the dispatch plane is the **injector**: a short registry of in-flight
+//! batches that a thread touches once to discover a batch, then claims
+//! from lock-free until the cursor runs dry. Lock traffic on the shared
+//! path is O(batches), not O(jobs).
+//!
+//! Idle workers back off in three stages — spin, yield, then park on a
+//! condvar with an exponentially growing timeout — so a pool that is
+//! oversubscribed (or simply between phases) stops burning cores instead
+//! of spinning on an empty injector. `pool.parked_workers` and
+//! `pool.injector_depth` expose both sides of that balance.
+//!
 //! Determinism is preserved by construction: work items carry their seeds
-//! and indices *before* dispatch, results are reassembled in submission
-//! order, and nothing about the outcome depends on which worker executed
-//! which item or in what order. A caller waiting on its batch cooperates by
-//! draining queued jobs itself (work stealing), so a one-thread pool — or a
-//! pool whose workers are saturated — still makes progress on the caller's
-//! thread and can never deadlock.
+//! and indices *before* dispatch, each claimed job writes only its own
+//! result slot, and results are read back in submission order — nothing
+//! about the outcome depends on which thread executed which item or in
+//! what order. The caller waiting on its batch cooperates by claiming
+//! jobs itself (work stealing), so a one-thread pool — or a pool whose
+//! workers are saturated — still makes progress on the caller's thread
+//! and can never deadlock.
 
-use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, PoisonError};
+use std::thread::Thread;
+use std::time::Duration;
 
-use ascdg_telemetry::{Counter, Histogram, Telemetry};
+use parking_lot::Mutex;
 
-/// A unit of work queued on the pool. Jobs may borrow anything that
-/// outlives the pool scope (`'env`), e.g. the verification environment or
-/// a coverage repository created before [`pool_scope`] was entered.
-type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
+use ascdg_telemetry::{Counter, Gauge, Histogram, Telemetry};
 
 /// Pre-resolved pool metric handles (`pool.*` names), present only when
 /// the scope was opened with an enabled [`Telemetry`] via
 /// [`pool_scope_with`]. Recording through them is lock-free.
 struct PoolMetrics {
-    /// `pool.queue_depth`: shared-queue length after each batch enqueue.
+    /// `pool.queue_depth`: injector depth (unclaimed jobs across all
+    /// in-flight batches) after each batch is registered.
     queue_depth: Histogram,
-    /// `pool.jobs_dispatched`: jobs enqueued on the shared queue.
+    /// `pool.jobs_dispatched`: jobs published to the injector.
     jobs: Counter,
-    /// `pool.steals`: jobs the waiting caller drained off the queue
-    /// itself instead of blocking (the work-stealing help path).
+    /// `pool.steals`: jobs the waiting caller claimed and ran itself
+    /// instead of blocking (the work-stealing help path).
     steals: Counter,
+    /// `pool.parked_workers`: workers currently parked on the idle
+    /// condvar (not spinning, not running jobs).
+    parked: Gauge,
+    /// `pool.injector_depth`: unclaimed jobs across all in-flight
+    /// batches, sampled on every publish and claim.
+    injector_depth: Gauge,
 }
 
 impl PoolMetrics {
@@ -46,13 +73,98 @@ impl PoolMetrics {
             queue_depth: m.histogram("pool.queue_depth"),
             jobs: m.counter("pool.jobs_dispatched"),
             steals: m.counter("pool.steals"),
+            parked: m.gauge("pool.parked_workers"),
+            injector_depth: m.gauge("pool.injector_depth"),
         })
+    }
+}
+
+/// One published batch, type-erased for the injector registry.
+///
+/// The claim protocol is the whole synchronization story: a thread owns
+/// job `i` iff its `fetch_add` on the cursor returned `i`, and only the
+/// owner ever touches task slot `i` or result slot `i` (until the caller
+/// collects results after the batch completes).
+trait ErasedBatch<'env>: Send + Sync {
+    /// Claims the next unclaimed job and runs it. Returns `false` when
+    /// the cursor is exhausted (jobs may still be *running* elsewhere).
+    fn claim_and_run(&self, shared: &Shared<'env>) -> bool;
+
+    /// Whether any job is still unclaimed (racy; used to retire drained
+    /// batches from the injector registry).
+    fn has_unclaimed(&self) -> bool;
+}
+
+/// The shared state of one [`SimPool::run_ordered`] batch.
+///
+/// `tasks[i]` is filled by the caller before the batch is published and
+/// taken exactly once by job `i`'s claimer; `results[i]` is written
+/// exactly once by that claimer before it increments `done`. The slot
+/// mutexes are therefore never contended — the claim cursor already
+/// serializes ownership — and the caller reads the result slots only
+/// after observing `done == n`.
+struct BatchState<T, R, F> {
+    tasks: Vec<Mutex<Option<T>>>,
+    results: Vec<Mutex<Option<R>>>,
+    /// Claim cursor: `fetch_add` hands out each index exactly once.
+    next: AtomicUsize,
+    /// Completed jobs (incremented after the result write).
+    done: AtomicUsize,
+    /// Set when a job panicked; the caller re-raises after the batch
+    /// fully drains (so no job still borrowing the environment outlives
+    /// the panic).
+    poisoned: AtomicBool,
+    /// The submitting thread, unparked on completion and poison.
+    caller: Thread,
+    f: F,
+}
+
+impl<'env, T, R, F> ErasedBatch<'env> for BatchState<T, R, F>
+where
+    T: Send + 'env,
+    R: Send + 'env,
+    F: Fn(usize, T) -> R + Send + Sync + 'env,
+{
+    fn claim_and_run(&self, shared: &Shared<'env>) -> bool {
+        let n = self.tasks.len();
+        // Over-claims stop advancing the cursor so repeated polls on a
+        // drained batch stay cheap and can never wrap.
+        if self.next.load(Ordering::Relaxed) >= n {
+            return false;
+        }
+        let i = self.next.fetch_add(1, Ordering::AcqRel);
+        if i >= n {
+            return false;
+        }
+        shared.note_claimed();
+        let task = self.tasks[i].lock().take().expect("task claimed once");
+        match catch_unwind(AssertUnwindSafe(|| run_busy(shared, || (self.f)(i, task)))) {
+            Ok(r) => *self.results[i].lock() = Some(r),
+            Err(_) => self.poisoned.store(true, Ordering::Release),
+        }
+        if self.done.fetch_add(1, Ordering::AcqRel) + 1 == n
+            || self.poisoned.load(Ordering::Relaxed)
+        {
+            self.caller.unpark();
+        }
+        true
+    }
+
+    fn has_unclaimed(&self) -> bool {
+        self.next.load(Ordering::Relaxed) < self.tasks.len()
     }
 }
 
 /// State shared between the pool handle(s) and the worker threads.
 struct Shared<'env> {
-    queue: Mutex<VecDeque<Job<'env>>>,
+    /// The global injector: every in-flight batch, in publication order.
+    /// Touched once per batch discovery, never per job.
+    injector: Mutex<Vec<Arc<dyn ErasedBatch<'env> + 'env>>>,
+    /// Unclaimed jobs across all registered batches (`+n` on publish,
+    /// `-1` per claim) — the depth `pool.injector_depth` samples.
+    injector_depth: AtomicU64,
+    /// Guards the idle-worker check-then-wait (see `worker_loop`).
+    sleep_lock: Mutex<()>,
     work_ready: Condvar,
     shutdown: AtomicBool,
     jobs_dispatched: AtomicU64,
@@ -60,23 +172,55 @@ struct Shared<'env> {
     /// degenerate batches alike) — the occupancy the campaign scheduler
     /// samples into `campaign.pool_occupancy`.
     busy: AtomicU64,
+    /// Workers currently parked on the idle condvar.
+    parked: AtomicU64,
     metrics: Option<PoolMetrics>,
 }
 
-/// Runs `f` with the shared busy counter held. The count leaks if `f`
-/// panics, but a panicking job aborts the whole batch anyway (see
-/// [`SimPool::run_ordered`]), so the gauge is never read afterwards.
-fn run_busy<R>(shared: &Shared<'_>, f: impl FnOnce() -> R) -> R {
-    shared.busy.fetch_add(1, Ordering::Relaxed);
-    let out = f();
-    shared.busy.fetch_sub(1, Ordering::Relaxed);
-    out
+impl<'env> Shared<'env> {
+    fn note_claimed(&self) {
+        let left = self
+            .injector_depth
+            .fetch_sub(1, Ordering::Relaxed)
+            .saturating_sub(1);
+        if let Some(m) = &self.metrics {
+            m.injector_depth.set(left as f64);
+        }
+    }
+
+    /// Finds a batch with unclaimed work, retiring drained ones.
+    fn find_batch(&self) -> Option<Arc<dyn ErasedBatch<'env> + 'env>> {
+        let mut reg = self.injector.lock();
+        reg.retain(|b| b.has_unclaimed());
+        reg.first().cloned()
+    }
+
+    /// Wakes idle workers. Bouncing through the sleep lock closes the
+    /// race against a worker that checked the depth and is about to
+    /// wait: either it sees the new depth, or it is already waiting and
+    /// the notification reaches it.
+    fn wake_workers(&self) {
+        drop(self.sleep_lock.lock());
+        self.work_ready.notify_all();
+    }
 }
 
-fn lock<'a, 'env>(shared: &'a Shared<'env>) -> MutexGuard<'a, VecDeque<Job<'env>>> {
-    // A job panic cannot poison the queue (jobs run outside the lock), but
-    // recover anyway: the queue is a plain VecDeque, always consistent.
-    shared.queue.lock().unwrap_or_else(PoisonError::into_inner)
+/// Decrements the busy gauge even if the job panics (the panic is caught
+/// and re-raised on the caller, so the pool keeps serving afterwards and
+/// the gauge must stay truthful).
+struct BusyGuard<'a>(&'a AtomicU64);
+
+impl Drop for BusyGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Runs `f` with the shared busy counter held.
+fn run_busy<R>(shared: &Shared<'_>, f: impl FnOnce() -> R) -> R {
+    shared.busy.fetch_add(1, Ordering::Relaxed);
+    let _guard = BusyGuard(&shared.busy);
+    f()
 }
 
 /// Number of workers a machine-sized pool uses.
@@ -90,7 +234,7 @@ pub fn machine_threads() -> usize {
 /// A cloneable handle to a persistent worker pool.
 ///
 /// Created by [`pool_scope`]; cloning the handle shares the same workers
-/// and queue, which is how every phase of a flow (and every
+/// and injector, which is how every phase of a flow (and every
 /// [`BatchRunner`](crate::BatchRunner) built from the handle) submits to
 /// one farm instead of spawning threads per call.
 pub struct SimPool<'env> {
@@ -111,7 +255,10 @@ impl fmt::Debug for SimPool<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SimPool")
             .field("threads", &self.threads)
-            .field("queued", &lock(&self.shared).len())
+            .field(
+                "queued",
+                &self.shared.injector_depth.load(Ordering::Relaxed),
+            )
             .finish_non_exhaustive()
     }
 }
@@ -123,22 +270,8 @@ impl<'env> SimPool<'env> {
         self.threads
     }
 
-    fn push_jobs(&self, jobs: Vec<Job<'env>>) {
-        let n = jobs.len() as u64;
-        self.shared.jobs_dispatched.fetch_add(n, Ordering::Relaxed);
-        let mut q = lock(&self.shared);
-        q.extend(jobs);
-        let depth = q.len() as u64;
-        drop(q);
-        if let Some(m) = &self.shared.metrics {
-            m.jobs.add(n);
-            m.queue_depth.record(depth);
-        }
-        self.shared.work_ready.notify_all();
-    }
-
-    /// Number of jobs enqueued on the shared queue over the pool's lifetime
-    /// (observability only; inline degenerate batches never enqueue). All
+    /// Number of jobs published to the injector over the pool's lifetime
+    /// (observability only; inline degenerate batches never publish). All
     /// handle clones report the same counter.
     #[must_use]
     pub fn jobs_dispatched(&self) -> u64 {
@@ -153,21 +286,34 @@ impl<'env> SimPool<'env> {
         self.shared.busy.load(Ordering::Relaxed)
     }
 
-    fn try_pop(&self) -> Option<Job<'env>> {
-        lock(&self.shared).pop_front()
+    /// Number of workers currently parked on the idle condvar
+    /// (observability only — the value is racy by nature).
+    #[must_use]
+    pub fn parked_workers(&self) -> u64 {
+        self.shared.parked.load(Ordering::Relaxed)
+    }
+
+    /// Unclaimed jobs across all in-flight batches (observability only —
+    /// the value is racy by nature).
+    #[must_use]
+    pub fn injector_depth(&self) -> u64 {
+        self.shared.injector_depth.load(Ordering::Relaxed)
     }
 
     /// Runs one task per item on the pool and returns the results in item
     /// order, regardless of which worker computed what.
     ///
-    /// The calling thread participates: while waiting it executes queued
-    /// jobs itself, so the pool can never deadlock on nested or saturated
-    /// workloads. With one worker (or a single task) the batch degenerates
-    /// to an inline serial loop with identical results.
+    /// The calling thread participates: while waiting it claims jobs
+    /// itself (its own batch first, then any other in-flight batch), so
+    /// the pool can never deadlock on nested or saturated workloads. With
+    /// one worker (or a single task) the batch degenerates to an inline
+    /// serial loop with identical results.
     ///
     /// # Panics
     ///
-    /// Panics if a task panicked on a worker thread.
+    /// Panics if a task panicked (on any thread); the panic is raised
+    /// only after the whole batch has drained, so no job still borrowing
+    /// the environment outlives it.
     pub fn run_ordered<T, R, F>(&self, tasks: Vec<T>, f: F) -> Vec<R>
     where
         T: Send + 'env,
@@ -184,56 +330,76 @@ impl<'env> SimPool<'env> {
                     .collect()
             });
         }
-        let f = Arc::new(f);
-        let (tx, rx) = mpsc::channel::<(usize, R)>();
-        let jobs: Vec<Job<'env>> = tasks
-            .into_iter()
-            .enumerate()
-            .map(|(i, t)| {
-                let f = Arc::clone(&f);
-                let tx = tx.clone();
-                Box::new(move || {
-                    // The receiver disappearing means the caller already
-                    // panicked; dropping the result is fine.
-                    let _ = tx.send((i, f(i, t)));
-                }) as Job<'env>
-            })
-            .collect();
-        drop(tx);
-        self.push_jobs(jobs);
+        self.shared
+            .jobs_dispatched
+            .fetch_add(n as u64, Ordering::Relaxed);
+        let batch = Arc::new(BatchState {
+            tasks: tasks
+                .into_iter()
+                .map(|t| Mutex::new(Some(t)))
+                .collect::<Vec<_>>(),
+            results: (0..n).map(|_| Mutex::new(None)).collect::<Vec<_>>(),
+            next: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+            caller: std::thread::current(),
+            f,
+        });
+        // Publish: the injector lock's release/acquire pairing makes the
+        // filled task slots visible to any worker discovering the batch.
+        {
+            let mut reg = self.shared.injector.lock();
+            reg.push(Arc::clone(&batch) as Arc<dyn ErasedBatch<'env> + 'env>);
+            let depth = self
+                .shared
+                .injector_depth
+                .fetch_add(n as u64, Ordering::Relaxed)
+                + n as u64;
+            drop(reg);
+            if let Some(m) = &self.shared.metrics {
+                m.jobs.add(n as u64);
+                m.queue_depth.record(depth);
+                m.injector_depth.set(depth as f64);
+            }
+        }
+        self.shared.wake_workers();
 
-        let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
-        let mut received = 0usize;
-        while received < n {
-            while let Ok((i, r)) = rx.try_recv() {
-                slots[i] = Some(r);
-                received += 1;
-            }
-            if received == n {
-                break;
-            }
-            // Help: execute a queued job (ours or another batch's) instead
-            // of blocking while workers are busy.
-            if let Some(job) = self.try_pop() {
+        // Help until every job is done: own batch first (lock-free), then
+        // foreign batches via the injector, then park briefly as a
+        // backstop (completion unparks us promptly).
+        loop {
+            if batch.claim_and_run(&self.shared) {
                 if let Some(m) = &self.shared.metrics {
                     m.steals.add(1);
                 }
-                run_busy(&self.shared, job);
                 continue;
             }
-            match rx.recv() {
-                Ok((i, r)) => {
-                    slots[i] = Some(r);
-                    received += 1;
-                }
-                // Every sender dropped without all results arriving: a job
-                // panicked on a worker. Surface it here rather than hanging.
-                Err(_) => panic!("simulation pool job panicked"),
+            if batch.done.load(Ordering::Acquire) >= n {
+                break;
             }
+            if let Some(other) = self.shared.find_batch() {
+                if other.claim_and_run(&self.shared) {
+                    if let Some(m) = &self.shared.metrics {
+                        m.steals.add(1);
+                    }
+                }
+                continue;
+            }
+            if batch.done.load(Ordering::Acquire) >= n {
+                break;
+            }
+            std::thread::park_timeout(Duration::from_millis(1));
         }
-        slots
-            .into_iter()
-            .map(|s| s.expect("all results received"))
+        if batch.poisoned.load(Ordering::Acquire) {
+            panic!("simulation pool job panicked");
+        }
+        (0..n)
+            .map(|i| {
+                batch.results[i]
+                    .lock()
+                    .take()
+                    .expect("all results received")
+            })
             .collect()
     }
 }
@@ -249,27 +415,59 @@ impl Drop for ShutdownGuard<'_, '_> {
     }
 }
 
+/// Spin rounds before an idle worker starts yielding (2^N growth).
+const SPIN_ROUNDS: u32 = 6;
+/// Yield rounds after spinning, before the worker parks.
+const YIELD_ROUNDS: u32 = 4;
+/// Longest condvar park between injector polls.
+const MAX_PARK: Duration = Duration::from_millis(100);
+
 fn worker_loop(shared: &Shared<'_>) {
+    // Idle back-off ladder: spin (cheap, catches back-to-back batches),
+    // then yield (lets a 1-core box schedule the producer), then park on
+    // the condvar with an exponentially growing timeout so a long-idle
+    // worker costs ~10 wakeups/second instead of a spinning core.
+    let mut idle = 0u32;
     loop {
-        let job = {
-            let mut q = lock(shared);
-            loop {
-                if let Some(job) = q.pop_front() {
-                    break Some(job);
-                }
-                if shared.shutdown.load(Ordering::Acquire) {
-                    break None;
-                }
-                q = shared
-                    .work_ready
-                    .wait(q)
-                    .unwrap_or_else(PoisonError::into_inner);
-            }
-        };
-        match job {
-            Some(job) => run_busy(shared, job),
-            None => return,
+        if let Some(batch) = shared.find_batch() {
+            idle = 0;
+            while batch.claim_and_run(shared) {}
+            continue;
         }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if idle < SPIN_ROUNDS {
+            for _ in 0..(1u32 << idle) {
+                std::hint::spin_loop();
+            }
+        } else if idle < SPIN_ROUNDS + YIELD_ROUNDS {
+            std::thread::yield_now();
+        } else {
+            let exp = (idle - SPIN_ROUNDS - YIELD_ROUNDS).min(7);
+            let timeout = Duration::from_millis(1u64 << exp).min(MAX_PARK);
+            let guard = shared.sleep_lock.lock();
+            // Re-check under the lock: a publisher bounces through this
+            // lock before notifying, so either we see its depth here or
+            // its notification lands while we wait.
+            if shared.injector_depth.load(Ordering::Acquire) == 0
+                && !shared.shutdown.load(Ordering::Acquire)
+            {
+                let parked = shared.parked.fetch_add(1, Ordering::Relaxed) + 1;
+                if let Some(m) = &shared.metrics {
+                    m.parked.set(parked as f64);
+                }
+                let _unused = shared
+                    .work_ready
+                    .wait_timeout(guard, timeout)
+                    .unwrap_or_else(PoisonError::into_inner);
+                let parked = shared.parked.fetch_sub(1, Ordering::Relaxed) - 1;
+                if let Some(m) = &shared.metrics {
+                    m.parked.set(parked as f64);
+                }
+            }
+        }
+        idle = idle.saturating_add(1).min(SPIN_ROUNDS + YIELD_ROUNDS + 7);
     }
 }
 
@@ -298,9 +496,10 @@ pub fn pool_scope<'env, R>(threads: usize, f: impl FnOnce(&SimPool<'env>) -> R) 
 }
 
 /// [`pool_scope`] with pool-level telemetry: when `telemetry` is enabled,
-/// the pool records `pool.queue_depth`, `pool.jobs_dispatched` and
-/// `pool.steals` into its metrics registry. Instrumentation is purely
-/// observational — scheduling and results are identical either way.
+/// the pool records `pool.queue_depth`, `pool.jobs_dispatched`,
+/// `pool.steals`, `pool.parked_workers` and `pool.injector_depth` into
+/// its metrics registry. Instrumentation is purely observational —
+/// scheduling and results are identical either way.
 pub fn pool_scope_with<'env, R>(
     threads: usize,
     telemetry: &Telemetry,
@@ -314,11 +513,14 @@ pub fn pool_scope_with<'env, R>(
     std::thread::scope(|scope| {
         let pool: SimPool<'env> = SimPool {
             shared: Arc::new(Shared {
-                queue: Mutex::new(VecDeque::new()),
+                injector: Mutex::new(Vec::new()),
+                injector_depth: AtomicU64::new(0),
+                sleep_lock: Mutex::new(()),
                 work_ready: Condvar::new(),
                 shutdown: AtomicBool::new(false),
                 jobs_dispatched: AtomicU64::new(0),
                 busy: AtomicU64::new(0),
+                parked: AtomicU64::new(0),
                 metrics: PoolMetrics::resolve(telemetry),
             }),
             threads,
@@ -409,11 +611,20 @@ mod tests {
             assert_eq!(pool.jobs_dispatched(), 0);
             let _ = pool.run_ordered((0..8u64).collect(), |_, v| v);
             assert_eq!(pool.jobs_dispatched(), 8);
-            // Degenerate single-task batches run inline, never enqueued.
+            // Degenerate single-task batches run inline, never published.
             let _ = pool.run_ordered(vec![1u64], |_, v| v);
             assert_eq!(pool.jobs_dispatched(), 8);
             // Clones observe the same counter.
             assert_eq!(pool.clone().jobs_dispatched(), 8);
+        });
+    }
+
+    #[test]
+    fn injector_drains_to_zero_between_batches() {
+        pool_scope(2, |pool| {
+            let _ = pool.run_ordered((0..16u64).collect(), |_, v| v);
+            assert_eq!(pool.injector_depth(), 0);
+            assert!(pool.parked_workers() <= 2);
         });
     }
 
@@ -434,6 +645,12 @@ mod tests {
         let depth = depth.histogram.unwrap();
         assert_eq!(depth.count, 1);
         assert!(depth.max <= 32);
+        // The injector gauge exists and has drained back to zero.
+        let inj = snap
+            .iter()
+            .find(|m| m.name == "pool.injector_depth")
+            .unwrap();
+        assert_eq!(inj.value, 0.0);
         // A disabled handle records nothing and changes nothing.
         let quiet = Telemetry::disabled();
         let out2 = pool_scope_with(4, &quiet, |pool| {
@@ -451,5 +668,35 @@ mod tests {
         };
         assert_eq!(run(1), run(4));
         assert_eq!(run(2), run(8));
+    }
+
+    #[test]
+    fn nested_batches_make_progress() {
+        // A job that itself submits a batch must not deadlock even when
+        // every worker is occupied by the outer batch: the inner caller
+        // helps itself through the claim cursor.
+        let out = pool_scope(2, |pool| {
+            let inner = pool.clone();
+            pool.run_ordered((0..4u64).collect(), move |_, v| {
+                inner
+                    .run_ordered(vec![v, v + 1], |_, x| x * 2)
+                    .into_iter()
+                    .sum::<u64>()
+            })
+        });
+        assert_eq!(out, vec![2, 6, 10, 14]);
+    }
+
+    #[test]
+    fn panicking_job_poisons_the_batch() {
+        let caught = std::panic::catch_unwind(|| {
+            pool_scope(2, |pool| {
+                pool.run_ordered((0..8u64).collect(), |_, v| {
+                    assert!(v != 5, "boom");
+                    v
+                })
+            })
+        });
+        assert!(caught.is_err(), "job panic must surface to the caller");
     }
 }

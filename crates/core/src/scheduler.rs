@@ -472,6 +472,8 @@ impl<'cb> AdmissionQueue<'cb> {
             if let Some(m) = self.telemetry.metrics() {
                 m.gauge("campaign.pool_occupancy")
                     .set(engine.pool().busy_workers() as f64);
+                m.gauge("pool.injector_depth")
+                    .set(engine.pool().injector_depth() as f64);
             }
             // Report progress outside the queue lock: sinks may do I/O.
             if let Some(sink) = &on_step {
@@ -786,7 +788,7 @@ mod tests {
         // quantum counts.
         let quanta: Vec<usize> = statuses.iter().map(|s| s.completed_stages).collect();
         let mut expected = Vec::new();
-        let mut left = quanta.clone();
+        let mut left = quanta;
         while left.iter().any(|&n| n > 0) {
             for (id, n) in left.iter_mut().enumerate() {
                 if *n > 0 {
@@ -861,7 +863,7 @@ mod tests {
                 let cx = engine.session(TargetSpec::Family("crc_".to_owned()), 7);
                 let mut spec = AdmitSpec::new(cx.into_state());
                 spec.cancel = victim_token.clone();
-                let token = victim_token.clone();
+                let token = victim_token;
                 // Cancel after the victim's second completed stage.
                 spec.on_step = Some(Box::new(move |_, state: &SessionState| {
                     if state.completed.len() >= 2 {

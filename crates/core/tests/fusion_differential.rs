@@ -1,0 +1,151 @@
+//! Differential pins for cross-group chunk fusion: a hub-attached runner,
+//! engine or campaign must produce the same bytes as its unfused
+//! equivalent — statistics, repository snapshots, flow outcomes and
+//! manifests — at any chunk size, tenant mix or thread count.
+//!
+//! The worker count respects `ASCDG_TEST_THREADS` (the CI determinism
+//! matrix runs this file at 1, 2 and 8), and `ASCDG_FUSE_CHUNKS` flips
+//! the process-wide fusion override: every assertion here must hold in
+//! all of those configurations, which is the point.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use ascdg_core::{
+    pool_scope, BatchRunner, BatchStats, CdgFlow, FlowConfig, FlowEngine, FlowOutcome, FusionHub,
+    RunManifest, TargetSpec, Telemetry,
+};
+use ascdg_coverage::{CoverageRepository, TemplateId};
+use ascdg_duv::{io_unit::IoEnv, VerifEnv};
+
+fn test_threads() -> usize {
+    std::env::var("ASCDG_TEST_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4)
+}
+
+fn strip_timings(mut outcome: FlowOutcome) -> FlowOutcome {
+    outcome.timings.clear();
+    outcome
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12 })]
+
+    /// Recorded dispatch at an arbitrary (usually unaligned) chunk size:
+    /// the fused runner's statistics and repository contents must match
+    /// the serial, unfused reference byte for byte.
+    #[test]
+    fn fused_dispatch_matches_unfused_reference(
+        sims in 1u64..200,
+        chunk in 1u64..96,
+        seed in any::<u64>(),
+        tmpl in 0u32..4,
+    ) {
+        let env = IoEnv::new();
+        let template = env.stock_library().get(tmpl as usize).unwrap().clone();
+        let reference_repo = CoverageRepository::new(env.coverage_model().clone());
+        let reference = BatchRunner::new(1)
+            .run_recorded(&env, &template, sims, seed, &reference_repo, TemplateId(tmpl))
+            .unwrap();
+        let repo = CoverageRepository::new(env.coverage_model().clone());
+        let hub = Arc::new(FusionHub::new());
+        let fused = pool_scope(test_threads().max(2), |pool| {
+            BatchRunner::with_pool(pool)
+                .with_fusion_hub(Arc::clone(&hub))
+                .with_chunk_size(chunk)
+                .run_recorded(&env, &template, sims, seed, &repo, TemplateId(tmpl))
+                .unwrap()
+        });
+        prop_assert_eq!(fused, reference);
+        prop_assert_eq!(repo.snapshot(), reference_repo.snapshot());
+        prop_assert_eq!(hub.pending_segments(), 0);
+    }
+
+    /// Stencil-batch dispatch over a mixed-template point set: each fused
+    /// point's statistics must equal the point's own serial run.
+    #[test]
+    fn fused_point_batches_match_individual_runs(
+        sims_per_point in 1u64..100,
+        seeds in proptest::collection::vec(any::<u64>(), 1..5),
+        tmpl in 0usize..4,
+    ) {
+        let env = IoEnv::new();
+        let points: Vec<_> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &seed)| {
+                // Alternate templates so fused invocations mix parameter
+                // sets, the heterogeneous case the plane kernel must split.
+                let t = env.stock_library().get((tmpl + i) % 4).unwrap().clone();
+                (t, seed)
+            })
+            .collect();
+        let serial = BatchRunner::new(1);
+        let expected: Vec<BatchStats> = points
+            .iter()
+            .map(|(t, seed)| serial.run(&env, t, sims_per_point, *seed).unwrap())
+            .collect();
+        let hub = Arc::new(FusionHub::new());
+        let fused = pool_scope(test_threads().max(2), |pool| {
+            BatchRunner::with_pool(pool)
+                .with_fusion_hub(Arc::clone(&hub))
+                .run_many(&env, &points, sims_per_point)
+                .unwrap()
+        });
+        prop_assert_eq!(fused, expected);
+        prop_assert_eq!(hub.pending_segments(), 0);
+    }
+}
+
+/// A whole flow run — outcome and manifest — must not change a byte when
+/// the engine carries a fusion hub, whether fusion is on (default) or
+/// programmatically disabled.
+#[test]
+fn flow_outcome_and_manifest_survive_fusion() {
+    let env = IoEnv::new();
+    let mut cfg = FlowConfig::quick();
+    cfg.threads = test_threads().max(2);
+    let spec = TargetSpec::Family("crc_".to_owned());
+    let run = |attach_hub: bool, fuse: Option<bool>| {
+        pool_scope(cfg.threads, |pool| {
+            let mut engine = FlowEngine::new(&env, cfg.clone(), pool).with_chunk_fusion(fuse);
+            if attach_hub {
+                engine = engine.with_fusion_hub(Arc::new(FusionHub::new()));
+            }
+            let mut cx = engine.session(spec.clone(), 2021);
+            let outcome = engine.run(&mut cx).expect("flow runs");
+            let mut manifest = RunManifest::from_state(&cx.into_state(), &Telemetry::disabled());
+            manifest.validate().expect("manifest accounting holds");
+            manifest.timings.clear();
+            (
+                serde_json::to_string(&strip_timings(outcome)).unwrap(),
+                manifest.to_json().unwrap(),
+            )
+        })
+    };
+    let reference = run(false, None);
+    assert_eq!(run(true, None), reference);
+    assert_eq!(run(true, Some(false)), reference);
+}
+
+/// The campaign engine attaches a shared hub across all its groups: the
+/// outcome must be identical at every jobs/thread count.
+#[test]
+fn campaign_outcome_identical_across_thread_counts() {
+    let env = IoEnv::new();
+    let run_at = |threads: usize, jobs: usize| {
+        let mut cfg = FlowConfig::quick();
+        cfg.threads = threads;
+        cfg.campaign_jobs = jobs;
+        let outcome = CdgFlow::new(env.clone(), cfg)
+            .run_campaign(2021)
+            .expect("campaign runs");
+        serde_json::to_string(&outcome).unwrap()
+    };
+    let reference = run_at(1, 1);
+    assert_eq!(run_at(2, 2), reference);
+    assert_eq!(run_at(test_threads().max(2), 8), reference);
+}

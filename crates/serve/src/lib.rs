@@ -23,6 +23,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::redundant_clone, clippy::large_enum_variant, clippy::perf)]
 
 pub mod client;
 pub mod daemon;

@@ -140,6 +140,54 @@ fn two_tenants_with_different_weights_both_match_their_one_shots() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A crowd of tiny tenants on one unit: every Done payload must match
+/// its one-shot equivalent even when the shard's worker crews interleave
+/// all of them over the shared pool and fusion hub. This is the
+/// dispatch-wall shape: many concurrent sub-block tenants, one DUV.
+#[test]
+fn six_tiny_tenants_all_match_their_one_shots() {
+    let dir = tmp_dir("crowd");
+    let (addr, handle) = start_daemon(&dir);
+    let classes = ["gold", "batch", "interactive"];
+    let handles: Vec<_> = (0..6u64)
+        .map(|i| {
+            let addr = addr.clone();
+            let class = classes[i as usize % classes.len()].to_owned();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connects");
+                client
+                    .submit(
+                        SubmitSpec {
+                            unit: "io".to_owned(),
+                            scale: 1.0,
+                            seed: 100 + i,
+                            profile: "quick".to_owned(),
+                            weight: 1 + (i % 3) as u32,
+                            class,
+                        },
+                        |_| {},
+                    )
+                    .expect("request completes")
+                    .1
+            })
+        })
+        .collect();
+    for (i, h) in handles.into_iter().enumerate() {
+        assert_eq!(
+            h.join().unwrap(),
+            one_shot_outcome_json(1.0, 100 + i as u64),
+            "tenant {i} diverged from its one-shot equivalent"
+        );
+    }
+    let mut client = Client::connect(&addr).expect("connects");
+    let statuses = client.status().expect("status answers");
+    assert_eq!(statuses.len(), 6);
+    assert!(statuses.iter().all(|s| s.done));
+    client.shutdown().expect("daemon drains");
+    handle.join().expect("daemon exits");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Restart recovery: a request whose daemon died mid-run (here: a
 /// checkpoint snapshotted mid-campaign, planted as an orphan) is
 /// re-admitted on startup and finishes with the same bytes the
